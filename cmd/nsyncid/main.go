@@ -1,0 +1,181 @@
+// Command nsyncid runs the NSYNC intrusion detection system over recorded
+// side-channel signals (.nsig files, as produced by printsim).
+//
+// Usage:
+//
+//	nsyncid -ref ref.nsig -train t1.nsig,t2.nsig -observe obs.nsig
+//	nsyncid -ref ref.nsig -train 't*.nsig' -observe obs.nsig -live
+//	nsyncid -sync dtw -radius 1 ...
+//
+// Offline mode classifies the observation after reading it fully; -live
+// replays the observation in chunks through the streaming monitor and
+// reports the moment the first alert fires — what an air-gapped deployment
+// beside a printer would do.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"nsync/internal/core"
+	"nsync/internal/dwm"
+	"nsync/internal/sigproc"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "nsyncid:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		refPath   = flag.String("ref", "", "reference signal (.nsig), required")
+		trainArg  = flag.String("train", "", "comma-separated benign training signals (globs allowed), required")
+		obsPath   = flag.String("observe", "", "observed signal to classify, required")
+		syncName  = flag.String("sync", "dwm", "dynamic synchronizer: dwm, dtw, or none")
+		tWin      = flag.Float64("twin", 4.0, "DWM t_win seconds")
+		tHop      = flag.Float64("thop", 0, "DWM t_hop seconds (default t_win/2)")
+		tExt      = flag.Float64("text", 2.0, "DWM t_ext seconds")
+		tSigma    = flag.Float64("tsigma", 0, "DWM t_sigma seconds (default t_ext/2)")
+		eta       = flag.Float64("eta", 0.1, "DWM eta")
+		radius    = flag.Int("radius", 1, "FastDTW radius (sync=dtw)")
+		occMargin = flag.Float64("r", 0.3, "OCC margin r")
+		live      = flag.Bool("live", false, "replay the observation through the streaming monitor")
+		chunkSec  = flag.Float64("chunk", 0.25, "live-mode chunk size in seconds")
+	)
+	flag.Parse()
+	if *refPath == "" || *trainArg == "" || *obsPath == "" {
+		flag.Usage()
+		return fmt.Errorf("-ref, -train and -observe are required")
+	}
+
+	ref, err := sigproc.LoadFile(*refPath)
+	if err != nil {
+		return err
+	}
+	trainPaths, err := expandPaths(*trainArg)
+	if err != nil {
+		return err
+	}
+	var train []*sigproc.Signal
+	for _, p := range trainPaths {
+		s, err := sigproc.LoadFile(p)
+		if err != nil {
+			return err
+		}
+		train = append(train, s)
+	}
+	obs, err := sigproc.LoadFile(*obsPath)
+	if err != nil {
+		return err
+	}
+
+	params := dwm.Params{TWin: *tWin, THop: *tHop, TExt: *tExt, TSigma: *tSigma, Eta: *eta}
+	if params.THop == 0 {
+		params.THop = params.TWin / 2
+	}
+	if params.TSigma == 0 {
+		params.TSigma = params.TExt / 2
+	}
+	var sync core.Synchronizer
+	switch *syncName {
+	case "dwm":
+		sync = &core.DWMSynchronizer{Params: params}
+	case "dtw":
+		sync = &core.DTWSynchronizer{Radius: *radius}
+	case "none":
+		sync = &core.NullSynchronizer{Window: int(params.TWin * ref.Rate), Hop: int(params.THop * ref.Rate)}
+	default:
+		return fmt.Errorf("unknown synchronizer %q", *syncName)
+	}
+
+	det, err := core.NewDetector(ref, core.Config{Sync: sync, OCC: core.OCCConfig{R: *occMargin}})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("training on %d benign runs (sync=%s, r=%.2f)...\n", len(train), sync.Name(), *occMargin)
+	if err := det.Train(train); err != nil {
+		return err
+	}
+	th, err := det.Thresholds()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("learned thresholds: c_c=%.4g h_c=%.4g v_c=%.4g\n", th.CC, th.HC, th.VC)
+
+	if *live {
+		if *syncName != "dwm" {
+			return fmt.Errorf("-live requires -sync dwm (streaming DTW is not supported; see Section VI-A)")
+		}
+		return runLive(ref, obs, params, th, *chunkSec)
+	}
+
+	verdict, err := det.Classify(obs)
+	if err != nil {
+		return err
+	}
+	if verdict.Intrusion {
+		fmt.Printf("INTRUSION at t=%.1fs (index %d), sub-modules: %v\n",
+			verdict.FirstTime, verdict.FirstIndex, verdict.Triggered)
+		os.Exit(2)
+	}
+	fmt.Println("benign: no intrusion detected")
+	return nil
+}
+
+func runLive(ref, obs *sigproc.Signal, params dwm.Params, th core.Thresholds, chunkSec float64) error {
+	mon, err := core.NewMonitor(ref, params, th)
+	if err != nil {
+		return err
+	}
+	chunk := int(chunkSec * obs.Rate)
+	if chunk < 1 {
+		chunk = 1
+	}
+	for pos := 0; pos < obs.Len(); pos += chunk {
+		end := pos + chunk
+		if end > obs.Len() {
+			end = obs.Len()
+		}
+		alerts, err := mon.Push(obs.Slice(pos, end))
+		if err != nil {
+			return err
+		}
+		for _, a := range alerts {
+			fmt.Println(a)
+		}
+		if len(alerts) > 0 {
+			fmt.Printf("stopping print at stream position %.1fs\n", float64(end)/obs.Rate)
+			os.Exit(2)
+		}
+	}
+	fmt.Printf("stream complete: %d windows analyzed, no intrusion\n", mon.WindowsProcessed())
+	return nil
+}
+
+func expandPaths(arg string) ([]string, error) {
+	var out []string
+	for _, part := range strings.Split(arg, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		matches, err := filepath.Glob(part)
+		if err != nil {
+			return nil, err
+		}
+		if len(matches) == 0 {
+			return nil, fmt.Errorf("no files match %q", part)
+		}
+		out = append(out, matches...)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no training files")
+	}
+	return out, nil
+}

@@ -1,0 +1,172 @@
+// Command printsim simulates printing processes and records their
+// side-channel signals to .nsig files — the data-acquisition half of the
+// paper's testbed, in software.
+//
+// Usage:
+//
+//	printsim -printer UM3 -out data/ -runs 3                 # benign runs
+//	printsim -printer RM3 -attack Void -seed 42 -out data/   # one attack run
+//	printsim -gcode part.gcode -channels ACC,AUD -out data/  # custom G-code
+//
+// Each run produces one file per requested side channel, named
+// <printer>_<label>_<seed>_<channel>.nsig, plus a .meta text file with the
+// run's layer times and duration.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"nsync/internal/experiment"
+	"nsync/internal/gcode"
+	"nsync/internal/printer"
+	"nsync/internal/sensor"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "printsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		printerName = flag.String("printer", "UM3", "printer profile: UM3 or RM3")
+		attack      = flag.String("attack", "", "malicious process: Void, InfillGrid, Speed0.95, Layer0.3, Scale0.95 (empty = benign)")
+		gcodePath   = flag.String("gcode", "", "custom G-code file (overrides -attack and the built-in gear)")
+		outDir      = flag.String("out", ".", "output directory")
+		seed        = flag.Int64("seed", 1, "base random seed (one run per seed)")
+		runs        = flag.Int("runs", 1, "number of runs (seeds seed, seed+1, ...)")
+		channelsArg = flag.String("channels", "ACC,TMP,MAG,AUD,EPT,PWR", "comma-separated side channels to record")
+		scaleName   = flag.String("scale", "ci", "experiment scale: ci or paper")
+	)
+	flag.Parse()
+
+	scale, err := scaleByName(*scaleName)
+	if err != nil {
+		return err
+	}
+	prof, err := profileByName(*printerName)
+	if err != nil {
+		return err
+	}
+	channels, err := parseChannels(*channelsArg)
+	if err != nil {
+		return err
+	}
+	prog, label, err := selectProgram(scale, *gcodePath, *attack)
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(*outDir, 0o755); err != nil {
+		return err
+	}
+
+	for i := 0; i < *runs; i++ {
+		s := *seed + int64(i)
+		tr, err := printer.Run(prog, prof, printer.Options{
+			Seed: s, TraceRate: scale.TraceRate,
+			InitialHotend: 205, InitialBed: 60,
+		})
+		if err != nil {
+			return err
+		}
+		if ready := tr.EventTime("hotend-ready"); ready > 0 {
+			tr = tr.TrimBefore(ready)
+		}
+		base := fmt.Sprintf("%s_%s_%d", prof.Name, label, s)
+		for _, ch := range channels {
+			sig, err := sensor.Acquire(tr, ch, scale.Sensor, s)
+			if err != nil {
+				return err
+			}
+			path := filepath.Join(*outDir, fmt.Sprintf("%s_%s.nsig", base, ch))
+			if err := sig.SaveFile(path); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %s (%.1f s, %d ch @ %.0f Hz)\n", path, sig.Duration(), sig.Channels(), sig.Rate)
+		}
+		meta := fmt.Sprintf("printer=%s label=%s seed=%d duration=%.3f layers=%v\n",
+			prof.Name, label, s, tr.Duration(), tr.LayerStart)
+		if err := os.WriteFile(filepath.Join(*outDir, base+".meta"), []byte(meta), 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func scaleByName(name string) (experiment.Scale, error) {
+	switch name {
+	case "ci":
+		return experiment.CI(), nil
+	case "paper":
+		return experiment.Paper(), nil
+	default:
+		return experiment.Scale{}, fmt.Errorf("unknown scale %q (want ci or paper)", name)
+	}
+}
+
+func profileByName(name string) (printer.Profile, error) {
+	switch strings.ToUpper(name) {
+	case "UM3":
+		return printer.UM3(), nil
+	case "RM3":
+		return printer.RM3(), nil
+	default:
+		return printer.Profile{}, fmt.Errorf("unknown printer %q (want UM3 or RM3)", name)
+	}
+}
+
+func parseChannels(arg string) ([]sensor.Channel, error) {
+	byName := map[string]sensor.Channel{}
+	for _, ch := range sensor.AllChannels {
+		byName[ch.String()] = ch
+	}
+	var out []sensor.Channel
+	for _, name := range strings.Split(arg, ",") {
+		name = strings.TrimSpace(strings.ToUpper(name))
+		if name == "" {
+			continue
+		}
+		ch, ok := byName[name]
+		if !ok {
+			return nil, fmt.Errorf("unknown channel %q", name)
+		}
+		out = append(out, ch)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no channels selected")
+	}
+	return out, nil
+}
+
+func selectProgram(scale experiment.Scale, gcodePath, attack string) (*gcode.Program, string, error) {
+	if gcodePath != "" {
+		f, err := os.Open(gcodePath)
+		if err != nil {
+			return nil, "", err
+		}
+		defer f.Close()
+		prog, err := gcode.Parse(f)
+		if err != nil {
+			return nil, "", err
+		}
+		return prog, strings.TrimSuffix(filepath.Base(gcodePath), ".gcode"), nil
+	}
+	benign, malicious, err := scale.Programs()
+	if err != nil {
+		return nil, "", err
+	}
+	if attack == "" {
+		return benign, "Benign", nil
+	}
+	prog, ok := malicious[attack]
+	if !ok {
+		return nil, "", fmt.Errorf("unknown attack %q (want one of %v)", attack, experiment.AttackNames)
+	}
+	return prog, attack, nil
+}

@@ -1,0 +1,397 @@
+// Command repro regenerates the tables and figures of the paper's
+// evaluation section from freshly simulated datasets. See DESIGN.md for the
+// experiment index and EXPERIMENTS.md for recorded paper-vs-measured values.
+//
+// Usage:
+//
+//	repro -experiment all            # everything (takes a while)
+//	repro -experiment tab8           # one artifact
+//	repro -experiment fig10 -scale ci -seed 1000
+//
+// Experiments: fig1 fig2 fig6 fig10 fig11 fig12 tab5 tab6 tab7 tab8 tab9
+// belikovetsky all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"nsync/internal/experiment"
+	"nsync/internal/sensor"
+	"nsync/internal/textplot"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "repro:", err)
+		os.Exit(1)
+	}
+}
+
+type env struct {
+	scale experiment.Scale
+	seed  int64
+	dss   map[string]*experiment.Dataset
+
+	// memoized table results shared between artifacts (fig12 reuses them)
+	t5  []experiment.Table5Row
+	t6  []experiment.Table6Row
+	t7  []experiment.Table7Row
+	t8  []experiment.Table8Row
+	t9  []experiment.Table8Row
+	bel []experiment.BelikovetskyResult
+}
+
+func run() error {
+	var (
+		expArg    = flag.String("experiment", "all", "which artifact(s) to regenerate (comma separated)")
+		scaleName = flag.String("scale", "ci", "experiment scale: ci or paper")
+		seed      = flag.Int64("seed", 1000, "dataset base seed")
+	)
+	flag.Parse()
+
+	e := &env{seed: *seed}
+	switch *scaleName {
+	case "ci":
+		e.scale = experiment.CI()
+	case "paper":
+		e.scale = experiment.Paper()
+	default:
+		return fmt.Errorf("unknown scale %q", *scaleName)
+	}
+
+	wanted := strings.Split(*expArg, ",")
+	if *expArg == "all" {
+		wanted = []string{"fig1", "fig2", "fig6", "fig10", "fig11", "tab5", "tab6", "belikovetsky", "tab7", "tab8", "tab9", "fig12"}
+	}
+	for _, name := range wanted {
+		if err := e.dispatch(strings.TrimSpace(name)); err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+	}
+	return nil
+}
+
+// datasets lazily generates the two-printer roster.
+func (e *env) datasets() (map[string]*experiment.Dataset, error) {
+	if e.dss != nil {
+		return e.dss, nil
+	}
+	e.dss = make(map[string]*experiment.Dataset, 2)
+	for _, prof := range experiment.Profiles() {
+		fmt.Fprintf(os.Stderr, "generating %s dataset (scale %s, seed %d)...\n", prof.Name, e.scale.Name, e.seed)
+		ds, err := experiment.GenerateCached(e.scale, prof, e.seed)
+		if err != nil {
+			return nil, err
+		}
+		e.dss[prof.Name] = ds
+	}
+	return e.dss, nil
+}
+
+func (e *env) dispatch(name string) error {
+	switch name {
+	case "fig1":
+		return e.fig1()
+	case "fig2":
+		return e.fig2()
+	case "fig6":
+		return e.fig6()
+	case "fig10":
+		return e.fig10()
+	case "fig11":
+		return e.fig11()
+	case "fig12":
+		return e.fig12()
+	case "tab5":
+		return e.tab5()
+	case "tab6":
+		return e.tab6()
+	case "tab7":
+		return e.tab7()
+	case "tab8":
+		return e.tab8()
+	case "tab9":
+		return e.tab9()
+	case "belikovetsky":
+		return e.belikovetsky()
+	default:
+		return fmt.Errorf("unknown experiment (want fig1 fig2 fig6 fig10 fig11 fig12 tab5 tab6 tab7 tab8 tab9 belikovetsky all)")
+	}
+}
+
+func (e *env) fig1() error {
+	fmt.Println("== Figure 1: end-of-print misalignment from time noise ==")
+	for _, prof := range experiment.Profiles() {
+		res, err := experiment.Figure1(e.scale, prof, 3, e.seed)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%s durations: %v\n", res.Printer, fmtDurations(res.Durations))
+		fmt.Printf("%s spread: %.3f s (%.3f%% of the process)\n", res.Printer, res.Spread, 100*res.RelativeSpread)
+	}
+	fmt.Println()
+	return nil
+}
+
+func fmtDurations(ds []float64) string {
+	parts := make([]string, len(ds))
+	for i, d := range ds {
+		parts[i] = fmt.Sprintf("%.3fs", d)
+	}
+	return strings.Join(parts, " ")
+}
+
+func (e *env) fig2() error {
+	dss, err := e.datasets()
+	if err != nil {
+		return err
+	}
+	fmt.Println("== Figure 2: correlation distances without DSYNC ==")
+	res, err := experiment.Figure2(dss["UM3"], sensor.ACC)
+	if err != nil {
+		return err
+	}
+	fmt.Print(textplot.Line("benign process (no sync)", res.Benign, 60, 8))
+	fmt.Print(textplot.Line("malicious process (no sync)", res.Malicious, 60, 8))
+	fmt.Printf("benign max %.2f vs malicious max %.2f — time noise alone makes benign distances comparable\n\n",
+		res.BenignMax, res.MaliciousMax)
+	return nil
+}
+
+func (e *env) fig6() error {
+	dss, err := e.datasets()
+	if err != nil {
+		return err
+	}
+	fmt.Println("== Figure 6: parametric analysis of t_sigma, t_win, eta ==")
+	ds := dss["UM3"]
+	sweeps := []struct {
+		param  string
+		values []float64
+	}{
+		{"tsigma", []float64{0.05, 0.2, 0.5, 1.0, 2.0}},
+		{"twin", []float64{0.5, 1, 2, 4, 8}},
+		{"eta", []float64{0, 0.1, 0.3, 0.6, 0.9}},
+	}
+	for _, sw := range sweeps {
+		rows, err := experiment.Figure6(ds, sensor.ACC, sw.param, sw.values)
+		if err != nil {
+			return err
+		}
+		var table [][]string
+		for _, r := range rows {
+			table = append(table, []string{
+				fmt.Sprintf("%.2f", r.Value),
+				fmt.Sprintf("%.0f", r.Range),
+				fmt.Sprintf("%.2f", r.Roughness),
+				fmt.Sprintf("%v", r.Converged),
+			})
+		}
+		fmt.Print(textplot.Table([]string{sw.param, "h_disp range", "roughness", "converged"}, table))
+		fmt.Println()
+	}
+	return nil
+}
+
+func (e *env) fig10() error {
+	dss, err := e.datasets()
+	if err != nil {
+		return err
+	}
+	fmt.Println("== Figure 10: h_disp consistency across side channels ==")
+	for _, ds := range []*experiment.Dataset{dss["UM3"]} {
+		rows, err := experiment.Figure10(ds)
+		if err != nil {
+			return err
+		}
+		var table [][]string
+		for _, r := range rows {
+			table = append(table, []string{
+				r.Channel.String(), r.Transform.String(),
+				fmt.Sprintf("%.3f", r.Consistency),
+			})
+		}
+		fmt.Print(textplot.Table([]string{"channel", "transform", "consistency vs ACC raw"}, table))
+		for _, r := range rows {
+			if r.Channel == sensor.ACC || r.Channel == sensor.EPT {
+				fmt.Print(textplot.Line(fmt.Sprintf("h_disp (s): %v/%v", r.Channel, r.Transform), r.HDispSec, 60, 6))
+			}
+		}
+	}
+	fmt.Println()
+	return nil
+}
+
+func (e *env) fig11() error {
+	dss, err := e.datasets()
+	if err != nil {
+		return err
+	}
+	fmt.Println("== Figure 11: time to synchronize one second of spectrogram ==")
+	rows, err := experiment.Figure11(dss["UM3"])
+	if err != nil {
+		return err
+	}
+	labels := make([]string, len(rows))
+	values := make([]float64, len(rows))
+	for i, r := range rows {
+		labels[i] = r.Synchronizer
+		values[i] = r.TimeRatio
+	}
+	fmt.Print(textplot.Bars("processing seconds per signal second", labels, values, 40))
+	fmt.Println()
+	return nil
+}
+
+func (e *env) tab5() error {
+	dss, err := e.datasets()
+	if err != nil {
+		return err
+	}
+	if e.t5 == nil {
+		if e.t5, err = experiment.Table5(dss); err != nil {
+			return err
+		}
+	}
+	fmt.Println("== Table V: Moore's and Gao's IDSs (FPR/TPR) ==")
+	var rows [][]string
+	for _, r := range e.t5 {
+		rows = append(rows, []string{
+			r.Printer, r.Channel.String(), r.Transform.String(),
+			r.Moore.String(), r.Gao.String(),
+		})
+	}
+	fmt.Print(textplot.Table([]string{"printer", "channel", "transform", "Moore", "Gao"}, rows))
+	fmt.Println()
+	return nil
+}
+
+func (e *env) tab6() error {
+	dss, err := e.datasets()
+	if err != nil {
+		return err
+	}
+	if e.t6 == nil {
+		if e.t6, err = experiment.Table6(dss); err != nil {
+			return err
+		}
+	}
+	fmt.Println("== Table VI: Bayens' IDS (FPR/TPR) ==")
+	var rows [][]string
+	for _, r := range e.t6 {
+		rows = append(rows, []string{
+			r.Printer, fmt.Sprintf("%.0f s", r.WindowSeconds),
+			r.Overall.String(), r.Sequence.String(), r.Threshold.String(),
+		})
+	}
+	fmt.Print(textplot.Table([]string{"printer", "window", "overall", "sequence", "threshold"}, rows))
+	fmt.Println()
+	return nil
+}
+
+func (e *env) tab7() error {
+	dss, err := e.datasets()
+	if err != nil {
+		return err
+	}
+	if e.t7 == nil {
+		if e.t7, err = experiment.Table7(dss); err != nil {
+			return err
+		}
+	}
+	fmt.Println("== Table VII: Gatlin's IDS (FPR/TPR) ==")
+	var rows [][]string
+	for _, r := range e.t7 {
+		rows = append(rows, []string{
+			r.Printer, r.Channel.String(),
+			r.Overall.String(), r.Time.String(), r.Match.String(),
+		})
+	}
+	fmt.Print(textplot.Table([]string{"printer", "channel", "overall", "time", "match"}, rows))
+	fmt.Println()
+	return nil
+}
+
+func (e *env) tab8() error {
+	dss, err := e.datasets()
+	if err != nil {
+		return err
+	}
+	if e.t8 == nil {
+		if e.t8, err = experiment.Table8(dss); err != nil {
+			return err
+		}
+	}
+	fmt.Println("== Table VIII: NSYNC with DWM (FPR/TPR) ==")
+	printNSYNCTable(e.t8)
+	return nil
+}
+
+func (e *env) tab9() error {
+	dss, err := e.datasets()
+	if err != nil {
+		return err
+	}
+	if e.t9 == nil {
+		if e.t9, err = experiment.Table9(dss); err != nil {
+			return err
+		}
+	}
+	fmt.Println("== Table IX: NSYNC with DTW (FPR/TPR, spectrograms only) ==")
+	printNSYNCTable(e.t9)
+	return nil
+}
+
+func printNSYNCTable(rows []experiment.Table8Row) {
+	var table [][]string
+	for _, r := range rows {
+		table = append(table, []string{
+			r.Printer, r.Transform.String(), r.Channel.String(),
+			r.Result.Overall.String(), r.Result.CDisp.String(),
+			r.Result.HDist.String(), r.Result.VDist.String(),
+		})
+	}
+	fmt.Print(textplot.Table([]string{"printer", "transform", "channel", "overall", "c_disp", "h_dist", "v_dist"}, table))
+	fmt.Println()
+}
+
+func (e *env) belikovetsky() error {
+	dss, err := e.datasets()
+	if err != nil {
+		return err
+	}
+	if e.bel == nil {
+		if e.bel, err = experiment.Belikovetsky(dss); err != nil {
+			return err
+		}
+	}
+	fmt.Println("== Section VIII-C: Belikovetsky's IDS (FPR/TPR) ==")
+	for _, r := range e.bel {
+		fmt.Printf("%s: %v\n", r.Printer, r.Outcome)
+	}
+	fmt.Println()
+	return nil
+}
+
+func (e *env) fig12() error {
+	// fig12 needs every table; compute any that are missing.
+	for _, step := range []func() error{e.tab5, e.tab6, e.belikovetsky, e.tab7, e.tab8, e.tab9} {
+		if err := step(); err != nil {
+			return err
+		}
+	}
+	fig := experiment.Figure12(e.t5, e.t6, e.bel, e.t7, e.t8, e.t9)
+	fmt.Println("== Figure 12: average accuracy of the seven IDSs ==")
+	labels := make([]string, len(fig))
+	values := make([]float64, len(fig))
+	for i, r := range fig {
+		labels[i] = r.IDS
+		values[i] = r.Accuracy
+	}
+	fmt.Print(textplot.Bars("average accuracy (T = uses time as an indicator)", labels, values, 40))
+	fmt.Println()
+	return nil
+}

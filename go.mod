@@ -1,0 +1,3 @@
+module nsync
+
+go 1.22

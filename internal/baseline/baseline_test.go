@@ -1,0 +1,298 @@
+package baseline
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"nsync/internal/core"
+	"nsync/internal/fingerprint"
+	"nsync/internal/ids"
+	"nsync/internal/sensor"
+	"nsync/internal/sigproc"
+	"nsync/internal/stft"
+)
+
+// toneRun builds a Run whose AUD signal steps through freqs (0.5 s per
+// tone) with per-seed noise; when malicious, the second half of the tone
+// sequence is replaced with different tones.
+func toneRun(seed int64, freqs []float64, malicious bool) *ids.Run {
+	return toneRunNoise(seed, freqs, malicious, true)
+}
+
+func toneRunNoise(seed int64, freqs []float64, malicious, timeNoise bool) *ids.Run {
+	rng := rand.New(rand.NewSource(seed))
+	rate := 2000.0
+	per := int(rate * 0.5)
+	use := append([]float64(nil), freqs...)
+	if malicious {
+		for i := len(use) / 2; i < len(use); i++ {
+			use[i] = use[i]*1.7 + 35
+		}
+	}
+	sig := sigproc.New(rate, 1, per*len(use))
+	for k, f := range use {
+		for i := 0; i < per; i++ {
+			t := float64(k*per+i) / rate
+			sig.Data[0][k*per+i] = math.Sin(2*math.Pi*f*t) + 0.05*rng.NormFloat64()
+		}
+	}
+	dur := sig.Duration()
+	// Mild time noise: drop a few samples and jitter the layer boundary.
+	layer2 := dur / 2
+	if timeNoise {
+		drop := rng.Intn(5)
+		sig = sig.Slice(drop, sig.Len())
+		layer2 *= 1 + 0.002*rng.NormFloat64()
+	}
+	return &ids.Run{
+		Printer:   "TEST",
+		Label:     "Benign",
+		Malicious: malicious,
+		Seed:      seed,
+		Signals: map[sensor.Channel]*sigproc.Signal{
+			sensor.AUD: sig,
+			sensor.ACC: sig, // reuse for channel-agnostic IDSs
+		},
+		SpectroConfigs: map[sensor.Channel]stft.Config{
+			sensor.AUD: {DeltaF: 20, DeltaT: 0.05, Window: sigproc.Hann, Log: true},
+			sensor.ACC: {DeltaF: 20, DeltaT: 0.05, Window: sigproc.Hann, Log: true},
+		},
+		LayerTimes: []float64{0, layer2},
+		Duration:   dur,
+	}
+}
+
+var benignTones = []float64{
+	120, 260, 80, 310, 170, 230, 90, 190, 280, 140, 60, 330,
+	210, 70, 250, 110, 300, 160,
+}
+
+func trainSet(n int) (ref *ids.Run, train []*ids.Run) {
+	ref = toneRun(1, benignTones, false)
+	for s := int64(2); s < int64(2+n); s++ {
+		train = append(train, toneRun(s, benignTones, false))
+	}
+	return ref, train
+}
+
+func fpConfig() fingerprint.Config {
+	cfg := fingerprint.DefaultConfig()
+	cfg.STFT = stft.Config{DeltaF: 20, DeltaT: 0.05, Window: sigproc.Hann, Log: true}
+	return cfg
+}
+
+func TestMooreLifecycle(t *testing.T) {
+	ref, train := trainSet(4)
+	m := &Moore{Channel: sensor.AUD, Transform: ids.Raw, OCC: core.OCCConfig{R: 0.5}}
+	if m.Name() != "moore" {
+		t.Errorf("Name = %q", m.Name())
+	}
+	if _, err := m.Classify(ref); err == nil {
+		t.Error("untrained Classify: want error")
+	}
+	if err := m.Train(ref, train); err != nil {
+		t.Fatal(err)
+	}
+	// Moore must catch a grossly different signal.
+	flagged, err := m.Classify(toneRun(100, benignTones, true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !flagged {
+		t.Error("malicious run not flagged by Moore")
+	}
+}
+
+func TestGaoLifecycle(t *testing.T) {
+	ref, train := trainSet(4)
+	g := &Gao{Channel: sensor.AUD, Transform: ids.Raw, OCC: core.OCCConfig{R: 0.5}}
+	if g.Name() != "gao" {
+		t.Errorf("Name = %q", g.Name())
+	}
+	if _, err := g.Classify(ref); err == nil {
+		t.Error("untrained Classify: want error")
+	}
+	if err := g.Train(ref, nil); err == nil {
+		t.Error("empty training: want error")
+	}
+	if err := g.Train(ref, train); err != nil {
+		t.Fatal(err)
+	}
+	// Gao's pointwise comparison only works when signals stay aligned
+	// within each layer — the paper's central criticism. Test it in its
+	// favorable regime: no time noise.
+	cleanRef := toneRunNoise(1, benignTones, false, false)
+	var cleanTrain []*ids.Run
+	for s := int64(2); s < 6; s++ {
+		cleanTrain = append(cleanTrain, toneRunNoise(s, benignTones, false, false))
+	}
+	g2 := &Gao{Channel: sensor.AUD, Transform: ids.Raw, OCC: core.OCCConfig{R: 0.5}}
+	if err := g2.Train(cleanRef, cleanTrain); err != nil {
+		t.Fatal(err)
+	}
+	flagged, err := g2.Classify(toneRunNoise(100, benignTones, true, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !flagged {
+		t.Error("malicious run not flagged by Gao (noise-free regime)")
+	}
+	benignOK, err := g2.Classify(toneRunNoise(101, benignTones, false, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if benignOK {
+		t.Error("noise-free benign run flagged by Gao")
+	}
+}
+
+func TestBayensLifecycle(t *testing.T) {
+	ref, train := trainSet(4)
+	b := &Bayens{WindowSeconds: 2.0, Fingerprint: fpConfig(), R: 0, SequenceToleranceSeconds: 1.5}
+	if b.Name() != "bayens" {
+		t.Errorf("Name = %q", b.Name())
+	}
+	if _, _, err := b.ClassifySubModules(ref); err == nil {
+		t.Error("untrained: want error")
+	}
+	if err := b.Train(ref, train); err != nil {
+		t.Fatal(err)
+	}
+	// Benign: in sequence.
+	seq, _, err := b.ClassifySubModules(toneRun(50, benignTones, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq {
+		t.Error("benign run failed the sequence check")
+	}
+	// Malicious: the second half matches nothing in the reference.
+	flagged, err := b.Classify(toneRun(51, benignTones, true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !flagged {
+		t.Error("malicious run not flagged by Bayens")
+	}
+}
+
+func TestBayensValidation(t *testing.T) {
+	ref, train := trainSet(1)
+	b := &Bayens{WindowSeconds: 0, Fingerprint: fpConfig()}
+	if err := b.Train(ref, train); err == nil {
+		t.Error("zero window: want error")
+	}
+}
+
+func TestGatlinLifecycle(t *testing.T) {
+	ref, train := trainSet(6)
+	g := &Gatlin{Channel: sensor.AUD, Transform: ids.Raw, Fingerprint: fpConfig(), R: 0.5}
+	if g.Name() != "gatlin" {
+		t.Errorf("Name = %q", g.Name())
+	}
+	if _, _, err := g.ClassifySubModules(ref); err == nil {
+		t.Error("untrained: want error")
+	}
+	if err := g.Train(ref, nil); err == nil {
+		t.Error("empty training: want error")
+	}
+	if err := g.Train(ref, train); err != nil {
+		t.Fatal(err)
+	}
+	// Benign passes.
+	flagged, err := g.Classify(toneRun(60, benignTones, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if flagged {
+		t.Error("benign run flagged by Gatlin")
+	}
+	// A run with a grossly shifted layer time trips the time sub-module.
+	late := toneRun(61, benignTones, false)
+	late.LayerTimes = []float64{0, late.Duration * 0.9}
+	timeAlarm, _, err := g.ClassifySubModules(late)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !timeAlarm {
+		t.Error("layer-time shift not flagged by Gatlin's time sub-module")
+	}
+	// A run with corrupted audio trips the match sub-module.
+	evil := toneRun(62, benignTones, true)
+	_, matchAlarm, err := g.ClassifySubModules(evil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !matchAlarm {
+		t.Error("corrupted layers not flagged by Gatlin's match sub-module")
+	}
+}
+
+func TestGatlinMissingLayerTimes(t *testing.T) {
+	ref, train := trainSet(2)
+	ref.LayerTimes = nil
+	g := &Gatlin{Channel: sensor.AUD, Transform: ids.Raw, Fingerprint: fpConfig()}
+	if err := g.Train(ref, train); err == nil {
+		t.Error("reference without layer times: want error")
+	}
+}
+
+func TestBelikovetskyLifecycle(t *testing.T) {
+	ref, train := trainSet(4)
+	b := &Belikovetsky{AverageSeconds: 0.5, R: 0.3}
+	if b.Name() != "belikovetsky" {
+		t.Errorf("Name = %q", b.Name())
+	}
+	if _, err := b.Classify(ref); err == nil {
+		t.Error("untrained: want error")
+	}
+	if err := b.Train(ref, nil); err == nil {
+		t.Error("empty training: want error")
+	}
+	if err := b.Train(ref, train); err != nil {
+		t.Fatal(err)
+	}
+	flagged, err := b.Classify(toneRun(70, benignTones, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if flagged {
+		t.Error("benign run flagged by Belikovetsky")
+	}
+	flagged, err = b.Classify(toneRun(71, benignTones, true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !flagged {
+		t.Error("malicious run not flagged by Belikovetsky")
+	}
+}
+
+func TestConsecutiveMax(t *testing.T) {
+	v := []float64{1, 5, 4, 2, 6, 6, 1}
+	// Windows of 2: mins are 1,4,2,2,6,1 -> max 6.
+	if got := consecutiveMax(v, 2); got != 6 {
+		t.Errorf("consecutiveMax k=2 = %v, want 6", got)
+	}
+	// Windows of 3: mins are 1,2,2,2,1 -> max 2.
+	if got := consecutiveMax(v, 3); got != 2 {
+		t.Errorf("consecutiveMax k=3 = %v, want 2", got)
+	}
+	if got := consecutiveMax([]float64{3}, 5); got != 3 {
+		t.Errorf("short input = %v, want 3", got)
+	}
+}
+
+func TestLayerBounds(t *testing.T) {
+	sig := sigproc.New(10, 1, 100)
+	r := &ids.Run{LayerTimes: []float64{0, 5}, Duration: 10}
+	bounds := layerBounds(r, sig)
+	if len(bounds) != 2 || bounds[0] != [2]int{0, 50} || bounds[1] != [2]int{50, 100} {
+		t.Errorf("bounds = %v", bounds)
+	}
+	r2 := &ids.Run{}
+	if b := layerBounds(r2, sig); len(b) != 1 || b[0] != [2]int{0, 100} {
+		t.Errorf("no-layer bounds = %v", b)
+	}
+}

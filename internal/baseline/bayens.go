@@ -1,0 +1,163 @@
+package baseline
+
+import (
+	"errors"
+	"math"
+
+	"nsync/internal/fingerprint"
+	"nsync/internal/ids"
+	"nsync/internal/sensor"
+)
+
+// Bayens is the acoustic window-matching IDS of Bayens et al. [4]: the
+// observed audio is cut into large windows (90 s or 120 s in the paper;
+// scaled alongside everything else here), each window is fingerprinted with
+// a Dejavu/Shazam-style engine and located inside the reference recording.
+//
+// Two sub-modules raise alarms, matching the paper's Table VI columns:
+//
+//   - Sequence: the best-match offsets of consecutive windows must appear
+//     in order at roughly the window positions; a window that matches out
+//     of sequence (or nowhere) is an intrusion.
+//   - Threshold: each window's match score must exceed a threshold. The
+//     original paper gives no threshold-selection procedure, so the NSYNC
+//     OCC scheme with r = 0.0 is used, as the paper's evaluation does.
+type Bayens struct {
+	// WindowSeconds is the analysis window (paper: 90 or 120).
+	WindowSeconds float64
+	// Fingerprint configures the constellation engine.
+	Fingerprint fingerprint.Config
+	// R is the OCC margin for the score threshold (paper: 0.0).
+	R float64
+	// SequenceToleranceSeconds is how far a window's matched offset may
+	// deviate from its expected position before the sequence sub-module
+	// fires. Defaults to half the window.
+	SequenceToleranceSeconds float64
+	// DisableSequence / DisableThreshold turn off one sub-module, for the
+	// per-sub-module columns of Table VI.
+	DisableSequence, DisableThreshold bool
+
+	refFP      *fingerprint.Fingerprint
+	refFrames  int
+	frameRate  float64
+	scoreFloor float64
+	trained    bool
+}
+
+var _ ids.IDS = (*Bayens)(nil)
+
+// Name implements ids.IDS.
+func (b *Bayens) Name() string { return "bayens" }
+
+// analyze fingerprints each window of the run's audio and reports, per
+// window, the best-match offset in frames, the vote count, and the match
+// score.
+func (b *Bayens) analyze(r *ids.Run) (offsets []int, scores []float64, err error) {
+	aud, err := r.Signal(sensor.AUD, ids.Raw)
+	if err != nil {
+		return nil, nil, err
+	}
+	win := int(b.WindowSeconds * aud.Rate)
+	if win < 1 {
+		return nil, nil, errors.New("baseline: bayens window shorter than one sample")
+	}
+	for start := 0; start+win <= aud.Len(); start += win {
+		fp, err := fingerprint.Extract(aud.Slice(start, start+win), b.Fingerprint)
+		if err != nil {
+			return nil, nil, err
+		}
+		off, votes := fingerprint.BestOffset(fp, b.refFP)
+		if votes == 0 {
+			off = math.MinInt32 // no match at all
+		}
+		offsets = append(offsets, off)
+		scores = append(scores, fingerprint.MatchScore(fp, b.refFP))
+	}
+	if len(offsets) == 0 {
+		return nil, nil, errors.New("baseline: signal shorter than one bayens window")
+	}
+	return offsets, scores, nil
+}
+
+// Train implements ids.IDS.
+func (b *Bayens) Train(ref *ids.Run, train []*ids.Run) error {
+	aud, err := ref.Signal(sensor.AUD, ids.Raw)
+	if err != nil {
+		return err
+	}
+	fp, err := fingerprint.Extract(aud, b.Fingerprint)
+	if err != nil {
+		return err
+	}
+	b.refFP = fp
+	b.refFrames = fp.Frames
+	if b.WindowSeconds <= 0 {
+		return errors.New("baseline: bayens WindowSeconds must be positive")
+	}
+	b.frameRate = 1 / b.Fingerprint.STFT.DeltaT
+	// Learn the score floor by OCC over the *minimum* window score of each
+	// benign training run: threshold = min - r*(max-min), mirroring
+	// Eqs. (26)-(28) for a lower bound.
+	mins := make([]float64, 0, len(train))
+	for _, tr := range train {
+		_, scores, err := b.analyze(tr)
+		if err != nil {
+			return err
+		}
+		lo := scores[0]
+		for _, s := range scores[1:] {
+			lo = math.Min(lo, s)
+		}
+		mins = append(mins, lo)
+	}
+	if len(mins) == 0 {
+		return errors.New("baseline: bayens needs benign training runs")
+	}
+	lo, hi := mins[0], mins[0]
+	for _, v := range mins[1:] {
+		lo = math.Min(lo, v)
+		hi = math.Max(hi, v)
+	}
+	b.scoreFloor = lo - b.R*(hi-lo)
+	b.trained = true
+	return nil
+}
+
+// Classify implements ids.IDS.
+func (b *Bayens) Classify(obs *ids.Run) (bool, error) {
+	seq, thr, err := b.ClassifySubModules(obs)
+	if err != nil {
+		return false, err
+	}
+	return (seq && !b.DisableSequence) || (thr && !b.DisableThreshold), nil
+}
+
+// ClassifySubModules returns the two sub-module verdicts separately
+// (sequence, threshold), for Table VI.
+func (b *Bayens) ClassifySubModules(obs *ids.Run) (sequence, threshold bool, err error) {
+	if !b.trained {
+		return false, false, errors.New("baseline: bayens is not trained")
+	}
+	offsets, scores, err := b.analyze(obs)
+	if err != nil {
+		return false, false, err
+	}
+	tol := b.SequenceToleranceSeconds
+	if tol <= 0 {
+		tol = b.WindowSeconds / 2
+	}
+	tolFrames := tol * b.frameRate
+	winFrames := b.WindowSeconds * b.frameRate
+	for i, off := range offsets {
+		expected := float64(i) * winFrames
+		if off == math.MinInt32 || math.Abs(float64(off)-expected) > tolFrames {
+			sequence = true
+		}
+	}
+	for _, s := range scores {
+		if s < b.scoreFloor {
+			threshold = true
+		}
+	}
+	return sequence, threshold, nil
+}

@@ -1,0 +1,219 @@
+// Package baseline implements the five prior intrusion detection systems
+// the paper evaluates against (Section VIII-C/D): Moore's point-by-point
+// power IDS [18], Gao's layer-synchronized monitor [12], Bayens' Dejavu
+// window matcher [4], Gatlin's per-layer fingerprint IDS [13], and
+// Belikovetsky's PCA + cosine IDS [5]. None of them is aware of time noise,
+// which is exactly what the evaluation demonstrates.
+//
+// Where a prior IDS lacks an automatic decision module or published
+// thresholds, the paper substitutes the NSYNC OCC scheme with r = 0.0; this
+// package does the same.
+package baseline
+
+import (
+	"errors"
+	"fmt"
+
+	"nsync/internal/core"
+	"nsync/internal/ids"
+	"nsync/internal/sensor"
+	"nsync/internal/sigproc"
+)
+
+// Moore is Moore's IDS [18]: the observed signal is compared against the
+// reference point by point with Mean Absolute Error and no dynamic
+// synchronization of any kind. Originally designed for actuator currents;
+// the paper (and we) apply it to every available side channel.
+type Moore struct {
+	// Channel and Transform select the input signal.
+	Channel   sensor.Channel
+	Transform ids.Transform
+	// OCC is the threshold margin (paper: r = 0.0 for prior IDSs).
+	OCC core.OCCConfig
+
+	det *core.Detector
+}
+
+var _ ids.IDS = (*Moore)(nil)
+
+// Name implements ids.IDS.
+func (m *Moore) Name() string { return "moore" }
+
+// Train implements ids.IDS.
+func (m *Moore) Train(ref *ids.Run, train []*ids.Run) error {
+	refSig, err := ref.Signal(m.Channel, m.Transform)
+	if err != nil {
+		return err
+	}
+	det, err := core.NewDetector(refSig, core.Config{
+		Sync:       &core.NullSynchronizer{},
+		Dist:       sigproc.MAE,
+		OCC:        m.OCC,
+		SubModules: []core.SubModule{core.SubVDist},
+	})
+	if err != nil {
+		return err
+	}
+	sigs := make([]*sigproc.Signal, 0, len(train))
+	for _, tr := range train {
+		s, err := tr.Signal(m.Channel, m.Transform)
+		if err != nil {
+			return err
+		}
+		sigs = append(sigs, s)
+	}
+	if err := det.Train(sigs); err != nil {
+		return err
+	}
+	m.det = det
+	return nil
+}
+
+// Classify implements ids.IDS.
+func (m *Moore) Classify(obs *ids.Run) (bool, error) {
+	if m.det == nil {
+		return false, errors.New("baseline: moore is not trained")
+	}
+	s, err := obs.Signal(m.Channel, m.Transform)
+	if err != nil {
+		return false, err
+	}
+	v, err := m.det.Classify(s)
+	if err != nil {
+		return false, err
+	}
+	return v.Intrusion, nil
+}
+
+// Gao is Gao's process monitor [12] reduced to its comparison core: like
+// Moore's IDS, but the observed and reference signals are re-aligned at
+// every layer change (coarse DSYNC). Layer change times come from run
+// metadata — the paper used a dedicated accelerometer; the simulator
+// provides ground truth. Gao's system has no automatic decision module, so
+// the NSYNC OCC discriminator is used with r = 0.0, as in the paper.
+type Gao struct {
+	Channel   sensor.Channel
+	Transform ids.Transform
+	OCC       core.OCCConfig
+
+	ref        *ids.Run
+	thresholds core.Thresholds
+	trained    bool
+}
+
+var _ ids.IDS = (*Gao)(nil)
+
+// Name implements ids.IDS.
+func (g *Gao) Name() string { return "gao" }
+
+// vdist computes the layer-synchronized pointwise MAE array between obs and
+// ref, with the paper's default min-filter applied.
+func (g *Gao) vdist(obs *ids.Run) ([]float64, error) {
+	refSig, err := g.ref.Signal(g.Channel, g.Transform)
+	if err != nil {
+		return nil, err
+	}
+	obsSig, err := obs.Signal(g.Channel, g.Transform)
+	if err != nil {
+		return nil, err
+	}
+	if refSig.Channels() != obsSig.Channels() {
+		return nil, fmt.Errorf("baseline: channel mismatch %d vs %d", refSig.Channels(), obsSig.Channels())
+	}
+	layersRef := layerBounds(g.ref, refSig)
+	layersObs := layerBounds(obs, obsSig)
+	n := min(len(layersRef), len(layersObs))
+	var out []float64
+	for l := 0; l < n; l++ {
+		rs := refSig.SliceClamped(layersRef[l][0], layersRef[l][1])
+		os := obsSig.SliceClamped(layersObs[l][0], layersObs[l][1])
+		m := min(rs.Len(), os.Len())
+		for i := 0; i < m; i++ {
+			var d float64
+			for c := 0; c < rs.Channels(); c++ {
+				d += absf(rs.Data[c][i] - os.Data[c][i])
+			}
+			out = append(out, d/float64(rs.Channels()))
+		}
+	}
+	return sigproc.MinFilter(out, core.DefaultFilterWindow), nil
+}
+
+// layerBounds converts a run's layer times into sample ranges of sig.
+func layerBounds(r *ids.Run, sig *sigproc.Signal) [][2]int {
+	times := r.LayerTimes
+	if len(times) == 0 {
+		return [][2]int{{0, sig.Len()}}
+	}
+	var out [][2]int
+	for i, t := range times {
+		start := int(t * sig.Rate)
+		end := sig.Len()
+		if i+1 < len(times) {
+			end = int(times[i+1] * sig.Rate)
+		}
+		if start < end {
+			out = append(out, [2]int{start, end})
+		}
+	}
+	return out
+}
+
+func absf(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// Train implements ids.IDS.
+func (g *Gao) Train(ref *ids.Run, train []*ids.Run) error {
+	if len(train) == 0 {
+		return errors.New("baseline: gao needs benign training runs")
+	}
+	g.ref = ref
+	maxes := make([]float64, 0, len(train))
+	for _, tr := range train {
+		v, err := g.vdist(tr)
+		if err != nil {
+			return err
+		}
+		maxes = append(maxes, maxOf(v))
+	}
+	feats := make([]*core.Features, len(maxes))
+	for i, m := range maxes {
+		feats[i] = &core.Features{VDist: []float64{m}}
+	}
+	th, err := core.LearnThresholds(feats, g.OCC)
+	if err != nil {
+		return err
+	}
+	g.thresholds = th
+	g.trained = true
+	return nil
+}
+
+// Classify implements ids.IDS.
+func (g *Gao) Classify(obs *ids.Run) (bool, error) {
+	if !g.trained {
+		return false, errors.New("baseline: gao is not trained")
+	}
+	v, err := g.vdist(obs)
+	if err != nil {
+		return false, err
+	}
+	return maxOf(v) > g.thresholds.VC, nil
+}
+
+func maxOf(v []float64) float64 {
+	if len(v) == 0 {
+		return 0
+	}
+	m := v[0]
+	for _, x := range v[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}

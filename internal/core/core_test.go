@@ -1,0 +1,510 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"nsync/internal/dwm"
+	"nsync/internal/sigproc"
+)
+
+func noiseSig(rng *rand.Rand, rate float64, n int) *sigproc.Signal {
+	s := sigproc.New(rate, 1, n)
+	for i := 0; i < n; i++ {
+		s.Data[0][i] = rng.NormFloat64()
+	}
+	return s
+}
+
+// jittered returns a copy of b with mild time noise: every segment of
+// segLen samples drops or repeats one sample.
+func jittered(rng *rand.Rand, b *sigproc.Signal, segLen int) *sigproc.Signal {
+	out := &sigproc.Signal{Rate: b.Rate}
+	pos := 0
+	for pos+segLen <= b.Len() {
+		seg := b.Slice(pos, pos+segLen)
+		_ = out.Concat(seg)
+		pos += segLen
+		if rng.Intn(2) == 0 {
+			pos++ // drop one sample
+		} else if pos > 0 {
+			pos-- // repeat one sample
+		}
+	}
+	// Add small amplitude noise so no window is bit-identical.
+	for i := range out.Data[0] {
+		out.Data[0][i] += 0.05 * rng.NormFloat64()
+	}
+	return out
+}
+
+// corrupted returns a benign-like signal whose second half is replaced with
+// unrelated noise (a crude malicious process).
+func corrupted(rng *rand.Rand, b *sigproc.Signal) *sigproc.Signal {
+	out := jittered(rng, b, 200)
+	half := out.Len() / 2
+	for i := half; i < out.Len(); i++ {
+		out.Data[0][i] = rng.NormFloat64() * 2
+	}
+	return out
+}
+
+func testDWMParams() dwm.Params {
+	return dwm.Params{TWin: 0.5, THop: 0.25, TExt: 0.2, TSigma: 0.1, Eta: 0.1}
+}
+
+func TestCADHD(t *testing.T) {
+	got := CADHD([]float64{0, 2, 2, -1})
+	want := []float64{0, 2, 2, 5}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("CADHD[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+	if len(CADHD(nil)) != 0 {
+		t.Error("CADHD(nil) should be empty")
+	}
+	// First element includes |h[0] - 0|.
+	if got := CADHD([]float64{5}); got[0] != 5 {
+		t.Errorf("CADHD([5]) = %v, want [5]", got)
+	}
+}
+
+func TestSubModuleString(t *testing.T) {
+	if SubCDisp.String() != "c_disp" || SubHDist.String() != "h_dist" || SubVDist.String() != "v_dist" {
+		t.Error("sub-module names wrong")
+	}
+	if SubModule(99).String() != "SubModule(99)" {
+		t.Error("unknown sub-module string wrong")
+	}
+}
+
+func TestLearnThresholds(t *testing.T) {
+	train := []*Features{
+		{CDisp: []float64{1, 3}, HDist: []float64{0, 2}, VDist: []float64{0.1}},
+		{CDisp: []float64{2, 5}, HDist: []float64{1, 1}, VDist: []float64{0.3}},
+	}
+	th, err := LearnThresholds(train, OCCConfig{R: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// c: maxes {3,5} -> 5 + 0.5*2 = 6; h: {2,1} -> 2.5; v: {0.1,0.3} -> 0.4.
+	if !almostEq(th.CC, 6) || !almostEq(th.HC, 2.5) || !almostEq(th.VC, 0.4) {
+		t.Errorf("thresholds = %+v", th)
+	}
+	if _, err := LearnThresholds(nil, OCCConfig{}); err == nil {
+		t.Error("empty training set: want error")
+	}
+}
+
+func almostEq(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestOCCTrainingRunsAreBenign(t *testing.T) {
+	// With r >= 0, every training run must classify as benign (DESIGN.md
+	// invariant).
+	train := []*Features{
+		{CDisp: []float64{1, 4}, HDist: []float64{2}, VDist: []float64{0.5}, IndexRate: 1},
+		{CDisp: []float64{0, 2}, HDist: []float64{3}, VDist: []float64{0.2}, IndexRate: 1},
+	}
+	for _, r := range []float64{0, 0.3, 1} {
+		th, err := LearnThresholds(train, OCCConfig{R: r})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, f := range train {
+			if v := th.Detect(f); v.Intrusion {
+				t.Errorf("r=%v: training run %d flagged as intrusion: %+v", r, i, v)
+			}
+		}
+	}
+}
+
+func TestDetectSubset(t *testing.T) {
+	th := Thresholds{CC: 10, HC: 5, VC: 0.5}
+	f := &Features{
+		CDisp:     []float64{1, 11, 12},
+		HDist:     []float64{0, 1, 2},
+		VDist:     []float64{0.1, 0.2, 0.9},
+		IndexRate: 2,
+	}
+	v := th.Detect(f)
+	if !v.Intrusion {
+		t.Fatal("expected intrusion")
+	}
+	if len(v.Triggered) != 2 || v.Triggered[0] != SubCDisp || v.Triggered[1] != SubVDist {
+		t.Errorf("Triggered = %v", v.Triggered)
+	}
+	if v.FirstIndex != 1 {
+		t.Errorf("FirstIndex = %d, want 1", v.FirstIndex)
+	}
+	if !almostEq(v.FirstTime, 0.5) {
+		t.Errorf("FirstTime = %v, want 0.5", v.FirstTime)
+	}
+	// Only the h_dist sub-module: no intrusion.
+	if v := th.DetectSubset(f, SubHDist); v.Intrusion {
+		t.Errorf("h_dist-only verdict = %+v, want benign", v)
+	}
+	// Benign features.
+	benign := &Features{CDisp: []float64{1}, HDist: []float64{1}, VDist: []float64{0.1}, IndexRate: 1}
+	if v := th.Detect(benign); v.Intrusion || v.FirstIndex != -1 || !math.IsNaN(v.FirstTime) {
+		t.Errorf("benign verdict = %+v", v)
+	}
+}
+
+func TestDWMSynchronizerEndToEnd(t *testing.T) {
+	rng := rand.New(rand.NewSource(50))
+	ref := noiseSig(rng, 100, 3000)
+	sync := &DWMSynchronizer{Params: testDWMParams()}
+	if sync.Name() != "dwm" {
+		t.Errorf("Name = %q", sync.Name())
+	}
+	al, err := sync.Synchronize(jittered(rng, ref, 300), ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := al.HDisp()
+	if len(h) == 0 {
+		t.Fatal("no alignment windows")
+	}
+	v, err := al.VDist(sigproc.CorrelationDistance)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(v) != len(h) {
+		t.Fatalf("v_dist len %d != h_disp len %d", len(v), len(h))
+	}
+	// Benign jittered signal: windows that straddle a jitter point spike
+	// (white noise fully decorrelates at 1-sample offset), which is exactly
+	// what the paper's min-filter suppresses. The filtered distances must
+	// stay small.
+	for i, x := range sigproc.MinFilter(v, DefaultFilterWindow) {
+		if x > 0.5 {
+			t.Errorf("filtered v_dist[%d] = %v, want < 0.5 for benign jitter", i, x)
+		}
+	}
+	if al.IndexRate() <= 0 {
+		t.Error("IndexRate must be positive")
+	}
+}
+
+func TestDetectorSeparatesBenignFromCorrupted(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	ref := noiseSig(rng, 100, 3000)
+	det, err := NewDetector(ref, Config{
+		Sync: &DWMSynchronizer{Params: testDWMParams()},
+		OCC:  OCCConfig{R: 0.3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var train []*sigproc.Signal
+	for i := 0; i < 6; i++ {
+		train = append(train, jittered(rng, ref, 300))
+	}
+	if err := det.Train(train); err != nil {
+		t.Fatal(err)
+	}
+	// Fresh benign runs should pass.
+	for i := 0; i < 4; i++ {
+		v, err := det.Classify(jittered(rng, ref, 300))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v.Intrusion {
+			t.Errorf("benign run %d flagged: %+v", i, v)
+		}
+	}
+	// Corrupted runs should be caught.
+	for i := 0; i < 4; i++ {
+		v, err := det.Classify(corrupted(rng, ref))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !v.Intrusion {
+			t.Errorf("corrupted run %d not flagged", i)
+		}
+	}
+}
+
+func TestDetectorLifecycleErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(52))
+	ref := noiseSig(rng, 100, 1000)
+	if _, err := NewDetector(ref, Config{}); err == nil {
+		t.Error("missing Sync: want error")
+	}
+	det, err := NewDetector(ref, Config{Sync: &DWMSynchronizer{Params: testDWMParams()}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := det.Classify(ref); err == nil {
+		t.Error("untrained Classify: want error")
+	}
+	if _, err := det.Thresholds(); err == nil {
+		t.Error("untrained Thresholds: want error")
+	}
+	if err := det.Train(nil); err == nil {
+		t.Error("empty Train: want error")
+	}
+	det.SetThresholds(Thresholds{CC: 1e9, HC: 1e9, VC: 1e9})
+	if _, err := det.Classify(ref); err != nil {
+		t.Errorf("Classify after SetThresholds: %v", err)
+	}
+	if _, err := NewDetector(&sigproc.Signal{Rate: 100}, Config{Sync: &NullSynchronizer{}}); err == nil {
+		t.Error("empty reference: want error")
+	}
+}
+
+func TestNullSynchronizer(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	a := noiseSig(rng, 100, 500)
+	b := noiseSig(rng, 100, 480)
+	sync := &NullSynchronizer{Window: 50, Hop: 25}
+	if sync.Name() != "none" {
+		t.Errorf("Name = %q", sync.Name())
+	}
+	al, err := sync.Synchronize(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := al.HDisp()
+	// (480-50)/25 + 1 = 18 windows over the common prefix.
+	if len(h) != 18 {
+		t.Fatalf("windows = %d, want 18", len(h))
+	}
+	for _, x := range h {
+		if x != 0 {
+			t.Error("null synchronizer must report zero displacement")
+		}
+	}
+	v, err := al.VDist(sigproc.MAE)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(v) != 18 {
+		t.Fatalf("v_dist windows = %d, want 18", len(v))
+	}
+}
+
+func TestNullSynchronizerPointwise(t *testing.T) {
+	a := sigproc.FromSamples(10, []float64{1, 2, 3, 4})
+	b := sigproc.FromSamples(10, []float64{1, 2, 5, 4})
+	al, err := (&NullSynchronizer{}).Synchronize(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := al.VDist(sigproc.MAE)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{0, 0, 2, 0}
+	for i := range want {
+		if v[i] != want[i] {
+			t.Errorf("pointwise v_dist[%d] = %v, want %v", i, v[i], want[i])
+		}
+	}
+}
+
+func TestDTWSynchronizerOnSpectrogramLike(t *testing.T) {
+	// Multi-channel signals stand in for spectrograms (DTW needs >= 2
+	// channels for correlation-like point distances).
+	rng := rand.New(rand.NewSource(54))
+	n := 150
+	ref := sigproc.New(20, 6, n)
+	for c := range ref.Data {
+		for i := 0; i < n; i++ {
+			ref.Data[c][i] = rng.NormFloat64()
+		}
+	}
+	sync := &DTWSynchronizer{Radius: 1}
+	if sync.Name() != "dtw" {
+		t.Errorf("Name = %q", sync.Name())
+	}
+	al, err := sync.Synchronize(ref, ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, h := range al.HDisp() {
+		if h != 0 {
+			t.Errorf("self DTW h_disp[%d] = %v, want 0", i, h)
+		}
+	}
+	v, err := al.VDist(sigproc.CorrelationDistance)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, x := range v {
+		if x > 1e-9 {
+			t.Errorf("self DTW v_dist[%d] = %v, want 0", i, x)
+		}
+	}
+	if got := (&DTWSynchronizer{Exact: true}).Name(); got != "dtw-exact" {
+		t.Errorf("exact Name = %q", got)
+	}
+}
+
+func TestDTWAlignmentRejectsCorrelationOnSingleChannel(t *testing.T) {
+	rng := rand.New(rand.NewSource(55))
+	a := noiseSig(rng, 100, 60)
+	al, err := (&DTWSynchronizer{Radius: 1, PointDist: sigproc.Euclidean}).Synchronize(a, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := al.VDist(sigproc.CorrelationDistance); err == nil {
+		t.Error("correlation v_dist on 1-channel points: want error")
+	}
+	if _, err := al.VDist(sigproc.MAE); err != nil {
+		t.Errorf("MAE v_dist should work: %v", err)
+	}
+}
+
+func TestComputeFeaturesShapes(t *testing.T) {
+	rng := rand.New(rand.NewSource(56))
+	ref := noiseSig(rng, 100, 2000)
+	al, err := (&DWMSynchronizer{Params: testDWMParams()}).Synchronize(jittered(rng, ref, 400), ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := ComputeFeatures(al, sigproc.CorrelationDistance, DefaultFilterWindow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.CDisp) != len(f.HDist) || len(f.HDist) != len(f.VDist) {
+		t.Errorf("feature lengths differ: %d %d %d", len(f.CDisp), len(f.HDist), len(f.VDist))
+	}
+	// CADHD is non-decreasing.
+	for i := 1; i < len(f.CDisp); i++ {
+		if f.CDisp[i] < f.CDisp[i-1] {
+			t.Errorf("CADHD decreased at %d", i)
+		}
+	}
+}
+
+func TestMonitorStreamingDetectsMidPrint(t *testing.T) {
+	rng := rand.New(rand.NewSource(57))
+	ref := noiseSig(rng, 100, 3000)
+	// Train thresholds offline.
+	det, err := NewDetector(ref, Config{Sync: &DWMSynchronizer{Params: testDWMParams()}, OCC: OCCConfig{R: 0.3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var train []*sigproc.Signal
+	for i := 0; i < 5; i++ {
+		train = append(train, jittered(rng, ref, 300))
+	}
+	if err := det.Train(train); err != nil {
+		t.Fatal(err)
+	}
+	th, err := det.Thresholds()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Benign stream: no alerts.
+	mon, err := NewMonitor(ref, testDWMParams(), th)
+	if err != nil {
+		t.Fatal(err)
+	}
+	benign := jittered(rng, ref, 300)
+	for pos := 0; pos < benign.Len(); pos += 97 {
+		end := pos + 97
+		if end > benign.Len() {
+			end = benign.Len()
+		}
+		if _, err := mon.Push(benign.Slice(pos, end)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if mon.Intrusion() {
+		t.Errorf("benign stream raised alerts: %v", mon.Alerts())
+	}
+	if mon.WindowsProcessed() == 0 {
+		t.Fatal("no windows processed")
+	}
+
+	// Malicious stream: alert must fire, and fire before the end.
+	mon2, err := NewMonitor(ref, testDWMParams(), th)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mal := corrupted(rng, ref)
+	firstAlertAt := -1
+	for pos := 0; pos < mal.Len(); pos += 97 {
+		end := pos + 97
+		if end > mal.Len() {
+			end = mal.Len()
+		}
+		alerts, err := mon2.Push(mal.Slice(pos, end))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(alerts) > 0 && firstAlertAt < 0 {
+			firstAlertAt = pos
+		}
+	}
+	if !mon2.Intrusion() {
+		t.Fatal("malicious stream raised no alerts")
+	}
+	if firstAlertAt < 0 || firstAlertAt >= mal.Len()-97 {
+		t.Errorf("alert should fire mid-stream, got position %d of %d", firstAlertAt, mal.Len())
+	}
+	// Alert formatting.
+	if s := mon2.Alerts()[0].String(); s == "" {
+		t.Error("empty alert string")
+	}
+}
+
+func TestMonitorStreamingMatchesOffline(t *testing.T) {
+	rng := rand.New(rand.NewSource(58))
+	ref := noiseSig(rng, 100, 2000)
+	obs := jittered(rng, ref, 250)
+	p := testDWMParams()
+
+	mon, err := NewMonitor(ref, p, Thresholds{CC: math.Inf(1), HC: math.Inf(1), VC: math.Inf(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for pos := 0; pos < obs.Len(); pos += 53 {
+		end := pos + 53
+		if end > obs.Len() {
+			end = obs.Len()
+		}
+		if _, err := mon.Push(obs.Slice(pos, end)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	streaming := mon.Features()
+
+	al, err := (&DWMSynchronizer{Params: p}).Synchronize(obs, ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	offline, err := ComputeFeatures(al, sigproc.CorrelationDistance, DefaultFilterWindow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(streaming.CDisp) != len(offline.CDisp) {
+		t.Fatalf("window counts: streaming %d vs offline %d", len(streaming.CDisp), len(offline.CDisp))
+	}
+	for i := range streaming.CDisp {
+		if !almostEq(streaming.CDisp[i], offline.CDisp[i]) ||
+			!almostEq(streaming.HDist[i], offline.HDist[i]) ||
+			!almostEq(streaming.VDist[i], offline.VDist[i]) {
+			t.Fatalf("feature mismatch at %d: (%v,%v,%v) vs (%v,%v,%v)", i,
+				streaming.CDisp[i], streaming.HDist[i], streaming.VDist[i],
+				offline.CDisp[i], offline.HDist[i], offline.VDist[i])
+		}
+	}
+}
+
+func TestMonitorChunkChannelMismatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(59))
+	ref := noiseSig(rng, 100, 1000)
+	mon, err := NewMonitor(ref, testDWMParams(), Thresholds{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mon.Push(sigproc.New(100, 2, 10)); err == nil {
+		t.Error("channel mismatch: want error")
+	}
+}

@@ -1,0 +1,165 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"nsync/internal/sigproc"
+)
+
+// SubModule identifies one of the three discriminator sub-modules of
+// Section VII-B.
+type SubModule int
+
+// The three discriminator sub-modules.
+const (
+	SubCDisp SubModule = iota + 1 // CADHD-based detection (Eq. 18)
+	SubHDist                      // horizontal-distance detection (Eq. 19)
+	SubVDist                      // vertical-distance detection (Eq. 20)
+)
+
+// String implements fmt.Stringer.
+func (m SubModule) String() string {
+	switch m {
+	case SubCDisp:
+		return "c_disp"
+	case SubHDist:
+		return "h_dist"
+	case SubVDist:
+		return "v_dist"
+	default:
+		return fmt.Sprintf("SubModule(%d)", int(m))
+	}
+}
+
+// DefaultFilterWindow is the spike-suppression min-filter window of
+// Eqs. (21)-(22); the paper uses 3 by default.
+const DefaultFilterWindow = 3
+
+// Features are the discriminator inputs derived from one alignment:
+// the CADHD array and the *filtered* horizontal and vertical distance
+// arrays. All three have the same length.
+type Features struct {
+	// CDisp is the Cumulative Absolute Difference of the Horizontal
+	// Displacement (Eq. 17).
+	CDisp []float64
+	// HDist is the min-filtered horizontal distance |h_disp| (Eqs. 19, 21).
+	HDist []float64
+	// VDist is the min-filtered vertical distance (Eqs. 20, 22).
+	VDist []float64
+	// IndexRate converts indexes to seconds for reporting.
+	IndexRate float64
+}
+
+// CADHD computes Eq. (17): c_disp[i] = sum_{j<=i} |h[j] - h[j-1]| with
+// h[-1] = 0. A successfully synchronized benign process accumulates little;
+// a failed synchronization accumulates a lot.
+func CADHD(hdisp []float64) []float64 {
+	out := make([]float64, len(hdisp))
+	prev := 0.0
+	acc := 0.0
+	for i, h := range hdisp {
+		acc += math.Abs(h - prev)
+		out[i] = acc
+		prev = h
+	}
+	return out
+}
+
+// ComputeFeatures runs the comparator and assembles discriminator features.
+// dist is the vertical distance metric (the NSYNC default is the correlation
+// distance); filterN is the min-filter window (use DefaultFilterWindow).
+func ComputeFeatures(al Alignment, dist sigproc.DistanceFunc, filterN int) (*Features, error) {
+	h := al.HDisp()
+	v, err := al.VDist(dist)
+	if err != nil {
+		return nil, err
+	}
+	if len(v) != len(h) {
+		return nil, fmt.Errorf("core: v_dist length %d != h_disp length %d", len(v), len(h))
+	}
+	habs := make([]float64, len(h))
+	for i, x := range h {
+		habs[i] = math.Abs(x)
+	}
+	return &Features{
+		CDisp:     CADHD(h),
+		HDist:     sigproc.MinFilter(habs, filterN),
+		VDist:     sigproc.MinFilter(v, filterN),
+		IndexRate: al.IndexRate(),
+	}, nil
+}
+
+// Thresholds holds the learned critical values of Section VII-C.
+type Thresholds struct {
+	// CC is the critical CADHD value c_c (Eq. 26).
+	CC float64
+	// HC is the critical horizontal distance h_c (Eq. 27), in samples.
+	HC float64
+	// VC is the critical vertical distance v_c (Eq. 28).
+	VC float64
+}
+
+// Verdict is the discriminator's decision for one observed process.
+type Verdict struct {
+	// Intrusion is true if any enabled sub-module fired.
+	Intrusion bool
+	// Triggered lists the sub-modules that fired, in SubModule order.
+	Triggered []SubModule
+	// FirstIndex is the earliest alignment index at which any sub-module
+	// fired, or -1 if none did.
+	FirstIndex int
+	// FirstTime is FirstIndex converted to seconds (NaN if no intrusion).
+	FirstTime float64
+}
+
+// Detect runs all three sub-modules over the features and ORs their alarms
+// (Section VII-B: "If any sub-module raises an alert, an intrusion is
+// declared").
+func (t Thresholds) Detect(f *Features) Verdict {
+	return t.DetectSubset(f, SubCDisp, SubHDist, SubVDist)
+}
+
+// DetectSubset runs only the listed sub-modules. Table VIII's per-sub-module
+// columns are produced by calling this with a single sub-module.
+func (t Thresholds) DetectSubset(f *Features, mods ...SubModule) Verdict {
+	v := Verdict{FirstIndex: -1, FirstTime: math.NaN()}
+	for _, m := range mods {
+		var (
+			series []float64
+			limit  float64
+		)
+		switch m {
+		case SubCDisp:
+			series, limit = f.CDisp, t.CC
+		case SubHDist:
+			series, limit = f.HDist, t.HC
+		case SubVDist:
+			series, limit = f.VDist, t.VC
+		default:
+			continue
+		}
+		idx := firstExceed(series, limit)
+		if idx < 0 {
+			continue
+		}
+		v.Intrusion = true
+		v.Triggered = append(v.Triggered, m)
+		if v.FirstIndex < 0 || idx < v.FirstIndex {
+			v.FirstIndex = idx
+		}
+	}
+	if v.FirstIndex >= 0 && f.IndexRate > 0 {
+		v.FirstTime = float64(v.FirstIndex) / f.IndexRate
+	}
+	return v
+}
+
+func firstExceed(series []float64, limit float64) int {
+	for i, x := range series {
+		if x > limit {
+			return i
+		}
+	}
+	return -1
+}

@@ -1,0 +1,211 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"nsync/internal/dwm"
+	"nsync/internal/sigproc"
+)
+
+// Alert describes an intrusion detected by a streaming Monitor.
+type Alert struct {
+	// Sub is the sub-module that fired.
+	Sub SubModule
+	// WindowIndex is the DWM window index at which it fired.
+	WindowIndex int
+	// Time is the window start time in seconds since the print began.
+	Time float64
+	// Value and Limit are the offending feature value and its threshold.
+	Value, Limit float64
+}
+
+// String implements fmt.Stringer.
+func (a Alert) String() string {
+	return fmt.Sprintf("intrusion: %s=%.4g > %.4g at window %d (t=%.1fs)",
+		a.Sub, a.Value, a.Limit, a.WindowIndex, a.Time)
+}
+
+// Monitor is the real-time variant of the NSYNC IDS: it consumes observed
+// samples as a print progresses, synchronizes them against the reference
+// with streaming DWM, and raises alerts as soon as any discriminator
+// sub-module fires — without waiting for the print to finish. This is the
+// real-time operation DTW cannot natively provide (Section VI-A).
+//
+// A Monitor is not safe for concurrent use; feed it from a single goroutine.
+type Monitor struct {
+	sync       *dwm.Synchronizer
+	reference  *sigproc.Signal
+	dist       sigproc.DistanceFunc
+	thresholds Thresholds
+	filterN    int
+
+	buf *sigproc.Signal // pending observed samples not yet formed into a window
+
+	consumed int // samples consumed into windows so far
+	cdisp    float64
+	prevH    float64
+	rawH     []float64 // trailing raw values for the min filter
+	rawV     []float64
+	alerts   []Alert
+	features Features
+}
+
+// NewMonitor builds a streaming monitor from a trained detector
+// configuration. The detector's synchronizer must be DWM-based (streaming
+// DTW is not supported, mirroring the paper's observation).
+func NewMonitor(reference *sigproc.Signal, params dwm.Params, thresholds Thresholds, opts ...MonitorOption) (*Monitor, error) {
+	s, err := dwm.NewSynchronizer(reference, params)
+	if err != nil {
+		return nil, err
+	}
+	m := &Monitor{
+		sync:       s,
+		reference:  reference,
+		dist:       sigproc.CorrelationDistance,
+		thresholds: thresholds,
+		filterN:    DefaultFilterWindow,
+		buf:        &sigproc.Signal{Rate: reference.Rate},
+	}
+	m.features.IndexRate = reference.Rate / float64(s.SampleParams().NHop)
+	for _, o := range opts {
+		o(m)
+	}
+	return m, nil
+}
+
+// MonitorOption configures a Monitor.
+type MonitorOption func(*Monitor)
+
+// WithMonitorDistance replaces the default correlation vertical distance.
+func WithMonitorDistance(d sigproc.DistanceFunc) MonitorOption {
+	return func(m *Monitor) { m.dist = d }
+}
+
+// WithMonitorFilterWindow changes the spike-suppression window.
+func WithMonitorFilterWindow(n int) MonitorOption {
+	return func(m *Monitor) { m.filterN = n }
+}
+
+// Push feeds newly observed samples into the monitor and returns any alerts
+// raised by the windows completed by those samples. The sample chunk must
+// have the reference's channel count; chunks may be any length.
+func (m *Monitor) Push(chunk *sigproc.Signal) ([]Alert, error) {
+	if chunk.Channels() != m.reference.Channels() {
+		return nil, fmt.Errorf("core: chunk has %d channels, want %d", chunk.Channels(), m.reference.Channels())
+	}
+	if err := m.buf.Concat(chunk); err != nil {
+		return nil, err
+	}
+	sp := m.sync.SampleParams()
+	var newAlerts []Alert
+	for {
+		i := m.sync.WindowIndex()
+		start := i*sp.NHop - m.consumed
+		if start+sp.NWin > m.buf.Len() {
+			break
+		}
+		win := m.buf.Slice(start, start+sp.NWin)
+		alerts, err := m.step(i, win)
+		if err != nil {
+			return newAlerts, err
+		}
+		newAlerts = append(newAlerts, alerts...)
+	}
+	// Drop samples that can no longer be part of any future window.
+	nextStart := m.sync.WindowIndex()*sp.NHop - m.consumed
+	if nextStart > 0 {
+		m.buf = m.buf.Slice(nextStart, m.buf.Len()).Clone()
+		m.consumed += nextStart
+	}
+	return newAlerts, nil
+}
+
+// step processes one complete observed window.
+func (m *Monitor) step(i int, win *sigproc.Signal) ([]Alert, error) {
+	h, _, err := m.sync.Step(win)
+	if err != nil {
+		return nil, err
+	}
+	sp := m.sync.SampleParams()
+	// Vertical distance against the displaced reference window (Eq. 16).
+	lo := i*sp.NHop + h
+	bn := m.reference.Len()
+	if lo < 0 {
+		lo = 0
+	}
+	if lo+sp.NWin > bn {
+		lo = bn - sp.NWin
+	}
+	v, err := sigproc.MultiChannelDistance(m.dist, win, m.reference.Slice(lo, lo+sp.NWin))
+	if err != nil {
+		return nil, err
+	}
+
+	hf := float64(h)
+	m.cdisp += math.Abs(hf - m.prevH)
+	m.prevH = hf
+
+	m.rawH = appendTrailing(m.rawH, math.Abs(hf), m.filterN)
+	m.rawV = appendTrailing(m.rawV, v, m.filterN)
+	hFilt := minOf(m.rawH)
+	vFilt := minOf(m.rawV)
+
+	m.features.CDisp = append(m.features.CDisp, m.cdisp)
+	m.features.HDist = append(m.features.HDist, hFilt)
+	m.features.VDist = append(m.features.VDist, vFilt)
+
+	t := float64(i*sp.NHop) / m.reference.Rate
+	var alerts []Alert
+	if m.cdisp > m.thresholds.CC {
+		alerts = append(alerts, Alert{Sub: SubCDisp, WindowIndex: i, Time: t, Value: m.cdisp, Limit: m.thresholds.CC})
+	}
+	if hFilt > m.thresholds.HC {
+		alerts = append(alerts, Alert{Sub: SubHDist, WindowIndex: i, Time: t, Value: hFilt, Limit: m.thresholds.HC})
+	}
+	if vFilt > m.thresholds.VC {
+		alerts = append(alerts, Alert{Sub: SubVDist, WindowIndex: i, Time: t, Value: vFilt, Limit: m.thresholds.VC})
+	}
+	m.alerts = append(m.alerts, alerts...)
+	return alerts, nil
+}
+
+// Alerts returns all alerts raised so far.
+func (m *Monitor) Alerts() []Alert { return append([]Alert(nil), m.alerts...) }
+
+// Intrusion reports whether any alert has been raised.
+func (m *Monitor) Intrusion() bool { return len(m.alerts) > 0 }
+
+// Features snapshots the feature arrays accumulated so far.
+func (m *Monitor) Features() *Features {
+	return &Features{
+		CDisp:     append([]float64(nil), m.features.CDisp...),
+		HDist:     append([]float64(nil), m.features.HDist...),
+		VDist:     append([]float64(nil), m.features.VDist...),
+		IndexRate: m.features.IndexRate,
+	}
+}
+
+// WindowsProcessed returns how many observed windows have been analyzed.
+func (m *Monitor) WindowsProcessed() int { return m.sync.WindowIndex() }
+
+func appendTrailing(buf []float64, v float64, n int) []float64 {
+	buf = append(buf, v)
+	if n > 0 && len(buf) > n {
+		buf = buf[len(buf)-n:]
+	}
+	return buf
+}
+
+func minOf(v []float64) float64 {
+	if len(v) == 0 {
+		return math.NaN()
+	}
+	m := v[0]
+	for _, x := range v[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}

@@ -1,0 +1,61 @@
+package core
+
+import (
+	"errors"
+	"math"
+)
+
+// OCCConfig configures the One-Class Classification threshold learning of
+// Section VII-C. Only benign training runs are required — no knowledge of
+// malicious processes, unlike binary-classification IDSs.
+type OCCConfig struct {
+	// R is the margin parameter r of Eqs. (26)-(28): thresholds are the
+	// training maximum plus r times the training range. Larger r lowers the
+	// FPR and raises the FNR. The paper uses r = 0.3 for NSYNC and r = 0.0
+	// when adapting prior IDSs whose TPRs are already low.
+	R float64
+}
+
+// LearnThresholds computes the critical values (c_c, h_c, v_c) from the
+// per-run feature maxima of M benign training runs (Eqs. 23-28).
+func LearnThresholds(train []*Features, cfg OCCConfig) (Thresholds, error) {
+	if len(train) == 0 {
+		return Thresholds{}, errors.New("core: OCC training needs at least one benign run")
+	}
+	var cMaxes, hMaxes, vMaxes []float64
+	for _, f := range train {
+		cMaxes = append(cMaxes, maxOf(f.CDisp))
+		hMaxes = append(hMaxes, maxOf(f.HDist))
+		vMaxes = append(vMaxes, maxOf(f.VDist))
+	}
+	return Thresholds{
+		CC: occThreshold(cMaxes, cfg.R),
+		HC: occThreshold(hMaxes, cfg.R),
+		VC: occThreshold(vMaxes, cfg.R),
+	}, nil
+}
+
+// occThreshold is Eq. (26)-(28): max_m + r * (max_m - min_m).
+func occThreshold(maxes []float64, r float64) float64 {
+	hi, lo := maxes[0], maxes[0]
+	for _, v := range maxes[1:] {
+		hi = math.Max(hi, v)
+		lo = math.Min(lo, v)
+	}
+	return hi + r*(hi-lo)
+}
+
+// maxOf returns the maximum of v, or 0 for an empty slice (an empty feature
+// series never exceeds any threshold).
+func maxOf(v []float64) float64 {
+	if len(v) == 0 {
+		return 0
+	}
+	m := v[0]
+	for _, x := range v[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}

@@ -1,0 +1,244 @@
+// Package core implements the NSYNC framework of Section VII: a dynamic
+// synchronizer produces the horizontal displacement array h_disp, a
+// comparator produces the vertical distance array v_dist, and a
+// discriminator with three sub-modules (CADHD, h_dist, v_dist) decides in
+// real time whether the observed signal differs from the reference. The
+// discriminator thresholds are learned by One-Class Classification from
+// benign runs only (Section VII-C).
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"nsync/internal/dtw"
+	"nsync/internal/dwm"
+	"nsync/internal/sigproc"
+)
+
+// Alignment is the output of a dynamic synchronizer: corresponding points or
+// windows between an observed signal a and a reference b, exposed as the
+// horizontal displacement array plus a comparator that derives the vertical
+// distance array for any distance metric.
+type Alignment interface {
+	// HDisp returns the horizontal displacement per index, in samples.
+	// For window-based synchronizers the index is the window index; for
+	// point-based synchronizers it is the sample index.
+	HDisp() []float64
+	// VDist runs the comparator of Section VII-A: the distance between each
+	// pair of corresponding points or windows.
+	VDist(d sigproc.DistanceFunc) ([]float64, error)
+	// IndexRate returns how many alignment indexes there are per second, so
+	// detection times can be reported in seconds.
+	IndexRate() float64
+}
+
+// Synchronizer finds the timing relationship between an observed signal and
+// a reference signal (the DSYNC stage of Fig. 7).
+type Synchronizer interface {
+	Synchronize(observed, reference *sigproc.Signal) (Alignment, error)
+	// Name identifies the synchronizer in reports ("dwm", "dtw", "none", ...).
+	Name() string
+}
+
+// ---- DWM-based synchronization (window-based, the paper's proposal) ----
+
+// DWMSynchronizer adapts dwm.Run to the Synchronizer interface.
+type DWMSynchronizer struct {
+	Params dwm.Params
+	// Opts are passed through to the DWM synchronizer (estimator, bias).
+	Opts []dwm.Option
+}
+
+var _ Synchronizer = (*DWMSynchronizer)(nil)
+
+// Name implements Synchronizer.
+func (s *DWMSynchronizer) Name() string { return "dwm" }
+
+// Synchronize implements Synchronizer.
+func (s *DWMSynchronizer) Synchronize(observed, reference *sigproc.Signal) (Alignment, error) {
+	res, err := dwm.Run(observed, reference, s.Params, s.Opts...)
+	if err != nil {
+		return nil, err
+	}
+	return &dwmAlignment{a: observed, b: reference, res: res}, nil
+}
+
+type dwmAlignment struct {
+	a, b *sigproc.Signal
+	res  *dwm.Result
+}
+
+func (al *dwmAlignment) HDisp() []float64 {
+	out := make([]float64, len(al.res.HDisp))
+	for i, d := range al.res.HDisp {
+		out[i] = float64(d)
+	}
+	return out
+}
+
+func (al *dwmAlignment) IndexRate() float64 {
+	return al.res.Rate / float64(al.res.NHop)
+}
+
+// VDist computes Eq. (16): the distance between a{i} and b{i; h_disp[i]},
+// clamping the reference window to the signal bounds at the edges.
+func (al *dwmAlignment) VDist(d sigproc.DistanceFunc) ([]float64, error) {
+	nWin, nHop := al.res.NWin, al.res.NHop
+	bn := al.b.Len()
+	out := make([]float64, len(al.res.HDisp))
+	for i, h := range al.res.HDisp {
+		aWin := al.a.Slice(i*nHop, i*nHop+nWin)
+		lo := i*nHop + h
+		if lo < 0 {
+			lo = 0
+		}
+		if lo+nWin > bn {
+			lo = bn - nWin
+		}
+		if lo < 0 {
+			return nil, fmt.Errorf("core: reference shorter than one window (%d < %d)", bn, nWin)
+		}
+		bWin := al.b.Slice(lo, lo+nWin)
+		v, err := sigproc.MultiChannelDistance(d, aWin, bWin)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+// ---- DTW-based synchronization (point-based, prior art) ----
+
+// DTWSynchronizer adapts FastDTW to the Synchronizer interface.
+type DTWSynchronizer struct {
+	// Radius is the FastDTW radius; the paper always uses the smallest one.
+	Radius int
+	// PointDist is the per-point metric used during alignment; nil means
+	// correlation distance across channels.
+	PointDist sigproc.DistanceFunc
+	// Exact forces full O(N*M) DTW instead of FastDTW.
+	Exact bool
+}
+
+var _ Synchronizer = (*DTWSynchronizer)(nil)
+
+// Name implements Synchronizer.
+func (s *DTWSynchronizer) Name() string {
+	if s.Exact {
+		return "dtw-exact"
+	}
+	return "dtw"
+}
+
+// Synchronize implements Synchronizer.
+func (s *DTWSynchronizer) Synchronize(observed, reference *sigproc.Signal) (Alignment, error) {
+	pd := s.PointDist
+	if pd == nil {
+		pd = sigproc.CorrelationDistance
+	}
+	var (
+		res *dtw.Result
+		err error
+	)
+	if s.Exact {
+		res, err = dtw.Distance(observed, reference, pd)
+	} else {
+		res, err = dtw.Fast(observed, reference, pd, s.Radius)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return &dtwAlignment{a: observed, b: reference, res: res, pd: pd}, nil
+}
+
+type dtwAlignment struct {
+	a, b *sigproc.Signal
+	res  *dtw.Result
+	pd   sigproc.DistanceFunc
+}
+
+func (al *dtwAlignment) HDisp() []float64 {
+	return dtw.HDisp(al.res.Path, al.a.Len())
+}
+
+func (al *dtwAlignment) IndexRate() float64 { return al.a.Rate }
+
+func (al *dtwAlignment) VDist(d sigproc.DistanceFunc) ([]float64, error) {
+	if al.a.Channels() < 2 && (isCorrelationLike(d)) {
+		return nil, errors.New("core: correlation-like point distance needs >= 2 channels")
+	}
+	return dtw.VDist(al.res.Path, al.a, al.b, d), nil
+}
+
+func isCorrelationLike(d sigproc.DistanceFunc) bool {
+	// Correlation of a length-1 vector is undefined; detect the stock
+	// metrics that degenerate. Custom metrics are trusted.
+	probe := d([]float64{1}, []float64{1})
+	probe2 := d([]float64{1}, []float64{2})
+	return probe == 1 && probe2 == 1
+}
+
+// ---- No synchronization (prior art without DSYNC) ----
+
+// NullSynchronizer compares a and b index by index without any dynamic
+// synchronization, as Moore's IDS does [18]. Window describes how indexes
+// are formed: Window <= 1 compares point by point; otherwise signals are cut
+// into windows of Window samples with hop Hop.
+type NullSynchronizer struct {
+	// Window and Hop are in samples; Window <= 1 means point-by-point.
+	Window, Hop int
+}
+
+var _ Synchronizer = (*NullSynchronizer)(nil)
+
+// Name implements Synchronizer.
+func (s *NullSynchronizer) Name() string { return "none" }
+
+// Synchronize implements Synchronizer.
+func (s *NullSynchronizer) Synchronize(observed, reference *sigproc.Signal) (Alignment, error) {
+	if observed.Channels() != reference.Channels() {
+		return nil, fmt.Errorf("core: channel mismatch %d vs %d", observed.Channels(), reference.Channels())
+	}
+	w, h := s.Window, s.Hop
+	if w < 1 {
+		w = 1
+	}
+	if h < 1 {
+		h = w
+	}
+	n := min(observed.Len(), reference.Len())
+	count := 0
+	if n >= w {
+		count = (n-w)/h + 1
+	}
+	return &nullAlignment{a: observed, b: reference, win: w, hop: h, count: count}, nil
+}
+
+type nullAlignment struct {
+	a, b     *sigproc.Signal
+	win, hop int
+	count    int
+}
+
+// HDisp is identically zero: without DSYNC the IDS assumes perfect
+// alignment, which is exactly the assumption time noise breaks.
+func (al *nullAlignment) HDisp() []float64 { return make([]float64, al.count) }
+
+func (al *nullAlignment) IndexRate() float64 { return al.a.Rate / float64(al.hop) }
+
+func (al *nullAlignment) VDist(d sigproc.DistanceFunc) ([]float64, error) {
+	out := make([]float64, al.count)
+	for i := range out {
+		lo := i * al.hop
+		aw := al.a.Slice(lo, lo+al.win)
+		bw := al.b.Slice(lo, lo+al.win)
+		v, err := sigproc.MultiChannelDistance(d, aw, bw)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = v
+	}
+	return out, nil
+}

@@ -1,0 +1,312 @@
+// Package dtw implements Dynamic Time Warping (Sakoe-Chiba 1978) and the
+// FastDTW approximation (Salvador-Chan 2007), the existing point-based
+// dynamic synchronizer that NSYNC's DWM replaces (Section VI-A). The package
+// also extracts the horizontal displacement array h_disp (Eq. 5) and the
+// vertical distance array v_dist (Eq. 15) from a warping path, which is how
+// the NSYNC framework consumes DTW output.
+package dtw
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"nsync/internal/sigproc"
+)
+
+// Pair is one tuple (i, j) of a warping path: a[i] corresponds to b[j].
+type Pair struct {
+	I, J int
+}
+
+// Result is the output of a DTW alignment.
+type Result struct {
+	// Distance is the accumulated path cost.
+	Distance float64
+	// Path is the monotone warping path from (0,0) to (N-1,M-1).
+	Path []Pair
+}
+
+// PointDist measures the distance between sample vector i of a and sample
+// vector j of b (vectors taken across channels).
+type PointDist func(i, j int) float64
+
+// vecDist adapts a sigproc.DistanceFunc to a PointDist over two transposed
+// signals.
+func vecDist(a, b [][]float64, d sigproc.DistanceFunc) PointDist {
+	return func(i, j int) float64 { return d(a[i], b[j]) }
+}
+
+// transpose converts a channel-major signal into time-major vectors:
+// out[n][c] = s.Data[c][n]. One backing array is used.
+func transpose(s *sigproc.Signal) [][]float64 {
+	n, c := s.Len(), s.Channels()
+	backing := make([]float64, n*c)
+	out := make([][]float64, n)
+	for i := 0; i < n; i++ {
+		row := backing[i*c : (i+1)*c : (i+1)*c]
+		for k := 0; k < c; k++ {
+			row[k] = s.Data[k][i]
+		}
+		out[i] = row
+	}
+	return out
+}
+
+// Distance runs exact DTW between signals a and b with the given distance
+// metric and returns the alignment. Memory and time are O(N*M); prefer Fast
+// for long signals (this is exactly the cost the paper complains about).
+func Distance(a, b *sigproc.Signal, d sigproc.DistanceFunc) (*Result, error) {
+	if err := checkInputs(a, b); err != nil {
+		return nil, err
+	}
+	ta, tb := transpose(a), transpose(b)
+	return dp(len(ta), len(tb), vecDist(ta, tb, d), nil)
+}
+
+// Fast runs FastDTW with the given radius. Radius 0 or 1 is the fastest,
+// least accurate configuration; the paper always uses the smallest radius
+// "because it takes a very long time to analyze side-channel signals".
+func Fast(a, b *sigproc.Signal, d sigproc.DistanceFunc, radius int) (*Result, error) {
+	if err := checkInputs(a, b); err != nil {
+		return nil, err
+	}
+	if radius < 0 {
+		return nil, fmt.Errorf("dtw: negative radius %d", radius)
+	}
+	ta, tb := transpose(a), transpose(b)
+	return fastdtw(ta, tb, d, radius)
+}
+
+func checkInputs(a, b *sigproc.Signal) error {
+	if err := a.Validate(); err != nil {
+		return fmt.Errorf("dtw: a: %w", err)
+	}
+	if err := b.Validate(); err != nil {
+		return fmt.Errorf("dtw: b: %w", err)
+	}
+	if a.Len() == 0 || b.Len() == 0 {
+		return errors.New("dtw: empty signal")
+	}
+	if a.Channels() != b.Channels() {
+		return fmt.Errorf("dtw: channel mismatch %d vs %d", a.Channels(), b.Channels())
+	}
+	return nil
+}
+
+// window lists, for every row i, the inclusive column range [lo, hi] that
+// the DP may visit. A nil window means the full rectangle.
+type window struct {
+	lo, hi []int
+}
+
+func fullWindow(n, m int) *window {
+	w := &window{lo: make([]int, n), hi: make([]int, n)}
+	for i := range w.lo {
+		w.hi[i] = m - 1
+	}
+	return w
+}
+
+// dp runs the constrained dynamic program. w may be nil (full window).
+func dp(n, m int, d PointDist, w *window) (*Result, error) {
+	if w == nil {
+		w = fullWindow(n, m)
+	}
+	const inf = math.MaxFloat64
+	// cost[i] stored as per-row slices over the row's window.
+	costs := make([][]float64, n)
+	for i := 0; i < n; i++ {
+		lo, hi := w.lo[i], w.hi[i]
+		if lo < 0 || hi >= m || lo > hi {
+			return nil, fmt.Errorf("dtw: invalid window row %d: [%d,%d] of %d", i, lo, hi, m)
+		}
+		costs[i] = make([]float64, hi-lo+1)
+	}
+	at := func(i, j int) float64 {
+		if i < 0 || j < 0 {
+			if i == -1 && j == -1 {
+				return 0
+			}
+			return inf
+		}
+		if j < w.lo[i] || j > w.hi[i] {
+			return inf
+		}
+		return costs[i][j-w.lo[i]]
+	}
+	for i := 0; i < n; i++ {
+		for j := w.lo[i]; j <= w.hi[i]; j++ {
+			best := math.Min(at(i-1, j-1), math.Min(at(i-1, j), at(i, j-1)))
+			if best == inf {
+				costs[i][j-w.lo[i]] = inf
+				continue
+			}
+			costs[i][j-w.lo[i]] = d(i, j) + best
+		}
+	}
+	if at(n-1, m-1) == inf {
+		return nil, errors.New("dtw: window disconnects the path")
+	}
+	// Backtrack.
+	path := make([]Pair, 0, n+m)
+	i, j := n-1, m-1
+	for i > 0 || j > 0 {
+		path = append(path, Pair{i, j})
+		diag, up, left := at(i-1, j-1), at(i-1, j), at(i, j-1)
+		switch {
+		case diag <= up && diag <= left:
+			i, j = i-1, j-1
+		case up <= left:
+			i--
+		default:
+			j--
+		}
+	}
+	path = append(path, Pair{0, 0})
+	reverse(path)
+	return &Result{Distance: at(n-1, m-1), Path: path}, nil
+}
+
+func reverse(p []Pair) {
+	for i, j := 0, len(p)-1; i < j; i, j = i+1, j-1 {
+		p[i], p[j] = p[j], p[i]
+	}
+}
+
+// halve shrinks a time-major series by averaging adjacent pairs.
+func halve(x [][]float64) [][]float64 {
+	n := (len(x) + 1) / 2
+	if len(x) == 0 {
+		return nil
+	}
+	c := len(x[0])
+	backing := make([]float64, n*c)
+	out := make([][]float64, n)
+	for i := 0; i < n; i++ {
+		row := backing[i*c : (i+1)*c : (i+1)*c]
+		a := x[2*i]
+		if 2*i+1 < len(x) {
+			b := x[2*i+1]
+			for k := 0; k < c; k++ {
+				row[k] = (a[k] + b[k]) / 2
+			}
+		} else {
+			copy(row, a)
+		}
+		out[i] = row
+	}
+	return out
+}
+
+// expandWindow projects a coarse path to the fine resolution and widens it
+// by radius cells in every direction (Salvador-Chan).
+func expandWindow(path []Pair, n, m, radius int) *window {
+	w := &window{lo: make([]int, n), hi: make([]int, n)}
+	for i := range w.lo {
+		w.lo[i] = m // sentinel: empty
+		w.hi[i] = -1
+	}
+	mark := func(i, jlo, jhi int) {
+		if i < 0 || i >= n {
+			return
+		}
+		if jlo < 0 {
+			jlo = 0
+		}
+		if jhi > m-1 {
+			jhi = m - 1
+		}
+		if jlo < w.lo[i] {
+			w.lo[i] = jlo
+		}
+		if jhi > w.hi[i] {
+			w.hi[i] = jhi
+		}
+	}
+	for _, p := range path {
+		// Each coarse cell (p.I, p.J) covers fine cells 2I..2I+1 × 2J..2J+1,
+		// expanded by radius.
+		for di := -radius; di <= 1+radius; di++ {
+			mark(2*p.I+di, 2*p.J-radius, 2*p.J+1+radius)
+		}
+	}
+	// Fill any empty rows (possible at the tail when n is odd) and make the
+	// windows monotone so the path remains connected.
+	prevLo, prevHi := 0, 0
+	for i := 0; i < n; i++ {
+		if w.hi[i] < w.lo[i] {
+			w.lo[i], w.hi[i] = prevLo, prevHi
+		}
+		if w.lo[i] > prevHi {
+			w.lo[i] = prevHi // keep rows overlapping
+		}
+		if w.hi[i] < prevHi {
+			w.hi[i] = prevHi
+		}
+		prevLo, prevHi = w.lo[i], w.hi[i]
+	}
+	w.hi[n-1] = m - 1
+	if w.lo[n-1] > m-1 {
+		w.lo[n-1] = m - 1
+	}
+	w.lo[0] = 0
+	return w
+}
+
+// fastdtw is the recursive FastDTW core over time-major vectors.
+func fastdtw(x, y [][]float64, d sigproc.DistanceFunc, radius int) (*Result, error) {
+	minSize := radius + 2
+	if len(x) <= minSize || len(y) <= minSize {
+		return dp(len(x), len(y), vecDist(x, y, d), nil)
+	}
+	coarse, err := fastdtw(halve(x), halve(y), d, radius)
+	if err != nil {
+		return nil, err
+	}
+	w := expandWindow(coarse.Path, len(x), len(y), radius)
+	return dp(len(x), len(y), vecDist(x, y, d), w)
+}
+
+// HDisp extracts the horizontal displacement array of Eq. (5) from a path:
+// h_disp[i] is the mean of j-i over all tuples (i, j). n is the length of
+// signal a; every i in [0, n) appears in a valid DTW path.
+func HDisp(path []Pair, n int) []float64 {
+	sum := make([]float64, n)
+	cnt := make([]int, n)
+	for _, p := range path {
+		if p.I >= 0 && p.I < n {
+			sum[p.I] += float64(p.J - p.I)
+			cnt[p.I]++
+		}
+	}
+	out := make([]float64, n)
+	for i := range out {
+		if cnt[i] > 0 {
+			out[i] = sum[i] / float64(cnt[i])
+		}
+	}
+	return out
+}
+
+// VDist extracts the vertical distance array of Eq. (15): v_dist[i] is the
+// mean of d(a[i], b[j]) over all tuples (i, j) in the path.
+func VDist(path []Pair, a, b *sigproc.Signal, d sigproc.DistanceFunc) []float64 {
+	n := a.Len()
+	ta, tb := transpose(a), transpose(b)
+	sum := make([]float64, n)
+	cnt := make([]int, n)
+	for _, p := range path {
+		if p.I >= 0 && p.I < n && p.J >= 0 && p.J < len(tb) {
+			sum[p.I] += d(ta[p.I], tb[p.J])
+			cnt[p.I]++
+		}
+	}
+	out := make([]float64, n)
+	for i := range out {
+		if cnt[i] > 0 {
+			out[i] = sum[i] / float64(cnt[i])
+		}
+	}
+	return out
+}

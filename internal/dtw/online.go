@@ -1,0 +1,131 @@
+package dtw
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"nsync/internal/sigproc"
+)
+
+// Online is an incremental DTW aligner in the spirit of the streaming DTW
+// the paper cites as ongoing work (Oregi et al. 2017 [21]): the reference
+// signal is fixed, observed sample vectors arrive one at a time, and each
+// Push updates a single dynamic-programming row, returning the best current
+// reference position and the accumulated cost.
+//
+// Unlike classic DTW it never needs the whole observed signal, so it can
+// drive a live display of h_disp; unlike DWM it still costs O(band) work
+// per observed sample and offers no bias/inertia control, which is why
+// NSYNC prefers DWM (Section VI). It exists both as a usable tool and as
+// the comparison point the paper alludes to.
+type Online struct {
+	ref  [][]float64
+	dist sigproc.DistanceFunc
+	// band limits how far the alignment may wander from the diagonal (in
+	// reference samples); 0 means unbounded.
+	band int
+
+	row  []float64 // cost[j]: best cost aligning observed[0..i] with ref[0..j]
+	i    int       // observed samples consumed
+	last int       // argmin of the current row (best ref position)
+}
+
+// NewOnline builds a streaming aligner against a fixed reference. band > 0
+// constrains |j - i| <= band (a Sakoe-Chiba band), keeping per-sample cost
+// bounded; pass 0 for the unconstrained version.
+func NewOnline(reference *sigproc.Signal, dist sigproc.DistanceFunc, band int) (*Online, error) {
+	if err := reference.Validate(); err != nil {
+		return nil, fmt.Errorf("dtw: online reference: %w", err)
+	}
+	if reference.Len() == 0 {
+		return nil, errors.New("dtw: empty online reference")
+	}
+	if dist == nil {
+		dist = sigproc.Euclidean
+	}
+	if band < 0 {
+		return nil, fmt.Errorf("dtw: negative band %d", band)
+	}
+	return &Online{
+		ref:  transpose(reference),
+		dist: dist,
+		band: band,
+	}, nil
+}
+
+// Push consumes the next observed sample vector (one value per channel) and
+// returns the best-matching reference index and the accumulated DTW cost to
+// that cell.
+func (o *Online) Push(sample []float64) (refIndex int, cost float64, err error) {
+	if len(sample) != len(o.ref[0]) {
+		return 0, 0, fmt.Errorf("dtw: sample has %d channels, reference has %d", len(sample), len(o.ref[0]))
+	}
+	n := len(o.ref)
+	lo, hi := 0, n-1
+	if o.band > 0 {
+		lo = max(0, o.i-o.band)
+		hi = min(n-1, o.i+o.band)
+	}
+	next := make([]float64, n)
+	for j := range next {
+		next[j] = math.Inf(1)
+	}
+	if o.row == nil {
+		// First observed sample: cost[j] = sum of d over ref[0..j]
+		// restricted to the band (the standard DTW first row).
+		acc := 0.0
+		for j := 0; j <= hi; j++ {
+			acc += o.dist(sample, o.ref[j])
+			if j >= lo {
+				next[j] = acc
+			}
+		}
+	} else {
+		for j := lo; j <= hi; j++ {
+			best := o.row[j] // repeat observed sample (up)
+			if j > 0 {
+				best = math.Min(best, o.row[j-1]) // diagonal
+				best = math.Min(best, next[j-1])  // stretch reference (left)
+			}
+			if math.IsInf(best, 1) {
+				continue
+			}
+			next[j] = o.dist(sample, o.ref[j]) + best
+		}
+	}
+	o.row = next
+	o.i++
+	o.last = lo
+	for j := lo + 1; j <= hi; j++ {
+		if next[j] < next[o.last] {
+			o.last = j
+		}
+	}
+	if math.IsInf(next[o.last], 1) {
+		return 0, 0, errors.New("dtw: online band excluded every reference cell")
+	}
+	return o.last, next[o.last], nil
+}
+
+// RefIndex returns the current best reference position (the last Push
+// result), or -1 before any sample has been pushed.
+func (o *Online) RefIndex() int {
+	if o.i == 0 {
+		return -1
+	}
+	return o.last
+}
+
+// HDisp returns the current horizontal displacement in samples: the best
+// reference index minus the number of observed samples consumed (plus one,
+// since both are zero-based positions of the latest sample).
+func (o *Online) HDisp() int {
+	if o.i == 0 {
+		return 0
+	}
+	return o.last - (o.i - 1)
+}
+
+// Consumed returns how many observed samples have been pushed.
+func (o *Online) Consumed() int { return o.i }

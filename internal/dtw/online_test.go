@@ -1,0 +1,134 @@
+package dtw
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"nsync/internal/sigproc"
+)
+
+func rampSignal(n int) *sigproc.Signal {
+	s := sigproc.New(10, 1, n)
+	for i := 0; i < n; i++ {
+		s.Data[0][i] = math.Sin(float64(i) / 5)
+	}
+	return s
+}
+
+func TestOnlineTracksIdenticalStream(t *testing.T) {
+	ref := rampSignal(200)
+	o, err := NewOnline(ref, sigproc.Euclidean, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.RefIndex() != -1 {
+		t.Errorf("RefIndex before Push = %d, want -1", o.RefIndex())
+	}
+	for i := 0; i < ref.Len(); i++ {
+		j, cost, err := o.Push([]float64{ref.Data[0][i]})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cost > 1e-9 {
+			t.Fatalf("identical stream cost at %d = %v, want 0", i, cost)
+		}
+		// For a monotone-information signal the match should stay near the
+		// diagonal.
+		if d := j - i; d < -6 || d > 6 {
+			t.Fatalf("ref index %d strayed from diagonal %d", j, i)
+		}
+	}
+	if o.Consumed() != 200 {
+		t.Errorf("Consumed = %d", o.Consumed())
+	}
+}
+
+func TestOnlineDetectsLag(t *testing.T) {
+	// The observed stream repeats samples (plays slower): the alignment
+	// must fall behind the diagonal, i.e. HDisp goes negative.
+	rng := rand.New(rand.NewSource(1))
+	ref := sigproc.New(10, 1, 300)
+	for i := range ref.Data[0] {
+		ref.Data[0][i] = rng.NormFloat64()
+	}
+	o, err := NewOnline(ref, sigproc.Euclidean, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pushed := 0
+	for i := 0; i < 200; i++ {
+		if _, _, err := o.Push([]float64{ref.Data[0][i]}); err != nil {
+			t.Fatal(err)
+		}
+		pushed++
+		if i%4 == 3 { // repeat every 4th sample
+			if _, _, err := o.Push([]float64{ref.Data[0][i]}); err != nil {
+				t.Fatal(err)
+			}
+			pushed++
+		}
+	}
+	// ~50 repeats: h_disp should be around -50.
+	if h := o.HDisp(); h > -30 || h < -70 {
+		t.Errorf("HDisp = %d, want about -50", h)
+	}
+	if o.Consumed() != pushed {
+		t.Errorf("Consumed = %d, want %d", o.Consumed(), pushed)
+	}
+}
+
+func TestOnlineMatchesBatchCost(t *testing.T) {
+	// Unbanded online DTW's final row minimum at the last reference index
+	// must equal the batch DTW distance for the same pair.
+	rng := rand.New(rand.NewSource(2))
+	ref := sigproc.New(10, 2, 40)
+	obs := sigproc.New(10, 2, 35)
+	for c := 0; c < 2; c++ {
+		for i := range ref.Data[c] {
+			ref.Data[c][i] = rng.NormFloat64()
+		}
+		for i := range obs.Data[c] {
+			obs.Data[c][i] = rng.NormFloat64()
+		}
+	}
+	o, err := NewOnline(ref, sigproc.Euclidean, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lastRow []float64
+	for i := 0; i < obs.Len(); i++ {
+		if _, _, err := o.Push([]float64{obs.Data[0][i], obs.Data[1][i]}); err != nil {
+			t.Fatal(err)
+		}
+		lastRow = o.row
+	}
+	batch, err := Distance(obs, ref, sigproc.Euclidean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(lastRow[ref.Len()-1]-batch.Distance) > 1e-9 {
+		t.Errorf("online end cost %v != batch DTW distance %v", lastRow[ref.Len()-1], batch.Distance)
+	}
+}
+
+func TestOnlineErrors(t *testing.T) {
+	if _, err := NewOnline(&sigproc.Signal{Rate: 1}, nil, 0); err == nil {
+		t.Error("empty reference: want error")
+	}
+	ref := rampSignal(10)
+	if _, err := NewOnline(ref, nil, -1); err == nil {
+		t.Error("negative band: want error")
+	}
+	o, err := NewOnline(ref, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := o.Push([]float64{1, 2}); err == nil {
+		t.Error("channel mismatch: want error")
+	}
+	// Default distance (nil) works.
+	if _, _, err := o.Push([]float64{0.5}); err != nil {
+		t.Errorf("Push with default distance: %v", err)
+	}
+}

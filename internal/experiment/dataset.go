@@ -1,0 +1,222 @@
+package experiment
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"nsync/internal/gcode"
+	"nsync/internal/ids"
+	"nsync/internal/printer"
+	"nsync/internal/sensor"
+	"nsync/internal/sigproc"
+	"nsync/internal/slicer"
+)
+
+// sigprocBH / sigprocBoxcar keep the scale definitions compact.
+var (
+	sigprocBH     = sigproc.BlackmanHarris
+	sigprocBoxcar = sigproc.Boxcar
+)
+
+// AttackNames lists the five malicious processes of Table I, in order.
+var AttackNames = []string{"Void", "InfillGrid", "Speed0.95", "Layer0.3", "Scale0.95"}
+
+// Dataset is the Table I roster for one printer: a reference run, benign
+// training runs, benign test runs, and malicious test runs.
+type Dataset struct {
+	Printer string
+	Scale   Scale
+
+	Ref           *ids.Run
+	Train         []*ids.Run
+	TestBenign    []*ids.Run
+	TestMalicious []*ids.Run
+}
+
+// sliceConfig returns the benign slicer settings for a scale.
+func (s Scale) sliceConfig() slicer.Config {
+	cfg := slicer.DefaultConfig()
+	cfg.TotalHeight = s.PartHeight
+	cfg.LayerHeight = s.LayerHeight
+	cfg.PerimeterSpeed *= s.SpeedFactor
+	cfg.InfillSpeed *= s.SpeedFactor
+	cfg.TravelSpeed *= s.SpeedFactor
+	cfg.InfillSpacing = 3.0
+	return cfg
+}
+
+// Programs builds the benign G-code program plus the five malicious
+// variants of Table I.
+func (s Scale) Programs() (benign *gcode.Program, malicious map[string]*gcode.Program, err error) {
+	cfg := s.sliceConfig()
+	benign, err = slicer.Slice(slicer.Gear(), cfg)
+	if err != nil {
+		return nil, nil, fmt.Errorf("experiment: slice benign: %w", err)
+	}
+	malicious = make(map[string]*gcode.Program, len(AttackNames))
+
+	// Void [25]: a cavity in the upper layers near the part center.
+	void := &gcode.VoidAttack{
+		CenterX: cfg.CenterX + 8,
+		CenterY: cfg.CenterY,
+		Radius:  8,
+		ZMin:    cfg.LayerHeight * 1.5,
+		ZMax:    s.PartHeight + 0.1,
+	}
+	if malicious["Void"], err = void.Apply(benign); err != nil {
+		return nil, nil, err
+	}
+
+	// InfillGrid [4]: re-slice with the grid pattern.
+	gridCfg := cfg
+	gridCfg.Infill = slicer.InfillGridPattern
+	if malicious["InfillGrid"], err = slicer.Slice(slicer.Gear(), gridCfg); err != nil {
+		return nil, nil, err
+	}
+
+	// Speed0.95 [12]: all feed rates reduced by 5%.
+	if malicious["Speed0.95"], err = (&gcode.SpeedAttack{Factor: 0.95}).Apply(benign); err != nil {
+		return nil, nil, err
+	}
+
+	// Layer0.3 [12]: re-slice at 0.3 mm layers.
+	layerCfg := cfg
+	layerCfg.LayerHeight = 0.3
+	if malicious["Layer0.3"], err = slicer.Slice(slicer.Gear(), layerCfg); err != nil {
+		return nil, nil, err
+	}
+
+	// Scale0.95 [25]: the object shrunk by 5%.
+	if malicious["Scale0.95"], err = (&gcode.ScaleAttack{Factor: 0.95}).Apply(benign); err != nil {
+		return nil, nil, err
+	}
+	return benign, malicious, nil
+}
+
+// simulate runs one printing process and captures all side channels.
+func (s Scale) simulate(prog *gcode.Program, prof printer.Profile, label string, malicious bool, seed int64) (*ids.Run, error) {
+	// Start near temperature: the heaters only keep temperature during the
+	// print, so heat-up ramps do not dominate the short CI-scale
+	// recordings. The exact starting point inside the bang-bang band is
+	// random per run — a real printer's heater duty phase is arbitrary at
+	// print start, which is what makes the PWR channel weakly correlated
+	// with the printing process (Section VIII-B).
+	phase := rand.New(rand.NewSource(seed * 7919))
+	tr, err := printer.Run(prog, prof, printer.Options{
+		Seed:          seed,
+		TraceRate:     s.TraceRate,
+		InitialHotend: 205 + (phase.Float64()*2 - 1),
+		InitialBed:    60 + (phase.Float64()*1.6 - 0.8),
+	})
+	if err != nil {
+		return nil, fmt.Errorf("experiment: simulate %s/%s seed %d: %w", prof.Name, label, seed, err)
+	}
+	// Anchor the recording at the end of the heating preamble: heat waits
+	// have random durations, and the paper's IDS aligns signals at the
+	// beginning of the *printing* process.
+	if ready := tr.EventTime("hotend-ready"); ready > 0 {
+		tr = tr.TrimBefore(ready)
+	}
+	sigs, err := sensor.AcquireAll(tr, s.Sensor, seed)
+	if err != nil {
+		return nil, err
+	}
+	return &ids.Run{
+		Printer:        prof.Name,
+		Label:          label,
+		Malicious:      malicious,
+		Seed:           seed,
+		Signals:        sigs,
+		SpectroConfigs: s.Spectro,
+		LayerTimes:     append([]float64(nil), tr.LayerStart...),
+		Duration:       tr.Duration(),
+	}, nil
+}
+
+// Generate builds the full roster for one printer. Seeds are derived from
+// baseSeed deterministically, so the same (scale, printer, baseSeed) always
+// yields the same dataset.
+func Generate(s Scale, prof printer.Profile, baseSeed int64) (*Dataset, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	if _, ok := s.DWM[prof.Name]; !ok {
+		return nil, fmt.Errorf("experiment: scale %q has no DWM params for printer %q", s.Name, prof.Name)
+	}
+	benign, malicious, err := s.Programs()
+	if err != nil {
+		return nil, err
+	}
+	ds := &Dataset{Printer: prof.Name, Scale: s}
+	seed := baseSeed
+	next := func() int64 { seed++; return seed }
+
+	if ds.Ref, err = s.simulate(benign, prof, "Benign(ref)", false, next()); err != nil {
+		return nil, err
+	}
+	for i := 0; i < s.Counts.Train; i++ {
+		r, err := s.simulate(benign, prof, "Benign(train)", false, next())
+		if err != nil {
+			return nil, err
+		}
+		ds.Train = append(ds.Train, r)
+	}
+	for i := 0; i < s.Counts.TestBenign; i++ {
+		r, err := s.simulate(benign, prof, "Benign", false, next())
+		if err != nil {
+			return nil, err
+		}
+		ds.TestBenign = append(ds.TestBenign, r)
+	}
+	for _, name := range AttackNames {
+		prog := malicious[name]
+		for i := 0; i < s.Counts.PerAttack; i++ {
+			r, err := s.simulate(prog, prof, name, true, next())
+			if err != nil {
+				return nil, err
+			}
+			ds.TestMalicious = append(ds.TestMalicious, r)
+		}
+	}
+	return ds, nil
+}
+
+// datasetCache memoizes one dataset per (scale, printer, seed); because
+// datasets are hundreds of megabytes, at most Capacity entries are kept.
+type datasetCache struct {
+	mu       sync.Mutex
+	capacity int
+	order    []string
+	entries  map[string]*Dataset
+}
+
+var cache = &datasetCache{capacity: 2, entries: make(map[string]*Dataset)}
+
+// GenerateCached is Generate with process-wide memoization, so table and
+// figure builders sharing a roster do not re-simulate it.
+func GenerateCached(s Scale, prof printer.Profile, baseSeed int64) (*Dataset, error) {
+	key := fmt.Sprintf("%s/%s/%d", s.Name, prof.Name, baseSeed)
+	cache.mu.Lock()
+	defer cache.mu.Unlock()
+	if ds, ok := cache.entries[key]; ok {
+		return ds, nil
+	}
+	ds, err := Generate(s, prof, baseSeed)
+	if err != nil {
+		return nil, err
+	}
+	cache.entries[key] = ds
+	cache.order = append(cache.order, key)
+	for len(cache.order) > cache.capacity {
+		evict := cache.order[0]
+		cache.order = cache.order[1:]
+		delete(cache.entries, evict)
+	}
+	return ds, nil
+}
+
+// Profiles returns the two evaluation printers in paper order.
+func Profiles() []printer.Profile {
+	return []printer.Profile{printer.UM3(), printer.RM3()}
+}

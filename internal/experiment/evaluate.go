@@ -1,0 +1,162 @@
+package experiment
+
+import (
+	"fmt"
+
+	"nsync/internal/core"
+	"nsync/internal/ids"
+	"nsync/internal/sensor"
+)
+
+// Outcome is the confusion summary of one IDS over one dataset.
+type Outcome struct {
+	FP, TN, TP, FN int
+	// PerAttack counts detections per malicious process label.
+	PerAttack map[string][2]int // label -> {detected, total}
+}
+
+// FPR is the false positive rate over benign test runs.
+func (o Outcome) FPR() float64 { return ratio(o.FP, o.FP+o.TN) }
+
+// TPR is the true positive rate over malicious test runs.
+func (o Outcome) TPR() float64 { return ratio(o.TP, o.TP+o.FN) }
+
+// Accuracy is the paper's Section VIII-F metric: ((1-FPR)+TPR)/2, which
+// equals plain accuracy when the benign and malicious test sets have equal
+// size (as in the paper's roster).
+func (o Outcome) Accuracy() float64 { return ((1 - o.FPR()) + o.TPR()) / 2 }
+
+// String renders the paper's "FPR / TPR" cell format.
+func (o Outcome) String() string {
+	return fmt.Sprintf("%.2f/%.2f", o.FPR(), o.TPR())
+}
+
+func ratio(num, den int) float64 {
+	if den == 0 {
+		return 0
+	}
+	return float64(num) / float64(den)
+}
+
+func (o *Outcome) record(label string, malicious, flagged bool) {
+	switch {
+	case malicious && flagged:
+		o.TP++
+	case malicious && !flagged:
+		o.FN++
+	case !malicious && flagged:
+		o.FP++
+	default:
+		o.TN++
+	}
+	if malicious {
+		if o.PerAttack == nil {
+			o.PerAttack = make(map[string][2]int)
+		}
+		c := o.PerAttack[label]
+		c[1]++
+		if flagged {
+			c[0]++
+		}
+		o.PerAttack[label] = c
+	}
+}
+
+// Evaluate trains an IDS on the dataset's reference and training runs, then
+// classifies every test run.
+func Evaluate(sys ids.IDS, ds *Dataset) (Outcome, error) {
+	if err := sys.Train(ds.Ref, ds.Train); err != nil {
+		return Outcome{}, fmt.Errorf("experiment: train %s: %w", sys.Name(), err)
+	}
+	var out Outcome
+	for _, r := range ds.TestBenign {
+		flagged, err := sys.Classify(r)
+		if err != nil {
+			return out, fmt.Errorf("experiment: classify %s seed %d: %w", r.Label, r.Seed, err)
+		}
+		out.record(r.Label, false, flagged)
+	}
+	for _, r := range ds.TestMalicious {
+		flagged, err := sys.Classify(r)
+		if err != nil {
+			return out, fmt.Errorf("experiment: classify %s seed %d: %w", r.Label, r.Seed, err)
+		}
+		out.record(r.Label, true, flagged)
+	}
+	return out, nil
+}
+
+// NSYNCOutcome is the Table VIII/IX row shape: the overall verdict plus
+// each discriminator sub-module used alone (with the same learned
+// thresholds).
+type NSYNCOutcome struct {
+	Overall, CDisp, HDist, VDist Outcome
+	Thresholds                   core.Thresholds
+}
+
+// EvaluateNSYNC runs the NSYNC pipeline once per run and derives the
+// overall and per-sub-module verdicts from the same features, exactly as
+// the paper's per-column results share one trained discriminator.
+func EvaluateNSYNC(ds *Dataset, ch sensor.Channel, tf ids.Transform, sync core.Synchronizer, r float64) (NSYNCOutcome, error) {
+	refSig, err := ds.Ref.Signal(ch, tf)
+	if err != nil {
+		return NSYNCOutcome{}, err
+	}
+	det, err := core.NewDetector(refSig, core.Config{Sync: sync, OCC: core.OCCConfig{R: r}})
+	if err != nil {
+		return NSYNCOutcome{}, err
+	}
+	feats := make([]*core.Features, 0, len(ds.Train))
+	for _, run := range ds.Train {
+		s, err := run.Signal(ch, tf)
+		if err != nil {
+			return NSYNCOutcome{}, err
+		}
+		f, err := det.Features(s)
+		if err != nil {
+			return NSYNCOutcome{}, fmt.Errorf("experiment: nsync features %s seed %d: %w", run.Label, run.Seed, err)
+		}
+		feats = append(feats, f)
+	}
+	if err := det.TrainFromFeatures(feats); err != nil {
+		return NSYNCOutcome{}, err
+	}
+	th, err := det.Thresholds()
+	if err != nil {
+		return NSYNCOutcome{}, err
+	}
+	out := NSYNCOutcome{Thresholds: th}
+	classify := func(run *ids.Run, malicious bool) error {
+		s, err := run.Signal(ch, tf)
+		if err != nil {
+			return err
+		}
+		f, err := det.Features(s)
+		if err != nil {
+			return fmt.Errorf("experiment: nsync features %s seed %d: %w", run.Label, run.Seed, err)
+		}
+		out.Overall.record(run.Label, malicious, th.Detect(f).Intrusion)
+		out.CDisp.record(run.Label, malicious, th.DetectSubset(f, core.SubCDisp).Intrusion)
+		out.HDist.record(run.Label, malicious, th.DetectSubset(f, core.SubHDist).Intrusion)
+		out.VDist.record(run.Label, malicious, th.DetectSubset(f, core.SubVDist).Intrusion)
+		return nil
+	}
+	for _, run := range ds.TestBenign {
+		if err := classify(run, false); err != nil {
+			return out, err
+		}
+	}
+	for _, run := range ds.TestMalicious {
+		if err := classify(run, true); err != nil {
+			return out, err
+		}
+	}
+	return out, nil
+}
+
+// EvalChannels are the side channels the paper keeps after the Fig. 10
+// consistency study (TMP and PWR are dropped as weakly correlated).
+var EvalChannels = []sensor.Channel{sensor.ACC, sensor.MAG, sensor.AUD, sensor.EPT}
+
+// Transforms are the two signal presentations of the evaluation.
+var Transforms = []ids.Transform{ids.Raw, ids.Spectro}

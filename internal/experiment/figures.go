@@ -1,0 +1,332 @@
+package experiment
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"nsync/internal/core"
+	"nsync/internal/dwm"
+	"nsync/internal/ids"
+	"nsync/internal/printer"
+	"nsync/internal/sensor"
+	"nsync/internal/sigproc"
+)
+
+// Fig1Result quantifies Fig. 1: repeated benign prints of the same G-code,
+// aligned at the start, end at different times because of time noise.
+type Fig1Result struct {
+	Printer string
+	// Durations of the repeated processes, seconds.
+	Durations []float64
+	// Spread is max - min of the durations, seconds.
+	Spread float64
+	// RelativeSpread is Spread divided by the mean duration.
+	RelativeSpread float64
+}
+
+// Figure1 runs the same benign program n times on one printer and reports
+// the end-time misalignment.
+func Figure1(s Scale, prof printer.Profile, n int, baseSeed int64) (Fig1Result, error) {
+	benign, _, err := s.Programs()
+	if err != nil {
+		return Fig1Result{}, err
+	}
+	out := Fig1Result{Printer: prof.Name}
+	var sum float64
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for i := 0; i < n; i++ {
+		tr, err := printer.Run(benign, prof, printer.Options{
+			Seed: baseSeed + int64(i), TraceRate: s.TraceRate,
+			InitialHotend: 205, InitialBed: 60,
+		})
+		if err != nil {
+			return out, err
+		}
+		d := tr.Duration()
+		out.Durations = append(out.Durations, d)
+		sum += d
+		lo = math.Min(lo, d)
+		hi = math.Max(hi, d)
+	}
+	out.Spread = hi - lo
+	out.RelativeSpread = out.Spread / (sum / float64(n))
+	return out, nil
+}
+
+// Fig2Result holds the windowed correlation distances of Fig. 2: without
+// any synchronization, the benign distances grow as large as the malicious
+// ones once time noise desynchronizes the signals.
+type Fig2Result struct {
+	Printer           string
+	Benign, Malicious []float64
+	BenignMax         float64
+	MaliciousMax      float64
+	// BenignTail is the mean benign distance over the last quarter of the
+	// print, where accumulated time noise has destroyed the alignment.
+	BenignTail float64
+}
+
+// Figure2 compares one benign and one malicious run against the reference
+// window by window without DSYNC, using the correlation distance.
+func Figure2(ds *Dataset, ch sensor.Channel) (Fig2Result, error) {
+	out := Fig2Result{Printer: ds.Printer}
+	ref, err := ds.Ref.Signal(ch, ids.Raw)
+	if err != nil {
+		return out, err
+	}
+	win := int(2 * ref.Rate)
+	sync := &core.NullSynchronizer{Window: win, Hop: win / 2}
+	dists := func(run *ids.Run) ([]float64, error) {
+		sig, err := run.Signal(ch, ids.Raw)
+		if err != nil {
+			return nil, err
+		}
+		al, err := sync.Synchronize(sig, ref)
+		if err != nil {
+			return nil, err
+		}
+		return al.VDist(sigproc.CorrelationDistance)
+	}
+	if out.Benign, err = dists(ds.TestBenign[0]); err != nil {
+		return out, err
+	}
+	if out.Malicious, err = dists(ds.TestMalicious[0]); err != nil {
+		return out, err
+	}
+	out.BenignMax = maxFloat(out.Benign)
+	out.MaliciousMax = maxFloat(out.Malicious)
+	tail := out.Benign[len(out.Benign)*3/4:]
+	var sum float64
+	for _, v := range tail {
+		sum += v
+	}
+	if len(tail) > 0 {
+		out.BenignTail = sum / float64(len(tail))
+	}
+	return out, nil
+}
+
+func maxFloat(v []float64) float64 {
+	m := 0.0
+	for _, x := range v {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Fig6Row is one point of the parametric analysis of Fig. 6: how a DWM
+// parameter affects h_disp.
+type Fig6Row struct {
+	Param string
+	Value float64
+	// Range is max(h_disp) - min(h_disp) in samples (shown as brackets in
+	// the paper's figure).
+	Range float64
+	// Roughness is the mean absolute difference between consecutive h_disp
+	// values — the "spikes" the paper describes for bad parameters.
+	Roughness float64
+	// Converged is false when DWM ran away (|h_disp| hit the search limit).
+	Converged bool
+}
+
+// Figure6 sweeps one DWM parameter ("tsigma", "twin", or "eta") over the
+// given values, synchronizing one benign run against the reference.
+func Figure6(ds *Dataset, ch sensor.Channel, param string, values []float64) ([]Fig6Row, error) {
+	ref, err := ds.Ref.Signal(ch, ids.Raw)
+	if err != nil {
+		return nil, err
+	}
+	obs, err := ds.TestBenign[0].Signal(ch, ids.Raw)
+	if err != nil {
+		return nil, err
+	}
+	base := ds.Scale.DWM[ds.Printer]
+	var rows []Fig6Row
+	for _, v := range values {
+		p := base
+		switch param {
+		case "tsigma":
+			p.TSigma = v
+			p.TExt = 2 * v // keep the paper's default ratio
+		case "twin":
+			p.TWin = v
+			p.THop = v / 2
+		case "eta":
+			p.Eta = v
+		default:
+			return nil, fmt.Errorf("experiment: unknown DWM parameter %q", param)
+		}
+		res, err := dwm.Run(obs, ref, p)
+		if err != nil {
+			return nil, fmt.Errorf("figure6 %s=%v: %w", param, v, err)
+		}
+		row := Fig6Row{Param: param, Value: v, Converged: true}
+		lo, hi := math.Inf(1), math.Inf(-1)
+		prev := 0
+		var rough float64
+		for i, h := range res.HDisp {
+			lo = math.Min(lo, float64(h))
+			hi = math.Max(hi, float64(h))
+			if i > 0 {
+				rough += math.Abs(float64(h - prev))
+			}
+			prev = h
+		}
+		if len(res.HDisp) > 1 {
+			row.Roughness = rough / float64(len(res.HDisp)-1)
+		}
+		row.Range = hi - lo
+		// Runaway check: displacement drifted beyond half the reference.
+		if math.Abs(hi) > float64(ref.Len())/2 || math.Abs(lo) > float64(ref.Len())/2 {
+			row.Converged = false
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// Fig10Row reports the h_disp consistency study of Fig. 10 for one
+// (channel, transform): the h_disp curve from that signal and its
+// correlation with the ACC-raw h_disp curve (the consistency criterion —
+// h_disp is a property of the printing process, not of the side channel).
+type Fig10Row struct {
+	Channel     sensor.Channel
+	Transform   ids.Transform
+	HDispSec    []float64 // h_disp in seconds per window
+	Consistency float64   // correlation with the ACC raw h_disp curve
+}
+
+// Figure10 computes h_disp for one benign run across all six channels and
+// both transforms.
+func Figure10(ds *Dataset) ([]Fig10Row, error) {
+	params := ds.Scale.DWM[ds.Printer]
+	obsRun := ds.TestBenign[0]
+
+	hdisp := func(ch sensor.Channel, tf ids.Transform) ([]float64, error) {
+		ref, err := ds.Ref.Signal(ch, tf)
+		if err != nil {
+			return nil, err
+		}
+		obs, err := obsRun.Signal(ch, tf)
+		if err != nil {
+			return nil, err
+		}
+		res, err := dwm.Run(obs, ref, params)
+		if err != nil {
+			return nil, err
+		}
+		return res.HDispSeconds(), nil
+	}
+
+	refCurve, err := hdisp(sensor.ACC, ids.Raw)
+	if err != nil {
+		return nil, fmt.Errorf("figure10 ACC raw: %w", err)
+	}
+	var rows []Fig10Row
+	for _, ch := range sensor.AllChannels {
+		for _, tf := range Transforms {
+			curve, err := hdisp(ch, tf)
+			if err != nil {
+				return nil, fmt.Errorf("figure10 %v/%v: %w", ch, tf, err)
+			}
+			rows = append(rows, Fig10Row{
+				Channel:     ch,
+				Transform:   tf,
+				HDispSec:    curve,
+				Consistency: curveCorrelation(curve, refCurve),
+			})
+		}
+	}
+	return rows, nil
+}
+
+// curveCorrelation compares the *overall shapes* of two h_disp curves, the
+// paper's Fig. 10 criterion ("although there appears to be a lot of noise
+// ... the overall shape is the same"): both curves are resampled to a
+// common length, smoothed, and Pearson-correlated.
+func curveCorrelation(a, b []float64) float64 {
+	if len(a) == 0 || len(b) == 0 {
+		return 0
+	}
+	n := min(len(a), len(b))
+	smooth := max(3, n/5)
+	ra := sigproc.MovingAverage(resampleCurve(a, n), smooth)
+	rb := sigproc.MovingAverage(resampleCurve(b, n), smooth)
+	return sigproc.Correlation(ra, rb)
+}
+
+func resampleCurve(v []float64, n int) []float64 {
+	out := make([]float64, n)
+	if len(v) == 1 {
+		for i := range out {
+			out[i] = v[0]
+		}
+		return out
+	}
+	for i := 0; i < n; i++ {
+		pos := float64(i) * float64(len(v)-1) / float64(n-1)
+		j := int(pos)
+		if j >= len(v)-1 {
+			out[i] = v[len(v)-1]
+			continue
+		}
+		frac := pos - float64(j)
+		out[i] = v[j]*(1-frac) + v[j+1]*frac
+	}
+	return out
+}
+
+// Fig11Row reports the Fig. 11 time-ratio measurement for one synchronizer:
+// average wall-clock seconds needed to synchronize one second of
+// spectrogram signal, averaged over the evaluation channels.
+type Fig11Row struct {
+	Synchronizer string
+	// TimeRatio is processing-seconds per signal-second (< 1 means
+	// real-time capable).
+	TimeRatio float64
+}
+
+// Figure11 measures the processing time per second of spectrogram for DWM,
+// FastDTW (smallest radius), and exact DTW, as in Fig. 11.
+//
+// A faithfulness note (expanded in EXPERIMENTS.md): the paper's DTW bar is
+// 2-3 orders of magnitude above DWM's. That gap includes the constant
+// factors of the authors' FastDTW implementation; with both synchronizers
+// equally optimized in Go, radius-1 FastDTW is cheap (and correspondingly
+// inaccurate, Table IX), while *exact* DTW retains the structural O(N^2)
+// cost the paper's argument rests on — and neither DTW variant can run on
+// raw high-rate signals ("it took forever"), which DWM handles in real
+// time thanks to its FFT-based TDE.
+func Figure11(ds *Dataset) ([]Fig11Row, error) {
+	params := ds.Scale.DWM[ds.Printer]
+	syncs := []core.Synchronizer{
+		&core.DWMSynchronizer{Params: params},
+		&core.DTWSynchronizer{Radius: ds.Scale.DTWRadius},
+		&core.DTWSynchronizer{Exact: true},
+	}
+	rows := make([]Fig11Row, 0, len(syncs))
+	for _, sync := range syncs {
+		var total, signalSeconds float64
+		for _, ch := range EvalChannels {
+			ref, err := ds.Ref.Signal(ch, ids.Spectro)
+			if err != nil {
+				return nil, err
+			}
+			obs, err := ds.TestBenign[0].Signal(ch, ids.Spectro)
+			if err != nil {
+				return nil, err
+			}
+			start := time.Now()
+			if _, err := sync.Synchronize(obs, ref); err != nil {
+				return nil, fmt.Errorf("figure11 %s/%v: %w", sync.Name(), ch, err)
+			}
+			total += time.Since(start).Seconds()
+			signalSeconds += obs.Duration()
+		}
+		rows = append(rows, Fig11Row{Synchronizer: sync.Name(), TimeRatio: total / signalSeconds})
+	}
+	return rows, nil
+}

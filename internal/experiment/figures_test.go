@@ -1,0 +1,146 @@
+package experiment
+
+import (
+	"testing"
+
+	"nsync/internal/printer"
+	"nsync/internal/sensor"
+)
+
+func TestFigure1TimeNoise(t *testing.T) {
+	res, err := Figure1(tinyScale(), printer.UM3(), 3, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Durations) != 3 {
+		t.Fatalf("durations = %d, want 3", len(res.Durations))
+	}
+	// Fig. 1's phenomenon: the ends misalign, but only slightly relative
+	// to the whole process.
+	if res.Spread <= 0 {
+		t.Error("no end-time spread; time noise missing")
+	}
+	if res.RelativeSpread > 0.1 {
+		t.Errorf("relative spread %.3f too large; paper calls time noise 'very small'", res.RelativeSpread)
+	}
+}
+
+func TestFigure2NoSyncDistances(t *testing.T) {
+	ds := tinyDatasets(t)["UM3"]
+	res, err := Figure2(ds, sensor.ACC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Benign) == 0 || len(res.Malicious) == 0 {
+		t.Fatal("empty distance series")
+	}
+	// Fig. 2's point: without DSYNC the benign distances become large —
+	// comparable to malicious ones — once time noise accumulates.
+	if res.BenignTail < 0.3 {
+		t.Errorf("benign tail distance %.3f; expected time noise to desynchronize the end", res.BenignTail)
+	}
+	if res.BenignMax < res.MaliciousMax*0.5 {
+		t.Errorf("benign max %.3f should approach malicious max %.3f", res.BenignMax, res.MaliciousMax)
+	}
+}
+
+func TestFigure6ParamSweeps(t *testing.T) {
+	ds := tinyDatasets(t)["UM3"]
+
+	// t_sigma sweep: too-small sigma cannot track; larger sigma converges.
+	sigmaRows, err := Figure6(ds, sensor.ACC, "tsigma", []float64{0.05, 0.5, 1.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sigmaRows) != 3 {
+		t.Fatalf("rows = %d", len(sigmaRows))
+	}
+	for _, r := range sigmaRows {
+		t.Logf("tsigma=%.2f range=%.0f rough=%.2f converged=%v", r.Value, r.Range, r.Roughness, r.Converged)
+	}
+
+	// t_win sweep: tiny windows give spiky h_disp (higher roughness).
+	winRows, err := Figure6(ds, sensor.ACC, "twin", []float64{0.5, 2, 4, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range winRows {
+		t.Logf("twin=%.1f range=%.0f rough=%.2f", r.Value, r.Range, r.Roughness)
+	}
+	if winRows[0].Roughness <= winRows[len(winRows)-1].Roughness {
+		t.Errorf("tiny windows should be rougher: %.3f vs %.3f",
+			winRows[0].Roughness, winRows[len(winRows)-1].Roughness)
+	}
+
+	// eta sweep.
+	etaRows, err := Figure6(ds, sensor.ACC, "eta", []float64{0, 0.1, 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range etaRows {
+		t.Logf("eta=%.1f range=%.0f rough=%.2f converged=%v", r.Value, r.Range, r.Roughness, r.Converged)
+	}
+
+	if _, err := Figure6(ds, sensor.ACC, "bogus", []float64{1}); err == nil {
+		t.Error("unknown parameter: want error")
+	}
+}
+
+func TestFigure10Consistency(t *testing.T) {
+	ds := tinyDatasets(t)["UM3"]
+	rows, err := Figure10(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 12 { // 6 channels x 2 transforms
+		t.Fatalf("rows = %d, want 12", len(rows))
+	}
+	byKey := map[string]float64{}
+	for _, r := range rows {
+		key := r.Channel.String() + "/" + r.Transform.String()
+		byKey[key] = r.Consistency
+		t.Logf("Fig 10 %-12s consistency %.3f (%d windows)", key, r.Consistency, len(r.HDispSec))
+	}
+	// The paper's finding: h_disp from ACC and AUD agree (strongly
+	// correlated channels), while TMP and PWR are noise-like.
+	if byKey["AUD/raw"] < 0.5 {
+		t.Errorf("AUD raw consistency %.3f, want >= 0.5 (h_disp is a property of the process)", byKey["AUD/raw"])
+	}
+	if byKey["TMP/raw"] > byKey["AUD/raw"] {
+		t.Errorf("TMP (weakly correlated) should not beat AUD: %.3f vs %.3f", byKey["TMP/raw"], byKey["AUD/raw"])
+	}
+	if byKey["PWR/raw"] > byKey["AUD/raw"] {
+		t.Errorf("PWR (weakly correlated) should not beat AUD: %.3f vs %.3f", byKey["PWR/raw"], byKey["AUD/raw"])
+	}
+}
+
+func TestFigure11TimeRatio(t *testing.T) {
+	ds := tinyDatasets(t)["UM3"]
+	rows, err := Figure11(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d, want 3", len(rows))
+	}
+	var dwmRatio, exactRatio float64
+	for _, r := range rows {
+		t.Logf("Fig 11 %s: %.5f s processing per signal second", r.Synchronizer, r.TimeRatio)
+		switch r.Synchronizer {
+		case "dwm":
+			dwmRatio = r.TimeRatio
+		case "dtw-exact":
+			exactRatio = r.TimeRatio
+		}
+	}
+	// Fig. 11's headline: DTW's quadratic point-based comparison is far
+	// more expensive than DWM's windowed TDE (see the Figure11 doc comment
+	// for how radius-1 FastDTW fits in).
+	if exactRatio < dwmRatio*2 {
+		t.Errorf("exact DTW (%.5f) should be clearly slower than DWM (%.5f)", exactRatio, dwmRatio)
+	}
+	// And DWM must be real-time capable (ratio < 1).
+	if dwmRatio >= 1 {
+		t.Errorf("DWM time ratio %.3f, want < 1 (real-time)", dwmRatio)
+	}
+}

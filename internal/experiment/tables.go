@@ -1,0 +1,308 @@
+package experiment
+
+import (
+	"fmt"
+
+	"nsync/internal/baseline"
+	"nsync/internal/core"
+	"nsync/internal/fingerprint"
+	"nsync/internal/ids"
+	"nsync/internal/sensor"
+)
+
+// fingerprintConfig derives the constellation engine settings from the
+// scale's AUD spectrogram transform.
+func (s Scale) fingerprintConfig(ch sensor.Channel) fingerprint.Config {
+	cfg := fingerprint.DefaultConfig()
+	cfg.STFT = s.Spectro[ch]
+	return cfg
+}
+
+// Table5Row is one cell pair of Table V: Moore's and Gao's IDS results for
+// a (printer, channel, transform) combination.
+type Table5Row struct {
+	Printer   string
+	Channel   sensor.Channel
+	Transform ids.Transform
+	Moore     Outcome
+	Gao       Outcome
+}
+
+// Table5 reproduces Table V: Moore's IDS [18] (no DSYNC) and Gao's IDS [12]
+// (coarse, layer-level DSYNC) across printers, side channels, and
+// transforms, with OCC thresholds at r = 0 as in the paper.
+func Table5(datasets map[string]*Dataset) ([]Table5Row, error) {
+	var rows []Table5Row
+	for _, ds := range orderedDatasets(datasets) {
+		r := ds.Scale.OCCMarginPrior
+		for _, ch := range EvalChannels {
+			for _, tf := range Transforms {
+				moore := &baseline.Moore{Channel: ch, Transform: tf, OCC: core.OCCConfig{R: r}}
+				mOut, err := Evaluate(moore, ds)
+				if err != nil {
+					return nil, fmt.Errorf("table5 moore %s/%v/%v: %w", ds.Printer, ch, tf, err)
+				}
+				gao := &baseline.Gao{Channel: ch, Transform: tf, OCC: core.OCCConfig{R: r}}
+				gOut, err := Evaluate(gao, ds)
+				if err != nil {
+					return nil, fmt.Errorf("table5 gao %s/%v/%v: %w", ds.Printer, ch, tf, err)
+				}
+				rows = append(rows, Table5Row{
+					Printer: ds.Printer, Channel: ch, Transform: tf,
+					Moore: mOut, Gao: gOut,
+				})
+			}
+		}
+	}
+	return rows, nil
+}
+
+// Table6Row is one row of Table VI: Bayens' IDS at one window size, with
+// overall and per-sub-module results.
+type Table6Row struct {
+	Printer       string
+	WindowSeconds float64
+	Overall       Outcome
+	Sequence      Outcome
+	Threshold     Outcome
+}
+
+// Table6 reproduces Table VI: Bayens' acoustic window-matching IDS [4] at
+// the scale's two window sizes (90 s / 120 s at paper scale), AUD only.
+func Table6(datasets map[string]*Dataset) ([]Table6Row, error) {
+	var rows []Table6Row
+	for _, ds := range orderedDatasets(datasets) {
+		for _, win := range ds.Scale.BayensWindows {
+			sys := &baseline.Bayens{
+				WindowSeconds: win,
+				Fingerprint:   ds.Scale.fingerprintConfig(sensor.AUD),
+				R:             ds.Scale.OCCMarginPrior,
+			}
+			if err := sys.Train(ds.Ref, ds.Train); err != nil {
+				return nil, fmt.Errorf("table6 train %s/%vs: %w", ds.Printer, win, err)
+			}
+			row := Table6Row{Printer: ds.Printer, WindowSeconds: win}
+			record := func(run *ids.Run, malicious bool) error {
+				seq, thr, err := sys.ClassifySubModules(run)
+				if err != nil {
+					return err
+				}
+				row.Overall.record(run.Label, malicious, seq || thr)
+				row.Sequence.record(run.Label, malicious, seq)
+				row.Threshold.record(run.Label, malicious, thr)
+				return nil
+			}
+			for _, run := range ds.TestBenign {
+				if err := record(run, false); err != nil {
+					return nil, err
+				}
+			}
+			for _, run := range ds.TestMalicious {
+				if err := record(run, true); err != nil {
+					return nil, err
+				}
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+// Table7Row is one row of Table VII: Gatlin's IDS on one channel, with
+// overall and per-sub-module (time, match) results.
+type Table7Row struct {
+	Printer string
+	Channel sensor.Channel
+	Overall Outcome
+	Time    Outcome
+	Match   Outcome
+}
+
+// Table7 reproduces Table VII: Gatlin's per-layer fingerprint IDS [13]
+// across printers and side channels.
+func Table7(datasets map[string]*Dataset) ([]Table7Row, error) {
+	var rows []Table7Row
+	for _, ds := range orderedDatasets(datasets) {
+		for _, ch := range EvalChannels {
+			sys := &baseline.Gatlin{
+				Channel:     ch,
+				Transform:   ids.Raw,
+				Fingerprint: ds.Scale.fingerprintConfig(ch),
+				R:           ds.Scale.OCCMarginPrior,
+			}
+			if err := sys.Train(ds.Ref, ds.Train); err != nil {
+				return nil, fmt.Errorf("table7 train %s/%v: %w", ds.Printer, ch, err)
+			}
+			row := Table7Row{Printer: ds.Printer, Channel: ch}
+			record := func(run *ids.Run, malicious bool) error {
+				timeAlarm, matchAlarm, err := sys.ClassifySubModules(run)
+				if err != nil {
+					return err
+				}
+				row.Overall.record(run.Label, malicious, timeAlarm || matchAlarm)
+				row.Time.record(run.Label, malicious, timeAlarm)
+				row.Match.record(run.Label, malicious, matchAlarm)
+				return nil
+			}
+			for _, run := range ds.TestBenign {
+				if err := record(run, false); err != nil {
+					return nil, err
+				}
+			}
+			for _, run := range ds.TestMalicious {
+				if err := record(run, true); err != nil {
+					return nil, err
+				}
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+// Table8Row is one row of Table VIII (NSYNC/DWM) or Table IX (NSYNC/DTW).
+type Table8Row struct {
+	Printer   string
+	Transform ids.Transform
+	Channel   sensor.Channel
+	Result    NSYNCOutcome
+}
+
+// Table8 reproduces Table VIII: NSYNC with DWM across printers, transforms,
+// and side channels, including the per-sub-module columns.
+func Table8(datasets map[string]*Dataset) ([]Table8Row, error) {
+	var rows []Table8Row
+	for _, ds := range orderedDatasets(datasets) {
+		params := ds.Scale.DWM[ds.Printer]
+		for _, tf := range Transforms {
+			for _, ch := range EvalChannels {
+				sync := &core.DWMSynchronizer{Params: params}
+				res, err := EvaluateNSYNC(ds, ch, tf, sync, ds.Scale.OCCMarginNSYNC)
+				if err != nil {
+					return nil, fmt.Errorf("table8 %s/%v/%v: %w", ds.Printer, tf, ch, err)
+				}
+				rows = append(rows, Table8Row{Printer: ds.Printer, Transform: tf, Channel: ch, Result: res})
+			}
+		}
+	}
+	return rows, nil
+}
+
+// Table9 reproduces Table IX: NSYNC with FastDTW, spectrograms only (the
+// paper "was not able to apply DTW on the raw signals because it took
+// forever").
+func Table9(datasets map[string]*Dataset) ([]Table8Row, error) {
+	var rows []Table8Row
+	for _, ds := range orderedDatasets(datasets) {
+		for _, ch := range EvalChannels {
+			sync := &core.DTWSynchronizer{Radius: ds.Scale.DTWRadius}
+			res, err := EvaluateNSYNC(ds, ch, ids.Spectro, sync, ds.Scale.OCCMarginNSYNC)
+			if err != nil {
+				return nil, fmt.Errorf("table9 %s/%v: %w", ds.Printer, ch, err)
+			}
+			rows = append(rows, Table8Row{Printer: ds.Printer, Transform: ids.Spectro, Channel: ch, Result: res})
+		}
+	}
+	return rows, nil
+}
+
+// BelikovetskyResult is the prose result of Section VIII-C for one printer.
+type BelikovetskyResult struct {
+	Printer string
+	Outcome Outcome
+}
+
+// Belikovetsky reproduces the Section VIII-C prose results: Belikovetsky's
+// PCA + cosine IDS [5] on AUD spectrograms.
+func Belikovetsky(datasets map[string]*Dataset) ([]BelikovetskyResult, error) {
+	var out []BelikovetskyResult
+	for _, ds := range orderedDatasets(datasets) {
+		sys := &baseline.Belikovetsky{
+			AverageSeconds: ds.Scale.BelikovetskyAvg,
+			R:              ds.Scale.OCCMarginPrior,
+		}
+		res, err := Evaluate(sys, ds)
+		if err != nil {
+			return nil, fmt.Errorf("belikovetsky %s: %w", ds.Printer, err)
+		}
+		out = append(out, BelikovetskyResult{Printer: ds.Printer, Outcome: res})
+	}
+	return out, nil
+}
+
+// Fig12Row is one bar of Fig. 12: the average accuracy of one IDS across
+// printers, side channels, and transforms (excluding raw EPT, as the paper
+// does).
+type Fig12Row struct {
+	IDS string
+	// UsesTime marks IDSs that use time as an intrusion indicator (the "T"
+	// label in Fig. 12).
+	UsesTime bool
+	Accuracy float64
+}
+
+// Figure12 assembles Fig. 12 from previously computed table results, in the
+// paper's IDS order (no DSYNC -> coarse DSYNC -> fine DSYNC).
+func Figure12(t5 []Table5Row, t6 []Table6Row, bel []BelikovetskyResult, t7 []Table7Row, t8, t9 []Table8Row) []Fig12Row {
+	avg := func(list []float64) float64 {
+		if len(list) == 0 {
+			return 0
+		}
+		var sum float64
+		for _, v := range list {
+			sum += v
+		}
+		return sum / float64(len(list))
+	}
+	var moore, gao, bayens, belik, gatlin, dtw, dwm []float64
+	for _, r := range t5 {
+		if r.Channel == sensor.EPT && r.Transform == ids.Raw {
+			continue // the paper grays and drops raw EPT
+		}
+		moore = append(moore, r.Moore.Accuracy())
+		gao = append(gao, r.Gao.Accuracy())
+	}
+	for _, r := range t6 {
+		bayens = append(bayens, r.Overall.Accuracy())
+	}
+	for _, r := range bel {
+		belik = append(belik, r.Outcome.Accuracy())
+	}
+	for _, r := range t7 {
+		gatlin = append(gatlin, r.Overall.Accuracy())
+	}
+	for _, r := range t8 {
+		if r.Channel == sensor.EPT && r.Transform == ids.Raw {
+			continue
+		}
+		dwm = append(dwm, r.Result.Overall.Accuracy())
+	}
+	for _, r := range t9 {
+		dtw = append(dtw, r.Result.Overall.Accuracy())
+	}
+	return []Fig12Row{
+		{IDS: "Moore [18]", UsesTime: false, Accuracy: avg(moore)},
+		{IDS: "Bayens [4] (T)", UsesTime: true, Accuracy: avg(bayens)},
+		{IDS: "Belikovetsky [5]", UsesTime: false, Accuracy: avg(belik)},
+		{IDS: "Gao [12]", UsesTime: false, Accuracy: avg(gao)},
+		{IDS: "Gatlin [13] (T)", UsesTime: true, Accuracy: avg(gatlin)},
+		{IDS: "NSYNC/DTW (T)", UsesTime: true, Accuracy: avg(dtw)},
+		{IDS: "NSYNC/DWM (T)", UsesTime: true, Accuracy: avg(dwm)},
+	}
+}
+
+// orderedDatasets returns datasets in the paper's printer order.
+func orderedDatasets(datasets map[string]*Dataset) []*Dataset {
+	var out []*Dataset
+	for _, name := range []string{"UM3", "RM3"} {
+		if ds, ok := datasets[name]; ok {
+			out = append(out, ds)
+		}
+	}
+	for name, ds := range datasets {
+		if name != "UM3" && name != "RM3" {
+			out = append(out, ds)
+		}
+	}
+	return out
+}

@@ -1,0 +1,156 @@
+// Package fft implements the discrete Fourier transform with an iterative
+// radix-2 Cooley-Tukey kernel and Bluestein's algorithm for arbitrary
+// lengths. It is the numerical substrate of the STFT/spectrogram pipeline
+// (Table III of the paper). Only the standard library is used.
+package fft
+
+import "math/cmplx"
+
+import "math"
+
+// Forward computes the DFT of x (any length) and returns a new slice.
+//
+//	X[k] = sum_n x[n] * exp(-2*pi*i*k*n/N)
+func Forward(x []complex128) []complex128 {
+	out := make([]complex128, len(x))
+	copy(out, x)
+	transform(out, false)
+	return out
+}
+
+// Inverse computes the inverse DFT of x (any length), including the 1/N
+// normalization, and returns a new slice.
+func Inverse(x []complex128) []complex128 {
+	out := make([]complex128, len(x))
+	copy(out, x)
+	transform(out, true)
+	n := float64(len(out))
+	if n > 0 {
+		for i := range out {
+			out[i] /= complex(n, 0)
+		}
+	}
+	return out
+}
+
+// ForwardReal computes the DFT of a real input and returns the first
+// N/2+1 bins (the remainder is conjugate-symmetric and carries no extra
+// information for real signals).
+func ForwardReal(x []float64) []complex128 {
+	buf := make([]complex128, len(x))
+	for i, v := range x {
+		buf[i] = complex(v, 0)
+	}
+	transform(buf, false)
+	if len(buf) == 0 {
+		return nil
+	}
+	return buf[:len(buf)/2+1]
+}
+
+// Magnitudes returns |X[k]| for every bin.
+func Magnitudes(x []complex128) []float64 {
+	out := make([]float64, len(x))
+	for i, v := range x {
+		out[i] = cmplx.Abs(v)
+	}
+	return out
+}
+
+// transform runs an in-place DFT (or inverse DFT without normalization).
+func transform(x []complex128, inverse bool) {
+	n := len(x)
+	switch {
+	case n <= 1:
+	case n&(n-1) == 0:
+		radix2(x, inverse)
+	default:
+		bluestein(x, inverse)
+	}
+}
+
+// radix2 is the iterative in-place Cooley-Tukey FFT for power-of-two sizes.
+func radix2(x []complex128, inverse bool) {
+	n := len(x)
+	// Bit-reversal permutation.
+	for i, j := 1, 0; i < n; i++ {
+		bit := n >> 1
+		for ; j&bit != 0; bit >>= 1 {
+			j ^= bit
+		}
+		j ^= bit
+		if i < j {
+			x[i], x[j] = x[j], x[i]
+		}
+	}
+	sign := -1.0
+	if inverse {
+		sign = 1.0
+	}
+	for length := 2; length <= n; length <<= 1 {
+		ang := sign * 2 * math.Pi / float64(length)
+		wl := cmplx.Rect(1, ang)
+		for i := 0; i < n; i += length {
+			w := complex(1, 0)
+			half := length / 2
+			for j := 0; j < half; j++ {
+				u := x[i+j]
+				v := x[i+j+half] * w
+				x[i+j] = u + v
+				x[i+j+half] = u - v
+				w *= wl
+			}
+		}
+	}
+}
+
+// bluestein converts an arbitrary-length DFT into a power-of-two circular
+// convolution (chirp-z transform).
+func bluestein(x []complex128, inverse bool) {
+	n := len(x)
+	sign := -1.0
+	if inverse {
+		sign = 1.0
+	}
+	// Chirp factors w[k] = exp(sign * i * pi * k^2 / n).
+	chirp := make([]complex128, n)
+	for k := 0; k < n; k++ {
+		// k*k may overflow for very large n if computed in int; use
+		// modular arithmetic on 2n which preserves the angle.
+		kk := int64(k) * int64(k) % int64(2*n)
+		chirp[k] = cmplx.Rect(1, sign*math.Pi*float64(kk)/float64(n))
+	}
+	m := 1
+	for m < 2*n-1 {
+		m <<= 1
+	}
+	a := make([]complex128, m)
+	b := make([]complex128, m)
+	for k := 0; k < n; k++ {
+		a[k] = x[k] * chirp[k]
+	}
+	b[0] = cmplx.Conj(chirp[0])
+	for k := 1; k < n; k++ {
+		b[k] = cmplx.Conj(chirp[k])
+		b[m-k] = b[k]
+	}
+	radix2(a, false)
+	radix2(b, false)
+	for i := range a {
+		a[i] *= b[i]
+	}
+	radix2(a, true)
+	scale := complex(1/float64(m), 0)
+	for k := 0; k < n; k++ {
+		x[k] = a[k] * scale * chirp[k]
+	}
+}
+
+// NextPow2 returns the smallest power of two >= n (and 1 for n <= 0).
+func NextPow2(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}

@@ -1,0 +1,278 @@
+// Package fingerprint implements Shazam-style spectral-peak constellation
+// fingerprinting (Wang 2003), the algorithmic core of the Dejavu engine
+// that Bayens' IDS [4] uses for window-by-window audio matching, and of the
+// per-layer fingerprint comparison in Gatlin's IDS [13].
+//
+// A signal is reduced to its spectrogram's local peaks; pairs of nearby
+// peaks are hashed into (f1, f2, dt) landmarks. Two recordings of the same
+// process share many landmarks even under amplitude noise; different
+// processes share few.
+package fingerprint
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"nsync/internal/sigproc"
+	"nsync/internal/stft"
+)
+
+func sqrt(v float64) float64 { return math.Sqrt(v) }
+
+// Config controls fingerprint extraction.
+type Config struct {
+	// STFT is the spectrogram transform used under the hood.
+	STFT stft.Config
+	// PeakNeighborhood is the half-size (in bins and frames) of the local
+	// maximum test.
+	PeakNeighborhood int
+	// PeakThresholdSigma keeps only peaks whose magnitude exceeds the
+	// spectrogram mean by this many standard deviations, suppressing
+	// noise-floor peaks that would otherwise dilute the constellation.
+	PeakThresholdSigma float64
+	// BinQuant divides peak bins before hashing, making hashes robust to
+	// one-bin peak jitter from spectral leakage (off-grid tones flicker
+	// between adjacent bins under noise).
+	BinQuant int
+	// FanOut is how many forward peaks each anchor peak pairs with.
+	FanOut int
+	// MaxPairDT is the maximum frame distance between paired peaks.
+	MaxPairDT int
+	// DTQuant divides the peak-pair frame distance before hashing. Constant
+	// tones make peak frames noise-determined, so exact dt matching is
+	// brittle; coarse dt buckets keep the sequence structure without the
+	// jitter sensitivity.
+	DTQuant int
+	// OffsetTolerance merges offset-histogram votes within this many frames
+	// when scoring.
+	OffsetTolerance int
+}
+
+// DefaultConfig returns extraction settings that work at CI-scale rates.
+func DefaultConfig() Config {
+	return Config{
+		STFT:               stft.Config{DeltaF: 20, DeltaT: 0.05, Window: sigproc.Hann, Log: true},
+		PeakNeighborhood:   3,
+		PeakThresholdSigma: 2,
+		BinQuant:           2,
+		FanOut:             5,
+		MaxPairDT:          20,
+		DTQuant:            5,
+		OffsetTolerance:    4,
+	}
+}
+
+// Landmark is one constellation hash occurrence.
+type Landmark struct {
+	// Hash packs (f1, f2, dt).
+	Hash uint64
+	// Frame is the spectrogram frame of the anchor peak.
+	Frame int
+}
+
+// Fingerprint is the landmark set of one signal (or one window/layer).
+type Fingerprint struct {
+	Landmarks []Landmark
+	// Frames is the spectrogram length the landmarks came from.
+	Frames int
+}
+
+// peak is a local spectral maximum.
+type peak struct {
+	frame, bin int
+	mag        float64
+}
+
+// Extract fingerprints a signal. Multi-channel signals are fingerprinted on
+// their strongest channel mix (channels are averaged), which is how a mono
+// fingerprint engine treats stereo input.
+func Extract(s *sigproc.Signal, cfg Config) (*Fingerprint, error) {
+	if s.Len() == 0 {
+		return nil, errors.New("fingerprint: empty signal")
+	}
+	mono := s
+	if s.Channels() > 1 {
+		mono = sigproc.New(s.Rate, 1, s.Len())
+		for c := range s.Data {
+			for i, v := range s.Data[c] {
+				mono.Data[0][i] += v / float64(s.Channels())
+			}
+		}
+	}
+	spec, err := stft.Transform(mono, cfg.STFT)
+	if err != nil {
+		return nil, fmt.Errorf("fingerprint: %w", err)
+	}
+	peaks := findPeaks(spec, cfg.PeakNeighborhood, cfg.PeakThresholdSigma)
+	return pairPeaks(peaks, spec.Len(), cfg), nil
+}
+
+// findPeaks locates local maxima of the spectrogram that rise above an
+// adaptive magnitude floor (mean + sigmaK standard deviations). spec is
+// channel-major: Data[bin][frame].
+func findPeaks(spec *sigproc.Signal, hood int, sigmaK float64) []peak {
+	if hood < 1 {
+		hood = 1
+	}
+	bins := spec.Channels()
+	frames := spec.Len()
+	// Adaptive noise floor over the whole spectrogram.
+	var mean, ss float64
+	count := 0
+	for b := 0; b < bins; b++ {
+		for f := 0; f < frames; f++ {
+			mean += spec.Data[b][f]
+			count++
+		}
+	}
+	if count > 0 {
+		mean /= float64(count)
+		for b := 0; b < bins; b++ {
+			for f := 0; f < frames; f++ {
+				d := spec.Data[b][f] - mean
+				ss += d * d
+			}
+		}
+		ss = ss / float64(count)
+	}
+	floor := mean + sigmaK*sqrt(ss)
+	var peaks []peak
+	for f := 0; f < frames; f++ {
+		for b := 0; b < bins; b++ {
+			v := spec.Data[b][f]
+			if v <= 0 || v < floor {
+				continue
+			}
+			isPeak := true
+		scan:
+			for df := -hood; df <= hood; df++ {
+				for db := -hood; db <= hood; db++ {
+					if df == 0 && db == 0 {
+						continue
+					}
+					ff, bb := f+df, b+db
+					if ff < 0 || ff >= frames || bb < 0 || bb >= bins {
+						continue
+					}
+					if spec.Data[bb][ff] > v {
+						isPeak = false
+						break scan
+					}
+				}
+			}
+			if isPeak {
+				peaks = append(peaks, peak{frame: f, bin: b, mag: v})
+			}
+		}
+	}
+	return peaks
+}
+
+// pairPeaks forms landmark hashes from anchor->target peak pairs. Peaks
+// arrive sorted by frame (findPeaks scans frames outer).
+func pairPeaks(peaks []peak, frames int, cfg Config) *Fingerprint {
+	fp := &Fingerprint{Frames: frames}
+	quant := cfg.BinQuant
+	if quant < 1 {
+		quant = 1
+	}
+	for i, anchor := range peaks {
+		paired := 0
+		for j := i + 1; j < len(peaks) && paired < cfg.FanOut; j++ {
+			dt := peaks[j].frame - anchor.frame
+			if dt <= 0 {
+				continue
+			}
+			if dt > cfg.MaxPairDT {
+				break
+			}
+			dtq := dt
+			if cfg.DTQuant > 1 {
+				dtq = dt / cfg.DTQuant
+			}
+			h := uint64(anchor.bin/quant)<<40 | uint64(peaks[j].bin/quant)<<20 | uint64(dtq)
+			fp.Landmarks = append(fp.Landmarks, Landmark{Hash: h, Frame: anchor.frame})
+			paired++
+		}
+	}
+	return fp
+}
+
+// MatchScore returns the fraction of the query's landmarks found in the
+// reference at a consistent time offset — the Shazam scoring rule, with
+// votes merged across offsets within tol frames. Range [0, 1]; 0 when
+// either fingerprint is empty.
+func MatchScore(query, ref *Fingerprint) float64 {
+	return MatchScoreTol(query, ref, DefaultConfig().OffsetTolerance)
+}
+
+// MatchScoreTol is MatchScore with an explicit offset tolerance.
+func MatchScoreTol(query, ref *Fingerprint, tol int) float64 {
+	if len(query.Landmarks) == 0 || len(ref.Landmarks) == 0 {
+		return 0
+	}
+	offsets := offsetHistogram(query, ref)
+	best := 0
+	for off := range offsets {
+		sum := 0
+		for o, count := range offsets {
+			if o >= off-tol && o <= off+tol {
+				sum += count
+			}
+		}
+		if sum > best {
+			best = sum
+		}
+	}
+	if best > len(query.Landmarks) {
+		best = len(query.Landmarks)
+	}
+	return float64(best) / float64(len(query.Landmarks))
+}
+
+// offsetHistogram counts hash matches per frame offset.
+func offsetHistogram(query, ref *Fingerprint) map[int]int {
+	refByHash := make(map[uint64][]int, len(ref.Landmarks))
+	for _, lm := range ref.Landmarks {
+		refByHash[lm.Hash] = append(refByHash[lm.Hash], lm.Frame)
+	}
+	offsets := make(map[int]int)
+	for _, lm := range query.Landmarks {
+		for _, rf := range refByHash[lm.Hash] {
+			offsets[rf-lm.Frame]++
+		}
+	}
+	return offsets
+}
+
+// BestOffset returns the dominant frame offset of query within ref and its
+// merged vote count, using the same offset-tolerance vote merging as
+// MatchScore so a handful of spurious exact-offset collisions cannot
+// out-vote a slightly-jittered true match. Bayens' IDS uses this to check
+// that windows match the reference "in sequence".
+func BestOffset(query, ref *Fingerprint) (offset, votes int) {
+	return BestOffsetTol(query, ref, DefaultConfig().OffsetTolerance)
+}
+
+// BestOffsetTol is BestOffset with an explicit merge tolerance.
+func BestOffsetTol(query, ref *Fingerprint, tol int) (offset, votes int) {
+	if len(query.Landmarks) == 0 || len(ref.Landmarks) == 0 {
+		return 0, 0
+	}
+	offsets := offsetHistogram(query, ref)
+	for off := range offsets {
+		sum, weighted := 0, 0
+		for o, count := range offsets {
+			if o >= off-tol && o <= off+tol {
+				sum += count
+				weighted += count * o
+			}
+		}
+		if sum > votes || (sum == votes && off < offset) {
+			offset = weighted / sum
+			votes = sum
+		}
+	}
+	return offset, votes
+}

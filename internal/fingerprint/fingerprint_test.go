@@ -1,0 +1,146 @@
+package fingerprint
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"nsync/internal/sigproc"
+)
+
+// toneSequence builds a signal that steps through a sequence of tones, one
+// per 0.5 s — a crude stand-in for a printer's acoustic signature.
+func toneSequence(rate float64, freqs []float64, noise float64, rng *rand.Rand) *sigproc.Signal {
+	per := int(rate * 0.5)
+	s := sigproc.New(rate, 1, per*len(freqs))
+	for k, f := range freqs {
+		for i := 0; i < per; i++ {
+			t := float64(k*per+i) / rate
+			v := math.Sin(2 * math.Pi * f * t)
+			if noise > 0 {
+				v += noise * rng.NormFloat64()
+			}
+			s.Data[0][k*per+i] = v
+		}
+	}
+	return s
+}
+
+var seq1 = []float64{100, 250, 80, 300, 150, 220, 90, 180, 260, 120}
+var seq2 = []float64{310, 70, 190, 240, 110, 280, 160, 60, 210, 130}
+
+func TestExtractProducesLandmarks(t *testing.T) {
+	rng := rand.New(rand.NewSource(80))
+	s := toneSequence(1000, seq1, 0.05, rng)
+	fp, err := Extract(s, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fp.Landmarks) < 20 {
+		t.Errorf("landmarks = %d, want a rich constellation", len(fp.Landmarks))
+	}
+	if fp.Frames == 0 {
+		t.Error("Frames = 0")
+	}
+}
+
+func TestMatchScoreSameVsDifferent(t *testing.T) {
+	rng := rand.New(rand.NewSource(81))
+	cfg := DefaultConfig()
+	a1 := toneSequence(1000, seq1, 0.1, rng)
+	a2 := toneSequence(1000, seq1, 0.1, rng) // same tones, fresh noise
+	b := toneSequence(1000, seq2, 0.1, rng)  // different tones
+	fa1, err := Extract(a1, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fa2, err := Extract(a2, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fb, err := Extract(b, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := MatchScore(fa1, fa2)
+	diff := MatchScore(fa1, fb)
+	if same < 0.3 {
+		t.Errorf("same-sequence score = %v, want > 0.3", same)
+	}
+	if diff > same/2 {
+		t.Errorf("different-sequence score %v too close to same-sequence %v", diff, same)
+	}
+}
+
+func TestMatchScoreSelf(t *testing.T) {
+	rng := rand.New(rand.NewSource(82))
+	s := toneSequence(1000, seq1, 0, rng)
+	fp, err := Extract(s, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := MatchScore(fp, fp); got < 0.99 {
+		t.Errorf("self match = %v, want ~1", got)
+	}
+}
+
+func TestMatchScoreEmpty(t *testing.T) {
+	if MatchScore(&Fingerprint{}, &Fingerprint{}) != 0 {
+		t.Error("empty fingerprints should score 0")
+	}
+}
+
+func TestBestOffsetFindsShift(t *testing.T) {
+	rng := rand.New(rand.NewSource(83))
+	cfg := DefaultConfig()
+	full := toneSequence(1000, append(append([]float64{}, seq1...), seq2...), 0.02, rng)
+	fpFull, err := Extract(full, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Query = the second half (seq2 part), which starts 5 s in.
+	half := full.Slice(full.Len()/2, full.Len())
+	fpHalf, err := Extract(half, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	offset, votes := BestOffset(fpHalf, fpFull)
+	if votes == 0 {
+		t.Fatal("no matching landmarks")
+	}
+	// 5 s at 20 frames/s = 100 frames.
+	if offset < 90 || offset > 110 {
+		t.Errorf("offset = %d frames, want ~100", offset)
+	}
+}
+
+func TestExtractMultiChannelAverages(t *testing.T) {
+	rng := rand.New(rand.NewSource(84))
+	mono := toneSequence(1000, seq1, 0, rng)
+	stereo := sigproc.New(1000, 2, mono.Len())
+	copy(stereo.Data[0], mono.Data[0])
+	copy(stereo.Data[1], mono.Data[0])
+	f1, err := Extract(mono, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2, err := Extract(stereo, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := MatchScore(f1, f2); got < 0.99 {
+		t.Errorf("stereo duplicate should match mono: %v", got)
+	}
+}
+
+func TestExtractErrors(t *testing.T) {
+	if _, err := Extract(&sigproc.Signal{Rate: 100}, DefaultConfig()); err == nil {
+		t.Error("empty signal: want error")
+	}
+	cfg := DefaultConfig()
+	cfg.STFT.DeltaF = 0
+	s := sigproc.New(1000, 1, 100)
+	if _, err := Extract(s, cfg); err == nil {
+		t.Error("bad STFT config: want error")
+	}
+}

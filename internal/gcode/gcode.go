@@ -1,0 +1,296 @@
+// Package gcode implements a G-code lexer, parser, program model, and
+// serializer for the FDM dialect used by desktop 3D printers (Marlin/Cura
+// style), plus the G-code manipulation attacks of Table I of the paper.
+//
+// G-code is the programming language of AM systems (Section II-A): commands
+// specify target coordinates and velocities but not timing, which is why AM
+// systems exhibit time noise.
+package gcode
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Command is one G-code command: a code word ("G1", "M104") plus parameter
+// words (X10.5, F1800, ...).
+type Command struct {
+	// Code is the normalized command code, e.g. "G1" or "M109".
+	Code string
+	// Words maps parameter letters (uppercase) to values.
+	Words map[byte]float64
+	// Comment holds any trailing comment text (without the ';').
+	Comment string
+	// Line is the 1-based source line, 0 for synthesized commands.
+	Line int
+}
+
+// Has reports whether the command carries the given parameter letter.
+func (c *Command) Has(letter byte) bool {
+	_, ok := c.Words[upper(letter)]
+	return ok
+}
+
+// Get returns the value of a parameter word and whether it is present.
+func (c *Command) Get(letter byte) (float64, bool) {
+	v, ok := c.Words[upper(letter)]
+	return v, ok
+}
+
+// GetDefault returns the parameter value or def when absent.
+func (c *Command) GetDefault(letter byte, def float64) float64 {
+	if v, ok := c.Get(letter); ok {
+		return v
+	}
+	return def
+}
+
+// Set stores a parameter word, allocating the map if needed.
+func (c *Command) Set(letter byte, v float64) {
+	if c.Words == nil {
+		c.Words = make(map[byte]float64, 4)
+	}
+	c.Words[upper(letter)] = v
+}
+
+// Delete removes a parameter word if present.
+func (c *Command) Delete(letter byte) {
+	delete(c.Words, upper(letter))
+}
+
+// Clone returns a deep copy of the command.
+func (c *Command) Clone() Command {
+	out := *c
+	if c.Words != nil {
+		out.Words = make(map[byte]float64, len(c.Words))
+		for k, v := range c.Words {
+			out.Words[k] = v
+		}
+	}
+	return out
+}
+
+// IsMove reports whether the command is a linear move (G0 or G1).
+func (c *Command) IsMove() bool { return c.Code == "G0" || c.Code == "G1" }
+
+// String renders the command in canonical G-code form.
+func (c *Command) String() string {
+	var b strings.Builder
+	b.WriteString(c.Code)
+	for _, letter := range sortedLetters(c.Words) {
+		b.WriteByte(' ')
+		b.WriteByte(letter)
+		b.WriteString(trimFloat(c.Words[letter]))
+	}
+	if c.Comment != "" {
+		if c.Code != "" || len(c.Words) > 0 {
+			b.WriteByte(' ')
+		}
+		b.WriteByte(';')
+		b.WriteString(c.Comment)
+	}
+	return b.String()
+}
+
+// letterOrder is the conventional word ordering in sliced G-code.
+const letterOrder = "XYZIJKREFPST"
+
+func sortedLetters(words map[byte]float64) []byte {
+	letters := make([]byte, 0, len(words))
+	for k := range words {
+		letters = append(letters, k)
+	}
+	rank := func(b byte) int {
+		if i := strings.IndexByte(letterOrder, b); i >= 0 {
+			return i
+		}
+		return len(letterOrder) + int(b)
+	}
+	sort.Slice(letters, func(i, j int) bool { return rank(letters[i]) < rank(letters[j]) })
+	return letters
+}
+
+func trimFloat(v float64) string {
+	s := strconv.FormatFloat(v, 'f', 5, 64)
+	s = strings.TrimRight(s, "0")
+	s = strings.TrimSuffix(s, ".")
+	if s == "" || s == "-" {
+		return "0"
+	}
+	return s
+}
+
+func upper(b byte) byte {
+	if b >= 'a' && b <= 'z' {
+		return b - 'a' + 'A'
+	}
+	return b
+}
+
+// Program is a parsed G-code file.
+type Program struct {
+	Commands []Command
+}
+
+// Clone deep-copies the program.
+func (p *Program) Clone() *Program {
+	out := &Program{Commands: make([]Command, len(p.Commands))}
+	for i := range p.Commands {
+		out.Commands[i] = p.Commands[i].Clone()
+	}
+	return out
+}
+
+// ParseError reports a syntax error with its source line.
+type ParseError struct {
+	Line int
+	Msg  string
+}
+
+// Error implements the error interface.
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("gcode: line %d: %s", e.Line, e.Msg)
+}
+
+// Parse reads a G-code program. It accepts ';' comments, '(...)' inline
+// comments, empty lines, line numbers (N words) and checksums ('*nn'), all
+// of which are stripped. Unknown commands are kept verbatim so programs
+// survive a parse/serialize round trip.
+func Parse(r io.Reader) (*Program, error) {
+	prog := &Program{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		cmd, ok, err := parseLine(sc.Text(), lineNo)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			prog.Commands = append(prog.Commands, cmd)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("gcode: read: %w", err)
+	}
+	return prog, nil
+}
+
+// ParseString parses a G-code program held in a string.
+func ParseString(s string) (*Program, error) {
+	return Parse(strings.NewReader(s))
+}
+
+func parseLine(line string, lineNo int) (Command, bool, error) {
+	// Strip (...) comments.
+	for {
+		open := strings.IndexByte(line, '(')
+		if open < 0 {
+			break
+		}
+		closeIdx := strings.IndexByte(line[open:], ')')
+		if closeIdx < 0 {
+			return Command{}, false, &ParseError{lineNo, "unterminated ( comment"}
+		}
+		line = line[:open] + " " + line[open+closeIdx+1:]
+	}
+	// Split off ';' comment.
+	comment := ""
+	if i := strings.IndexByte(line, ';'); i >= 0 {
+		comment = strings.TrimSpace(line[i+1:])
+		line = line[:i]
+	}
+	// Strip '*' checksum.
+	if i := strings.IndexByte(line, '*'); i >= 0 {
+		line = line[:i]
+	}
+	line = strings.TrimSpace(line)
+	if line == "" && comment == "" {
+		return Command{}, false, nil
+	}
+	cmd := Command{Comment: comment, Line: lineNo}
+	fields := tokenize(line)
+	for i, f := range fields {
+		letter := upper(f[0])
+		valStr := f[1:]
+		if letter == 'N' && i == 0 {
+			continue // line number
+		}
+		if cmd.Code == "" && (letter == 'G' || letter == 'M' || letter == 'T') {
+			num, err := strconv.ParseFloat(valStr, 64)
+			if err != nil {
+				return Command{}, false, &ParseError{lineNo, fmt.Sprintf("bad %c-code %q", letter, f)}
+			}
+			cmd.Code = fmt.Sprintf("%c%s", letter, trimFloat(num))
+			continue
+		}
+		if valStr == "" {
+			return Command{}, false, &ParseError{lineNo, fmt.Sprintf("word %q has no value", f)}
+		}
+		v, err := strconv.ParseFloat(valStr, 64)
+		if err != nil {
+			return Command{}, false, &ParseError{lineNo, fmt.Sprintf("bad value %q", f)}
+		}
+		cmd.Set(letter, v)
+	}
+	if cmd.Code == "" && len(cmd.Words) > 0 {
+		return Command{}, false, &ParseError{lineNo, "parameter words without a command code"}
+	}
+	return cmd, true, nil
+}
+
+// tokenize splits "G1X10 Y-2.5F1800" into ["G1","X10","Y-2.5","F1800"].
+func tokenize(line string) []string {
+	var out []string
+	var cur strings.Builder
+	flush := func() {
+		if cur.Len() > 0 {
+			out = append(out, cur.String())
+			cur.Reset()
+		}
+	}
+	for i := 0; i < len(line); i++ {
+		ch := line[i]
+		switch {
+		case ch == ' ' || ch == '\t':
+			flush()
+		case isLetter(ch):
+			flush()
+			cur.WriteByte(ch)
+		default:
+			cur.WriteByte(ch)
+		}
+	}
+	flush()
+	return out
+}
+
+func isLetter(b byte) bool {
+	return (b >= 'A' && b <= 'Z') || (b >= 'a' && b <= 'z')
+}
+
+// Serialize writes the program as text, one command per line.
+func (p *Program) Serialize(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for i := range p.Commands {
+		if _, err := bw.WriteString(p.Commands[i].String()); err != nil {
+			return fmt.Errorf("gcode: write: %w", err)
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return fmt.Errorf("gcode: write: %w", err)
+		}
+	}
+	return bw.Flush()
+}
+
+// SerializeString renders the program as a string.
+func (p *Program) SerializeString() string {
+	var b strings.Builder
+	_ = p.Serialize(&b) // strings.Builder never fails
+	return b.String()
+}

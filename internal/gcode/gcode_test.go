@@ -1,0 +1,183 @@
+package gcode
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+const sampleProgram = `
+; A tiny test program
+M104 S205
+G28 ; home
+G92 E0
+G1 X10 Y20 Z0.2 E1.5 F1800
+G0 X30 (rapid) Y40
+N42 G1 X50 E3 *71
+g1 x60 y70 e4.5
+G4 P500
+M106 S255
+M107
+`
+
+func mustParse(t *testing.T, src string) *Program {
+	t.Helper()
+	p, err := ParseString(src)
+	if err != nil {
+		t.Fatalf("ParseString: %v", err)
+	}
+	return p
+}
+
+func TestParseBasics(t *testing.T) {
+	p := mustParse(t, sampleProgram)
+	var codes []string
+	for i := range p.Commands {
+		codes = append(codes, p.Commands[i].Code)
+	}
+	want := []string{"", "M104", "G28", "G92", "G1", "G0", "G1", "G1", "G4", "M106", "M107"}
+	if len(codes) != len(want) {
+		t.Fatalf("parsed %d commands (%v), want %d", len(codes), codes, len(want))
+	}
+	for i := range want {
+		if codes[i] != want[i] {
+			t.Errorf("command %d code = %q, want %q", i, codes[i], want[i])
+		}
+	}
+}
+
+func TestParseWords(t *testing.T) {
+	p := mustParse(t, "G1 X10.5 Y-2 E0.33 F1800")
+	c := p.Commands[0]
+	tests := []struct {
+		letter byte
+		want   float64
+	}{
+		{'X', 10.5}, {'Y', -2}, {'E', 0.33}, {'F', 1800},
+		{'x', 10.5}, // case-insensitive lookup
+	}
+	for _, tt := range tests {
+		got, ok := c.Get(tt.letter)
+		if !ok || got != tt.want {
+			t.Errorf("Get(%c) = %v, %v; want %v, true", tt.letter, got, ok, tt.want)
+		}
+	}
+	if c.Has('Z') {
+		t.Error("Has('Z') = true, want false")
+	}
+	if got := c.GetDefault('Z', 7); got != 7 {
+		t.Errorf("GetDefault('Z', 7) = %v", got)
+	}
+}
+
+func TestParseCompactSyntax(t *testing.T) {
+	p := mustParse(t, "G1X10Y-2.5F1800")
+	c := p.Commands[0]
+	if c.Code != "G1" {
+		t.Fatalf("code = %q", c.Code)
+	}
+	if v, _ := c.Get('Y'); v != -2.5 {
+		t.Errorf("Y = %v, want -2.5", v)
+	}
+}
+
+func TestParseChecksumAndLineNumber(t *testing.T) {
+	p := mustParse(t, "N13 G1 X5 *101")
+	c := p.Commands[0]
+	if c.Code != "G1" || !c.Has('X') || c.Has('N') {
+		t.Errorf("checksum/line-number handling wrong: %+v", c)
+	}
+}
+
+func TestParseComments(t *testing.T) {
+	p := mustParse(t, "G1 X1 ; move\n(standalone)\n; pure comment")
+	if p.Commands[0].Comment != "move" {
+		t.Errorf("trailing comment = %q", p.Commands[0].Comment)
+	}
+	// "(standalone)" produces no command; "; pure comment" yields a
+	// comment-only command.
+	if len(p.Commands) != 2 {
+		t.Fatalf("parsed %d commands, want 2", len(p.Commands))
+	}
+	if p.Commands[1].Code != "" || p.Commands[1].Comment != "pure comment" {
+		t.Errorf("comment-only command = %+v", p.Commands[1])
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		src  string
+	}{
+		{"unterminated paren", "G1 (oops X1"},
+		{"bad value", "G1 Xabc"},
+		{"word without code", "X10 Y20"},
+		{"letter without value", "G1 X"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			_, err := ParseString(tt.src)
+			if err == nil {
+				t.Fatal("want parse error")
+			}
+			var pe *ParseError
+			if !errors.As(err, &pe) {
+				t.Errorf("error %T is not *ParseError", err)
+			}
+		})
+	}
+}
+
+func TestRoundTripFixedPoint(t *testing.T) {
+	// parse -> serialize -> parse -> serialize must be a fixed point
+	// (DESIGN.md invariant).
+	p1 := mustParse(t, sampleProgram)
+	s1 := p1.SerializeString()
+	p2 := mustParse(t, s1)
+	s2 := p2.SerializeString()
+	if s1 != s2 {
+		t.Errorf("serialize not a fixed point:\n--- first\n%s\n--- second\n%s", s1, s2)
+	}
+}
+
+func TestCommandString(t *testing.T) {
+	var c Command
+	c.Code = "G1"
+	c.Set('F', 1800)
+	c.Set('X', 10.5)
+	c.Set('E', 0.125)
+	if got := c.String(); got != "G1 X10.5 E0.125 F1800" {
+		t.Errorf("String() = %q", got)
+	}
+	c.Comment = "hello"
+	if got := c.String(); !strings.HasSuffix(got, " ;hello") {
+		t.Errorf("String() with comment = %q", got)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	p := mustParse(t, "G1 X1 Y2")
+	q := p.Clone()
+	q.Commands[0].Set('X', 99)
+	if v, _ := p.Commands[0].Get('X'); v != 1 {
+		t.Error("Clone shares word maps")
+	}
+}
+
+func TestIsMove(t *testing.T) {
+	p := mustParse(t, "G0 X1\nG1 X2\nM104 S200\nG4 P100")
+	wants := []bool{true, true, false, false}
+	for i, w := range wants {
+		if got := p.Commands[i].IsMove(); got != w {
+			t.Errorf("command %d IsMove = %v, want %v", i, got, w)
+		}
+	}
+}
+
+func TestDeleteWord(t *testing.T) {
+	p := mustParse(t, "G1 X1 E5")
+	p.Commands[0].Delete('E')
+	if p.Commands[0].Has('E') {
+		t.Error("Delete('E') did not remove the word")
+	}
+}

@@ -1,0 +1,195 @@
+// Package ids defines the common vocabulary shared by every intrusion
+// detection system in the evaluation: the Run (one recorded printing
+// process with all six side-channel signals plus metadata), the Raw vs
+// Spectrogram transform, and the IDS interface that NSYNC and the five
+// prior IDSs all implement. Keeping it separate from the experiment
+// harness lets baseline implementations and the harness depend on it
+// without cycles.
+package ids
+
+import (
+	"errors"
+	"fmt"
+
+	"nsync/internal/core"
+	"nsync/internal/sensor"
+	"nsync/internal/sigproc"
+	"nsync/internal/stft"
+)
+
+// Transform selects how a side-channel signal is presented to an IDS
+// (Section VIII-A "Spectrograms": every IDS is evaluated on raw signals and
+// on spectrograms).
+type Transform int
+
+// The two signal transforms of the evaluation.
+const (
+	Raw Transform = iota + 1
+	Spectro
+)
+
+// String implements fmt.Stringer.
+func (t Transform) String() string {
+	switch t {
+	case Raw:
+		return "raw"
+	case Spectro:
+		return "spectro"
+	default:
+		return fmt.Sprintf("Transform(%d)", int(t))
+	}
+}
+
+// Run is one recorded printing process: everything an IDS may look at.
+type Run struct {
+	// Printer is the profile name ("UM3", "RM3").
+	Printer string
+	// Label names the process ("Benign", "Void", "Speed0.95", ...).
+	Label string
+	// Malicious is the ground truth.
+	Malicious bool
+	// Seed identifies the simulated execution.
+	Seed int64
+	// Signals holds the captured side-channel signals.
+	Signals map[sensor.Channel]*sigproc.Signal
+	// SpectroConfigs maps each channel to its Table III transform.
+	SpectroConfigs map[sensor.Channel]stft.Config
+	// LayerTimes are the layer start times in seconds (ground truth from
+	// the simulator; the paper obtained them manually for Gatlin's IDS).
+	LayerTimes []float64
+	// Duration is the total process duration in seconds.
+	Duration float64
+
+	spectroCache map[sensor.Channel]*sigproc.Signal
+}
+
+// Signal returns the run's signal for a channel under a transform.
+// Spectrograms are computed lazily and cached on the run.
+func (r *Run) Signal(ch sensor.Channel, tf Transform) (*sigproc.Signal, error) {
+	raw, ok := r.Signals[ch]
+	if !ok {
+		return nil, fmt.Errorf("ids: run %s/%s has no %v signal", r.Printer, r.Label, ch)
+	}
+	switch tf {
+	case Raw:
+		return raw, nil
+	case Spectro:
+		if s, ok := r.spectroCache[ch]; ok {
+			return s, nil
+		}
+		cfg, ok := r.SpectroConfigs[ch]
+		if !ok {
+			return nil, fmt.Errorf("ids: no spectrogram config for %v", ch)
+		}
+		spec, err := stft.Transform(raw, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("ids: spectrogram %v: %w", ch, err)
+		}
+		if r.spectroCache == nil {
+			r.spectroCache = make(map[sensor.Channel]*sigproc.Signal)
+		}
+		r.spectroCache[ch] = spec
+		return spec, nil
+	default:
+		return nil, fmt.Errorf("ids: unknown transform %v", tf)
+	}
+}
+
+// DropSpectroCache releases cached spectrograms (datasets are large).
+func (r *Run) DropSpectroCache() { r.spectroCache = nil }
+
+// IDS is one intrusion detection system bound to a specific side channel
+// and transform. Train receives the reference run plus benign training runs
+// only (the one-class setting); Classify decides a single test run.
+type IDS interface {
+	// Name identifies the IDS in reports.
+	Name() string
+	Train(ref *Run, train []*Run) error
+	Classify(obs *Run) (bool, error)
+}
+
+// NSYNC adapts the core NSYNC detector (Fig. 7) to the IDS interface for
+// one channel and transform.
+type NSYNC struct {
+	// Channel and Transform select the input signal.
+	Channel   sensor.Channel
+	Transform Transform
+	// Sync is the dynamic synchronizer (DWM or DTW).
+	Sync core.Synchronizer
+	// OCC is the threshold-learning margin (paper: r = 0.3 for NSYNC).
+	OCC core.OCCConfig
+	// SubModules optionally restricts the discriminator (for the
+	// per-sub-module columns of Tables VIII and IX); empty means all.
+	SubModules []core.SubModule
+	// Dist overrides the vertical distance metric (default correlation).
+	Dist sigproc.DistanceFunc
+
+	det *core.Detector
+}
+
+var _ IDS = (*NSYNC)(nil)
+
+// Name implements IDS.
+func (n *NSYNC) Name() string {
+	if n.Sync == nil {
+		return "nsync"
+	}
+	return "nsync/" + n.Sync.Name()
+}
+
+// Train implements IDS.
+func (n *NSYNC) Train(ref *Run, train []*Run) error {
+	if n.Sync == nil {
+		return errors.New("ids: NSYNC needs a synchronizer")
+	}
+	refSig, err := ref.Signal(n.Channel, n.Transform)
+	if err != nil {
+		return err
+	}
+	det, err := core.NewDetector(refSig, core.Config{
+		Sync:       n.Sync,
+		Dist:       n.Dist,
+		OCC:        n.OCC,
+		SubModules: n.SubModules,
+	})
+	if err != nil {
+		return err
+	}
+	sigs := make([]*sigproc.Signal, 0, len(train))
+	for _, tr := range train {
+		s, err := tr.Signal(n.Channel, n.Transform)
+		if err != nil {
+			return err
+		}
+		sigs = append(sigs, s)
+	}
+	if err := det.Train(sigs); err != nil {
+		return err
+	}
+	n.det = det
+	return nil
+}
+
+// Classify implements IDS.
+func (n *NSYNC) Classify(obs *Run) (bool, error) {
+	if n.det == nil {
+		return false, errors.New("ids: NSYNC is not trained")
+	}
+	s, err := obs.Signal(n.Channel, n.Transform)
+	if err != nil {
+		return false, err
+	}
+	v, err := n.det.Classify(s)
+	if err != nil {
+		return false, err
+	}
+	return v.Intrusion, nil
+}
+
+// Thresholds exposes the learned critical values (for reports).
+func (n *NSYNC) Thresholds() (core.Thresholds, error) {
+	if n.det == nil {
+		return core.Thresholds{}, errors.New("ids: NSYNC is not trained")
+	}
+	return n.det.Thresholds()
+}

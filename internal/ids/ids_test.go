@@ -1,0 +1,170 @@
+package ids
+
+import (
+	"math/rand"
+	"testing"
+
+	"nsync/internal/core"
+	"nsync/internal/dwm"
+	"nsync/internal/sensor"
+	"nsync/internal/sigproc"
+	"nsync/internal/stft"
+)
+
+// fakeRun builds a Run with a single synthetic ACC signal derived from a
+// shared base waveform plus per-seed noise and mild time noise.
+func fakeRun(seed int64, base []float64, malicious bool) *Run {
+	rng := rand.New(rand.NewSource(seed))
+	sig := sigproc.New(100, 1, 0)
+	pos := 0
+	for pos < len(base) {
+		end := min(pos+150, len(base))
+		for i := pos; i < end; i++ {
+			v := base[i] + 0.05*rng.NormFloat64()
+			if malicious && i > len(base)/2 {
+				v = rng.NormFloat64()
+			}
+			sig.Data[0] = append(sig.Data[0], v)
+		}
+		pos = end
+		if rng.Intn(2) == 0 {
+			pos++
+		}
+	}
+	return &Run{
+		Printer:   "TEST",
+		Label:     "Benign",
+		Malicious: malicious,
+		Seed:      seed,
+		Signals:   map[sensor.Channel]*sigproc.Signal{sensor.ACC: sig},
+		SpectroConfigs: map[sensor.Channel]stft.Config{
+			sensor.ACC: {DeltaF: 5, DeltaT: 0.1, Window: sigproc.Hann},
+		},
+		LayerTimes: []float64{0, 10},
+		Duration:   float64(sig.Len()) / 100,
+	}
+}
+
+func testBase(n int) []float64 {
+	rng := rand.New(rand.NewSource(7))
+	base := make([]float64, n)
+	for i := range base {
+		base[i] = rng.NormFloat64()
+	}
+	return base
+}
+
+func TestTransformString(t *testing.T) {
+	if Raw.String() != "raw" || Spectro.String() != "spectro" {
+		t.Error("transform names wrong")
+	}
+	if Transform(9).String() != "Transform(9)" {
+		t.Error("unknown transform string wrong")
+	}
+}
+
+func TestRunSignalRawAndSpectro(t *testing.T) {
+	r := fakeRun(1, testBase(2000), false)
+	raw, err := r.Signal(sensor.ACC, Raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if raw.Rate != 100 {
+		t.Errorf("raw rate = %v", raw.Rate)
+	}
+	spec, err := r.Signal(sensor.ACC, Spectro)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Rate != 10 {
+		t.Errorf("spectro rate = %v, want 10", spec.Rate)
+	}
+	if spec.Channels() != 11 { // 100/5 window -> 20 samples -> 11 bins
+		t.Errorf("spectro channels = %d, want 11", spec.Channels())
+	}
+	// Cached: second call returns the identical object.
+	spec2, err := r.Signal(sensor.ACC, Spectro)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec != spec2 {
+		t.Error("spectrogram not cached")
+	}
+	r.DropSpectroCache()
+	spec3, err := r.Signal(sensor.ACC, Spectro)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec3 == spec2 {
+		t.Error("DropSpectroCache did not clear the cache")
+	}
+}
+
+func TestRunSignalErrors(t *testing.T) {
+	r := fakeRun(1, testBase(500), false)
+	if _, err := r.Signal(sensor.AUD, Raw); err == nil {
+		t.Error("missing channel: want error")
+	}
+	if _, err := r.Signal(sensor.ACC, Transform(42)); err == nil {
+		t.Error("unknown transform: want error")
+	}
+	r.SpectroConfigs = nil
+	if _, err := r.Signal(sensor.ACC, Spectro); err == nil {
+		t.Error("missing spectro config: want error")
+	}
+}
+
+func TestNSYNCAdapterLifecycle(t *testing.T) {
+	base := testBase(3000)
+	params := dwm.Params{TWin: 0.5, THop: 0.25, TExt: 0.2, TSigma: 0.1, Eta: 0.1}
+	sys := &NSYNC{
+		Channel:   sensor.ACC,
+		Transform: Raw,
+		Sync:      &core.DWMSynchronizer{Params: params},
+		OCC:       core.OCCConfig{R: 0.5},
+	}
+	if sys.Name() != "nsync/dwm" {
+		t.Errorf("Name = %q", sys.Name())
+	}
+	if _, err := sys.Classify(fakeRun(9, base, false)); err == nil {
+		t.Error("untrained Classify: want error")
+	}
+	ref := fakeRun(1, base, false)
+	var train []*Run
+	for s := int64(2); s < 7; s++ {
+		train = append(train, fakeRun(s, base, false))
+	}
+	if err := sys.Train(ref, train); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Thresholds(); err != nil {
+		t.Errorf("Thresholds after training: %v", err)
+	}
+	flagged, err := sys.Classify(fakeRun(100, base, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if flagged {
+		t.Error("benign run flagged")
+	}
+	flagged, err = sys.Classify(fakeRun(101, base, true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !flagged {
+		t.Error("malicious run not flagged")
+	}
+}
+
+func TestNSYNCAdapterMissingSync(t *testing.T) {
+	sys := &NSYNC{Channel: sensor.ACC, Transform: Raw}
+	if sys.Name() != "nsync" {
+		t.Errorf("Name = %q", sys.Name())
+	}
+	if err := sys.Train(fakeRun(1, testBase(500), false), nil); err == nil {
+		t.Error("nil synchronizer: want error")
+	}
+	if _, err := sys.Thresholds(); err == nil {
+		t.Error("untrained Thresholds: want error")
+	}
+}

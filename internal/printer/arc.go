@@ -1,0 +1,116 @@
+package printer
+
+import (
+	"fmt"
+	"math"
+
+	"nsync/internal/gcode"
+)
+
+// arcChordTolerance is the maximum deviation (mm) between an interpolated
+// chord and the true arc; Marlin's default is in the same range.
+const arcChordTolerance = 0.02
+
+// expandArc converts a G2 (clockwise) or G3 (counter-clockwise) command
+// into a sequence of short G1 chords, the way real firmware interpolates
+// arcs. Supported forms: center-offset (I/J relative to the start point)
+// and radius (R). Returns the replacement commands.
+func expandArc(cmd gcode.Command, startX, startY, startZ, startE float64) ([]gcode.Command, error) {
+	clockwise := cmd.Code == "G2"
+	endX := cmd.GetDefault('X', startX)
+	endY := cmd.GetDefault('Y', startY)
+	endZ := cmd.GetDefault('Z', startZ)
+	endE, hasE := cmd.Get('E')
+	if !hasE {
+		endE = startE
+	}
+	feed, hasF := cmd.Get('F')
+
+	var cx, cy float64
+	switch {
+	case cmd.Has('I') || cmd.Has('J'):
+		cx = startX + cmd.GetDefault('I', 0)
+		cy = startY + cmd.GetDefault('J', 0)
+	case cmd.Has('R'):
+		r := cmd.GetDefault('R', 0)
+		if r == 0 {
+			return nil, fmt.Errorf("printer: arc with zero radius at line %d", cmd.Line)
+		}
+		// Midpoint construction: the center sits at distance h from the
+		// chord midpoint, perpendicular to the chord. The sign conventions
+		// follow the G-code standard: positive R takes the minor arc.
+		mx, my := (startX+endX)/2, (startY+endY)/2
+		dx, dy := endX-startX, endY-startY
+		chord := math.Hypot(dx, dy)
+		if chord < 1e-9 {
+			return nil, fmt.Errorf("printer: R-form arc with coincident endpoints at line %d", cmd.Line)
+		}
+		if chord > 2*math.Abs(r) {
+			return nil, fmt.Errorf("printer: arc radius %.3f too small for chord %.3f at line %d", r, chord, cmd.Line)
+		}
+		h := math.Sqrt(r*r - chord*chord/4)
+		// Perpendicular direction; side selected by rotation sense and the
+		// sign of R.
+		px, py := -dy/chord, dx/chord
+		side := 1.0
+		if clockwise != (r < 0) {
+			side = -1
+		}
+		cx = mx + side*h*px
+		cy = my + side*h*py
+	default:
+		return nil, fmt.Errorf("printer: arc without I/J or R at line %d", cmd.Line)
+	}
+
+	radius := math.Hypot(startX-cx, startY-cy)
+	if radius < 1e-9 {
+		return nil, fmt.Errorf("printer: arc center coincides with start at line %d", cmd.Line)
+	}
+	a0 := math.Atan2(startY-cy, startX-cx)
+	a1 := math.Atan2(endY-cy, endX-cx)
+	sweep := a1 - a0
+	if clockwise {
+		for sweep >= -1e-12 {
+			sweep -= 2 * math.Pi
+		}
+	} else {
+		for sweep <= 1e-12 {
+			sweep += 2 * math.Pi
+		}
+	}
+	// Chord count from the sagitta formula: deviation = r(1 - cos(dTheta/2)).
+	maxStep := 2 * math.Acos(math.Max(0, 1-arcChordTolerance/radius))
+	if maxStep <= 0 {
+		maxStep = 0.1
+	}
+	segments := int(math.Ceil(math.Abs(sweep) / maxStep))
+	if segments < 1 {
+		segments = 1
+	}
+	out := make([]gcode.Command, 0, segments)
+	for k := 1; k <= segments; k++ {
+		frac := float64(k) / float64(segments)
+		ang := a0 + sweep*frac
+		c := gcode.Command{Code: "G1", Line: cmd.Line}
+		c.Set('X', cx+radius*math.Cos(ang))
+		c.Set('Y', cy+radius*math.Sin(ang))
+		if endZ != startZ {
+			c.Set('Z', startZ+(endZ-startZ)*frac)
+		}
+		if hasE {
+			c.Set('E', startE+(endE-startE)*frac)
+		}
+		if hasF && k == 1 {
+			c.Set('F', feed)
+		}
+		out = append(out, c)
+	}
+	// Snap the final chord to the commanded endpoint exactly.
+	last := &out[len(out)-1]
+	last.Set('X', endX)
+	last.Set('Y', endY)
+	if endZ != startZ {
+		last.Set('Z', endZ)
+	}
+	return out, nil
+}

@@ -1,0 +1,280 @@
+package printer
+
+import (
+	"math"
+	"testing"
+
+	"nsync/internal/gcode"
+)
+
+func TestExpandArcSemicircle(t *testing.T) {
+	// G3 (CCW) from (10, 0) to (-10, 0) around the origin: I=-10 J=0.
+	cmd := gcode.Command{Code: "G3"}
+	cmd.Set('X', -10)
+	cmd.Set('Y', 0)
+	cmd.Set('I', -10)
+	cmd.Set('J', 0)
+	cmd.Set('E', 5)
+	cmd.Set('F', 1200)
+	chords, err := expandArc(cmd, 10, 0, 0.2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(chords) < 8 {
+		t.Fatalf("semicircle expanded to only %d chords", len(chords))
+	}
+	// Every chord endpoint lies on the radius-10 circle (within tolerance).
+	var length float64
+	px, py := 10.0, 0.0
+	topReached := false
+	for _, c := range chords {
+		x, _ := c.Get('X')
+		y, _ := c.Get('Y')
+		if r := math.Hypot(x, y); math.Abs(r-10) > 0.05 {
+			t.Fatalf("chord endpoint (%.3f, %.3f) off the circle: r=%.3f", x, y, r)
+		}
+		if y > 9.9 {
+			topReached = true
+		}
+		length += math.Hypot(x-px, y-py)
+		px, py = x, y
+	}
+	if !topReached {
+		t.Error("CCW semicircle never passed through the top of the circle")
+	}
+	// Arc length ~ pi * r.
+	if math.Abs(length-math.Pi*10) > 0.2 {
+		t.Errorf("arc length %.3f, want ~%.3f", length, math.Pi*10)
+	}
+	// Endpoint exact; E interpolated to the commanded total.
+	last := chords[len(chords)-1]
+	if x, _ := last.Get('X'); x != -10 {
+		t.Errorf("final X = %v, want -10", x)
+	}
+	if e, _ := last.Get('E'); math.Abs(e-5) > 1e-9 {
+		t.Errorf("final E = %v, want 5", e)
+	}
+	// F appears on the first chord only.
+	if !chords[0].Has('F') {
+		t.Error("first chord lost the feed rate")
+	}
+}
+
+func TestExpandArcClockwiseDirection(t *testing.T) {
+	// G2 (CW) from (10, 0) to (-10, 0) around the origin passes through the
+	// bottom of the circle.
+	cmd := gcode.Command{Code: "G2"}
+	cmd.Set('X', -10)
+	cmd.Set('Y', 0)
+	cmd.Set('I', -10)
+	cmd.Set('J', 0)
+	chords, err := expandArc(cmd, 10, 0, 0.2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bottom := false
+	for _, c := range chords {
+		if y, _ := c.Get('Y'); y < -9.9 {
+			bottom = true
+		}
+	}
+	if !bottom {
+		t.Error("CW semicircle never passed through the bottom of the circle")
+	}
+}
+
+func TestExpandArcRForm(t *testing.T) {
+	// Quarter arc from (10, 0) to (0, 10) with R=10 (minor arc, CCW).
+	cmd := gcode.Command{Code: "G3"}
+	cmd.Set('X', 0)
+	cmd.Set('Y', 10)
+	cmd.Set('R', 10)
+	chords, err := expandArc(cmd, 10, 0, 0.2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range chords {
+		x, _ := c.Get('X')
+		y, _ := c.Get('Y')
+		if r := math.Hypot(x, y); math.Abs(r-10) > 0.05 {
+			t.Fatalf("R-form chord endpoint off circle: (%.2f, %.2f)", x, y)
+		}
+	}
+	var length float64
+	px, py := 10.0, 0.0
+	for _, c := range chords {
+		x, _ := c.Get('X')
+		y, _ := c.Get('Y')
+		length += math.Hypot(x-px, y-py)
+		px, py = x, y
+	}
+	if math.Abs(length-math.Pi*5) > 0.2 {
+		t.Errorf("quarter-arc length %.3f, want ~%.3f", length, math.Pi*5)
+	}
+}
+
+func TestExpandArcErrors(t *testing.T) {
+	base := func() gcode.Command {
+		c := gcode.Command{Code: "G2"}
+		c.Set('X', 5)
+		c.Set('Y', 5)
+		return c
+	}
+	noCenter := base()
+	if _, err := expandArc(noCenter, 0, 0, 0, 0); err == nil {
+		t.Error("arc without I/J/R: want error")
+	}
+	tinyR := base()
+	tinyR.Set('R', 1)
+	if _, err := expandArc(tinyR, 0, 0, 0, 0); err == nil {
+		t.Error("radius smaller than half chord: want error")
+	}
+	zeroR := base()
+	zeroR.Set('R', 0)
+	if _, err := expandArc(zeroR, 0, 0, 0, 0); err == nil {
+		t.Error("zero radius: want error")
+	}
+}
+
+func TestRunProgramWithArc(t *testing.T) {
+	prog := mustParse(t, `G28
+G0 X10 Y0 Z0.2 F6000
+G3 X-10 Y0 I-10 J0 E2 F1800
+G3 X10 Y0 I10 J0 E4
+`)
+	tr, err := Run(prog, UM3(), Options{Seed: 3, TraceRate: 500, DisableNoise: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The tool must actually sweep the circle: find samples near the top
+	// and bottom.
+	top, bottom := false, false
+	maxR := 0.0
+	for i := 0; i < tr.Len(); i++ {
+		if tr.Y[i] > 9.5 {
+			top = true
+		}
+		if tr.Y[i] < -9.5 {
+			bottom = true
+		}
+		if r := math.Hypot(tr.X[i], tr.Y[i]); r > maxR {
+			maxR = r
+		}
+	}
+	if !top || !bottom {
+		t.Errorf("arc motion missing: top=%v bottom=%v", top, bottom)
+	}
+	if maxR > 10.6 {
+		t.Errorf("tool strayed to radius %.2f during arcs", maxR)
+	}
+}
+
+func TestFirmwareLibrary(t *testing.T) {
+	prog := mustParse(t, `G92 E0
+G1 X10 Y0 Z0.2 F1200 E1
+G1 X20 Z0.5 E2
+G1 X30 E3
+M104 S205
+G1 X40 E4
+`)
+	t.Run("speed", func(t *testing.T) {
+		hook := SpeedFirmware(0.5, 0.3)
+		var feeds []float64
+		for i := range prog.Commands {
+			out := hook(prog.Commands[i].Clone())
+			if f, ok := out.Get('F'); ok {
+				feeds = append(feeds, f)
+			}
+		}
+		// The F word rides on the first move (z=0.2 <= 0.3): unchanged.
+		if feeds[0] != 1200 {
+			t.Errorf("feed before activation = %v, want 1200", feeds[0])
+		}
+	})
+	t.Run("zoffset", func(t *testing.T) {
+		hook := ZOffsetFirmware(-0.1)
+		out := hook(prog.Commands[1].Clone())
+		if z, _ := out.Get('Z'); math.Abs(z-0.1) > 1e-9 {
+			t.Errorf("Z = %v, want 0.1", z)
+		}
+	})
+	t.Run("temp", func(t *testing.T) {
+		hook := TempFirmware(-20)
+		out := hook(prog.Commands[4].Clone())
+		if s, _ := out.Get('S'); s != 185 {
+			t.Errorf("S = %v, want 185", s)
+		}
+		// Heater-off commands (S0) are left alone.
+		off := gcode.Command{Code: "M104"}
+		off.Set('S', 0)
+		if v, _ := hook(off).Get('S'); v != 0 {
+			t.Error("S0 must not be biased")
+		}
+	})
+	t.Run("underextrude", func(t *testing.T) {
+		hook := UnderExtrudeFirmware(2)
+		var es []float64
+		dropped := 0
+		for i := range prog.Commands {
+			out := hook(prog.Commands[i].Clone())
+			if out.IsMove() {
+				if e, ok := out.Get('E'); ok {
+					es = append(es, e)
+				} else {
+					dropped++
+				}
+			}
+		}
+		if dropped == 0 {
+			t.Error("no extrusions dropped")
+		}
+		// Remaining E values are reduced by the accumulated deficit and
+		// stay monotone.
+		for i := 1; i < len(es); i++ {
+			if es[i] < es[i-1] {
+				t.Errorf("E went backwards: %v", es)
+			}
+		}
+	})
+	t.Run("dwell", func(t *testing.T) {
+		hook := DwellInjectorFirmware(2, 0.2)
+		slowed := 0
+		for i := range prog.Commands {
+			out := hook(prog.Commands[i].Clone())
+			if f, ok := out.Get('F'); ok && f < 1000 {
+				slowed++
+			}
+		}
+		if slowed == 0 {
+			t.Error("no moves slowed")
+		}
+	})
+}
+
+func TestFirmwareAttackIsDetectable(t *testing.T) {
+	// End-to-end: a Z-offset firmware attack changes the physical trace.
+	prog := mustParse(t, "G1 X10 Z0.2 F1200\nG1 X20 Z0.4\nG1 X30 Z0.6")
+	clean, err := Run(prog, UM3(), Options{Seed: 4, TraceRate: 500, DisableNoise: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dirty, err := Run(prog, UM3(), Options{Seed: 4, TraceRate: 500, DisableNoise: true,
+		Firmware: ZOffsetFirmware(0.15)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The print starts at the Z=10 home, so compare the lowest printing
+	// height instead of the maximum.
+	minZ := func(tr *Trace) float64 {
+		m := math.Inf(1)
+		for _, z := range tr.Z {
+			if z < m {
+				m = z
+			}
+		}
+		return m
+	}
+	if math.Abs(minZ(dirty)-minZ(clean)-0.15) > 1e-3 {
+		t.Errorf("Z offset not reflected in trace: min %v vs %v", minZ(dirty), minZ(clean))
+	}
+}

@@ -1,0 +1,206 @@
+package printer
+
+import (
+	"fmt"
+	"math"
+)
+
+// Trace is the ground-truth physical state of a simulated print, sampled at
+// a fixed master rate. Sensor models derive side-channel signals from it.
+// Storage is structure-of-arrays so sensors can stream over single fields.
+type Trace struct {
+	// Rate is the master sampling rate in Hz.
+	Rate float64
+
+	// Tool position (mm) and velocity (mm/s).
+	X, Y, Z    []float64
+	VX, VY, VZ []float64
+
+	// MotorV holds actuator velocities (mm/s) per motor. For a Cartesian
+	// machine these equal the axis velocities; for a delta they are the
+	// carriage velocities.
+	MotorV [3][]float64
+
+	// MotorP holds actuator positions (mm) per motor. Stepper vibration and
+	// acoustic tones are locked to actuator position (steps happen at fixed
+	// positions along the path), which is what makes raw side-channel
+	// waveforms repeatable across runs up to time noise.
+	MotorP [3][]float64
+
+	// E is the extruder position (mm of filament).
+	E []float64
+
+	// EVel is the extruder feed velocity (mm of filament per second).
+	EVel []float64
+
+	// Fan is the part-cooling fan duty in [0, 1].
+	Fan []float64
+
+	// Hotend and Bed are heater temperatures (Celsius); HotendOn and BedOn
+	// are the bang-bang heater states (0 or 1).
+	Hotend, Bed     []float64
+	HotendOn, BedOn []float64
+
+	// Layer is the zero-based layer index per sample (-1 before the first
+	// layer).
+	Layer []int
+
+	// LayerStart records the start time (s) of each layer.
+	LayerStart []float64
+
+	// Events annotate command-level milestones (heat-wait done, homing
+	// done) with their timestamps, for diagnostics.
+	Events []Event
+}
+
+// Event is a timestamped annotation in a trace.
+type Event struct {
+	T    float64
+	Kind string
+}
+
+// Len returns the number of samples.
+func (tr *Trace) Len() int { return len(tr.X) }
+
+// Duration returns the trace length in seconds.
+func (tr *Trace) Duration() float64 {
+	if tr.Rate <= 0 {
+		return 0
+	}
+	return float64(tr.Len()) / tr.Rate
+}
+
+// grow appends one zeroed sample slot and returns its index.
+func (tr *Trace) grow() int {
+	tr.X = append(tr.X, 0)
+	tr.Y = append(tr.Y, 0)
+	tr.Z = append(tr.Z, 0)
+	tr.VX = append(tr.VX, 0)
+	tr.VY = append(tr.VY, 0)
+	tr.VZ = append(tr.VZ, 0)
+	for m := 0; m < 3; m++ {
+		tr.MotorV[m] = append(tr.MotorV[m], 0)
+		tr.MotorP[m] = append(tr.MotorP[m], 0)
+	}
+	tr.E = append(tr.E, 0)
+	tr.EVel = append(tr.EVel, 0)
+	tr.Fan = append(tr.Fan, 0)
+	tr.Hotend = append(tr.Hotend, 0)
+	tr.Bed = append(tr.Bed, 0)
+	tr.HotendOn = append(tr.HotendOn, 0)
+	tr.BedOn = append(tr.BedOn, 0)
+	tr.Layer = append(tr.Layer, -1)
+	return tr.Len() - 1
+}
+
+// Interp linearly interpolates a trace field at an arbitrary time. Sensor
+// models running faster than the master rate use this to upsample.
+func Interp(field []float64, rate, t float64) float64 {
+	if len(field) == 0 {
+		return 0
+	}
+	pos := t * rate
+	if pos <= 0 {
+		return field[0]
+	}
+	i := int(pos)
+	if i >= len(field)-1 {
+		return field[len(field)-1]
+	}
+	frac := pos - float64(i)
+	return field[i]*(1-frac) + field[i+1]*frac
+}
+
+// Validate performs internal consistency checks, mainly for tests.
+func (tr *Trace) Validate() error {
+	n := tr.Len()
+	same := func(name string, l int) error {
+		if l != n {
+			return fmt.Errorf("printer: trace field %s has %d samples, want %d", name, l, n)
+		}
+		return nil
+	}
+	checks := []struct {
+		name string
+		l    int
+	}{
+		{"Y", len(tr.Y)}, {"Z", len(tr.Z)},
+		{"VX", len(tr.VX)}, {"VY", len(tr.VY)}, {"VZ", len(tr.VZ)},
+		{"M0", len(tr.MotorV[0])}, {"M1", len(tr.MotorV[1])}, {"M2", len(tr.MotorV[2])},
+		{"MP0", len(tr.MotorP[0])}, {"MP1", len(tr.MotorP[1])}, {"MP2", len(tr.MotorP[2])},
+		{"E", len(tr.E)}, {"EVel", len(tr.EVel)}, {"Fan", len(tr.Fan)},
+		{"Hotend", len(tr.Hotend)}, {"Bed", len(tr.Bed)},
+		{"HotendOn", len(tr.HotendOn)}, {"BedOn", len(tr.BedOn)},
+		{"Layer", len(tr.Layer)},
+	}
+	for _, c := range checks {
+		if err := same(c.name, c.l); err != nil {
+			return err
+		}
+	}
+	if n > 0 && tr.Rate <= 0 {
+		return fmt.Errorf("printer: non-positive trace rate %v", tr.Rate)
+	}
+	for i := 1; i < len(tr.LayerStart); i++ {
+		if tr.LayerStart[i] < tr.LayerStart[i-1] {
+			return fmt.Errorf("printer: layer %d starts before layer %d", i, i-1)
+		}
+	}
+	for _, v := range tr.X {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("printer: non-finite position in trace")
+		}
+	}
+	return nil
+}
+
+// TrimBefore returns a copy of the trace with everything before time t
+// removed, re-anchoring timestamps to the new origin. Layer starts and
+// events that fall before t are dropped. The paper's IDS aligns observed
+// and reference signals "at the beginning" of the printing process; because
+// heat-up waits have random durations, recordings are anchored at the end
+// of the preamble rather than at power-on.
+func (tr *Trace) TrimBefore(t float64) *Trace {
+	cut := int(t * tr.Rate)
+	if cut <= 0 {
+		return tr
+	}
+	if cut > tr.Len() {
+		cut = tr.Len()
+	}
+	out := &Trace{Rate: tr.Rate}
+	slice := func(v []float64) []float64 { return append([]float64(nil), v[cut:]...) }
+	out.X, out.Y, out.Z = slice(tr.X), slice(tr.Y), slice(tr.Z)
+	out.VX, out.VY, out.VZ = slice(tr.VX), slice(tr.VY), slice(tr.VZ)
+	for m := 0; m < 3; m++ {
+		out.MotorV[m] = slice(tr.MotorV[m])
+		out.MotorP[m] = slice(tr.MotorP[m])
+	}
+	out.E, out.EVel = slice(tr.E), slice(tr.EVel)
+	out.Fan = slice(tr.Fan)
+	out.Hotend, out.Bed = slice(tr.Hotend), slice(tr.Bed)
+	out.HotendOn, out.BedOn = slice(tr.HotendOn), slice(tr.BedOn)
+	out.Layer = append([]int(nil), tr.Layer[cut:]...)
+	for _, ls := range tr.LayerStart {
+		if ls >= t {
+			out.LayerStart = append(out.LayerStart, ls-t)
+		}
+	}
+	for _, ev := range tr.Events {
+		if ev.T >= t {
+			out.Events = append(out.Events, Event{ev.T - t, ev.Kind})
+		}
+	}
+	return out
+}
+
+// EventTime returns the time of the last event of the given kind, or -1.
+func (tr *Trace) EventTime(kind string) float64 {
+	t := -1.0
+	for _, ev := range tr.Events {
+		if ev.Kind == kind {
+			t = ev.T
+		}
+	}
+	return t
+}

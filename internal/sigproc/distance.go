@@ -1,0 +1,140 @@
+package sigproc
+
+import (
+	"fmt"
+	"math"
+)
+
+// DistanceFunc measures how different two equal-length single-channel sample
+// slices are. Lower is more similar. It is the d of Section VII-A.
+type DistanceFunc func(u, v []float64) float64
+
+// CorrelationDistance is Eq. (14): 1 - Pearson correlation. It is the
+// NSYNC default because it is invariant to the overall gain of the signals,
+// which for real side channels depends on sensor placement and ADC gain.
+// Range is [0, 2]; identical (up to affine gain) windows score ~0.
+func CorrelationDistance(u, v []float64) float64 {
+	return 1 - Correlation(u, v)
+}
+
+// CosineDistance is 1 - cosine similarity, the metric used by
+// Belikovetsky's IDS [5].
+func CosineDistance(u, v []float64) float64 {
+	return 1 - CosineSimilarity(u, v)
+}
+
+// MAE is the Mean Absolute Error, the point-by-point metric of Moore's
+// IDS [18]. It is sensitive to gain.
+func MAE(u, v []float64) float64 {
+	n := len(u)
+	if n == 0 {
+		return 0
+	}
+	var sum float64
+	for i := range u {
+		sum += math.Abs(u[i] - v[i])
+	}
+	return sum / float64(n)
+}
+
+// Euclidean is the L2 distance. Sensitive to gain; provided for comparison
+// (the paper discusses but rejects it for NSYNC).
+func Euclidean(u, v []float64) float64 {
+	var ss float64
+	for i := range u {
+		d := u[i] - v[i]
+		ss += d * d
+	}
+	return math.Sqrt(ss)
+}
+
+// Manhattan is the L1 distance. Sensitive to gain; provided for comparison.
+func Manhattan(u, v []float64) float64 {
+	var sum float64
+	for i := range u {
+		sum += math.Abs(u[i] - v[i])
+	}
+	return sum
+}
+
+// MultiChannelDistance applies d per channel along the time axis and
+// averages across channels, mirroring MultiChannelSimilarity (Section
+// VII-A: "calculate the distance metric along the time axis for each channel
+// and then average the distance metrics across the channels").
+func MultiChannelDistance(d DistanceFunc, x, y *Signal) (float64, error) {
+	if x.Len() != y.Len() {
+		return 0, fmt.Errorf("sigproc: distance length mismatch %d vs %d", x.Len(), y.Len())
+	}
+	if x.Channels() != y.Channels() {
+		return 0, fmt.Errorf("sigproc: distance channel mismatch %d vs %d", x.Channels(), y.Channels())
+	}
+	c := x.Channels()
+	if c == 0 {
+		return 0, nil
+	}
+	var sum float64
+	for i := 0; i < c; i++ {
+		sum += d(x.Data[i], y.Data[i])
+	}
+	return sum / float64(c), nil
+}
+
+// PointDistance computes d between the single sample vectors x[i,:] and
+// y[j,:], treating the channel axis as the vector dimension. This is the
+// per-point distance used by DTW-style point-based comparison.
+func PointDistance(d DistanceFunc, x *Signal, i int, y *Signal, j int) float64 {
+	c := x.Channels()
+	u := make([]float64, c)
+	v := make([]float64, c)
+	for k := 0; k < c; k++ {
+		u[k] = x.Data[k][i]
+		v[k] = y.Data[k][j]
+	}
+	return d(u, v)
+}
+
+// MinFilter implements the spike-suppression filter of Eqs. (21)-(22): each
+// output sample is the minimum of the trailing window of n input samples
+// (including the current one). Windows that extend before index 0 are
+// clipped. n < 1 returns a copy of the input.
+func MinFilter(v []float64, n int) []float64 {
+	out := make([]float64, len(v))
+	if n < 1 {
+		copy(out, v)
+		return out
+	}
+	for i := range v {
+		lo := i - n + 1
+		if lo < 0 {
+			lo = 0
+		}
+		m := v[lo]
+		for j := lo + 1; j <= i; j++ {
+			if v[j] < m {
+				m = v[j]
+			}
+		}
+		out[i] = m
+	}
+	return out
+}
+
+// MovingAverage returns the trailing moving average with window n (clipped
+// at the start), used by Belikovetsky's IDS.
+func MovingAverage(v []float64, n int) []float64 {
+	out := make([]float64, len(v))
+	if n < 1 {
+		copy(out, v)
+		return out
+	}
+	var sum float64
+	for i := range v {
+		sum += v[i]
+		if i >= n {
+			sum -= v[i-n]
+		}
+		w := min(i+1, n)
+		out[i] = sum / float64(w)
+	}
+	return out
+}

@@ -1,0 +1,112 @@
+package sigproc
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"os"
+)
+
+// File format for recorded side-channel signals (".nsig"): a fixed little-
+// endian header followed by channel-major float64 samples.
+//
+//	offset  size  field
+//	0       8     magic "NSYNCSIG"
+//	8       8     sampling rate (float64)
+//	16      4     channel count (uint32)
+//	20      4     samples per channel (uint32)
+//	24      ...   data: channel 0 samples, channel 1 samples, ...
+var signalMagic = [8]byte{'N', 'S', 'Y', 'N', 'C', 'S', 'I', 'G'}
+
+// ErrBadFormat reports a malformed signal file.
+var ErrBadFormat = errors.New("sigproc: bad signal file format")
+
+// Encode serializes the signal in the .nsig format.
+func (s *Signal) Encode(w io.Writer) error {
+	if err := s.Validate(); err != nil {
+		return err
+	}
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(signalMagic[:]); err != nil {
+		return fmt.Errorf("sigproc: write header: %w", err)
+	}
+	if err := binary.Write(bw, binary.LittleEndian, s.Rate); err != nil {
+		return fmt.Errorf("sigproc: write rate: %w", err)
+	}
+	hdr := [2]uint32{uint32(s.Channels()), uint32(s.Len())}
+	if err := binary.Write(bw, binary.LittleEndian, hdr); err != nil {
+		return fmt.Errorf("sigproc: write dims: %w", err)
+	}
+	buf := make([]byte, 8)
+	for _, ch := range s.Data {
+		for _, v := range ch {
+			binary.LittleEndian.PutUint64(buf, math.Float64bits(v))
+			if _, err := bw.Write(buf); err != nil {
+				return fmt.Errorf("sigproc: write samples: %w", err)
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadSignal parses a .nsig stream.
+func ReadSignal(r io.Reader) (*Signal, error) {
+	br := bufio.NewReader(r)
+	var magic [8]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("sigproc: read header: %w", err)
+	}
+	if magic != signalMagic {
+		return nil, fmt.Errorf("%w: bad magic %q", ErrBadFormat, magic)
+	}
+	var rate float64
+	if err := binary.Read(br, binary.LittleEndian, &rate); err != nil {
+		return nil, fmt.Errorf("sigproc: read rate: %w", err)
+	}
+	var hdr [2]uint32
+	if err := binary.Read(br, binary.LittleEndian, &hdr); err != nil {
+		return nil, fmt.Errorf("sigproc: read dims: %w", err)
+	}
+	channels, samples := int(hdr[0]), int(hdr[1])
+	const maxDim = 1 << 28
+	if channels < 0 || samples < 0 || channels > maxDim || samples > maxDim {
+		return nil, fmt.Errorf("%w: implausible dims %dx%d", ErrBadFormat, channels, samples)
+	}
+	s := New(rate, channels, samples)
+	buf := make([]byte, 8)
+	for _, ch := range s.Data {
+		for i := range ch {
+			if _, err := io.ReadFull(br, buf); err != nil {
+				return nil, fmt.Errorf("sigproc: read samples: %w", err)
+			}
+			ch[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf))
+		}
+	}
+	return s, nil
+}
+
+// SaveFile writes the signal to a file in .nsig format.
+func (s *Signal) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("sigproc: %w", err)
+	}
+	if err := s.Encode(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadFile reads a .nsig file.
+func LoadFile(path string) (*Signal, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("sigproc: %w", err)
+	}
+	defer f.Close()
+	return ReadSignal(f)
+}

@@ -1,0 +1,87 @@
+package sigproc
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"path/filepath"
+	"testing"
+)
+
+func TestSignalRoundTrip(t *testing.T) {
+	s := New(4800, 3, 100)
+	for c := range s.Data {
+		for i := range s.Data[c] {
+			s.Data[c][i] = float64(c*1000+i) / 7
+		}
+	}
+	s.Data[1][5] = math.Inf(1)
+	s.Data[2][6] = -0.0
+	var buf bytes.Buffer
+	if err := s.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadSignal(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Rate != s.Rate || got.Channels() != 3 || got.Len() != 100 {
+		t.Fatalf("shape mismatch: %v %d %d", got.Rate, got.Channels(), got.Len())
+	}
+	for c := range s.Data {
+		for i := range s.Data[c] {
+			a, b := s.Data[c][i], got.Data[c][i]
+			if a != b && !(math.IsNaN(a) && math.IsNaN(b)) {
+				t.Fatalf("sample [%d][%d]: %v != %v", c, i, a, b)
+			}
+		}
+	}
+}
+
+func TestSignalFileRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "test.nsig")
+	s := New(100, 2, 37)
+	s.Data[0][0] = 42
+	if err := s.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Data[0][0] != 42 || got.Len() != 37 {
+		t.Error("file round trip lost data")
+	}
+	if _, err := LoadFile(filepath.Join(dir, "missing.nsig")); err == nil {
+		t.Error("missing file: want error")
+	}
+}
+
+func TestReadSignalErrors(t *testing.T) {
+	if _, err := ReadSignal(bytes.NewReader([]byte("short"))); err == nil {
+		t.Error("truncated header: want error")
+	}
+	bad := append([]byte("NOTMAGIC"), make([]byte, 100)...)
+	if _, err := ReadSignal(bytes.NewReader(bad)); !errors.Is(err, ErrBadFormat) {
+		t.Errorf("bad magic: got %v, want ErrBadFormat", err)
+	}
+	// Valid header but truncated body.
+	var buf bytes.Buffer
+	s := New(10, 1, 50)
+	if err := s.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf.Bytes()[:buf.Len()-8]
+	if _, err := ReadSignal(bytes.NewReader(trunc)); err == nil {
+		t.Error("truncated body: want error")
+	}
+}
+
+func TestWriteInvalidSignal(t *testing.T) {
+	bad := &Signal{Rate: 1, Data: [][]float64{{1, 2}, {1}}}
+	var buf bytes.Buffer
+	if err := bad.Encode(&buf); err == nil {
+		t.Error("ragged signal: want error")
+	}
+}

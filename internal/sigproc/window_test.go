@@ -1,0 +1,103 @@
+package sigproc
+
+import (
+	"math"
+	"testing"
+)
+
+func TestBoxcar(t *testing.T) {
+	w := Boxcar(5)
+	for i, v := range w {
+		if v != 1 {
+			t.Errorf("Boxcar[%d] = %v, want 1", i, v)
+		}
+	}
+}
+
+func TestHannEndpointsAndPeak(t *testing.T) {
+	w := Hann(9)
+	if !almostEqual(w[0], 0, 1e-12) || !almostEqual(w[8], 0, 1e-12) {
+		t.Errorf("Hann endpoints = %v, %v, want 0", w[0], w[8])
+	}
+	if !almostEqual(w[4], 1, 1e-12) {
+		t.Errorf("Hann center = %v, want 1", w[4])
+	}
+	if got := Hann(1); got[0] != 1 {
+		t.Errorf("Hann(1) = %v, want [1]", got)
+	}
+}
+
+func TestBlackmanHarrisProperties(t *testing.T) {
+	w := BlackmanHarris(101)
+	// Symmetric, peaks at center, tiny at edges.
+	for i := 0; i < 50; i++ {
+		if !almostEqual(w[i], w[100-i], 1e-9) {
+			t.Fatalf("BH not symmetric at %d: %v vs %v", i, w[i], w[100-i])
+		}
+	}
+	if w[50] < 0.99 {
+		t.Errorf("BH center = %v, want ~1", w[50])
+	}
+	if w[0] > 1e-4 {
+		t.Errorf("BH edge = %v, want ~6e-5", w[0])
+	}
+	if got := BlackmanHarris(1); got[0] != 1 {
+		t.Errorf("BlackmanHarris(1) = %v, want [1]", got)
+	}
+}
+
+func TestGaussianWindow(t *testing.T) {
+	w := Gaussian(11, 2)
+	if !almostEqual(w[5], 1, 1e-12) {
+		t.Errorf("Gaussian center = %v, want 1", w[5])
+	}
+	for i := 0; i < 5; i++ {
+		if !almostEqual(w[i], w[10-i], 1e-12) {
+			t.Errorf("Gaussian asymmetric at %d", i)
+		}
+		if w[i] >= w[i+1] {
+			t.Errorf("Gaussian not increasing toward center at %d", i)
+		}
+	}
+	// One-sigma point: exp(-0.5).
+	if !almostEqual(w[3], math.Exp(-0.5), 1e-12) {
+		t.Errorf("Gaussian 1-sigma = %v, want %v", w[3], math.Exp(-0.5))
+	}
+}
+
+func TestGaussianDegenerateSigma(t *testing.T) {
+	w := Gaussian(7, 0)
+	for i, v := range w {
+		want := 0.0
+		if i == 3 {
+			want = 1
+		}
+		if v != want {
+			t.Errorf("Gaussian(7,0)[%d] = %v, want %v", i, v, want)
+		}
+	}
+	if got := Gaussian(0, 1); len(got) != 0 {
+		t.Errorf("Gaussian(0) length = %d, want 0", len(got))
+	}
+}
+
+func TestWindowByName(t *testing.T) {
+	tests := []struct {
+		name  string
+		check func([]float64) bool
+	}{
+		{"boxcar", func(w []float64) bool { return w[0] == 1 }},
+		{"hann", func(w []float64) bool { return almostEqual(w[0], 0, 1e-12) }},
+		{"blackman-harris", func(w []float64) bool { return w[0] < 1e-4 }},
+		{"bh", func(w []float64) bool { return w[0] < 1e-4 }},
+		{"unknown", func(w []float64) bool { return w[0] == 1 }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			w := WindowByName(tt.name)(16)
+			if !tt.check(w) {
+				t.Errorf("window %q first sample = %v", tt.name, w[0])
+			}
+		})
+	}
+}

@@ -1,0 +1,278 @@
+package slicer
+
+import (
+	"fmt"
+	"math"
+
+	"nsync/internal/gcode"
+)
+
+// InfillPattern selects the infill toolpath style.
+type InfillPattern int
+
+// Supported infill patterns. Lines is the benign default; Grid is the
+// InfillGrid attack of Table I [4].
+const (
+	InfillLinesPattern InfillPattern = iota + 1
+	InfillGridPattern
+)
+
+// String implements fmt.Stringer.
+func (p InfillPattern) String() string {
+	switch p {
+	case InfillLinesPattern:
+		return "lines"
+	case InfillGridPattern:
+		return "grid"
+	default:
+		return fmt.Sprintf("InfillPattern(%d)", int(p))
+	}
+}
+
+// Config holds the slicing settings. The zero value is not valid; start
+// from DefaultConfig.
+type Config struct {
+	// LayerHeight in mm (paper default 0.2; the Layer0.3 attack uses 0.3).
+	LayerHeight float64
+	// TotalHeight of the part in mm.
+	TotalHeight float64
+	// Scale multiplies the model uniformly (the Scale0.95 attack re-slices
+	// at 0.95, though the same effect can be had with gcode.ScaleAttack).
+	Scale float64
+	// Perimeters is the number of concentric shells.
+	Perimeters int
+	// LineWidth is the extrusion width in mm.
+	LineWidth float64
+	// Infill selects the pattern; InfillSpacing is the line spacing in mm.
+	Infill        InfillPattern
+	InfillSpacing float64
+	// PerimeterSpeed, InfillSpeed, TravelSpeed in mm/s.
+	PerimeterSpeed, InfillSpeed, TravelSpeed float64
+	// FilamentArea is the filament cross-section in mm^2 (1.75 mm filament
+	// by default); used to compute E values.
+	FilamentArea float64
+	// HotendTemp and BedTemp in Celsius.
+	HotendTemp, BedTemp float64
+	// CenterX, CenterY position the part on the bed.
+	CenterX, CenterY float64
+}
+
+// DefaultConfig returns settings close to the paper's: a 60 mm gear, 0.2 mm
+// layers, lines infill. TotalHeight defaults to a short part so simulated
+// prints stay fast; raise it for paper-scale runs.
+func DefaultConfig() Config {
+	return Config{
+		LayerHeight:    0.2,
+		TotalHeight:    1.0,
+		Scale:          1.0,
+		Perimeters:     2,
+		LineWidth:      0.4,
+		Infill:         InfillLinesPattern,
+		InfillSpacing:  2.0,
+		PerimeterSpeed: 30,
+		InfillSpeed:    50,
+		TravelSpeed:    120,
+		FilamentArea:   math.Pi * 1.75 * 1.75 / 4,
+		HotendTemp:     205,
+		BedTemp:        60,
+		CenterX:        110,
+		CenterY:        110,
+	}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	switch {
+	case c.LayerHeight <= 0:
+		return fmt.Errorf("slicer: LayerHeight must be positive, got %v", c.LayerHeight)
+	case c.TotalHeight < c.LayerHeight:
+		return fmt.Errorf("slicer: TotalHeight %v below one layer %v", c.TotalHeight, c.LayerHeight)
+	case c.Scale <= 0:
+		return fmt.Errorf("slicer: Scale must be positive, got %v", c.Scale)
+	case c.Perimeters < 1:
+		return fmt.Errorf("slicer: need at least one perimeter, got %d", c.Perimeters)
+	case c.LineWidth <= 0:
+		return fmt.Errorf("slicer: LineWidth must be positive, got %v", c.LineWidth)
+	case c.Infill != InfillLinesPattern && c.Infill != InfillGridPattern:
+		return fmt.Errorf("slicer: unknown infill pattern %v", c.Infill)
+	case c.InfillSpacing <= 0:
+		return fmt.Errorf("slicer: InfillSpacing must be positive, got %v", c.InfillSpacing)
+	case c.PerimeterSpeed <= 0 || c.InfillSpeed <= 0 || c.TravelSpeed <= 0:
+		return fmt.Errorf("slicer: speeds must be positive")
+	case c.FilamentArea <= 0:
+		return fmt.Errorf("slicer: FilamentArea must be positive, got %v", c.FilamentArea)
+	}
+	return nil
+}
+
+// Model is a sliceable 2-D outline extruded to a height, with optional
+// holes.
+type Model struct {
+	Name   string
+	Region Region
+}
+
+// Gear returns the paper's evaluation object: a gear with a center bore,
+// 60 mm in diameter before scaling.
+func Gear() Model {
+	outline := GearOutline(30, 18, 4)
+	bore := Circle(0, 0, 5, 36)
+	return Model{
+		Name:   "gear60",
+		Region: Region{Outer: outline, Holes: []Polygon{bore}},
+	}
+}
+
+// emitter accumulates G-code with position/extrusion state.
+type emitter struct {
+	prog       *gcode.Program
+	cfg        Config
+	x, y, z, e float64
+	haveXY     bool
+}
+
+func (em *emitter) cmd(code string, comment string) *gcode.Command {
+	em.prog.Commands = append(em.prog.Commands, gcode.Command{Code: code, Comment: comment})
+	return &em.prog.Commands[len(em.prog.Commands)-1]
+}
+
+// travel moves without extruding.
+func (em *emitter) travel(p Point) {
+	if em.haveXY && math.Hypot(p.X-em.x, p.Y-em.y) < 1e-9 {
+		return
+	}
+	c := em.cmd("G0", "")
+	c.Set('X', p.X)
+	c.Set('Y', p.Y)
+	c.Set('F', em.cfg.TravelSpeed*60)
+	em.x, em.y = p.X, p.Y
+	em.haveXY = true
+}
+
+// extrude moves while extruding.
+func (em *emitter) extrude(p Point, speed float64) {
+	dist := math.Hypot(p.X-em.x, p.Y-em.y)
+	if dist < 1e-9 {
+		return
+	}
+	// Volume = path length * layer height * line width; E advances by
+	// volume / filament cross-section.
+	em.e += dist * em.cfg.LayerHeight * em.cfg.LineWidth / em.cfg.FilamentArea
+	c := em.cmd("G1", "")
+	c.Set('X', p.X)
+	c.Set('Y', p.Y)
+	c.Set('E', em.e)
+	c.Set('F', speed*60)
+	em.x, em.y = p.X, p.Y
+}
+
+// hop raises Z to the given height.
+func (em *emitter) hop(z float64) {
+	c := em.cmd("G1", "")
+	c.Set('Z', z)
+	c.Set('F', em.cfg.TravelSpeed*60/2)
+	em.z = z
+}
+
+// Slice generates the full G-code program for the model.
+func Slice(m Model, cfg Config) (*gcode.Program, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	region := Region{
+		Outer: m.Region.Outer.Scale(cfg.Scale).Translate(cfg.CenterX, cfg.CenterY),
+	}
+	for _, h := range m.Region.Holes {
+		region.Holes = append(region.Holes, h.Scale(cfg.Scale).Translate(cfg.CenterX, cfg.CenterY))
+	}
+
+	em := &emitter{prog: &gcode.Program{}, cfg: cfg}
+
+	// Preamble: heat, home, prime.
+	em.cmd("M140", "set bed temp").Set('S', cfg.BedTemp)
+	em.cmd("M104", "set hotend temp").Set('S', cfg.HotendTemp)
+	em.cmd("G28", "home all axes")
+	em.cmd("M190", "wait for bed").Set('S', cfg.BedTemp)
+	em.cmd("M109", "wait for hotend").Set('S', cfg.HotendTemp)
+	em.cmd("G92", "reset extruder").Set('E', 0)
+	em.cmd("M106", "fan on").Set('S', 255)
+
+	layers := int(math.Round(cfg.TotalHeight / cfg.LayerHeight))
+	if layers < 1 {
+		layers = 1
+	}
+	for layer := 0; layer < layers; layer++ {
+		z := cfg.LayerHeight * float64(layer+1)
+		em.cmd("", fmt.Sprintf("LAYER:%d", layer))
+		em.hop(z)
+
+		// Perimeters, outermost first.
+		for sh := 0; sh < cfg.Perimeters; sh++ {
+			inset := cfg.LineWidth * (float64(sh) + 0.5)
+			loop := region.Outer.OffsetInward(inset)
+			em.travel(loop[0])
+			for i := 1; i <= len(loop); i++ {
+				em.extrude(loop[i%len(loop)], cfg.PerimeterSpeed)
+			}
+			for _, hole := range region.Holes {
+				// Holes are offset outward (inward relative to material).
+				hl := hole.OffsetInward(-inset)
+				em.travel(hl[0])
+				for i := 1; i <= len(hl); i++ {
+					em.extrude(hl[i%len(hl)], cfg.PerimeterSpeed)
+				}
+			}
+		}
+
+		// Infill inside the innermost perimeter.
+		interior := Region{
+			Outer: region.Outer.OffsetInward(cfg.LineWidth * (float64(cfg.Perimeters) + 0.5)),
+		}
+		for _, hole := range region.Holes {
+			interior.Holes = append(interior.Holes, hole.OffsetInward(-cfg.LineWidth*(float64(cfg.Perimeters)+0.5)))
+		}
+		for _, seg := range infillForLayer(interior, cfg, layer, z) {
+			em.travel(seg.A)
+			em.extrude(seg.B, cfg.InfillSpeed)
+		}
+	}
+
+	// Postamble.
+	em.cmd("M107", "fan off")
+	em.cmd("M104", "hotend off").Set('S', 0)
+	em.cmd("M140", "bed off").Set('S', 0)
+	final := em.cmd("G0", "park")
+	final.Set('X', 0)
+	final.Set('Y', 0)
+	final.Set('F', cfg.TravelSpeed*60)
+	em.cmd("M84", "disable steppers")
+	return em.prog, nil
+}
+
+// infillForLayer produces the infill segments for one layer.
+//
+// Lines alternates 45 and 135 degrees between layers (one direction per
+// layer). Grid prints both directions on every layer at doubled spacing,
+// which keeps the material volume similar but changes the toolpath — the
+// property the InfillGrid attack exploits.
+//
+// The scanline phase depends on the layer's absolute Z (real slicers vary
+// infill line positions layer to layer), so re-slicing at a different layer
+// height genuinely changes the toolpath geometry — which is why the
+// Layer0.3 attack is observable in motion side channels at all.
+func infillForLayer(interior Region, cfg Config, layer int, z float64) []Segment {
+	minLen := cfg.LineWidth
+	phase := math.Mod(z*7.31, 1.0) * cfg.InfillSpacing
+	switch cfg.Infill {
+	case InfillGridPattern:
+		segs := interior.InfillLines(math.Pi/4, cfg.InfillSpacing*2, minLen, phase)
+		segs = append(segs, interior.InfillLines(3*math.Pi/4, cfg.InfillSpacing*2, minLen, phase)...)
+		return segs
+	default:
+		angle := math.Pi / 4
+		if layer%2 == 1 {
+			angle = 3 * math.Pi / 4
+		}
+		return interior.InfillLines(angle, cfg.InfillSpacing, minLen, phase)
+	}
+}

@@ -1,0 +1,123 @@
+// Package stft computes Short-Time Fourier Transform spectrograms of
+// multi-channel signals, following Table III of the paper: a spectrogram is
+// itself a Signal with a reduced sampling rate (1/Δt) and an increased
+// channel count (frequency bins × input channels).
+package stft
+
+import (
+	"fmt"
+	"math"
+
+	"nsync/internal/fft"
+	"nsync/internal/sigproc"
+)
+
+// Config describes one spectrogram transform. The paper specifies transforms
+// per side channel by spectral resolution Δf (window length = 1/Δf seconds)
+// and temporal resolution Δt (hop = Δt seconds).
+type Config struct {
+	// DeltaF is the spectral resolution in Hz; the STFT window spans
+	// 1/DeltaF seconds.
+	DeltaF float64
+	// DeltaT is the temporal resolution in seconds; the window advances by
+	// DeltaT each frame, so the spectrogram rate is 1/DeltaT Hz.
+	DeltaT float64
+	// Window tapers each frame; nil means Boxcar.
+	Window sigproc.WindowFunc
+	// Log, if true, stores log-magnitude (dB-like, log10(1+|X|)) instead of
+	// raw magnitude. Log compression keeps strong narrowband components
+	// (e.g. the 60 Hz hum in EPT) from dominating every weaker channel.
+	Log bool
+}
+
+// Validate reports configuration errors against a given input rate.
+func (c Config) Validate(rate float64) error {
+	if c.DeltaF <= 0 {
+		return fmt.Errorf("stft: DeltaF must be positive, got %v", c.DeltaF)
+	}
+	if c.DeltaT <= 0 {
+		return fmt.Errorf("stft: DeltaT must be positive, got %v", c.DeltaT)
+	}
+	if rate <= 0 {
+		return fmt.Errorf("stft: input rate must be positive, got %v", rate)
+	}
+	if int(math.Round(rate/c.DeltaF)) < 1 {
+		return fmt.Errorf("stft: window shorter than one sample (rate %v, DeltaF %v)", rate, c.DeltaF)
+	}
+	return nil
+}
+
+// WindowSamples returns the frame length in samples for the given rate.
+func (c Config) WindowSamples(rate float64) int {
+	return int(math.Round(rate / c.DeltaF))
+}
+
+// HopSamples returns the hop length in samples for the given rate.
+func (c Config) HopSamples(rate float64) int {
+	h := int(math.Round(rate * c.DeltaT))
+	if h < 1 {
+		h = 1
+	}
+	return h
+}
+
+// Bins returns the number of frequency bins per input channel.
+func (c Config) Bins(rate float64) int {
+	return c.WindowSamples(rate)/2 + 1
+}
+
+// NumFrames returns how many full frames fit in n samples.
+func (c Config) NumFrames(rate float64, n int) int {
+	win := c.WindowSamples(rate)
+	hop := c.HopSamples(rate)
+	if n < win {
+		return 0
+	}
+	return (n-win)/hop + 1
+}
+
+// Transform computes the spectrogram of s. The output signal has rate
+// 1/DeltaT and Bins×C channels laid out channel-major: output channel
+// c*Bins+k is frequency bin k of input channel c.
+func Transform(s *sigproc.Signal, cfg Config) (*sigproc.Signal, error) {
+	if err := cfg.Validate(s.Rate); err != nil {
+		return nil, err
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	win := cfg.WindowSamples(s.Rate)
+	hop := cfg.HopSamples(s.Rate)
+	bins := win/2 + 1
+	frames := cfg.NumFrames(s.Rate, s.Len())
+	wf := cfg.Window
+	if wf == nil {
+		wf = sigproc.Boxcar
+	}
+	taper := wf(win)
+
+	out := sigproc.New(1/cfg.DeltaT, bins*s.Channels(), frames)
+	buf := make([]float64, win)
+	for c := 0; c < s.Channels(); c++ {
+		ch := s.Data[c]
+		for f := 0; f < frames; f++ {
+			start := f * hop
+			for i := 0; i < win; i++ {
+				buf[i] = ch[start+i] * taper[i]
+			}
+			spec := fft.ForwardReal(buf)
+			for k := 0; k < bins; k++ {
+				mag := cmplxAbs(spec[k])
+				if cfg.Log {
+					mag = math.Log10(1 + mag)
+				}
+				out.Data[c*bins+k][f] = mag
+			}
+		}
+	}
+	return out, nil
+}
+
+func cmplxAbs(z complex128) float64 {
+	return math.Hypot(real(z), imag(z))
+}

@@ -1,0 +1,159 @@
+package tde
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"nsync/internal/sigproc"
+)
+
+// TestFastPathMatchesNaive verifies the FFT/prefix-sum similarity array is
+// numerically equivalent to the naive sliding method.
+func TestFastPathMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(90))
+	shapes := []struct {
+		channels, nx, ny int
+	}{
+		{1, 100, 30},
+		{1, 257, 100},
+		{2, 300, 120},
+		{6, 150, 50},
+		{1, 64, 64}, // single position
+	}
+	for _, sh := range shapes {
+		x := sigproc.New(100, sh.channels, sh.nx)
+		y := sigproc.New(100, sh.channels, sh.ny)
+		for c := 0; c < sh.channels; c++ {
+			v := 0.0
+			for i := 0; i < sh.nx; i++ {
+				v += rng.NormFloat64()
+				x.Data[c][i] = v
+			}
+			for i := 0; i < sh.ny; i++ {
+				y.Data[c][i] = rng.NormFloat64()
+			}
+		}
+		fast, err := New().SimilarityArray(x, y)
+		if err != nil {
+			t.Fatal(err)
+		}
+		naive, err := New(WithoutFastPath()).SimilarityArray(x, y)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(fast) != len(naive) {
+			t.Fatalf("lengths differ: %d vs %d", len(fast), len(naive))
+		}
+		for i := range fast {
+			if math.Abs(fast[i]-naive[i]) > 1e-9 {
+				t.Fatalf("shape %+v pos %d: fast %v vs naive %v", sh, i, fast[i], naive[i])
+			}
+		}
+	}
+}
+
+// TestFastPathFFTBranch forces a problem size that takes the FFT branch of
+// crossDot and checks equivalence there too.
+func TestFastPathFFTBranch(t *testing.T) {
+	rng := rand.New(rand.NewSource(91))
+	nx, ny := 1200, 400 // nx*ny > 64k -> FFT branch
+	x := sigproc.New(100, 1, nx)
+	y := sigproc.New(100, 1, ny)
+	for i := 0; i < nx; i++ {
+		x.Data[0][i] = rng.NormFloat64()
+	}
+	copy(y.Data[0], x.Data[0][300:700])
+	fast, err := New().SimilarityArray(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	naive, err := New(WithoutFastPath()).SimilarityArray(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range fast {
+		if math.Abs(fast[i]-naive[i]) > 1e-8 {
+			t.Fatalf("pos %d: fast %v vs naive %v", i, fast[i], naive[i])
+		}
+	}
+	// And the peak is exactly at the embedding offset.
+	d, score, err := New().Delay(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != 300 || score < 1-1e-9 {
+		t.Errorf("fast Delay = %d score %v, want 300 / 1", d, score)
+	}
+}
+
+func TestFastPathConstantWindows(t *testing.T) {
+	// Constant x-windows and constant y must yield correlation 0 (the
+	// naive path's convention), not NaN.
+	x := sigproc.New(10, 1, 50)
+	y := sigproc.New(10, 1, 10)
+	fast, err := New().SimilarityArray(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range fast {
+		if v != 0 {
+			t.Fatalf("constant-signal score[%d] = %v, want 0", i, v)
+		}
+	}
+	// Constant y against varying x: still 0 by convention.
+	for i := range x.Data[0] {
+		x.Data[0][i] = float64(i)
+	}
+	fast, err = New().SimilarityArray(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range fast {
+		if v != 0 {
+			t.Fatalf("constant-y score[%d] = %v, want 0", i, v)
+		}
+	}
+}
+
+func BenchmarkSimilarityArrayNaive(b *testing.B) {
+	rng := rand.New(rand.NewSource(92))
+	x := sigproc.New(1000, 2, 6000)
+	y := sigproc.New(1000, 2, 2000)
+	for c := 0; c < 2; c++ {
+		for i := range x.Data[c] {
+			x.Data[c][i] = rng.NormFloat64()
+		}
+		for i := range y.Data[c] {
+			y.Data[c][i] = rng.NormFloat64()
+		}
+	}
+	est := New(WithoutFastPath())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := est.SimilarityArray(x, y); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSimilarityArrayFast(b *testing.B) {
+	rng := rand.New(rand.NewSource(93))
+	x := sigproc.New(1000, 2, 6000)
+	y := sigproc.New(1000, 2, 2000)
+	for c := 0; c < 2; c++ {
+		for i := range x.Data[c] {
+			x.Data[c][i] = rng.NormFloat64()
+		}
+		for i := range y.Data[c] {
+			y.Data[c][i] = rng.NormFloat64()
+		}
+	}
+	est := New()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := est.SimilarityArray(x, y); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,140 @@
+package tde
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"nsync/internal/sigproc"
+)
+
+// whiteSignal builds a broadband (white) signal — GCC-PHAT's design
+// regime; on brown-noise random walks, whitening amplifies the weak
+// high-frequency content and the correlation estimator is the better tool.
+func whiteSignal(rng *rand.Rand, n int) *sigproc.Signal {
+	s := sigproc.New(100, 1, n)
+	for i := 0; i < n; i++ {
+		s.Data[0][i] = rng.NormFloat64()
+	}
+	return s
+}
+
+func TestGCCPHATRecoversDelay(t *testing.T) {
+	rng := rand.New(rand.NewSource(200))
+	x := whiteSignal(rng, 600)
+	for _, offset := range []int{0, 7, 123, 400} {
+		y := x.Slice(offset, offset+150)
+		d, score, err := GCCPHAT(x, y)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d != offset {
+			t.Errorf("GCCPHAT delay = %d, want %d", d, offset)
+		}
+		if score < 0.5 {
+			t.Errorf("peak score = %v, want sharp (> 0.5)", score)
+		}
+	}
+}
+
+func TestGCCPHATSharpPeakOnPeriodicSignal(t *testing.T) {
+	// A sine plus a small transient: plain correlation has near-equal
+	// peaks every period, while PHAT whitening emphasizes the transient's
+	// broadband content.
+	n := 800
+	x := sigproc.New(100, 1, n)
+	for i := 0; i < n; i++ {
+		x.Data[0][i] = math.Sin(2 * math.Pi * float64(i) / 25)
+	}
+	x.Data[0][300] += 2.0 // transient locked to position 300
+	y := x.Slice(250, 400)
+	d, _, err := GCCPHAT(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != 250 {
+		t.Errorf("GCCPHAT delay = %d, want 250 (transient-locked)", d)
+	}
+}
+
+func TestGCCPHATMultiChannel(t *testing.T) {
+	rng := rand.New(rand.NewSource(201))
+	x := sigproc.New(100, 3, 500)
+	for c := 0; c < 3; c++ {
+		for i := 0; i < 500; i++ {
+			x.Data[c][i] = rng.NormFloat64()
+		}
+	}
+	y := x.Slice(111, 241)
+	d, _, err := GCCPHAT(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != 111 {
+		t.Errorf("multi-channel GCCPHAT delay = %d, want 111", d)
+	}
+}
+
+func TestGCCPHATBiased(t *testing.T) {
+	n := 600
+	x := sigproc.New(100, 1, n)
+	for i := 0; i < n; i++ {
+		x.Data[0][i] = math.Sin(2 * math.Pi * float64(i) / 20)
+	}
+	y := x.Slice(200, 300)
+	// Pure periodic signal: ambiguous peaks every 20 samples; the bias
+	// must keep the estimate near the requested center.
+	d, _, err := GCCPHATBiased(x, y, 240, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(float64(d-240)) > 20 {
+		t.Errorf("biased GCCPHAT delay = %d, want near 240", d)
+	}
+}
+
+func TestGCCPHATErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(202))
+	short := whiteSignal(rng, 50)
+	long := whiteSignal(rng, 100)
+	if _, _, err := GCCPHAT(short, long); err == nil {
+		t.Error("x shorter than y: want error")
+	}
+	if _, err := GCCPHATArray(long, sigproc.New(100, 2, 10)); err == nil {
+		t.Error("channel mismatch: want error")
+	}
+	if _, err := GCCPHATArray(long, sigproc.New(100, 1, 0)); err == nil {
+		t.Error("empty template: want error")
+	}
+}
+
+func TestGCCPHATSimilarityFunc(t *testing.T) {
+	rng := rand.New(rand.NewSource(203))
+	sim := NewGCCPHATSimilarity()
+	u := make([]float64, 128)
+	for i := range u {
+		u[i] = rng.NormFloat64()
+	}
+	self := sim(u, u)
+	other := make([]float64, 128)
+	for i := range other {
+		other[i] = rng.NormFloat64()
+	}
+	cross := sim(u, other)
+	if self <= cross {
+		t.Errorf("self similarity %v should exceed cross %v", self, cross)
+	}
+	if sim(nil, nil) != 0 || sim(u, u[:64]) != 0 {
+		t.Error("degenerate inputs should score 0")
+	}
+	// Works as an Estimator similarity.
+	x := whiteSignal(rng, 300)
+	y := x.Slice(120, 200)
+	d, _, err := New(WithSimilarity(sim)).Delay(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != 120 {
+		t.Errorf("estimator with GCC similarity delay = %d, want 120", d)
+	}
+}

@@ -1,0 +1,136 @@
+// Package textplot renders small ASCII line charts and aligned tables for
+// the CLI tools and examples. It keeps the repository free of plotting
+// dependencies while still letting the benchmark harness show the shape of
+// h_disp curves and accuracy bars.
+package textplot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Line renders a single series as an ASCII chart of the given width and
+// height. Values are min-max scaled; a title and y-range annotation are
+// included.
+func Line(title string, values []float64, width, height int) string {
+	if width < 8 {
+		width = 8
+	}
+	if height < 2 {
+		height = 2
+	}
+	var b strings.Builder
+	if title != "" {
+		fmt.Fprintf(&b, "%s\n", title)
+	}
+	if len(values) == 0 {
+		b.WriteString("(no data)\n")
+		return b.String()
+	}
+	lo, hi := values[0], values[0]
+	for _, v := range values {
+		lo = math.Min(lo, v)
+		hi = math.Max(hi, v)
+	}
+	span := hi - lo
+	if span == 0 {
+		span = 1
+	}
+	// Resample values to the chart width.
+	cols := make([]float64, width)
+	for i := range cols {
+		pos := float64(i) * float64(len(values)-1) / float64(max(width-1, 1))
+		j := int(pos)
+		if j >= len(values)-1 {
+			cols[i] = values[len(values)-1]
+			continue
+		}
+		frac := pos - float64(j)
+		cols[i] = values[j]*(1-frac) + values[j+1]*frac
+	}
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	for i, v := range cols {
+		r := int(math.Round((hi - v) / span * float64(height-1)))
+		grid[r][i] = '*'
+	}
+	fmt.Fprintf(&b, "%10.3g ┤%s\n", hi, string(grid[0]))
+	for r := 1; r < height-1; r++ {
+		fmt.Fprintf(&b, "%10s │%s\n", "", string(grid[r]))
+	}
+	fmt.Fprintf(&b, "%10.3g ┤%s\n", lo, string(grid[height-1]))
+	return b.String()
+}
+
+// Bars renders a labeled horizontal bar chart, one row per (label, value),
+// scaled to the maximum value.
+func Bars(title string, labels []string, values []float64, width int) string {
+	var b strings.Builder
+	if title != "" {
+		fmt.Fprintf(&b, "%s\n", title)
+	}
+	if len(labels) != len(values) || len(labels) == 0 {
+		b.WriteString("(no data)\n")
+		return b.String()
+	}
+	if width < 10 {
+		width = 10
+	}
+	maxV := values[0]
+	labelW := len(labels[0])
+	for i := range labels {
+		maxV = math.Max(maxV, values[i])
+		if len(labels[i]) > labelW {
+			labelW = len(labels[i])
+		}
+	}
+	if maxV <= 0 {
+		maxV = 1
+	}
+	for i := range labels {
+		n := int(math.Round(values[i] / maxV * float64(width)))
+		if n < 0 {
+			n = 0
+		}
+		fmt.Fprintf(&b, "%-*s │%-*s %.3f\n", labelW, labels[i], width, strings.Repeat("█", n), values[i])
+	}
+	return b.String()
+}
+
+// Table renders rows as an aligned plain-text table with a header.
+func Table(header []string, rows [][]string) string {
+	widths := make([]int, len(header))
+	for i, h := range header {
+		widths[i] = len(h)
+	}
+	for _, row := range rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[min(i, len(widths)-1)], cell)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(header)
+	sep := make([]string, len(header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range rows {
+		writeRow(row)
+	}
+	return b.String()
+}

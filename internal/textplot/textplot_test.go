@@ -1,0 +1,84 @@
+package textplot
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLineBasic(t *testing.T) {
+	out := Line("title", []float64{0, 1, 2, 3, 2, 1, 0}, 20, 5)
+	if !strings.HasPrefix(out, "title\n") {
+		t.Errorf("missing title: %q", out)
+	}
+	if !strings.Contains(out, "*") {
+		t.Error("no plotted points")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 6 { // title + 5 chart rows
+		t.Errorf("chart rows = %d, want 6", len(lines))
+	}
+	// Y-axis labels contain the extremes.
+	if !strings.Contains(out, "3") || !strings.Contains(out, "0") {
+		t.Error("missing y-range annotations")
+	}
+}
+
+func TestLineEmptyAndConstant(t *testing.T) {
+	if out := Line("t", nil, 20, 5); !strings.Contains(out, "no data") {
+		t.Errorf("empty input: %q", out)
+	}
+	// A constant series must not divide by zero.
+	out := Line("", []float64{5, 5, 5}, 10, 3)
+	if !strings.Contains(out, "*") {
+		t.Error("constant series not plotted")
+	}
+}
+
+func TestLineClampsTinyDimensions(t *testing.T) {
+	out := Line("", []float64{1, 2}, 1, 1)
+	if out == "" {
+		t.Error("degenerate dimensions produced nothing")
+	}
+}
+
+func TestBars(t *testing.T) {
+	out := Bars("accs", []string{"a", "longer"}, []float64{0.5, 1.0}, 10)
+	if !strings.Contains(out, "accs") || !strings.Contains(out, "longer") {
+		t.Errorf("missing labels: %q", out)
+	}
+	if !strings.Contains(out, "█") {
+		t.Error("no bars drawn")
+	}
+	if !strings.Contains(out, "1.000") || !strings.Contains(out, "0.500") {
+		t.Error("missing values")
+	}
+	// The larger value draws a longer bar.
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if strings.Count(lines[1], "█") >= strings.Count(lines[2], "█") {
+		t.Errorf("bar lengths not proportional:\n%s", out)
+	}
+}
+
+func TestBarsDegenerate(t *testing.T) {
+	if out := Bars("t", []string{"a"}, []float64{1, 2}, 10); !strings.Contains(out, "no data") {
+		t.Error("mismatched labels/values should yield no data")
+	}
+	if out := Bars("t", []string{"a"}, []float64{0}, 10); !strings.Contains(out, "0.000") {
+		t.Error("all-zero values should still render")
+	}
+}
+
+func TestTable(t *testing.T) {
+	out := Table([]string{"col1", "c2"}, [][]string{{"a", "bb"}, {"cccc", "d"}})
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 { // header + separator + 2 rows
+		t.Fatalf("lines = %d, want 4", len(lines))
+	}
+	if !strings.HasPrefix(lines[1], "----") {
+		t.Errorf("separator missing: %q", lines[1])
+	}
+	// Columns align: "col1" is width 4 so "a" is padded.
+	if !strings.HasPrefix(lines[2], "a     ") {
+		t.Errorf("row not padded: %q", lines[2])
+	}
+}

@@ -1,0 +1,102 @@
+// Package nsync is the public facade of the NSYNC side-channel intrusion
+// detection framework for additive manufacturing, a reproduction of
+// "A Practical Side-Channel Based Intrusion Detection System for Additive
+// Manufacturing Systems" (ICDCS 2021).
+//
+// The framework compares an observed side-channel signal against a
+// reference recording of a known-benign print. A dynamic synchronizer
+// (Dynamic Window Matching, or DTW for comparison) tracks the horizontal
+// displacement between the signals despite time noise; a comparator derives
+// vertical distances; and a discriminator with One-Class-Classification
+// thresholds raises intrusion alerts.
+//
+// Quickstart:
+//
+//	ref := nsync.NewSignal(rate, channels, samples) // reference recording
+//	det, err := nsync.NewDWMDetector(ref, nsync.DefaultDWMParams(4, 2), 0.3)
+//	...
+//	err = det.Train(benignRuns)   // benign recordings only (one-class)
+//	verdict, err := det.Classify(observed)
+//	if verdict.Intrusion { ... }
+//
+// For streaming (mid-print) detection, see NewMonitor. The full evaluation
+// harness — printer simulator, sensor models, the five prior IDSs, and the
+// benchmark suite that regenerates the paper's tables and figures — lives
+// under internal/ and is driven by cmd/repro and the root bench suite.
+package nsync
+
+import (
+	"nsync/internal/core"
+	"nsync/internal/dwm"
+	"nsync/internal/sigproc"
+)
+
+// Signal is a uniformly sampled multi-channel time series (see
+// internal/sigproc).
+type Signal = sigproc.Signal
+
+// NewSignal allocates a zeroed signal with the given sampling rate, channel
+// count, and length.
+func NewSignal(rate float64, channels, samples int) *Signal {
+	return sigproc.New(rate, channels, samples)
+}
+
+// FromSamples wraps a sample slice as a single-channel signal.
+func FromSamples(rate float64, samples []float64) *Signal {
+	return sigproc.FromSamples(rate, samples)
+}
+
+// DWMParams holds the five Dynamic Window Matching parameters (t_win,
+// t_hop, t_ext, t_sigma, eta), in seconds.
+type DWMParams = dwm.Params
+
+// DefaultDWMParams derives DWM parameters from a window size and extended
+// window size using the paper's default ratios (t_hop = t_win/2,
+// t_sigma = t_ext/2, eta = 0.1).
+func DefaultDWMParams(tWin, tExt float64) DWMParams {
+	return dwm.DefaultParams(tWin, tExt)
+}
+
+// Detector is a trained NSYNC intrusion detector bound to one reference
+// signal.
+type Detector = core.Detector
+
+// Verdict is a detector's decision for one observed process.
+type Verdict = core.Verdict
+
+// Thresholds are the learned OCC critical values (c_c, h_c, v_c).
+type Thresholds = core.Thresholds
+
+// Monitor is the streaming (real-time) NSYNC detector.
+type Monitor = core.Monitor
+
+// Alert is an intrusion alert raised by a streaming Monitor.
+type Alert = core.Alert
+
+// NewDWMDetector builds an NSYNC detector that synchronizes with Dynamic
+// Window Matching — the paper's proposed configuration. occMargin is the
+// one-class-classification margin r (the paper uses 0.3 with 50 training
+// runs; use a larger margin with fewer runs).
+func NewDWMDetector(reference *Signal, params DWMParams, occMargin float64) (*Detector, error) {
+	return core.NewDetector(reference, core.Config{
+		Sync: &core.DWMSynchronizer{Params: params},
+		OCC:  core.OCCConfig{R: occMargin},
+	})
+}
+
+// NewDTWDetector builds an NSYNC detector that synchronizes with FastDTW,
+// the prior-art synchronizer the paper compares against. Only practical on
+// low-rate signals such as spectrograms.
+func NewDTWDetector(reference *Signal, radius int, occMargin float64) (*Detector, error) {
+	return core.NewDetector(reference, core.Config{
+		Sync: &core.DTWSynchronizer{Radius: radius},
+		OCC:  core.OCCConfig{R: occMargin},
+	})
+}
+
+// NewMonitor builds a streaming monitor that consumes observed samples as a
+// print progresses and raises alerts mid-print. Thresholds come from a
+// previously trained Detector.
+func NewMonitor(reference *Signal, params DWMParams, thresholds Thresholds) (*Monitor, error) {
+	return core.NewMonitor(reference, params, thresholds)
+}

@@ -1,0 +1,152 @@
+package nsync
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// makeRun synthesizes a benign-like recording: a shared deterministic
+// waveform plus per-run time noise (sample drops/repeats) and measurement
+// noise.
+func makeRun(seed int64, base []float64, rate float64) *Signal {
+	rng := rand.New(rand.NewSource(seed))
+	out := NewSignal(rate, 1, 0)
+	pos := 0
+	for pos < len(base) {
+		end := pos + 200
+		if end > len(base) {
+			end = len(base)
+		}
+		for i := pos; i < end; i++ {
+			out.Data[0] = append(out.Data[0], base[i]+0.05*rng.NormFloat64())
+		}
+		pos = end
+		if rng.Intn(2) == 0 {
+			pos++ // drop a sample: time noise
+		}
+	}
+	return out
+}
+
+func baseWave(n int, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	base := make([]float64, n)
+	for i := range base {
+		base[i] = rng.NormFloat64()
+	}
+	return base
+}
+
+func TestPublicAPIEndToEnd(t *testing.T) {
+	const rate = 100.0
+	base := baseWave(3000, 1)
+	ref := makeRun(100, base, rate)
+	det, err := NewDWMDetector(ref, DWMParams{TWin: 0.5, THop: 0.25, TExt: 0.2, TSigma: 0.1, Eta: 0.1}, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var train []*Signal
+	for s := int64(101); s < 106; s++ {
+		train = append(train, makeRun(s, base, rate))
+	}
+	if err := det.Train(train); err != nil {
+		t.Fatal(err)
+	}
+	// Benign observation passes.
+	v, err := det.Classify(makeRun(200, base, rate))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Intrusion {
+		t.Errorf("benign run flagged: %+v", v)
+	}
+	// A tampered observation (second half replaced) is caught.
+	evil := makeRun(201, base, rate)
+	rng := rand.New(rand.NewSource(999))
+	for i := evil.Len() / 2; i < evil.Len(); i++ {
+		evil.Data[0][i] = rng.NormFloat64()
+	}
+	v, err = det.Classify(evil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Intrusion {
+		t.Error("tampered run not flagged")
+	}
+	if v.FirstIndex < 0 || math.IsNaN(v.FirstTime) {
+		t.Errorf("verdict missing location: %+v", v)
+	}
+}
+
+func TestPublicMonitor(t *testing.T) {
+	const rate = 100.0
+	base := baseWave(2000, 2)
+	ref := makeRun(300, base, rate)
+	params := DefaultDWMParams(0.5, 0.2)
+	det, err := NewDWMDetector(ref, params, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var train []*Signal
+	for s := int64(301); s < 306; s++ {
+		train = append(train, makeRun(s, base, rate))
+	}
+	if err := det.Train(train); err != nil {
+		t.Fatal(err)
+	}
+	th, err := det.Thresholds()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mon, err := NewMonitor(ref, params, th)
+	if err != nil {
+		t.Fatal(err)
+	}
+	evil := makeRun(400, base, rate)
+	rng := rand.New(rand.NewSource(777))
+	for i := evil.Len() / 2; i < evil.Len(); i++ {
+		evil.Data[0][i] = rng.NormFloat64()
+	}
+	var alerts []Alert
+	for pos := 0; pos < evil.Len(); pos += 64 {
+		end := pos + 64
+		if end > evil.Len() {
+			end = evil.Len()
+		}
+		got, err := mon.Push(evil.Slice(pos, end))
+		if err != nil {
+			t.Fatal(err)
+		}
+		alerts = append(alerts, got...)
+	}
+	if len(alerts) == 0 {
+		t.Fatal("streaming monitor raised no alerts on tampered run")
+	}
+}
+
+func TestNewDTWDetector(t *testing.T) {
+	base := baseWave(300, 3)
+	// Multi-channel reference so the correlation point distance is defined.
+	ref := NewSignal(10, 4, 300)
+	rng := rand.New(rand.NewSource(5))
+	for c := range ref.Data {
+		for i := range ref.Data[c] {
+			ref.Data[c][i] = base[i]*float64(c+1) + 0.1*rng.NormFloat64()
+		}
+	}
+	det, err := NewDTWDetector(ref, 1, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := det.Train([]*Signal{ref.Clone()}); err != nil {
+		t.Fatal(err)
+	}
+	v, err := det.Classify(ref.Clone())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Intrusion {
+		t.Errorf("identical signal flagged: %+v", v)
+	}
+}
