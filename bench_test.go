@@ -456,6 +456,41 @@ func BenchmarkAblationChannelAvg(b *testing.B) {
 	b.ReportMetric(stacked, "rough_stacked")
 }
 
+// ---- Parallel evaluation engine (experiment/engine.go) ----
+
+// benchEvaluateNSYNC times one synchronization-heavy workload — the
+// NSYNC/DWM evaluation of UM3 ACC raw, one Table VIII cell — at a fixed
+// worker count. An un-timed warm-up evaluation fills every lazy per-run
+// cache first, so the Serial/Parallel pair isolates the worker pool: their
+// time ratio is the engine's speedup. The results themselves are identical
+// at every worker count (TestWorkerCountDeterminism).
+func benchEvaluateNSYNC(b *testing.B, workers int) {
+	b.Helper()
+	ds := benchDatasets(b)["UM3"]
+	params := experiment.CI().DWM["UM3"]
+	eval := func() experiment.NSYNCOutcome {
+		out, err := experiment.EvaluateNSYNC(ds, sensor.ACC, ids.Raw,
+			&core.DWMSynchronizer{Params: params}, experiment.CI().OCCMarginNSYNC)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return out
+	}
+	experiment.SetWorkers(workers)
+	defer experiment.SetWorkers(0)
+	eval() // warm-up, un-timed
+	b.ResetTimer()
+	var acc float64
+	for i := 0; i < b.N; i++ {
+		acc = eval().Overall.Accuracy()
+	}
+	b.ReportMetric(acc, "acc")
+	b.ReportMetric(float64(experiment.Workers()), "workers")
+}
+
+func BenchmarkEvaluateNSYNCSerial(b *testing.B)   { benchEvaluateNSYNC(b, 1) }
+func BenchmarkEvaluateNSYNCParallel(b *testing.B) { benchEvaluateNSYNC(b, 0) }
+
 // BenchmarkDWMSyncRawAudio measures the raw synchronization throughput that
 // makes real-time NSYNC possible: seconds of 2-channel raw audio
 // synchronized per benchmark op.

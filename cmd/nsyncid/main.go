@@ -47,6 +47,7 @@ func run() error {
 		occMargin = flag.Float64("r", 0.3, "OCC margin r")
 		live      = flag.Bool("live", false, "replay the observation through the streaming monitor")
 		chunkSec  = flag.Float64("chunk", 0.25, "live-mode chunk size in seconds")
+		workers   = flag.Int("workers", 0, "parallel feature extractions during training (0 = one per CPU, 1 = serial)")
 	)
 	flag.Parse()
 	if *refPath == "" || *trainArg == "" || *obsPath == "" {
@@ -94,7 +95,12 @@ func run() error {
 		return fmt.Errorf("unknown synchronizer %q", *syncName)
 	}
 
-	det, err := core.NewDetector(ref, core.Config{Sync: sync, OCC: core.OCCConfig{R: *occMargin}})
+	// core.Config.Workers: 0 or 1 is serial, negative means one per CPU.
+	trainWorkers := *workers
+	if trainWorkers == 0 {
+		trainWorkers = -1
+	}
+	det, err := core.NewDetector(ref, core.Config{Sync: sync, OCC: core.OCCConfig{R: *occMargin}, Workers: trainWorkers})
 	if err != nil {
 		return err
 	}

@@ -7,6 +7,7 @@
 //	repro -experiment all            # everything (takes a while)
 //	repro -experiment tab8           # one artifact
 //	repro -experiment fig10 -scale ci -seed 1000
+//	repro -experiment tab8 -workers 4  # bound the evaluation worker pool
 //
 // Experiments: fig1 fig2 fig6 fig10 fig11 fig12 tab5 tab6 tab7 tab8 tab9
 // belikovetsky all.
@@ -49,8 +50,10 @@ func run() error {
 		expArg    = flag.String("experiment", "all", "which artifact(s) to regenerate (comma separated)")
 		scaleName = flag.String("scale", "ci", "experiment scale: ci or paper")
 		seed      = flag.Int64("seed", 1000, "dataset base seed")
+		workers   = flag.Int("workers", 0, "worker pool size for simulation and evaluation (0 = one per CPU, 1 = serial)")
 	)
 	flag.Parse()
+	experiment.SetWorkers(*workers)
 
 	e := &env{seed: *seed}
 	switch *scaleName {

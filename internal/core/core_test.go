@@ -358,6 +358,34 @@ func TestDTWAlignmentRejectsCorrelationOnSingleChannel(t *testing.T) {
 	}
 }
 
+// TestDTWAlignmentPanickyCustomMetric is the regression test for the
+// isCorrelationLike probe: a user metric that indexes past element 0 used
+// to panic when probed with length-1 vectors; it must instead be treated as
+// a regular (non-degenerate) metric.
+func TestDTWAlignmentPanickyCustomMetric(t *testing.T) {
+	rng := rand.New(rand.NewSource(57))
+	a := sigproc.New(100, 2, 60)
+	for c := 0; c < 2; c++ {
+		for i := 0; i < 60; i++ {
+			a.Data[c][i] = rng.NormFloat64()
+		}
+	}
+	al, err := (&DTWSynchronizer{Radius: 1, PointDist: sigproc.Euclidean}).Synchronize(a, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	secondChannelGap := func(u, v []float64) float64 {
+		return math.Abs(u[1] - v[1]) // panics on the length-1 probe
+	}
+	dists, err := al.VDist(secondChannelGap)
+	if err != nil {
+		t.Fatalf("panicking custom metric: %v", err)
+	}
+	if len(dists) == 0 {
+		t.Error("no distances returned")
+	}
+}
+
 func TestComputeFeaturesShapes(t *testing.T) {
 	rng := rand.New(rand.NewSource(56))
 	ref := noiseSig(rng, 100, 2000)

@@ -1,9 +1,11 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
+	"nsync/internal/pool"
 	"nsync/internal/sigproc"
 )
 
@@ -22,6 +24,11 @@ type Config struct {
 	// SubModules restricts detection to a subset of discriminator
 	// sub-modules; empty means all three.
 	SubModules []SubModule
+	// Workers bounds the concurrent feature extractions in Train. 0 or 1
+	// means serial (the safe default when the caller already fans out);
+	// negative means one worker per CPU. Results are identical at every
+	// setting: features are collected by training-run index.
+	Workers int
 }
 
 func (c Config) withDefaults() (Config, error) {
@@ -65,7 +72,10 @@ func NewDetector(reference *sigproc.Signal, cfg Config) (*Detector, error) {
 }
 
 // Features synchronizes one observed signal against the reference and
-// returns the discriminator features.
+// returns the discriminator features. Features is safe for concurrent use:
+// the detector configuration and reference are immutable after
+// construction, and every stock Synchronizer builds its per-call state
+// fresh inside Synchronize.
 func (d *Detector) Features(observed *sigproc.Signal) (*Features, error) {
 	al, err := d.cfg.Sync.Synchronize(observed, d.reference)
 	if err != nil {
@@ -75,18 +85,27 @@ func (d *Detector) Features(observed *sigproc.Signal) (*Features, error) {
 }
 
 // Train learns the discriminator thresholds from benign training runs via
-// One-Class Classification.
+// One-Class Classification. With Config.Workers set, the per-run feature
+// extraction fans out to a bounded worker pool; thresholds are learned
+// from features in training-run order either way.
 func (d *Detector) Train(benign []*sigproc.Signal) error {
 	if len(benign) == 0 {
 		return errors.New("core: Train needs at least one benign run")
 	}
-	feats := make([]*Features, 0, len(benign))
-	for i, s := range benign {
-		f, err := d.Features(s)
-		if err != nil {
-			return fmt.Errorf("core: training run %d: %w", i, err)
-		}
-		feats = append(feats, f)
+	workers := d.cfg.Workers
+	if workers == 0 {
+		workers = 1
+	}
+	feats, err := pool.Map(context.Background(), workers, benign,
+		func(_ context.Context, i int, s *sigproc.Signal) (*Features, error) {
+			f, err := d.Features(s)
+			if err != nil {
+				return nil, fmt.Errorf("core: training run %d: %w", i, err)
+			}
+			return f, nil
+		})
+	if err != nil {
+		return err
 	}
 	th, err := LearnThresholds(feats, d.cfg.OCC)
 	if err != nil {

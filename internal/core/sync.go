@@ -172,9 +172,17 @@ func (al *dtwAlignment) VDist(d sigproc.DistanceFunc) ([]float64, error) {
 	return dtw.VDist(al.res.Path, al.a, al.b, d), nil
 }
 
-func isCorrelationLike(d sigproc.DistanceFunc) bool {
+func isCorrelationLike(d sigproc.DistanceFunc) (degenerate bool) {
 	// Correlation of a length-1 vector is undefined; detect the stock
-	// metrics that degenerate. Custom metrics are trusted.
+	// metrics that degenerate. Custom metrics are trusted — but a custom
+	// metric may legitimately index past element 0 and panic on the
+	// length-1 probe vectors, so a panicking metric is treated as "not
+	// correlation-like" rather than crashing the caller.
+	defer func() {
+		if recover() != nil {
+			degenerate = false
+		}
+	}()
 	probe := d([]float64{1}, []float64{1})
 	probe2 := d([]float64{1}, []float64{2})
 	return probe == 1 && probe2 == 1

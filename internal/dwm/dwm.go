@@ -291,8 +291,8 @@ func Run(a, b *sigproc.Signal, p Params, opts ...Option) (*Result, error) {
 	if a.Channels() != b.Channels() {
 		return nil, fmt.Errorf("dwm: observed has %d channels, reference has %d", a.Channels(), b.Channels())
 	}
-	n := a.Len()
-	for i := 0; s.NumWindows(n) > i; i++ {
+	nWindows := s.NumWindows(a.Len())
+	for i := 0; i < nWindows; i++ {
 		start := i * s.sp.NHop
 		if _, _, err := s.Step(a.Slice(start, start+s.sp.NWin)); err != nil {
 			return nil, err

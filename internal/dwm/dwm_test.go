@@ -3,6 +3,7 @@ package dwm
 import (
 	"math"
 	"math/rand"
+	"reflect"
 	"testing"
 	"testing/quick"
 
@@ -256,6 +257,42 @@ func TestNumWindows(t *testing.T) {
 		if got := s.NumWindows(tt.n); got != tt.want {
 			t.Errorf("NumWindows(%d) = %d, want %d", tt.n, got, tt.want)
 		}
+	}
+}
+
+// TestRunEqualsRepeatedStep is the regression test for the hoisted loop
+// bound in Run: feeding every window through Step by hand must produce a
+// Result identical in every field to one Run call, including the window
+// count implied by NumWindows evaluated once up front.
+func TestRunEqualsRepeatedStep(t *testing.T) {
+	rng := rand.New(rand.NewSource(91))
+	b := walk(rng, 100, 2500)
+	a := growingDelaySignal(b, 300, 2)
+	p := testParams()
+	batch, err := Run(a, b, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewSynchronizer(b, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp := s.SampleParams()
+	want := s.NumWindows(a.Len())
+	for i := 0; i < want; i++ {
+		lo := i * sp.NHop
+		if _, _, err := s.Step(a.Slice(lo, lo+sp.NWin)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.WindowIndex() != want {
+		t.Fatalf("stepped %d windows, NumWindows says %d", s.WindowIndex(), want)
+	}
+	if got := len(batch.HDisp); got != want {
+		t.Fatalf("Run produced %d windows, NumWindows says %d", got, want)
+	}
+	if !reflect.DeepEqual(s.Result(), batch) {
+		t.Errorf("Run result differs from repeated Step:\nrun:  %+v\nstep: %+v", batch, s.Result())
 	}
 }
 

@@ -134,9 +134,20 @@ func (s Scale) simulate(prog *gcode.Program, prof printer.Profile, label string,
 	}, nil
 }
 
+// simJob is one simulation of the roster, with its pre-assigned seed.
+type simJob struct {
+	prog      *gcode.Program
+	label     string
+	malicious bool
+	seed      int64
+}
+
 // Generate builds the full roster for one printer. Seeds are derived from
-// baseSeed deterministically, so the same (scale, printer, baseSeed) always
-// yields the same dataset.
+// baseSeed deterministically and assigned in roster order before any
+// simulation starts, then the simulations fan out to the engine's worker
+// pool (see SetWorkers) and are collected by roster index — so the same
+// (scale, printer, baseSeed) always yields the same dataset, at any worker
+// count.
 func Generate(s Scale, prof printer.Profile, baseSeed int64) (*Dataset, error) {
 	if err := s.Validate(); err != nil {
 		return nil, err
@@ -148,72 +159,75 @@ func Generate(s Scale, prof printer.Profile, baseSeed int64) (*Dataset, error) {
 	if err != nil {
 		return nil, err
 	}
-	ds := &Dataset{Printer: prof.Name, Scale: s}
 	seed := baseSeed
 	next := func() int64 { seed++; return seed }
-
-	if ds.Ref, err = s.simulate(benign, prof, "Benign(ref)", false, next()); err != nil {
-		return nil, err
-	}
+	jobs := []simJob{{benign, "Benign(ref)", false, next()}}
 	for i := 0; i < s.Counts.Train; i++ {
-		r, err := s.simulate(benign, prof, "Benign(train)", false, next())
-		if err != nil {
-			return nil, err
-		}
-		ds.Train = append(ds.Train, r)
+		jobs = append(jobs, simJob{benign, "Benign(train)", false, next()})
 	}
 	for i := 0; i < s.Counts.TestBenign; i++ {
-		r, err := s.simulate(benign, prof, "Benign", false, next())
-		if err != nil {
-			return nil, err
-		}
-		ds.TestBenign = append(ds.TestBenign, r)
+		jobs = append(jobs, simJob{benign, "Benign", false, next()})
 	}
 	for _, name := range AttackNames {
 		prog := malicious[name]
 		for i := 0; i < s.Counts.PerAttack; i++ {
-			r, err := s.simulate(prog, prof, name, true, next())
-			if err != nil {
-				return nil, err
-			}
-			ds.TestMalicious = append(ds.TestMalicious, r)
+			jobs = append(jobs, simJob{prog, name, true, next()})
 		}
 	}
+	runs, err := fanOut(jobs, func(_ int, j simJob) (*ids.Run, error) {
+		return s.simulate(j.prog, prof, j.label, j.malicious, j.seed)
+	})
+	if err != nil {
+		return nil, err
+	}
+	ds := &Dataset{Printer: prof.Name, Scale: s}
+	ds.Ref, runs = runs[0], runs[1:]
+	ds.Train, runs = runs[:s.Counts.Train], runs[s.Counts.Train:]
+	ds.TestBenign, runs = runs[:s.Counts.TestBenign], runs[s.Counts.TestBenign:]
+	ds.TestMalicious = runs
 	return ds, nil
 }
 
 // datasetCache memoizes one dataset per (scale, printer, seed); because
-// datasets are hundreds of megabytes, at most Capacity entries are kept.
+// datasets are hundreds of megabytes, at most capacity entries are kept.
+// Each entry generates exactly once (singleflight): concurrent callers of
+// the same key share one Generate call, while different keys generate in
+// parallel — the map lock is never held during simulation.
 type datasetCache struct {
 	mu       sync.Mutex
 	capacity int
 	order    []string
-	entries  map[string]*Dataset
+	entries  map[string]*datasetEntry
 }
 
-var cache = &datasetCache{capacity: 2, entries: make(map[string]*Dataset)}
+type datasetEntry struct {
+	once sync.Once
+	ds   *Dataset
+	err  error
+}
+
+var cache = &datasetCache{capacity: 2, entries: make(map[string]*datasetEntry)}
 
 // GenerateCached is Generate with process-wide memoization, so table and
-// figure builders sharing a roster do not re-simulate it.
+// figure builders sharing a roster do not re-simulate it. It is safe for
+// concurrent use.
 func GenerateCached(s Scale, prof printer.Profile, baseSeed int64) (*Dataset, error) {
 	key := fmt.Sprintf("%s/%s/%d", s.Name, prof.Name, baseSeed)
 	cache.mu.Lock()
-	defer cache.mu.Unlock()
-	if ds, ok := cache.entries[key]; ok {
-		return ds, nil
+	e, ok := cache.entries[key]
+	if !ok {
+		e = &datasetEntry{}
+		cache.entries[key] = e
+		cache.order = append(cache.order, key)
+		for len(cache.order) > cache.capacity {
+			evict := cache.order[0]
+			cache.order = cache.order[1:]
+			delete(cache.entries, evict)
+		}
 	}
-	ds, err := Generate(s, prof, baseSeed)
-	if err != nil {
-		return nil, err
-	}
-	cache.entries[key] = ds
-	cache.order = append(cache.order, key)
-	for len(cache.order) > cache.capacity {
-		evict := cache.order[0]
-		cache.order = cache.order[1:]
-		delete(cache.entries, evict)
-	}
-	return ds, nil
+	cache.mu.Unlock()
+	e.once.Do(func() { e.ds, e.err = Generate(s, prof, baseSeed) })
+	return e.ds, e.err
 }
 
 // Profiles returns the two evaluation printers in paper order.

@@ -27,9 +27,13 @@ var (
 )
 
 // tinyDatasets generates (once per test binary) the tiny roster for both
-// printers.
+// printers. Tests that need it are simulation-heavy, so they are skipped
+// in -short mode (which keeps `go test -race -short ./...` quick).
 func tinyDatasets(t *testing.T) map[string]*Dataset {
 	t.Helper()
+	if testing.Short() {
+		t.Skip("simulation-heavy; skipped in -short mode")
+	}
 	tinyOnce.Do(func() {
 		tinyDS = make(map[string]*Dataset, 2)
 		for _, prof := range Profiles() {
@@ -133,6 +137,9 @@ func TestGenerateRoster(t *testing.T) {
 }
 
 func TestGenerateDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy; skipped in -short mode")
+	}
 	s := tinyScale()
 	s.Counts = Counts{Train: 1, TestBenign: 1, PerAttack: 1}
 	prof := printer.UM3()
@@ -157,6 +164,9 @@ func TestGenerateDeterministic(t *testing.T) {
 }
 
 func TestGenerateCachedReuses(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy; skipped in -short mode")
+	}
 	s := tinyScale()
 	s.Counts = Counts{Train: 1, TestBenign: 1, PerAttack: 1}
 	prof := printer.UM3()

@@ -1,0 +1,84 @@
+package experiment
+
+import (
+	"context"
+	"sync/atomic"
+
+	"nsync/internal/pool"
+)
+
+// workerSetting is the configured fan-out width of the evaluation engine;
+// <= 0 means one worker per CPU (the default). It is read atomically so a
+// -workers flag can set it before (or between) evaluations while tests
+// flip it concurrently with running pools.
+var workerSetting atomic.Int32
+
+// SetWorkers configures how many worker goroutines the evaluation engine
+// uses for dataset simulation, per-run classification, and table cells.
+// n <= 0 restores the default (runtime.GOMAXPROCS(0)). Results are
+// deterministic for any setting: work is collected by index, so the same
+// seed yields byte-identical tables at every worker count.
+func SetWorkers(n int) {
+	if n < 0 {
+		n = 0
+	}
+	workerSetting.Store(int32(n))
+}
+
+// Workers reports the resolved fan-out width the engine will use.
+func Workers() int {
+	return pool.Resolve(int(workerSetting.Load()))
+}
+
+// fanOut is the engine's internal fan-out helper: pool.Map over the
+// configured worker count with a background context (the pool cancels it
+// on the first error).
+func fanOut[T, R any](items []T, f func(i int, item T) (R, error)) ([]R, error) {
+	return pool.Map(context.Background(), Workers(), items, func(_ context.Context, i int, item T) (R, error) {
+		return f(i, item)
+	})
+}
+
+// Tables bundles every table artifact of the paper's evaluation section
+// plus the Section VIII-C prose result.
+type Tables struct {
+	T5           []Table5Row
+	T6           []Table6Row
+	T7           []Table7Row
+	T8           []Table8Row
+	T9           []Table8Row
+	Belikovetsky []BelikovetskyResult
+}
+
+// Figure12 assembles the Fig. 12 summary from the bundled tables.
+func (t *Tables) Figure12() []Fig12Row {
+	return Figure12(t.T5, t.T6, t.Belikovetsky, t.T7, t.T8, t.T9)
+}
+
+// RunTables computes every table of the evaluation over the given datasets
+// on the parallel engine. The table builders run one after another (each
+// already fans its cells out to the worker pool), so peak goroutine count
+// stays bounded by Workers.
+func RunTables(datasets map[string]*Dataset) (*Tables, error) {
+	out := &Tables{}
+	var err error
+	if out.T5, err = Table5(datasets); err != nil {
+		return nil, err
+	}
+	if out.T6, err = Table6(datasets); err != nil {
+		return nil, err
+	}
+	if out.T7, err = Table7(datasets); err != nil {
+		return nil, err
+	}
+	if out.T8, err = Table8(datasets); err != nil {
+		return nil, err
+	}
+	if out.T9, err = Table9(datasets); err != nil {
+		return nil, err
+	}
+	if out.Belikovetsky, err = Belikovetsky(datasets); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -1,0 +1,51 @@
+package experiment
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+)
+
+func TestSetWorkersResolution(t *testing.T) {
+	defer SetWorkers(0)
+	SetWorkers(3)
+	if got := Workers(); got != 3 {
+		t.Errorf("Workers() = %d after SetWorkers(3)", got)
+	}
+	for _, n := range []int{0, -7} {
+		SetWorkers(n)
+		if got, want := Workers(), runtime.GOMAXPROCS(0); got != want {
+			t.Errorf("Workers() = %d after SetWorkers(%d), want GOMAXPROCS %d", got, n, want)
+		}
+	}
+}
+
+// TestWorkerCountDeterminism checks the engine's central guarantee: the
+// same datasets yield byte-identical tables (and the Fig. 12 summary
+// derived from them) at every worker count, because every fan-out collects
+// results by index and records outcomes in roster order.
+func TestWorkerCountDeterminism(t *testing.T) {
+	dss := tinyDatasets(t)
+	defer SetWorkers(0)
+
+	// %+v renders every row struct field-by-field; PerAttack maps print in
+	// sorted key order, so equal strings mean equal tables.
+	render := func(tb *Tables) string {
+		return fmt.Sprintf("%+v\nfig12: %+v", tb, tb.Figure12())
+	}
+
+	SetWorkers(1)
+	serial, err := RunTables(dss)
+	if err != nil {
+		t.Fatal(err)
+	}
+	SetWorkers(8)
+	parallel, err := RunTables(dss)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, want := render(parallel), render(serial)
+	if got != want {
+		t.Errorf("tables differ between 8 workers and 1 worker:\n--- workers=8 ---\n%s\n--- workers=1 ---\n%s", got, want)
+	}
+}

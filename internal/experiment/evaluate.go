@@ -62,26 +62,37 @@ func (o *Outcome) record(label string, malicious, flagged bool) {
 	}
 }
 
+// testRuns returns the dataset's test roster in evaluation order: benign
+// runs first, then malicious runs. Outcome recording iterates this exact
+// order, so parallel classification stays deterministic.
+func (ds *Dataset) testRuns() []*ids.Run {
+	out := make([]*ids.Run, 0, len(ds.TestBenign)+len(ds.TestMalicious))
+	out = append(out, ds.TestBenign...)
+	return append(out, ds.TestMalicious...)
+}
+
 // Evaluate trains an IDS on the dataset's reference and training runs, then
-// classifies every test run.
+// classifies every test run. Classification fans out to the engine's worker
+// pool (see SetWorkers); verdicts are recorded in roster order, so the
+// Outcome is identical at every worker count.
 func Evaluate(sys ids.IDS, ds *Dataset) (Outcome, error) {
 	if err := sys.Train(ds.Ref, ds.Train); err != nil {
 		return Outcome{}, fmt.Errorf("experiment: train %s: %w", sys.Name(), err)
 	}
-	var out Outcome
-	for _, r := range ds.TestBenign {
+	runs := ds.testRuns()
+	flags, err := fanOut(runs, func(_ int, r *ids.Run) (bool, error) {
 		flagged, err := sys.Classify(r)
 		if err != nil {
-			return out, fmt.Errorf("experiment: classify %s seed %d: %w", r.Label, r.Seed, err)
+			return false, fmt.Errorf("experiment: classify %s seed %d: %w", r.Label, r.Seed, err)
 		}
-		out.record(r.Label, false, flagged)
+		return flagged, nil
+	})
+	if err != nil {
+		return Outcome{}, err
 	}
-	for _, r := range ds.TestMalicious {
-		flagged, err := sys.Classify(r)
-		if err != nil {
-			return out, fmt.Errorf("experiment: classify %s seed %d: %w", r.Label, r.Seed, err)
-		}
-		out.record(r.Label, true, flagged)
+	var out Outcome
+	for i, r := range runs {
+		out.record(r.Label, r.Malicious, flags[i])
 	}
 	return out, nil
 }
@@ -96,7 +107,11 @@ type NSYNCOutcome struct {
 
 // EvaluateNSYNC runs the NSYNC pipeline once per run and derives the
 // overall and per-sub-module verdicts from the same features, exactly as
-// the paper's per-column results share one trained discriminator.
+// the paper's per-column results share one trained discriminator. Feature
+// extraction — the synchronization-heavy part — fans out to the engine's
+// worker pool for both the training and the test roster; features are
+// collected by run index and verdicts recorded in roster order, so the
+// outcome is identical at every worker count.
 func EvaluateNSYNC(ds *Dataset, ch sensor.Channel, tf ids.Transform, sync core.Synchronizer, r float64) (NSYNCOutcome, error) {
 	refSig, err := ds.Ref.Signal(ch, tf)
 	if err != nil {
@@ -106,17 +121,22 @@ func EvaluateNSYNC(ds *Dataset, ch sensor.Channel, tf ids.Transform, sync core.S
 	if err != nil {
 		return NSYNCOutcome{}, err
 	}
-	feats := make([]*core.Features, 0, len(ds.Train))
-	for _, run := range ds.Train {
+	features := func(run *ids.Run) (*core.Features, error) {
 		s, err := run.Signal(ch, tf)
 		if err != nil {
-			return NSYNCOutcome{}, err
+			return nil, err
 		}
 		f, err := det.Features(s)
 		if err != nil {
-			return NSYNCOutcome{}, fmt.Errorf("experiment: nsync features %s seed %d: %w", run.Label, run.Seed, err)
+			return nil, fmt.Errorf("experiment: nsync features %s seed %d: %w", run.Label, run.Seed, err)
 		}
-		feats = append(feats, f)
+		return f, nil
+	}
+	feats, err := fanOut(ds.Train, func(_ int, run *ids.Run) (*core.Features, error) {
+		return features(run)
+	})
+	if err != nil {
+		return NSYNCOutcome{}, err
 	}
 	if err := det.TrainFromFeatures(feats); err != nil {
 		return NSYNCOutcome{}, err
@@ -125,31 +145,20 @@ func EvaluateNSYNC(ds *Dataset, ch sensor.Channel, tf ids.Transform, sync core.S
 	if err != nil {
 		return NSYNCOutcome{}, err
 	}
+	runs := ds.testRuns()
+	testFeats, err := fanOut(runs, func(_ int, run *ids.Run) (*core.Features, error) {
+		return features(run)
+	})
+	if err != nil {
+		return NSYNCOutcome{}, err
+	}
 	out := NSYNCOutcome{Thresholds: th}
-	classify := func(run *ids.Run, malicious bool) error {
-		s, err := run.Signal(ch, tf)
-		if err != nil {
-			return err
-		}
-		f, err := det.Features(s)
-		if err != nil {
-			return fmt.Errorf("experiment: nsync features %s seed %d: %w", run.Label, run.Seed, err)
-		}
-		out.Overall.record(run.Label, malicious, th.Detect(f).Intrusion)
-		out.CDisp.record(run.Label, malicious, th.DetectSubset(f, core.SubCDisp).Intrusion)
-		out.HDist.record(run.Label, malicious, th.DetectSubset(f, core.SubHDist).Intrusion)
-		out.VDist.record(run.Label, malicious, th.DetectSubset(f, core.SubVDist).Intrusion)
-		return nil
-	}
-	for _, run := range ds.TestBenign {
-		if err := classify(run, false); err != nil {
-			return out, err
-		}
-	}
-	for _, run := range ds.TestMalicious {
-		if err := classify(run, true); err != nil {
-			return out, err
-		}
+	for i, run := range runs {
+		f := testFeats[i]
+		out.Overall.record(run.Label, run.Malicious, th.Detect(f).Intrusion)
+		out.CDisp.record(run.Label, run.Malicious, th.DetectSubset(f, core.SubCDisp).Intrusion)
+		out.HDist.record(run.Label, run.Malicious, th.DetectSubset(f, core.SubHDist).Intrusion)
+		out.VDist.record(run.Label, run.Malicious, th.DetectSubset(f, core.SubVDist).Intrusion)
 	}
 	return out, nil
 }

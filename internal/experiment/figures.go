@@ -26,29 +26,36 @@ type Fig1Result struct {
 }
 
 // Figure1 runs the same benign program n times on one printer and reports
-// the end-time misalignment.
+// the end-time misalignment. The repeated prints simulate in parallel on
+// the engine's worker pool; each print has its own seed, so the duration
+// list is deterministic.
 func Figure1(s Scale, prof printer.Profile, n int, baseSeed int64) (Fig1Result, error) {
 	benign, _, err := s.Programs()
 	if err != nil {
 		return Fig1Result{}, err
 	}
 	out := Fig1Result{Printer: prof.Name}
-	var sum float64
-	lo, hi := math.Inf(1), math.Inf(-1)
-	for i := 0; i < n; i++ {
+	durations, err := fanOut(make([]struct{}, n), func(i int, _ struct{}) (float64, error) {
 		tr, err := printer.Run(benign, prof, printer.Options{
 			Seed: baseSeed + int64(i), TraceRate: s.TraceRate,
 			InitialHotend: 205, InitialBed: 60,
 		})
 		if err != nil {
-			return out, err
+			return 0, err
 		}
-		d := tr.Duration()
-		out.Durations = append(out.Durations, d)
+		return tr.Duration(), nil
+	})
+	if err != nil {
+		return out, err
+	}
+	var sum float64
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, d := range durations {
 		sum += d
 		lo = math.Min(lo, d)
 		hi = math.Max(hi, d)
 	}
+	out.Durations = durations
 	out.Spread = hi - lo
 	out.RelativeSpread = out.Spread / (sum / float64(n))
 	return out, nil
@@ -144,8 +151,8 @@ func Figure6(ds *Dataset, ch sensor.Channel, param string, values []float64) ([]
 		return nil, err
 	}
 	base := ds.Scale.DWM[ds.Printer]
-	var rows []Fig6Row
-	for _, v := range values {
+	// Each sweep value synchronizes independently; fan them out.
+	return fanOut(values, func(_ int, v float64) (Fig6Row, error) {
 		p := base
 		switch param {
 		case "tsigma":
@@ -157,11 +164,11 @@ func Figure6(ds *Dataset, ch sensor.Channel, param string, values []float64) ([]
 		case "eta":
 			p.Eta = v
 		default:
-			return nil, fmt.Errorf("experiment: unknown DWM parameter %q", param)
+			return Fig6Row{}, fmt.Errorf("experiment: unknown DWM parameter %q", param)
 		}
 		res, err := dwm.Run(obs, ref, p)
 		if err != nil {
-			return nil, fmt.Errorf("figure6 %s=%v: %w", param, v, err)
+			return Fig6Row{}, fmt.Errorf("figure6 %s=%v: %w", param, v, err)
 		}
 		row := Fig6Row{Param: param, Value: v, Converged: true}
 		lo, hi := math.Inf(1), math.Inf(-1)
@@ -183,9 +190,8 @@ func Figure6(ds *Dataset, ch sensor.Channel, param string, values []float64) ([]
 		if math.Abs(hi) > float64(ref.Len())/2 || math.Abs(lo) > float64(ref.Len())/2 {
 			row.Converged = false
 		}
-		rows = append(rows, row)
-	}
-	return rows, nil
+		return row, nil
+	})
 }
 
 // Fig10Row reports the h_disp consistency study of Fig. 10 for one
@@ -225,22 +231,30 @@ func Figure10(ds *Dataset) ([]Fig10Row, error) {
 	if err != nil {
 		return nil, fmt.Errorf("figure10 ACC raw: %w", err)
 	}
-	var rows []Fig10Row
+	type cell struct {
+		ch sensor.Channel
+		tf ids.Transform
+	}
+	var cells []cell
 	for _, ch := range sensor.AllChannels {
 		for _, tf := range Transforms {
-			curve, err := hdisp(ch, tf)
-			if err != nil {
-				return nil, fmt.Errorf("figure10 %v/%v: %w", ch, tf, err)
-			}
-			rows = append(rows, Fig10Row{
-				Channel:     ch,
-				Transform:   tf,
-				HDispSec:    curve,
-				Consistency: curveCorrelation(curve, refCurve),
-			})
+			cells = append(cells, cell{ch, tf})
 		}
 	}
-	return rows, nil
+	// The 12 (channel, transform) synchronizations are independent; fan
+	// them out and correlate each against the ACC-raw curve.
+	return fanOut(cells, func(_ int, c cell) (Fig10Row, error) {
+		curve, err := hdisp(c.ch, c.tf)
+		if err != nil {
+			return Fig10Row{}, fmt.Errorf("figure10 %v/%v: %w", c.ch, c.tf, err)
+		}
+		return Fig10Row{
+			Channel:     c.ch,
+			Transform:   c.tf,
+			HDispSec:    curve,
+			Consistency: curveCorrelation(curve, refCurve),
+		}, nil
+	})
 }
 
 // curveCorrelation compares the *overall shapes* of two h_disp curves, the
@@ -300,6 +314,10 @@ type Fig11Row struct {
 // cost the paper's argument rests on — and neither DTW variant can run on
 // raw high-rate signals ("it took forever"), which DWM handles in real
 // time thanks to its FFT-based TDE.
+//
+// Figure11 stays strictly serial by design: it measures wall-clock
+// synchronization time, and sharing the CPU with pool workers would
+// corrupt the measurement.
 func Figure11(ds *Dataset) ([]Fig11Row, error) {
 	params := ds.Scale.DWM[ds.Printer]
 	syncs := []core.Synchronizer{

@@ -8,6 +8,9 @@ import (
 )
 
 func TestFigure1TimeNoise(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy; skipped in -short mode")
+	}
 	res, err := Figure1(tinyScale(), printer.UM3(), 3, 500)
 	if err != nil {
 		t.Fatal(err)

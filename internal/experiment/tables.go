@@ -2,6 +2,7 @@ package experiment
 
 import (
 	"fmt"
+	"sort"
 
 	"nsync/internal/baseline"
 	"nsync/internal/core"
@@ -9,6 +10,12 @@ import (
 	"nsync/internal/ids"
 	"nsync/internal/sensor"
 )
+
+// The table builders below all follow the same parallel shape: enumerate
+// the independent cells (printer × channel × transform × ...) in paper
+// order, fan the cells out to the engine's worker pool, and collect rows by
+// cell index — so the row order, and therefore the rendered table, is
+// byte-identical at every worker count.
 
 // fingerprintConfig derives the constellation engine settings from the
 // scale's AUD spectrogram transform.
@@ -32,29 +39,36 @@ type Table5Row struct {
 // (coarse, layer-level DSYNC) across printers, side channels, and
 // transforms, with OCC thresholds at r = 0 as in the paper.
 func Table5(datasets map[string]*Dataset) ([]Table5Row, error) {
-	var rows []Table5Row
+	type cell struct {
+		ds *Dataset
+		ch sensor.Channel
+		tf ids.Transform
+	}
+	var cells []cell
 	for _, ds := range orderedDatasets(datasets) {
-		r := ds.Scale.OCCMarginPrior
 		for _, ch := range EvalChannels {
 			for _, tf := range Transforms {
-				moore := &baseline.Moore{Channel: ch, Transform: tf, OCC: core.OCCConfig{R: r}}
-				mOut, err := Evaluate(moore, ds)
-				if err != nil {
-					return nil, fmt.Errorf("table5 moore %s/%v/%v: %w", ds.Printer, ch, tf, err)
-				}
-				gao := &baseline.Gao{Channel: ch, Transform: tf, OCC: core.OCCConfig{R: r}}
-				gOut, err := Evaluate(gao, ds)
-				if err != nil {
-					return nil, fmt.Errorf("table5 gao %s/%v/%v: %w", ds.Printer, ch, tf, err)
-				}
-				rows = append(rows, Table5Row{
-					Printer: ds.Printer, Channel: ch, Transform: tf,
-					Moore: mOut, Gao: gOut,
-				})
+				cells = append(cells, cell{ds, ch, tf})
 			}
 		}
 	}
-	return rows, nil
+	return fanOut(cells, func(_ int, c cell) (Table5Row, error) {
+		r := c.ds.Scale.OCCMarginPrior
+		moore := &baseline.Moore{Channel: c.ch, Transform: c.tf, OCC: core.OCCConfig{R: r}}
+		mOut, err := Evaluate(moore, c.ds)
+		if err != nil {
+			return Table5Row{}, fmt.Errorf("table5 moore %s/%v/%v: %w", c.ds.Printer, c.ch, c.tf, err)
+		}
+		gao := &baseline.Gao{Channel: c.ch, Transform: c.tf, OCC: core.OCCConfig{R: r}}
+		gOut, err := Evaluate(gao, c.ds)
+		if err != nil {
+			return Table5Row{}, fmt.Errorf("table5 gao %s/%v/%v: %w", c.ds.Printer, c.ch, c.tf, err)
+		}
+		return Table5Row{
+			Printer: c.ds.Printer, Channel: c.ch, Transform: c.tf,
+			Moore: mOut, Gao: gOut,
+		}, nil
+	})
 }
 
 // Table6Row is one row of Table VI: Bayens' IDS at one window size, with
@@ -70,42 +84,42 @@ type Table6Row struct {
 // Table6 reproduces Table VI: Bayens' acoustic window-matching IDS [4] at
 // the scale's two window sizes (90 s / 120 s at paper scale), AUD only.
 func Table6(datasets map[string]*Dataset) ([]Table6Row, error) {
-	var rows []Table6Row
+	type cell struct {
+		ds  *Dataset
+		win float64
+	}
+	var cells []cell
 	for _, ds := range orderedDatasets(datasets) {
 		for _, win := range ds.Scale.BayensWindows {
-			sys := &baseline.Bayens{
-				WindowSeconds: win,
-				Fingerprint:   ds.Scale.fingerprintConfig(sensor.AUD),
-				R:             ds.Scale.OCCMarginPrior,
-			}
-			if err := sys.Train(ds.Ref, ds.Train); err != nil {
-				return nil, fmt.Errorf("table6 train %s/%vs: %w", ds.Printer, win, err)
-			}
-			row := Table6Row{Printer: ds.Printer, WindowSeconds: win}
-			record := func(run *ids.Run, malicious bool) error {
-				seq, thr, err := sys.ClassifySubModules(run)
-				if err != nil {
-					return err
-				}
-				row.Overall.record(run.Label, malicious, seq || thr)
-				row.Sequence.record(run.Label, malicious, seq)
-				row.Threshold.record(run.Label, malicious, thr)
-				return nil
-			}
-			for _, run := range ds.TestBenign {
-				if err := record(run, false); err != nil {
-					return nil, err
-				}
-			}
-			for _, run := range ds.TestMalicious {
-				if err := record(run, true); err != nil {
-					return nil, err
-				}
-			}
-			rows = append(rows, row)
+			cells = append(cells, cell{ds, win})
 		}
 	}
-	return rows, nil
+	return fanOut(cells, func(_ int, c cell) (Table6Row, error) {
+		sys := &baseline.Bayens{
+			WindowSeconds: c.win,
+			Fingerprint:   c.ds.Scale.fingerprintConfig(sensor.AUD),
+			R:             c.ds.Scale.OCCMarginPrior,
+		}
+		if err := sys.Train(c.ds.Ref, c.ds.Train); err != nil {
+			return Table6Row{}, fmt.Errorf("table6 train %s/%vs: %w", c.ds.Printer, c.win, err)
+		}
+		runs := c.ds.testRuns()
+		verdicts, err := fanOut(runs, func(_ int, run *ids.Run) ([2]bool, error) {
+			seq, thr, err := sys.ClassifySubModules(run)
+			return [2]bool{seq, thr}, err
+		})
+		if err != nil {
+			return Table6Row{}, err
+		}
+		row := Table6Row{Printer: c.ds.Printer, WindowSeconds: c.win}
+		for i, run := range runs {
+			seq, thr := verdicts[i][0], verdicts[i][1]
+			row.Overall.record(run.Label, run.Malicious, seq || thr)
+			row.Sequence.record(run.Label, run.Malicious, seq)
+			row.Threshold.record(run.Label, run.Malicious, thr)
+		}
+		return row, nil
+	})
 }
 
 // Table7Row is one row of Table VII: Gatlin's IDS on one channel, with
@@ -121,43 +135,43 @@ type Table7Row struct {
 // Table7 reproduces Table VII: Gatlin's per-layer fingerprint IDS [13]
 // across printers and side channels.
 func Table7(datasets map[string]*Dataset) ([]Table7Row, error) {
-	var rows []Table7Row
+	type cell struct {
+		ds *Dataset
+		ch sensor.Channel
+	}
+	var cells []cell
 	for _, ds := range orderedDatasets(datasets) {
 		for _, ch := range EvalChannels {
-			sys := &baseline.Gatlin{
-				Channel:     ch,
-				Transform:   ids.Raw,
-				Fingerprint: ds.Scale.fingerprintConfig(ch),
-				R:           ds.Scale.OCCMarginPrior,
-			}
-			if err := sys.Train(ds.Ref, ds.Train); err != nil {
-				return nil, fmt.Errorf("table7 train %s/%v: %w", ds.Printer, ch, err)
-			}
-			row := Table7Row{Printer: ds.Printer, Channel: ch}
-			record := func(run *ids.Run, malicious bool) error {
-				timeAlarm, matchAlarm, err := sys.ClassifySubModules(run)
-				if err != nil {
-					return err
-				}
-				row.Overall.record(run.Label, malicious, timeAlarm || matchAlarm)
-				row.Time.record(run.Label, malicious, timeAlarm)
-				row.Match.record(run.Label, malicious, matchAlarm)
-				return nil
-			}
-			for _, run := range ds.TestBenign {
-				if err := record(run, false); err != nil {
-					return nil, err
-				}
-			}
-			for _, run := range ds.TestMalicious {
-				if err := record(run, true); err != nil {
-					return nil, err
-				}
-			}
-			rows = append(rows, row)
+			cells = append(cells, cell{ds, ch})
 		}
 	}
-	return rows, nil
+	return fanOut(cells, func(_ int, c cell) (Table7Row, error) {
+		sys := &baseline.Gatlin{
+			Channel:     c.ch,
+			Transform:   ids.Raw,
+			Fingerprint: c.ds.Scale.fingerprintConfig(c.ch),
+			R:           c.ds.Scale.OCCMarginPrior,
+		}
+		if err := sys.Train(c.ds.Ref, c.ds.Train); err != nil {
+			return Table7Row{}, fmt.Errorf("table7 train %s/%v: %w", c.ds.Printer, c.ch, err)
+		}
+		runs := c.ds.testRuns()
+		verdicts, err := fanOut(runs, func(_ int, run *ids.Run) ([2]bool, error) {
+			timeAlarm, matchAlarm, err := sys.ClassifySubModules(run)
+			return [2]bool{timeAlarm, matchAlarm}, err
+		})
+		if err != nil {
+			return Table7Row{}, err
+		}
+		row := Table7Row{Printer: c.ds.Printer, Channel: c.ch}
+		for i, run := range runs {
+			timeAlarm, matchAlarm := verdicts[i][0], verdicts[i][1]
+			row.Overall.record(run.Label, run.Malicious, timeAlarm || matchAlarm)
+			row.Time.record(run.Label, run.Malicious, timeAlarm)
+			row.Match.record(run.Label, run.Malicious, matchAlarm)
+		}
+		return row, nil
+	})
 }
 
 // Table8Row is one row of Table VIII (NSYNC/DWM) or Table IX (NSYNC/DTW).
@@ -168,42 +182,55 @@ type Table8Row struct {
 	Result    NSYNCOutcome
 }
 
+// nsyncCell is one (dataset, transform, channel) cell of Table VIII or IX.
+type nsyncCell struct {
+	ds *Dataset
+	tf ids.Transform
+	ch sensor.Channel
+}
+
+// runNSYNCCells evaluates NSYNC once per cell on the worker pool, with
+// newSync building a fresh synchronizer per cell (synchronizers are not
+// shared across goroutines).
+func runNSYNCCells(cells []nsyncCell, table string, newSync func(c nsyncCell) core.Synchronizer) ([]Table8Row, error) {
+	return fanOut(cells, func(_ int, c nsyncCell) (Table8Row, error) {
+		res, err := EvaluateNSYNC(c.ds, c.ch, c.tf, newSync(c), c.ds.Scale.OCCMarginNSYNC)
+		if err != nil {
+			return Table8Row{}, fmt.Errorf("%s %s/%v/%v: %w", table, c.ds.Printer, c.tf, c.ch, err)
+		}
+		return Table8Row{Printer: c.ds.Printer, Transform: c.tf, Channel: c.ch, Result: res}, nil
+	})
+}
+
 // Table8 reproduces Table VIII: NSYNC with DWM across printers, transforms,
 // and side channels, including the per-sub-module columns.
 func Table8(datasets map[string]*Dataset) ([]Table8Row, error) {
-	var rows []Table8Row
+	var cells []nsyncCell
 	for _, ds := range orderedDatasets(datasets) {
-		params := ds.Scale.DWM[ds.Printer]
 		for _, tf := range Transforms {
 			for _, ch := range EvalChannels {
-				sync := &core.DWMSynchronizer{Params: params}
-				res, err := EvaluateNSYNC(ds, ch, tf, sync, ds.Scale.OCCMarginNSYNC)
-				if err != nil {
-					return nil, fmt.Errorf("table8 %s/%v/%v: %w", ds.Printer, tf, ch, err)
-				}
-				rows = append(rows, Table8Row{Printer: ds.Printer, Transform: tf, Channel: ch, Result: res})
+				cells = append(cells, nsyncCell{ds, tf, ch})
 			}
 		}
 	}
-	return rows, nil
+	return runNSYNCCells(cells, "table8", func(c nsyncCell) core.Synchronizer {
+		return &core.DWMSynchronizer{Params: c.ds.Scale.DWM[c.ds.Printer]}
+	})
 }
 
 // Table9 reproduces Table IX: NSYNC with FastDTW, spectrograms only (the
 // paper "was not able to apply DTW on the raw signals because it took
 // forever").
 func Table9(datasets map[string]*Dataset) ([]Table8Row, error) {
-	var rows []Table8Row
+	var cells []nsyncCell
 	for _, ds := range orderedDatasets(datasets) {
 		for _, ch := range EvalChannels {
-			sync := &core.DTWSynchronizer{Radius: ds.Scale.DTWRadius}
-			res, err := EvaluateNSYNC(ds, ch, ids.Spectro, sync, ds.Scale.OCCMarginNSYNC)
-			if err != nil {
-				return nil, fmt.Errorf("table9 %s/%v: %w", ds.Printer, ch, err)
-			}
-			rows = append(rows, Table8Row{Printer: ds.Printer, Transform: ids.Spectro, Channel: ch, Result: res})
+			cells = append(cells, nsyncCell{ds, ids.Spectro, ch})
 		}
 	}
-	return rows, nil
+	return runNSYNCCells(cells, "table9", func(c nsyncCell) core.Synchronizer {
+		return &core.DTWSynchronizer{Radius: c.ds.Scale.DTWRadius}
+	})
 }
 
 // BelikovetskyResult is the prose result of Section VIII-C for one printer.
@@ -215,19 +242,17 @@ type BelikovetskyResult struct {
 // Belikovetsky reproduces the Section VIII-C prose results: Belikovetsky's
 // PCA + cosine IDS [5] on AUD spectrograms.
 func Belikovetsky(datasets map[string]*Dataset) ([]BelikovetskyResult, error) {
-	var out []BelikovetskyResult
-	for _, ds := range orderedDatasets(datasets) {
+	return fanOut(orderedDatasets(datasets), func(_ int, ds *Dataset) (BelikovetskyResult, error) {
 		sys := &baseline.Belikovetsky{
 			AverageSeconds: ds.Scale.BelikovetskyAvg,
 			R:              ds.Scale.OCCMarginPrior,
 		}
 		res, err := Evaluate(sys, ds)
 		if err != nil {
-			return nil, fmt.Errorf("belikovetsky %s: %w", ds.Printer, err)
+			return BelikovetskyResult{}, fmt.Errorf("belikovetsky %s: %w", ds.Printer, err)
 		}
-		out = append(out, BelikovetskyResult{Printer: ds.Printer, Outcome: res})
-	}
-	return out, nil
+		return BelikovetskyResult{Printer: ds.Printer, Outcome: res}, nil
+	})
 }
 
 // Fig12Row is one bar of Fig. 12: the average accuracy of one IDS across
@@ -291,7 +316,9 @@ func Figure12(t5 []Table5Row, t6 []Table6Row, bel []BelikovetskyResult, t7 []Tab
 	}
 }
 
-// orderedDatasets returns datasets in the paper's printer order.
+// orderedDatasets returns datasets in the paper's printer order; printers
+// beyond the paper's two follow in name order, so every table builder sees
+// the same dataset sequence (map iteration order must not leak into rows).
 func orderedDatasets(datasets map[string]*Dataset) []*Dataset {
 	var out []*Dataset
 	for _, name := range []string{"UM3", "RM3"} {
@@ -299,10 +326,15 @@ func orderedDatasets(datasets map[string]*Dataset) []*Dataset {
 			out = append(out, ds)
 		}
 	}
-	for name, ds := range datasets {
+	var extras []string
+	for name := range datasets {
 		if name != "UM3" && name != "RM3" {
-			out = append(out, ds)
+			extras = append(extras, name)
 		}
+	}
+	sort.Strings(extras)
+	for _, name := range extras {
+		out = append(out, datasets[name])
 	}
 	return out
 }

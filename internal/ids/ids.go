@@ -10,6 +10,7 @@ package ids
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"nsync/internal/core"
 	"nsync/internal/sensor"
@@ -60,11 +61,24 @@ type Run struct {
 	// Duration is the total process duration in seconds.
 	Duration float64
 
-	spectroCache map[sensor.Channel]*sigproc.Signal
+	// spectroMu guards the cache map; each entry's once makes the
+	// transform itself run exactly once per channel, so concurrent Signal
+	// calls on one run are safe and different channels still transform in
+	// parallel.
+	spectroMu    sync.Mutex
+	spectroCache map[sensor.Channel]*spectroEntry
+}
+
+// spectroEntry is one lazily-computed spectrogram.
+type spectroEntry struct {
+	once sync.Once
+	sig  *sigproc.Signal
+	err  error
 }
 
 // Signal returns the run's signal for a channel under a transform.
-// Spectrograms are computed lazily and cached on the run.
+// Spectrograms are computed lazily and cached on the run. Signal is safe
+// for concurrent use.
 func (r *Run) Signal(ch sensor.Channel, tf Transform) (*sigproc.Signal, error) {
 	raw, ok := r.Signals[ch]
 	if !ok {
@@ -74,33 +88,65 @@ func (r *Run) Signal(ch sensor.Channel, tf Transform) (*sigproc.Signal, error) {
 	case Raw:
 		return raw, nil
 	case Spectro:
-		if s, ok := r.spectroCache[ch]; ok {
-			return s, nil
-		}
-		cfg, ok := r.SpectroConfigs[ch]
-		if !ok {
-			return nil, fmt.Errorf("ids: no spectrogram config for %v", ch)
-		}
-		spec, err := stft.Transform(raw, cfg)
-		if err != nil {
-			return nil, fmt.Errorf("ids: spectrogram %v: %w", ch, err)
-		}
+		r.spectroMu.Lock()
 		if r.spectroCache == nil {
-			r.spectroCache = make(map[sensor.Channel]*sigproc.Signal)
+			r.spectroCache = make(map[sensor.Channel]*spectroEntry)
 		}
-		r.spectroCache[ch] = spec
-		return spec, nil
+		e, ok := r.spectroCache[ch]
+		if !ok {
+			e = &spectroEntry{}
+			r.spectroCache[ch] = e
+		}
+		r.spectroMu.Unlock()
+		e.once.Do(func() {
+			cfg, ok := r.SpectroConfigs[ch]
+			if !ok {
+				e.err = fmt.Errorf("ids: no spectrogram config for %v", ch)
+				return
+			}
+			spec, err := stft.Transform(raw, cfg)
+			if err != nil {
+				e.err = fmt.Errorf("ids: spectrogram %v: %w", ch, err)
+				return
+			}
+			e.sig = spec
+		})
+		return e.sig, e.err
 	default:
 		return nil, fmt.Errorf("ids: unknown transform %v", tf)
 	}
 }
 
 // DropSpectroCache releases cached spectrograms (datasets are large).
-func (r *Run) DropSpectroCache() { r.spectroCache = nil }
+func (r *Run) DropSpectroCache() {
+	r.spectroMu.Lock()
+	r.spectroCache = nil
+	r.spectroMu.Unlock()
+}
+
+// WarmSpectroCache precomputes and caches the spectrograms of the given
+// channels (all configured channels when none are given), so later
+// concurrent readers never contend on the transform. Errors are deferred to
+// the first Signal call for the failing channel.
+func (r *Run) WarmSpectroCache(channels ...sensor.Channel) {
+	if len(channels) == 0 {
+		for ch := range r.SpectroConfigs {
+			channels = append(channels, ch)
+		}
+	}
+	for _, ch := range channels {
+		r.Signal(ch, Spectro) //nolint:errcheck // cached, re-surfaced on use
+	}
+}
 
 // IDS is one intrusion detection system bound to a specific side channel
 // and transform. Train receives the reference run plus benign training runs
 // only (the one-class setting); Classify decides a single test run.
+//
+// Concurrency contract: Train is called once, alone; after it returns,
+// implementations must not mutate receiver state in Classify, so the
+// evaluation harness may call Classify concurrently on distinct runs.
+// Every IDS in this module (NSYNC and the five baselines) satisfies this.
 type IDS interface {
 	// Name identifies the IDS in reports.
 	Name() string

@@ -2,6 +2,7 @@ package ids
 
 import (
 	"math/rand"
+	"sync"
 	"testing"
 
 	"nsync/internal/core"
@@ -97,6 +98,63 @@ func TestRunSignalRawAndSpectro(t *testing.T) {
 	}
 	if spec3 == spec2 {
 		t.Error("DropSpectroCache did not clear the cache")
+	}
+}
+
+// TestRunSignalConcurrent hammers one run's lazy spectrogram cache from
+// many goroutines; under -race it proves Signal is safe for the parallel
+// evaluation engine, and every caller must see the same cached object.
+func TestRunSignalConcurrent(t *testing.T) {
+	r := fakeRun(3, testBase(2000), false)
+	const goroutines = 16
+	got := make([]*sigproc.Signal, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			s, err := r.Signal(sensor.ACC, Spectro)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			got[g] = s
+		}(g)
+	}
+	wg.Wait()
+	for g := 1; g < goroutines; g++ {
+		if got[g] != got[0] {
+			t.Fatalf("goroutine %d saw a different spectrogram object", g)
+		}
+	}
+	// Concurrent raw reads and cache drops must not race either.
+	wg = sync.WaitGroup{}
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := r.Signal(sensor.ACC, Raw); err != nil {
+				t.Error(err)
+			}
+			if _, err := r.Signal(sensor.ACC, Spectro); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	r.DropSpectroCache()
+	wg.Wait()
+}
+
+func TestWarmSpectroCache(t *testing.T) {
+	r := fakeRun(4, testBase(2000), false)
+	r.WarmSpectroCache()
+	s1, err := r.Signal(sensor.ACC, Spectro)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, _ := r.Signal(sensor.ACC, Spectro)
+	if s1 != s2 {
+		t.Error("WarmSpectroCache did not populate the cache")
 	}
 }
 

@@ -1,0 +1,100 @@
+// Package pool is the bounded fan-out primitive behind the parallel
+// evaluation engine: it runs independent work items on a fixed number of
+// worker goroutines and collects results by index, so callers get
+// byte-identical output regardless of the worker count or goroutine
+// scheduling. The first error cancels the shared context, which stops
+// workers from starting further items.
+package pool
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Resolve maps a worker-count setting to a concrete pool size: values < 1
+// mean "one worker per available CPU" (runtime.GOMAXPROCS(0)).
+func Resolve(workers int) int {
+	if workers < 1 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return workers
+}
+
+// Map applies f to every item on at most workers goroutines (workers < 1
+// means GOMAXPROCS) and returns the results in item order. Work items are
+// claimed in index order, but may complete in any order; out[i] always
+// holds f's result for items[i], so the output is deterministic for
+// deterministic f. The first error observed cancels ctx for the remaining
+// calls and is returned; results computed before the failure are discarded.
+func Map[T, R any](ctx context.Context, workers int, items []T, f func(ctx context.Context, i int, item T) (R, error)) ([]R, error) {
+	n := len(items)
+	if n == 0 {
+		return nil, ctx.Err()
+	}
+	workers = Resolve(workers)
+	if workers > n {
+		workers = n
+	}
+	out := make([]R, n)
+	if workers == 1 {
+		// Serial fast path: no goroutines, same cancellation semantics.
+		for i, item := range items {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			r, err := f(ctx, i, item)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = r
+		}
+		return out, nil
+	}
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var (
+		next     atomic.Int64
+		wg       sync.WaitGroup
+		errOnce  sync.Once
+		firstErr error
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n || ctx.Err() != nil {
+					return
+				}
+				r, err := f(ctx, i, items[i])
+				if err != nil {
+					errOnce.Do(func() {
+						firstErr = err
+						cancel()
+					})
+					return
+				}
+				out[i] = r
+			}
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return out, ctx.Err()
+}
+
+// Each runs f for indexes [0, n) with the same scheduling, determinism, and
+// cancellation rules as Map, for callers that fill their own structures.
+func Each(ctx context.Context, workers, n int, f func(ctx context.Context, i int) error) error {
+	idx := make([]struct{}, n)
+	_, err := Map(ctx, workers, idx, func(ctx context.Context, i int, _ struct{}) (struct{}, error) {
+		return struct{}{}, f(ctx, i)
+	})
+	return err
+}

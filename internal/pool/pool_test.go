@@ -1,0 +1,136 @@
+package pool
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestMapOrdersResultsByIndex(t *testing.T) {
+	items := make([]int, 100)
+	for i := range items {
+		items[i] = i
+	}
+	for _, workers := range []int{1, 2, 8, 200} {
+		out, err := Map(context.Background(), workers, items, func(_ context.Context, i, item int) (int, error) {
+			return item * item, nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, v := range out {
+			if v != i*i {
+				t.Fatalf("workers=%d: out[%d] = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestMapFirstErrorCancels(t *testing.T) {
+	items := make([]int, 50)
+	var started atomic.Int64
+	boom := errors.New("boom")
+	_, err := Map(context.Background(), 4, items, func(ctx context.Context, i, _ int) (int, error) {
+		started.Add(1)
+		if i == 3 {
+			return 0, boom
+		}
+		select {
+		case <-ctx.Done():
+		case <-time.After(50 * time.Millisecond):
+		}
+		return 0, nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want %v", err, boom)
+	}
+	// Cancellation must have prevented most of the 50 items from starting:
+	// only items claimed before the failing worker cancelled can run.
+	if n := started.Load(); n >= 50 {
+		t.Errorf("all %d items ran despite early error", n)
+	}
+}
+
+func TestMapHonorsParentCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := Map(ctx, 2, []int{1, 2, 3}, func(_ context.Context, _, item int) (int, error) {
+		return item, nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestMapBoundsConcurrency(t *testing.T) {
+	prev := runtime.GOMAXPROCS(8)
+	defer runtime.GOMAXPROCS(prev)
+	const workers = 3
+	var cur, peak atomic.Int64
+	_, err := Map(context.Background(), workers, make([]int, 64), func(_ context.Context, _, _ int) (int, error) {
+		n := cur.Add(1)
+		for {
+			p := peak.Load()
+			if n <= p || peak.CompareAndSwap(p, n) {
+				break
+			}
+		}
+		time.Sleep(time.Millisecond)
+		cur.Add(-1)
+		return 0, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := peak.Load(); p > workers {
+		t.Errorf("peak concurrency %d exceeds %d workers", p, workers)
+	}
+}
+
+func TestMapEmptyAndSerialPath(t *testing.T) {
+	out, err := Map(context.Background(), 4, nil, func(_ context.Context, _ int, _ int) (int, error) {
+		t.Fatal("f called for empty input")
+		return 0, nil
+	})
+	if err != nil || out != nil {
+		t.Fatalf("empty input: out=%v err=%v", out, err)
+	}
+	// Serial path stops at the first error without visiting later items.
+	visited := 0
+	_, err = Map(context.Background(), 1, []int{0, 1, 2}, func(_ context.Context, i, _ int) (int, error) {
+		visited++
+		if i == 1 {
+			return 0, fmt.Errorf("stop")
+		}
+		return 0, nil
+	})
+	if err == nil || visited != 2 {
+		t.Fatalf("serial error path: visited=%d err=%v", visited, err)
+	}
+}
+
+func TestEach(t *testing.T) {
+	var sum atomic.Int64
+	if err := Each(context.Background(), 4, 10, func(_ context.Context, i int) error {
+		sum.Add(int64(i))
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if sum.Load() != 45 {
+		t.Errorf("sum = %d, want 45", sum.Load())
+	}
+}
+
+func TestResolve(t *testing.T) {
+	if got := Resolve(3); got != 3 {
+		t.Errorf("Resolve(3) = %d", got)
+	}
+	if got := Resolve(0); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Resolve(0) = %d, want GOMAXPROCS", got)
+	}
+}
