@@ -14,9 +14,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
 
@@ -48,12 +50,25 @@ func run() error {
 		live      = flag.Bool("live", false, "replay the observation through the streaming monitor")
 		chunkSec  = flag.Float64("chunk", 0.25, "live-mode chunk size in seconds")
 		workers   = flag.Int("workers", 0, "parallel feature extractions during training (0 = one per CPU, 1 = serial)")
+		timeout   = flag.Duration("timeout", 0, "abort after this long (0 = no limit)")
 	)
 	flag.Parse()
 	if *refPath == "" || *trainArg == "" || *obsPath == "" {
 		flag.Usage()
 		return fmt.Errorf("-ref, -train and -observe are required")
 	}
+
+	// Ctrl-C (and -timeout, when set) aborts training mid-run.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	// Once cancelled, unregister the handler: in-flight training runs
+	// finish before the pool drains, so a second Ctrl-C force-quits.
+	go func() { <-ctx.Done(); stop() }()
 
 	ref, err := sigproc.LoadFile(*refPath)
 	if err != nil {
@@ -105,7 +120,7 @@ func run() error {
 		return err
 	}
 	fmt.Printf("training on %d benign runs (sync=%s, r=%.2f)...\n", len(train), sync.Name(), *occMargin)
-	if err := det.Train(train); err != nil {
+	if err := det.TrainContext(ctx, train); err != nil {
 		return err
 	}
 	th, err := det.Thresholds()

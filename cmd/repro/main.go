@@ -8,15 +8,19 @@
 //	repro -experiment tab8           # one artifact
 //	repro -experiment fig10 -scale ci -seed 1000
 //	repro -experiment tab8 -workers 4  # bound the evaluation worker pool
+//	repro -robustness                # sensor-fault sweep (single vs fused)
+//	repro -experiment all -timeout 10m  # abort if it runs long; Ctrl-C also cancels
 //
 // Experiments: fig1 fig2 fig6 fig10 fig11 fig12 tab5 tab6 tab7 tab8 tab9
-// belikovetsky all.
+// belikovetsky robustness all.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
 
 	"nsync/internal/experiment"
@@ -43,17 +47,35 @@ type env struct {
 	t8  []experiment.Table8Row
 	t9  []experiment.Table8Row
 	bel []experiment.BelikovetskyResult
+	rob []experiment.RobustnessRow
 }
 
 func run() error {
 	var (
-		expArg    = flag.String("experiment", "all", "which artifact(s) to regenerate (comma separated)")
-		scaleName = flag.String("scale", "ci", "experiment scale: ci or paper")
-		seed      = flag.Int64("seed", 1000, "dataset base seed")
-		workers   = flag.Int("workers", 0, "worker pool size for simulation and evaluation (0 = one per CPU, 1 = serial)")
+		expArg     = flag.String("experiment", "all", "which artifact(s) to regenerate (comma separated)")
+		scaleName  = flag.String("scale", "ci", "experiment scale: ci or paper")
+		seed       = flag.Int64("seed", 1000, "dataset base seed")
+		workers    = flag.Int("workers", 0, "worker pool size for simulation and evaluation (0 = one per CPU, 1 = serial)")
+		robustness = flag.Bool("robustness", false, "shorthand for -experiment robustness (sensor-fault sweep)")
+		timeout    = flag.Duration("timeout", 0, "abort the run after this long (0 = no limit)")
 	)
 	flag.Parse()
 	experiment.SetWorkers(*workers)
+
+	// Ctrl-C (and -timeout, when set) cancels the evaluation engine's
+	// context, so in-flight table builders abort instead of running the
+	// remaining cells to completion.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	// Once cancelled, unregister the handler: in-flight work items finish
+	// before the engine drains, so a second Ctrl-C force-quits.
+	go func() { <-ctx.Done(); stop() }()
+	experiment.SetContext(ctx)
 
 	e := &env{seed: *seed}
 	switch *scaleName {
@@ -67,7 +89,10 @@ func run() error {
 
 	wanted := strings.Split(*expArg, ",")
 	if *expArg == "all" {
-		wanted = []string{"fig1", "fig2", "fig6", "fig10", "fig11", "tab5", "tab6", "belikovetsky", "tab7", "tab8", "tab9", "fig12"}
+		wanted = []string{"fig1", "fig2", "fig6", "fig10", "fig11", "tab5", "tab6", "belikovetsky", "tab7", "tab8", "tab9", "fig12", "robustness"}
+	}
+	if *robustness {
+		wanted = []string{"robustness"}
 	}
 	for _, name := range wanted {
 		if err := e.dispatch(strings.TrimSpace(name)); err != nil {
@@ -120,8 +145,10 @@ func (e *env) dispatch(name string) error {
 		return e.tab9()
 	case "belikovetsky":
 		return e.belikovetsky()
+	case "robustness":
+		return e.robustness()
 	default:
-		return fmt.Errorf("unknown experiment (want fig1 fig2 fig6 fig10 fig11 fig12 tab5 tab6 tab7 tab8 tab9 belikovetsky all)")
+		return fmt.Errorf("unknown experiment (want fig1 fig2 fig6 fig10 fig11 fig12 tab5 tab6 tab7 tab8 tab9 belikovetsky robustness all)")
 	}
 }
 
@@ -375,6 +402,34 @@ func (e *env) belikovetsky() error {
 	for _, r := range e.bel {
 		fmt.Printf("%s: %v\n", r.Printer, r.Outcome)
 	}
+	fmt.Println()
+	return nil
+}
+
+func (e *env) robustness() error {
+	dss, err := e.datasets()
+	if err != nil {
+		return err
+	}
+	if e.rob == nil {
+		if e.rob, err = experiment.Robustness(dss, experiment.RobustnessConfig{}); err != nil {
+			return err
+		}
+	}
+	fmt.Println("== Robustness: ACC sensor faults, single-channel vs health-gated fusion (FPR/TPR) ==")
+	var rows [][]string
+	for _, r := range e.rob {
+		rows = append(rows, []string{
+			r.Printer, r.Label(),
+			r.Single.String(), fmt.Sprintf("%.2f", r.Single.Accuracy()),
+			r.FusedK1.String(), fmt.Sprintf("%.2f", r.FusedK1.Accuracy()),
+			r.FusedK2.String(), fmt.Sprintf("%.2f", r.FusedK2.Accuracy()),
+			fmt.Sprintf("%.2f", r.QuarantineRate),
+		})
+	}
+	fmt.Print(textplot.Table([]string{
+		"printer", "fault", "single ACC", "acc", "fused k=1", "acc", "fused k=2", "acc", "quarantined",
+	}, rows))
 	fmt.Println()
 	return nil
 }

@@ -1,0 +1,43 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"nsync/internal/sigproc"
+)
+
+func TestTrainContextCancelled(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	ref := noiseSig(rng, 100, 2000)
+	det, err := NewDetector(ref, Config{
+		Sync: &DWMSynchronizer{Params: testDWMParams()},
+		OCC:  OCCConfig{R: 0.3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var train []*sigproc.Signal
+	for i := 0; i < 3; i++ {
+		train = append(train, jittered(rng, ref, 200))
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := det.TrainContext(ctx, train); !errors.Is(err, context.Canceled) {
+		t.Errorf("TrainContext under cancelled context: err = %v, want context.Canceled", err)
+	}
+	if _, err := det.Thresholds(); err == nil {
+		t.Error("detector became trained despite cancelled training")
+	}
+
+	// The plain Train path still works.
+	if err := det.Train(train); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := det.Thresholds(); err != nil {
+		t.Errorf("Thresholds after Train: %v", err)
+	}
+}

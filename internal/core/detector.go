@@ -71,6 +71,9 @@ func NewDetector(reference *sigproc.Signal, cfg Config) (*Detector, error) {
 	return &Detector{cfg: cfg, reference: reference}, nil
 }
 
+// Reference returns the reference signal the detector was built around.
+func (d *Detector) Reference() *sigproc.Signal { return d.reference }
+
 // Features synchronizes one observed signal against the reference and
 // returns the discriminator features. Features is safe for concurrent use:
 // the detector configuration and reference are immutable after
@@ -89,6 +92,13 @@ func (d *Detector) Features(observed *sigproc.Signal) (*Features, error) {
 // extraction fans out to a bounded worker pool; thresholds are learned
 // from features in training-run order either way.
 func (d *Detector) Train(benign []*sigproc.Signal) error {
+	return d.TrainContext(context.Background(), benign)
+}
+
+// TrainContext is Train under a caller-supplied context: cancelling it
+// stops the per-run feature extraction and returns the context's error,
+// which lets long training sessions honor Ctrl-C or a deadline.
+func (d *Detector) TrainContext(ctx context.Context, benign []*sigproc.Signal) error {
 	if len(benign) == 0 {
 		return errors.New("core: Train needs at least one benign run")
 	}
@@ -96,7 +106,7 @@ func (d *Detector) Train(benign []*sigproc.Signal) error {
 	if workers == 0 {
 		workers = 1
 	}
-	feats, err := pool.Map(context.Background(), workers, benign,
+	feats, err := pool.Map(ctx, workers, benign,
 		func(_ context.Context, i int, s *sigproc.Signal) (*Features, error) {
 			f, err := d.Features(s)
 			if err != nil {

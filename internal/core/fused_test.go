@@ -1,0 +1,464 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"nsync/internal/fault"
+	"nsync/internal/sigproc"
+)
+
+// deadFrom returns a copy of s whose samples are stuck at their value at
+// onset seconds (a dead sensor), via the fault injector.
+func deadFrom(t *testing.T, s *sigproc.Signal, onset float64) *sigproc.Signal {
+	t.Helper()
+	inj, err := fault.NewInjector(1, fault.Spec{Kind: fault.StuckAt, Severity: 1, Onset: onset})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := inj.Apply(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestHealthReasonStrings(t *testing.T) {
+	want := map[HealthReason]string{
+		HealthOK: "ok", NonFinite: "non-finite", Flat: "flat",
+		Saturated: "saturated", Implausible: "implausible",
+	}
+	for r, s := range want {
+		if r.String() != s {
+			t.Errorf("%d.String() = %q, want %q", int(r), r.String(), s)
+		}
+	}
+	if HealthReason(9).String() != "HealthReason(9)" {
+		t.Errorf("unknown reason string = %q", HealthReason(9).String())
+	}
+}
+
+func TestCheckSignalVerdicts(t *testing.T) {
+	rng := rand.New(rand.NewSource(70))
+	ref := noiseSig(rng, 100, 3000) // 30 s
+
+	if r, _, err := CheckSignal(ref, jittered(rng, ref, 300), HealthConfig{}); err != nil || r != HealthOK {
+		t.Errorf("benign jitter: reason %v, err %v", r, err)
+	}
+
+	dead := deadFrom(t, ref, 15)
+	r, at, err := CheckSignal(ref, dead, HealthConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r != Flat {
+		t.Errorf("dead channel: reason %v, want flat", r)
+	}
+	if at < 15 || at > 20 {
+		t.Errorf("dead channel flagged at %vs, want within one window of 15s", at)
+	}
+
+	inj, _ := fault.NewInjector(2, fault.Spec{Kind: fault.Saturation, Severity: 1, Onset: 10})
+	sat, err := inj.Apply(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r, _, _ := CheckSignal(ref, sat, HealthConfig{}); r != Saturated {
+		t.Errorf("clipped channel: reason %v, want saturated", r)
+	}
+
+	hot := ref.Clone()
+	for i := 1000; i < hot.Len(); i++ {
+		hot.Data[0][i] *= 20
+	}
+	if r, _, _ := CheckSignal(ref, hot, HealthConfig{}); r != Implausible {
+		t.Errorf("20x hot channel: reason %v, want implausible", r)
+	}
+
+	poisoned := ref.Clone()
+	poisoned.Data[0][500] = math.NaN()
+	if r, _, _ := CheckSignal(ref, poisoned, HealthConfig{}); r != NonFinite {
+		t.Errorf("NaN channel: reason %v, want non-finite", r)
+	}
+
+	// Short signals are judged as a single window, not skipped.
+	if r, _, _ := CheckSignal(ref, sigproc.New(100, 1, 50), HealthConfig{}); r != Flat {
+		t.Error("short all-zero signal should be flat")
+	}
+	if r, _, err := CheckSignal(ref, &sigproc.Signal{Rate: 100}, HealthConfig{}); err != nil || r != HealthOK {
+		t.Errorf("empty signal: reason %v, err %v", r, err)
+	}
+}
+
+func TestHealthMonitorQuarantineIsSticky(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	ref := noiseSig(rng, 100, 3000)
+	hm, err := NewHealthMonitor(ref, HealthConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dead := deadFrom(t, jittered(rng, ref, 300), 15)
+	for pos := 0; pos < dead.Len(); pos += 97 {
+		end := min(pos+97, dead.Len())
+		if _, err := hm.Push(dead.Slice(pos, end)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !hm.Quarantined() || hm.Reason() != Flat {
+		t.Fatalf("dead stream not quarantined: %v", hm.Reason())
+	}
+	if at := hm.QuarantinedAt(); at < 15 || at > 20 {
+		t.Errorf("quarantined at %vs, want within one window of 15s", at)
+	}
+	// Healthy samples after quarantine do not rehabilitate the channel.
+	if r, err := hm.Push(noiseSig(rng, 100, 500)); err != nil || r != Flat {
+		t.Errorf("post-quarantine push: reason %v, err %v", r, err)
+	}
+	if !hm.Quarantined() {
+		t.Error("quarantine must be sticky")
+	}
+}
+
+// fusedFixture builds a three-channel fused detector with per-channel
+// references, plus the matching standalone detectors, trained on the same
+// seeded runs.
+type fusedFixture struct {
+	refs    []*sigproc.Signal
+	fd      *FusedDetector
+	singles []*Detector
+	rng     *rand.Rand
+}
+
+func newFusedFixture(t *testing.T, k int) *fusedFixture {
+	t.Helper()
+	rng := rand.New(rand.NewSource(72))
+	fx := &fusedFixture{rng: rng}
+	var chans []FusedChannel
+	for c := 0; c < 3; c++ {
+		ref := noiseSig(rng, 100, 3000)
+		fx.refs = append(fx.refs, ref)
+		chans = append(chans, FusedChannel{
+			Name:      []string{"acc", "mag", "aud"}[c],
+			Reference: ref,
+			Config:    Config{Sync: &DWMSynchronizer{Params: testDWMParams()}, OCC: OCCConfig{R: 0.3}},
+		})
+	}
+	fd, err := NewFusedDetector(chans, FusedConfig{K: k})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fx.fd = fd
+	train := make([][]*sigproc.Signal, 3)
+	for c, ref := range fx.refs {
+		for i := 0; i < 5; i++ {
+			train[c] = append(train[c], jittered(rng, ref, 300))
+		}
+	}
+	if err := fd.Train(train); err != nil {
+		t.Fatal(err)
+	}
+	for c, ref := range fx.refs {
+		det, err := NewDetector(ref, Config{Sync: &DWMSynchronizer{Params: testDWMParams()}, OCC: OCCConfig{R: 0.3}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := det.TrainFromFeatures(nil); err == nil {
+			t.Fatal("TrainFromFeatures(nil) should fail")
+		}
+		th, err := fd.Detector(c).Thresholds()
+		if err != nil {
+			t.Fatal(err)
+		}
+		det.SetThresholds(th)
+		fx.singles = append(fx.singles, det)
+	}
+	return fx
+}
+
+// benignRun and maliciousRun build one time-aligned observation per channel.
+func (fx *fusedFixture) benignRun() []*sigproc.Signal {
+	out := make([]*sigproc.Signal, len(fx.refs))
+	for c, ref := range fx.refs {
+		out[c] = jittered(fx.rng, ref, 300)
+	}
+	return out
+}
+
+func (fx *fusedFixture) maliciousRun() []*sigproc.Signal {
+	out := make([]*sigproc.Signal, len(fx.refs))
+	for c, ref := range fx.refs {
+		out[c] = corrupted(fx.rng, ref)
+	}
+	return out
+}
+
+func TestFusedDetectorMatchesSinglesWithoutFaults(t *testing.T) {
+	fx := newFusedFixture(t, 0)
+	if got := fx.fd.Channels(); len(got) != 3 || got[0] != "acc" {
+		t.Fatalf("Channels() = %v", got)
+	}
+	for trial := 0; trial < 3; trial++ {
+		obs := fx.benignRun()
+		if trial == 2 {
+			obs = fx.maliciousRun()
+		}
+		fv, err := fx.fd.Classify(obs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		anySingle := false
+		for c, det := range fx.singles {
+			v, err := det.Classify(obs[c])
+			if err != nil {
+				t.Fatal(err)
+			}
+			cv := fv.Channels[c]
+			if cv.Quarantined {
+				t.Errorf("trial %d channel %s quarantined on clean signal (%v)", trial, cv.Name, cv.Health)
+			}
+			if cv.Verdict.Intrusion != v.Intrusion {
+				t.Errorf("trial %d channel %s: fused vote %v, single detector %v", trial, cv.Name, cv.Verdict.Intrusion, v.Intrusion)
+			}
+			anySingle = anySingle || v.Intrusion
+		}
+		if fv.Intrusion != anySingle {
+			t.Errorf("trial %d: fused %v, OR of singles %v", trial, fv.Intrusion, anySingle)
+		}
+		if fv.Healthy != 3 {
+			t.Errorf("trial %d: healthy = %d, want 3", trial, fv.Healthy)
+		}
+	}
+}
+
+func TestFusedDetectorQuarantinesDeadChannel(t *testing.T) {
+	fx := newFusedFixture(t, 0)
+
+	// Benign print, dead first channel: the dead channel alone would raise
+	// a stuck alarm (flat windows have maximal correlation distance), but
+	// the fused verdict must stay benign because the channel is quarantined.
+	obs := fx.benignRun()
+	obs[0] = deadFrom(t, obs[0], 15)
+	fv, err := fx.fd.Classify(obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cv := fv.Channels[0]
+	if !cv.Quarantined || cv.Health != Flat {
+		t.Fatalf("dead channel not quarantined: %+v", cv)
+	}
+	if !cv.Verdict.Intrusion {
+		t.Error("expected the dead channel's own verdict to be a (suppressed) stuck alarm")
+	}
+	if fv.Intrusion {
+		t.Errorf("benign print with dead channel flagged: %+v", fv)
+	}
+	if fv.Healthy != 2 {
+		t.Errorf("healthy = %d, want 2", fv.Healthy)
+	}
+
+	// Malicious print, dead first channel: the remaining healthy channels
+	// must still detect it.
+	obs = fx.maliciousRun()
+	obs[0] = deadFrom(t, obs[0], 15)
+	fv, err = fx.fd.Classify(obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fv.Intrusion {
+		t.Fatalf("malicious print with dead channel missed: %+v", fv)
+	}
+	if !fv.Channels[0].Quarantined || fv.Channels[0].Health != Flat {
+		t.Errorf("dead channel not quarantined on malicious run: %+v", fv.Channels[0])
+	}
+	if fv.Votes < 1 || fv.Healthy != 2 {
+		t.Errorf("votes/healthy = %d/%d", fv.Votes, fv.Healthy)
+	}
+}
+
+func TestFusedDetectorNonFiniteSkipsPipeline(t *testing.T) {
+	fx := newFusedFixture(t, 0)
+	obs := fx.benignRun()
+	obs[1].Data[0][100] = math.Inf(1)
+	fv, err := fx.fd.Classify(obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cv := fv.Channels[1]
+	if !cv.Quarantined || cv.Health != NonFinite {
+		t.Fatalf("Inf channel not quarantined: %+v", cv)
+	}
+	if cv.Verdict.Intrusion || cv.Verdict.Triggered != nil {
+		t.Error("NonFinite channel should not have run the pipeline")
+	}
+	if fv.Intrusion || fv.Healthy != 2 {
+		t.Errorf("fused verdict with Inf channel: %+v", fv)
+	}
+}
+
+func TestFuseQuorum(t *testing.T) {
+	fd := &FusedDetector{k: 2, channels: make([]fusedChannel, 3)}
+	vote := func(q, intr bool) ChannelVerdict {
+		return ChannelVerdict{Quarantined: q, Verdict: Verdict{Intrusion: intr}}
+	}
+	// One vote of three healthy: below quorum 2.
+	fv := fd.Fuse([]ChannelVerdict{vote(false, true), vote(false, false), vote(false, false)})
+	if fv.Intrusion || fv.Votes != 1 || fv.Needed != 2 {
+		t.Errorf("1/3 votes: %+v", fv)
+	}
+	// Two votes: quorum met.
+	fv = fd.Fuse([]ChannelVerdict{vote(false, true), vote(false, true), vote(false, false)})
+	if !fv.Intrusion {
+		t.Errorf("2/3 votes: %+v", fv)
+	}
+	// Two channels quarantined: quorum shrinks to the 1 healthy channel.
+	fv = fd.Fuse([]ChannelVerdict{vote(true, true), vote(true, false), vote(false, true)})
+	if !fv.Intrusion || fv.Needed != 1 || fv.Healthy != 1 {
+		t.Errorf("degraded quorum: %+v", fv)
+	}
+	// Everything quarantined: benign, but visibly uncovered.
+	fv = fd.Fuse([]ChannelVerdict{vote(true, true), vote(true, true), vote(true, true)})
+	if fv.Intrusion || fv.Healthy != 0 {
+		t.Errorf("no coverage: %+v", fv)
+	}
+}
+
+func TestFusedDetectorErrors(t *testing.T) {
+	if _, err := NewFusedDetector(nil, FusedConfig{}); err == nil {
+		t.Error("no channels: want error")
+	}
+	fx := newFusedFixture(t, 0)
+	if err := fx.fd.Train(make([][]*sigproc.Signal, 1)); err == nil {
+		t.Error("wrong training-set count: want error")
+	}
+	if _, err := fx.fd.Classify(nil); err == nil {
+		t.Error("wrong observation count: want error")
+	}
+	if _, err := fx.fd.ClassifyChannel(9, fx.refs[0]); err == nil {
+		t.Error("out-of-range channel: want error")
+	}
+}
+
+// pushAll streams per-channel signals into the fused monitor in aligned
+// chunks.
+func pushAll(t *testing.T, fm *FusedMonitor, obs []*sigproc.Signal) []FusedAlert {
+	t.Helper()
+	maxLen := 0
+	for _, s := range obs {
+		maxLen = max(maxLen, s.Len())
+	}
+	var all []FusedAlert
+	for pos := 0; pos < maxLen; pos += 97 {
+		chunks := make([]*sigproc.Signal, len(obs))
+		for c, s := range obs {
+			chunks[c] = s.SliceClamped(pos, pos+97)
+		}
+		alerts, err := fm.Push(chunks)
+		if err != nil {
+			t.Fatal(err)
+		}
+		all = append(all, alerts...)
+	}
+	return all
+}
+
+func TestFusedMonitorDegradesGracefully(t *testing.T) {
+	fx := newFusedFixture(t, 0)
+	newFM := func() *FusedMonitor {
+		var chans []FusedMonitorChannel
+		for c, ref := range fx.refs {
+			th, err := fx.fd.Detector(c).Thresholds()
+			if err != nil {
+				t.Fatal(err)
+			}
+			chans = append(chans, FusedMonitorChannel{
+				Name:       fx.fd.Channels()[c],
+				Reference:  ref,
+				Params:     testDWMParams(),
+				Thresholds: th,
+			})
+		}
+		fm, err := NewFusedMonitor(chans, FusedConfig{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return fm
+	}
+
+	// Clean benign stream: no alerts, no quarantine.
+	fm := newFM()
+	if alerts := pushAll(t, fm, fx.benignRun()); len(alerts) != 0 || fm.Intrusion() {
+		t.Fatalf("benign stream alerted: %v", alerts)
+	}
+	for _, st := range fm.ChannelStates() {
+		if st.Quarantined || st.Voting {
+			t.Errorf("benign stream channel state: %+v", st)
+		}
+	}
+
+	// Benign stream with the first channel dying mid-print: quarantined,
+	// no stuck alarm.
+	fm = newFM()
+	obs := fx.benignRun()
+	obs[0] = deadFrom(t, obs[0], 15)
+	if alerts := pushAll(t, fm, obs); len(alerts) != 0 || fm.Intrusion() {
+		t.Fatalf("dead-channel benign stream alerted: %v", alerts)
+	}
+	st := fm.ChannelStates()[0]
+	if !st.Quarantined || st.Health != Flat {
+		t.Fatalf("dead channel state: %+v", st)
+	}
+	if st.QuarantinedAt < 15 || st.QuarantinedAt > 20 {
+		t.Errorf("quarantined at %vs, want within one window of 15s", st.QuarantinedAt)
+	}
+
+	// Malicious stream with the first channel dead: the remaining healthy
+	// channels still raise the fused alert.
+	fm = newFM()
+	obs = fx.maliciousRun()
+	obs[0] = deadFrom(t, obs[0], 15)
+	alerts := pushAll(t, fm, obs)
+	if len(alerts) == 0 || !fm.Intrusion() {
+		t.Fatal("dead-channel malicious stream raised no fused alert")
+	}
+	if a := alerts[0]; a.Healthy > 3 || a.Votes < 1 || a.Needed != 1 {
+		t.Errorf("first alert = %+v", a)
+	}
+	if s := alerts[0].String(); s == "" {
+		t.Error("empty fused alert string")
+	}
+	if st := fm.ChannelStates()[0]; !st.Quarantined {
+		t.Errorf("dead channel not quarantined: %+v", st)
+	}
+}
+
+func TestFusedMonitorQuorum(t *testing.T) {
+	fx := newFusedFixture(t, 2)
+	var chans []FusedMonitorChannel
+	for c, ref := range fx.refs {
+		th, err := fx.fd.Detector(c).Thresholds()
+		if err != nil {
+			t.Fatal(err)
+		}
+		chans = append(chans, FusedMonitorChannel{
+			Name: fx.fd.Channels()[c], Reference: ref,
+			Params: testDWMParams(), Thresholds: th,
+		})
+	}
+	fm, err := NewFusedMonitor(chans, FusedConfig{K: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Only one channel observes the attack: below the 2-vote quorum.
+	obs := fx.benignRun()
+	obs[2] = corrupted(fx.rng, fx.refs[2])
+	if alerts := pushAll(t, fm, obs); len(alerts) != 0 {
+		t.Fatalf("single-vote stream reached 2-vote quorum: %v", alerts)
+	}
+	if _, err := fm.Push(nil); err == nil {
+		t.Error("wrong chunk count: want error")
+	}
+	if _, err := NewFusedMonitor(nil, FusedConfig{}); err == nil {
+		t.Error("no channels: want error")
+	}
+}

@@ -1,0 +1,211 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"nsync/internal/dwm"
+	"nsync/internal/sigproc"
+)
+
+// FusedMonitorChannel configures one side channel of a streaming fused
+// monitor.
+type FusedMonitorChannel struct {
+	Name       string
+	Reference  *sigproc.Signal
+	Params     dwm.Params
+	Thresholds Thresholds
+	Health     HealthConfig
+	// MonitorOptions are applied to the channel's underlying Monitor.
+	MonitorOptions []MonitorOption
+}
+
+// FusedAlert is a fused intrusion decision raised by a FusedMonitor. Alerts
+// are edge-triggered: one alert when the healthy-channel vote first reaches
+// quorum, another only after the vote has fallen back below it.
+type FusedAlert struct {
+	// Time is seconds since the print began.
+	Time float64
+	// Votes, Healthy, Needed mirror FusedVerdict.
+	Votes, Healthy, Needed int
+}
+
+// String implements fmt.Stringer.
+func (a FusedAlert) String() string {
+	return fmt.Sprintf("fused intrusion: %d/%d healthy channels voting (quorum %d) at t=%.1fs",
+		a.Votes, a.Healthy, a.Needed, a.Time)
+}
+
+// FusedChannelState is a snapshot of one channel inside a FusedMonitor.
+type FusedChannelState struct {
+	Name        string
+	Quarantined bool
+	Health      HealthReason
+	// QuarantinedAt is when the unhealthy window began (seconds).
+	QuarantinedAt float64
+	// Voting reports whether the channel currently votes intrusion.
+	Voting bool
+}
+
+// FusedMonitor is the streaming variant of FusedDetector: one core.Monitor
+// plus one HealthMonitor per channel. Samples are health-checked before they
+// reach the per-channel monitor; a channel that goes unhealthy mid-print is
+// quarantined — it stops being synchronized and its vote is withdrawn — and
+// the remaining healthy channels keep detecting.
+//
+// Detection trails health clearance by one health window: a window's samples
+// are synchronized only once the NEXT window has also been judged healthy.
+// A fault whose onset falls mid-window damages that window too mildly to
+// quarantine, but fully covers the next one — the lag ensures the damaged
+// suffix is still withheld instead of being synchronized into a stuck alarm
+// moments before quarantine lands. The cost is bounded detection latency
+// (two health windows, 4 s at defaults), not accuracy.
+//
+// A FusedMonitor is not safe for concurrent use.
+type FusedMonitor struct {
+	chans []*fusedMonChannel
+	k     int
+
+	alerting bool
+	alerts   []FusedAlert
+}
+
+type fusedMonChannel struct {
+	name      string
+	mon       *Monitor
+	health    *HealthMonitor
+	pending   *sigproc.Signal // health-checked but not yet cleared for sync
+	forwarded int             // samples already handed to the monitor
+	rate      float64
+	voting    bool
+}
+
+// NewFusedMonitor builds a streaming fused monitor over the given channels.
+// cfg.K is the vote quorum (0 means 1), clamped to the healthy-channel
+// count as channels are quarantined.
+func NewFusedMonitor(channels []FusedMonitorChannel, cfg FusedConfig) (*FusedMonitor, error) {
+	if len(channels) == 0 {
+		return nil, errors.New("core: fused monitor needs at least one channel")
+	}
+	fm := &FusedMonitor{k: cfg.K}
+	for i, ch := range channels {
+		mon, err := NewMonitor(ch.Reference, ch.Params, ch.Thresholds, ch.MonitorOptions...)
+		if err != nil {
+			return nil, fmt.Errorf("core: fused monitor channel %d (%s): %w", i, ch.Name, err)
+		}
+		hm, err := NewHealthMonitor(ch.Reference, ch.Health)
+		if err != nil {
+			return nil, fmt.Errorf("core: fused monitor channel %d (%s): %w", i, ch.Name, err)
+		}
+		fm.chans = append(fm.chans, &fusedMonChannel{
+			name:    ch.Name,
+			mon:     mon,
+			health:  hm,
+			pending: &sigproc.Signal{Rate: ch.Reference.Rate},
+			rate:    ch.Reference.Rate,
+		})
+	}
+	return fm, nil
+}
+
+// Push feeds one time-aligned chunk per channel (chunks[i] belongs to
+// channel i; nil skips a channel this round) and returns any fused alerts
+// the push produced. Each chunk is health-checked first: a chunk that
+// completes an unhealthy window quarantines its channel, withdraws the
+// channel's vote, and is not synchronized.
+func (fm *FusedMonitor) Push(chunks []*sigproc.Signal) ([]FusedAlert, error) {
+	if len(chunks) != len(fm.chans) {
+		return nil, fmt.Errorf("core: %d chunks for %d channels", len(chunks), len(fm.chans))
+	}
+	for i, chunk := range chunks {
+		ch := fm.chans[i]
+		if chunk == nil || chunk.Len() == 0 || ch.health.Quarantined() {
+			continue
+		}
+		reason, err := ch.health.Push(chunk)
+		if err != nil {
+			return nil, fmt.Errorf("core: fused monitor channel %s: %w", ch.name, err)
+		}
+		if reason != HealthOK {
+			ch.voting = false
+			ch.pending = nil
+			continue
+		}
+		if err := ch.pending.Concat(chunk); err != nil {
+			return nil, fmt.Errorf("core: fused monitor channel %s: %w", ch.name, err)
+		}
+		// Forward only samples trailing the health frontier by a full
+		// window (see the type doc on detection lag).
+		clear := ch.health.ClearedSamples() - ch.health.WindowSamples() - ch.forwarded
+		if clear <= 0 {
+			continue
+		}
+		alerts, err := ch.mon.Push(ch.pending.Slice(0, clear))
+		if err != nil {
+			return nil, fmt.Errorf("core: fused monitor channel %s: %w", ch.name, err)
+		}
+		ch.pending = ch.pending.Slice(clear, ch.pending.Len()).Clone()
+		ch.forwarded += clear
+		if len(alerts) > 0 {
+			ch.voting = true
+		}
+	}
+	return fm.fuse(), nil
+}
+
+// fuse recomputes the quorum decision and emits an alert on its rising
+// edge.
+func (fm *FusedMonitor) fuse() []FusedAlert {
+	votes, healthy := 0, 0
+	var t float64
+	for _, ch := range fm.chans {
+		if elapsed := float64(ch.forwarded) / ch.rate; elapsed > t {
+			t = elapsed
+		}
+		if ch.health.Quarantined() {
+			continue
+		}
+		healthy++
+		if ch.voting {
+			votes++
+		}
+	}
+	needed := max(fm.k, 1)
+	if healthy > 0 && needed > healthy {
+		needed = healthy
+	}
+	intrusion := healthy > 0 && votes >= needed
+	if !intrusion {
+		fm.alerting = false
+		return nil
+	}
+	if fm.alerting {
+		return nil
+	}
+	fm.alerting = true
+	a := FusedAlert{Time: t, Votes: votes, Healthy: healthy, Needed: needed}
+	fm.alerts = append(fm.alerts, a)
+	return []FusedAlert{a}
+}
+
+// Intrusion reports whether any fused alert has been raised.
+func (fm *FusedMonitor) Intrusion() bool { return len(fm.alerts) > 0 }
+
+// Alerts returns all fused alerts raised so far.
+func (fm *FusedMonitor) Alerts() []FusedAlert { return append([]FusedAlert(nil), fm.alerts...) }
+
+// ChannelStates snapshots every channel's health and vote, in configuration
+// order.
+func (fm *FusedMonitor) ChannelStates() []FusedChannelState {
+	out := make([]FusedChannelState, len(fm.chans))
+	for i, ch := range fm.chans {
+		out[i] = FusedChannelState{
+			Name:          ch.name,
+			Quarantined:   ch.health.Quarantined(),
+			Health:        ch.health.Reason(),
+			QuarantinedAt: ch.health.QuarantinedAt(),
+			Voting:        !ch.health.Quarantined() && ch.voting,
+		}
+	}
+	return out
+}

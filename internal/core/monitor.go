@@ -91,6 +91,12 @@ func WithMonitorFilterWindow(n int) MonitorOption {
 // raised by the windows completed by those samples. The sample chunk must
 // have the reference's channel count; chunks may be any length.
 func (m *Monitor) Push(chunk *sigproc.Signal) ([]Alert, error) {
+	if chunk.Len() == 0 {
+		// Nothing to consume: an idle poll, a nil chunk, or a zero-length
+		// slice. Not an error — live capture loops may legitimately wake
+		// with no new samples.
+		return nil, nil
+	}
 	if chunk.Channels() != m.reference.Channels() {
 		return nil, fmt.Errorf("core: chunk has %d channels, want %d", chunk.Channels(), m.reference.Channels())
 	}

@@ -1,0 +1,87 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"nsync/internal/sigproc"
+)
+
+// Streaming deployments hit degenerate chunks — idle polls, capture
+// hiccups, a sensor that momentarily reads all zeros. Each must have
+// defined behavior, never a panic or a spurious hard error.
+func TestMonitorEdgeChunks(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	ref := noiseSig(rng, 100, 2000)
+	inf := math.Inf(1)
+	mon, err := NewMonitor(ref, testDWMParams(), Thresholds{CC: inf, HC: inf, VC: inf})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A nil chunk, a zero-value signal, and a zero-length-but-shaped chunk
+	// are all idle polls: no alerts, no error, no state change.
+	for _, chunk := range []*sigproc.Signal{nil, {}, sigproc.New(100, 1, 0)} {
+		alerts, err := mon.Push(chunk)
+		if err != nil {
+			t.Fatalf("empty chunk: %v", err)
+		}
+		if len(alerts) != 0 {
+			t.Fatalf("empty chunk raised alerts: %v", alerts)
+		}
+	}
+	if got := mon.WindowsProcessed(); got != 0 {
+		t.Fatalf("windows processed after empty pushes = %d, want 0", got)
+	}
+
+	// A channel-count mismatch on a non-empty chunk is still an error.
+	if _, err := mon.Push(sigproc.New(100, 2, 10)); err == nil {
+		t.Error("channel mismatch: want error")
+	}
+
+	// Normal stream interrupted by a mid-print all-zero chunk: the flat
+	// window has zero variance, correlation distance pins at 1, and the
+	// monitor keeps running with finite features.
+	obs := jittered(rng, ref, 300)
+	half := obs.Len() / 2
+	for i := half; i < half+300; i++ {
+		obs.Data[0][i] = 0
+	}
+	for pos := 0; pos < obs.Len(); pos += 97 {
+		end := min(pos+97, obs.Len())
+		if _, err := mon.Push(obs.Slice(pos, end)); err != nil {
+			t.Fatalf("push at %d: %v", pos, err)
+		}
+	}
+	if mon.WindowsProcessed() == 0 {
+		t.Fatal("no windows processed")
+	}
+	f := mon.Features()
+	for i, v := range f.VDist {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatalf("VDist[%d] = %v, want finite", i, v)
+		}
+	}
+}
+
+// A monitor over a zero-length observation stream: pushing nothing at all
+// and asking for results must be well defined.
+func TestMonitorNoInput(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	ref := noiseSig(rng, 100, 1500)
+	mon, err := NewMonitor(ref, testDWMParams(), Thresholds{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mon.Intrusion() {
+		t.Error("intrusion before any input")
+	}
+	if got := len(mon.Alerts()); got != 0 {
+		t.Errorf("alerts before any input = %d", got)
+	}
+	f := mon.Features()
+	if len(f.CDisp) != 0 || len(f.HDist) != 0 || len(f.VDist) != 0 {
+		t.Errorf("features before any input: %+v", f)
+	}
+}

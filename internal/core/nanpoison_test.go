@@ -1,0 +1,44 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"nsync/internal/sigproc"
+)
+
+// A NaN-poisoned capture must surface as an explicit error from the
+// pipeline, never as a silent garbage verdict: before the sigproc guards,
+// NaN windows sailed through correlation sums and produced undefined
+// discriminator features.
+func TestDetectorRejectsNaNPoisonedSignal(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	ref := noiseSig(rng, 100, 3000)
+	det, err := NewDetector(ref, Config{
+		Sync: &DWMSynchronizer{Params: testDWMParams()},
+		OCC:  OCCConfig{R: 0.3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var train []*sigproc.Signal
+	for i := 0; i < 3; i++ {
+		train = append(train, jittered(rng, ref, 200))
+	}
+	if err := det.Train(train); err != nil {
+		t.Fatal(err)
+	}
+
+	poisoned := jittered(rng, ref, 200)
+	poisoned.Data[0][poisoned.Len()/2] = math.NaN()
+	if _, err := det.Classify(poisoned); !errors.Is(err, sigproc.ErrNonFinite) {
+		t.Errorf("Classify of NaN-poisoned signal: err = %v, want sigproc.ErrNonFinite", err)
+	}
+
+	// Training on poisoned data must fail the same way.
+	if err := det.Train([]*sigproc.Signal{poisoned}); !errors.Is(err, sigproc.ErrNonFinite) {
+		t.Errorf("Train on NaN-poisoned run: err = %v, want sigproc.ErrNonFinite", err)
+	}
+}

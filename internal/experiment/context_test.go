@@ -1,0 +1,39 @@
+package experiment
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+func TestSetContextCancelsFanOut(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	SetContext(ctx)
+	defer SetContext(nil)
+
+	items := make([]int, 16)
+	for _, workers := range []int{1, 8} {
+		SetWorkers(workers)
+		_, err := fanOut(items, func(i int, _ int) (int, error) { return i, nil })
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("workers=%d: fanOut under cancelled context: err = %v, want context.Canceled", workers, err)
+		}
+	}
+	SetWorkers(0)
+}
+
+func TestSetContextNilRestoresBackground(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	SetContext(ctx)
+	SetContext(nil)
+
+	out, err := fanOut([]int{1, 2, 3}, func(i int, v int) (int, error) { return v * v, nil })
+	if err != nil {
+		t.Fatalf("fanOut after SetContext(nil): %v", err)
+	}
+	if len(out) != 3 || out[2] != 9 {
+		t.Errorf("fanOut results = %v", out)
+	}
+}

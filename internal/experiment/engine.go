@@ -30,11 +30,39 @@ func Workers() int {
 	return pool.Resolve(int(workerSetting.Load()))
 }
 
+// engineCtx is the context every engine fan-out runs under; unset means
+// context.Background(). Held in an atomic.Value so a command can install
+// its signal-aware context once, before evaluations start, without
+// threading a ctx parameter through every table builder. The box struct
+// gives atomic.Value the consistent concrete type it requires regardless
+// of which context implementation is stored.
+var engineCtx atomic.Value
+
+type ctxBox struct{ ctx context.Context }
+
+// SetContext installs the context under which subsequent engine fan-outs
+// run. Cancelling it — Ctrl-C, a -timeout expiry — aborts in-flight table
+// builders with the context's error instead of letting them run to
+// completion. A nil ctx restores context.Background().
+func SetContext(ctx context.Context) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	engineCtx.Store(ctxBox{ctx})
+}
+
+func engineContext() context.Context {
+	if box, ok := engineCtx.Load().(ctxBox); ok {
+		return box.ctx
+	}
+	return context.Background()
+}
+
 // fanOut is the engine's internal fan-out helper: pool.Map over the
-// configured worker count with a background context (the pool cancels it
-// on the first error).
+// configured worker count under the installed engine context (the pool
+// cancels it on the first error).
 func fanOut[T, R any](items []T, f func(i int, item T) (R, error)) ([]R, error) {
-	return pool.Map(context.Background(), Workers(), items, func(_ context.Context, i int, item T) (R, error) {
+	return pool.Map(engineContext(), Workers(), items, func(_ context.Context, i int, item T) (R, error) {
 		return f(i, item)
 	})
 }

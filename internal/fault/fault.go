@@ -1,0 +1,333 @@
+// Package fault is a composable, seeded sensor-fault injector: it corrupts
+// captured side-channel signals with the failure modes a real acquisition
+// chain exhibits, so the robustness of a detector can be measured under
+// controlled degradation. The benign DAQ effects the paper names (gain
+// drift, frame drops) live in internal/sensor; this package models the
+// *faulty* end of the spectrum — a dying accelerometer, a clipping ADC, a
+// loose connector — each parameterized by a severity in [0, 1] and an onset
+// time, so a robustness experiment can sweep fault type x severity.
+//
+// Faults are described by plain-data Specs and applied by an Injector,
+// which owns the seed: the same (seed, specs, signal) always produces the
+// same corrupted signal, at any call order, so robustness tables are
+// reproducible.
+package fault
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"nsync/internal/sigproc"
+)
+
+// Kind identifies one failure mode of the acquisition chain.
+type Kind int
+
+// The supported failure modes.
+const (
+	// Dropout models a loose connector or DAQ gap: samples in a window
+	// after onset are replaced with zeros. Severity scales the gap length
+	// (1.0 wipes everything from onset to the end).
+	Dropout Kind = iota + 1
+	// StuckAt models a dead sensor lane: from onset on, affected lanes
+	// repeat the value they held at onset. Severity scales how many lanes
+	// die (1.0 kills the whole channel).
+	StuckAt
+	// Saturation models an ADC driven past its rails: from onset on,
+	// samples clip to a level below the signal's own amplitude. Severity
+	// lowers the rail (1.0 clips at ~5% of the pre-onset amplitude).
+	Saturation
+	// SpikeBurst models EMI or a failing cable shield: random impulses of
+	// ~10 sigma amplitude from onset to the end. Severity scales the spike
+	// rate.
+	SpikeBurst
+	// GainStep models an amplifier stage failing or an auto-gain jump: the
+	// signal is multiplied by a step factor from onset on. Severity scales
+	// the factor (1.0 quadruples the gain).
+	GainStep
+	// ClockDrift models a sample clock running fast: from onset on the
+	// waveform is progressively time-compressed. Severity scales the rate
+	// error (1.0 is a 2% fast clock).
+	ClockDrift
+)
+
+// AllKinds lists every failure mode, in declaration order.
+var AllKinds = []Kind{Dropout, StuckAt, Saturation, SpikeBurst, GainStep, ClockDrift}
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case Dropout:
+		return "dropout"
+	case StuckAt:
+		return "stuckat"
+	case Saturation:
+		return "saturation"
+	case SpikeBurst:
+		return "spikes"
+	case GainStep:
+		return "gainstep"
+	case ClockDrift:
+		return "clockdrift"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Spec describes one fault: what fails, how badly, and when. Specs are
+// plain data so they can sit in tables, flags, and experiment grids.
+type Spec struct {
+	// Kind is the failure mode.
+	Kind Kind
+	// Severity in [0, 1] scales the kind-specific damage (see the Kind
+	// docs). Severity 0 is (near-)identity for every kind.
+	Severity float64
+	// Onset is when the fault begins, in seconds into the signal. Onsets
+	// past the end of the signal make the fault a no-op.
+	Onset float64
+}
+
+// Validate reports malformed specs.
+func (sp Spec) Validate() error {
+	switch sp.Kind {
+	case Dropout, StuckAt, Saturation, SpikeBurst, GainStep, ClockDrift:
+	default:
+		return fmt.Errorf("fault: unknown kind %v", sp.Kind)
+	}
+	if sp.Severity < 0 || sp.Severity > 1 || math.IsNaN(sp.Severity) {
+		return fmt.Errorf("fault: severity %v outside [0, 1]", sp.Severity)
+	}
+	if sp.Onset < 0 || math.IsNaN(sp.Onset) {
+		return fmt.Errorf("fault: negative onset %v", sp.Onset)
+	}
+	return nil
+}
+
+// String renders the spec compactly ("stuckat@12.0s/1.00").
+func (sp Spec) String() string {
+	return fmt.Sprintf("%v@%.1fs/%.2f", sp.Kind, sp.Onset, sp.Severity)
+}
+
+// Injector applies a sequence of fault specs to signals, deterministically:
+// the per-spec randomness (spike positions, signs) derives from the
+// injector seed and the spec index only.
+type Injector struct {
+	seed  int64
+	specs []Spec
+}
+
+// NewInjector builds an injector for the given specs. The seed drives every
+// random choice the faults make; the same seed reproduces the same damage.
+func NewInjector(seed int64, specs ...Spec) (*Injector, error) {
+	for i, sp := range specs {
+		if err := sp.Validate(); err != nil {
+			return nil, fmt.Errorf("fault: spec %d: %w", i, err)
+		}
+	}
+	return &Injector{seed: seed, specs: append([]Spec(nil), specs...)}, nil
+}
+
+// Specs returns a copy of the injector's fault specs.
+func (in *Injector) Specs() []Spec { return append([]Spec(nil), in.specs...) }
+
+// Apply returns a corrupted copy of s with every spec applied in order. The
+// input signal is never modified. An empty spec list returns a plain clone.
+func (in *Injector) Apply(s *sigproc.Signal) (*sigproc.Signal, error) {
+	if err := s.Validate(); err != nil {
+		return nil, fmt.Errorf("fault: %w", err)
+	}
+	out := s.Clone()
+	for i, sp := range in.specs {
+		// One sub-stream per spec index: inserting or removing a spec does
+		// not perturb the randomness of the others.
+		rng := rand.New(rand.NewSource(int64(uint64(in.seed) ^ uint64(i+1)*0x9E3779B97F4A7C15)))
+		if err := apply(out, sp, rng); err != nil {
+			return nil, fmt.Errorf("fault: spec %d (%v): %w", i, sp, err)
+		}
+	}
+	return out, nil
+}
+
+// apply mutates sig in place according to sp.
+func apply(sig *sigproc.Signal, sp Spec, rng *rand.Rand) error {
+	if err := sp.Validate(); err != nil {
+		return err
+	}
+	n := sig.Len()
+	if n == 0 || sig.Rate <= 0 {
+		return nil
+	}
+	onset := int(sp.Onset * sig.Rate)
+	if onset >= n {
+		return nil
+	}
+	if onset < 0 {
+		onset = 0
+	}
+	switch sp.Kind {
+	case Dropout:
+		applyDropout(sig, onset, sp.Severity)
+	case StuckAt:
+		applyStuckAt(sig, onset, sp.Severity)
+	case Saturation:
+		applySaturation(sig, onset, sp.Severity)
+	case SpikeBurst:
+		applySpikeBurst(sig, onset, sp.Severity, rng)
+	case GainStep:
+		applyGainStep(sig, onset, sp.Severity)
+	case ClockDrift:
+		applyClockDrift(sig, onset, sp.Severity)
+	}
+	return nil
+}
+
+// applyDropout zeroes a gap starting at onset; the gap spans severity of
+// the remaining samples.
+func applyDropout(sig *sigproc.Signal, onset int, severity float64) {
+	n := sig.Len()
+	gap := int(math.Round(severity * float64(n-onset)))
+	for _, ch := range sig.Data {
+		for i := onset; i < onset+gap && i < n; i++ {
+			ch[i] = 0
+		}
+	}
+}
+
+// applyStuckAt freezes the first max(1, round(severity*lanes)) lanes at
+// their onset value. Lanes die lowest-index first, mirroring how a partial
+// IMU failure takes out one sub-sensor at a time.
+func applyStuckAt(sig *sigproc.Signal, onset int, severity float64) {
+	lanes := int(math.Round(severity * float64(sig.Channels())))
+	if lanes < 1 {
+		lanes = 1
+	}
+	if lanes > sig.Channels() {
+		lanes = sig.Channels()
+	}
+	for c := 0; c < lanes; c++ {
+		ch := sig.Data[c]
+		held := ch[onset]
+		for i := onset; i < len(ch); i++ {
+			ch[i] = held
+		}
+	}
+}
+
+// applySaturation clips every lane to a rail derived from its own pre-onset
+// amplitude: rail = maxAbs * (1 - 0.95*severity), so severity 1 clips at 5%
+// of the healthy amplitude.
+func applySaturation(sig *sigproc.Signal, onset int, severity float64) {
+	if severity == 0 {
+		return
+	}
+	for _, ch := range sig.Data {
+		maxAbs := 0.0
+		for i := 0; i < onset; i++ {
+			if a := math.Abs(ch[i]); a > maxAbs {
+				maxAbs = a
+			}
+		}
+		if maxAbs == 0 {
+			// No pre-onset reference (onset 0 or a silent lead-in): use the
+			// whole lane so the rail is still proportional to the signal.
+			for _, v := range ch {
+				if a := math.Abs(v); a > maxAbs {
+					maxAbs = a
+				}
+			}
+		}
+		rail := maxAbs * (1 - 0.95*severity)
+		for i := onset; i < len(ch); i++ {
+			if ch[i] > rail {
+				ch[i] = rail
+			} else if ch[i] < -rail {
+				ch[i] = -rail
+			}
+		}
+	}
+}
+
+// applySpikeBurst adds impulses of ~10 sigma (per-lane pre-onset std) at a
+// rate of severity*20 spikes per second from onset to the end.
+func applySpikeBurst(sig *sigproc.Signal, onset int, severity float64, rng *rand.Rand) {
+	n := sig.Len()
+	span := n - onset
+	spikes := int(math.Round(severity * 20 * float64(span) / sig.Rate))
+	if spikes == 0 {
+		return
+	}
+	stds := make([]float64, sig.Channels())
+	for c, ch := range sig.Data {
+		// Amplitude reference: the pre-onset samples, or the first 256 when
+		// the fault starts (nearly) at the beginning.
+		stds[c] = laneStd(ch[:max(onset, min(n, 256))])
+		if stds[c] == 0 {
+			stds[c] = 1
+		}
+	}
+	for k := 0; k < spikes; k++ {
+		i := onset + rng.Intn(span)
+		sign := 1.0
+		if rng.Intn(2) == 0 {
+			sign = -1
+		}
+		for c, ch := range sig.Data {
+			ch[i] += sign * 10 * stds[c]
+		}
+	}
+}
+
+// applyGainStep multiplies every lane by 1 + 3*severity from onset on.
+func applyGainStep(sig *sigproc.Signal, onset int, severity float64) {
+	factor := 1 + 3*severity
+	for _, ch := range sig.Data {
+		for i := onset; i < len(ch); i++ {
+			ch[i] *= factor
+		}
+	}
+}
+
+// applyClockDrift resamples everything after onset as if the sample clock
+// ran fast by severity*2%: output sample i reads input position
+// onset + (i-onset)*(1+drift), clamped at the end (the tail repeats the
+// final sample, like a DAQ starved of data).
+func applyClockDrift(sig *sigproc.Signal, onset int, severity float64) {
+	drift := severity * 0.02
+	if drift == 0 {
+		return
+	}
+	n := sig.Len()
+	for _, ch := range sig.Data {
+		orig := append([]float64(nil), ch[onset:]...)
+		m := len(orig)
+		for i := onset; i < n; i++ {
+			pos := float64(i-onset) * (1 + drift)
+			j := int(pos)
+			if j >= m-1 {
+				ch[i] = orig[m-1]
+				continue
+			}
+			frac := pos - float64(j)
+			ch[i] = orig[j]*(1-frac) + orig[j+1]*frac
+		}
+	}
+}
+
+// laneStd is the population standard deviation of v (0 for len < 2).
+func laneStd(v []float64) float64 {
+	if len(v) < 2 {
+		return 0
+	}
+	var sum float64
+	for _, x := range v {
+		sum += x
+	}
+	m := sum / float64(len(v))
+	var ss float64
+	for _, x := range v {
+		d := x - m
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(len(v)))
+}

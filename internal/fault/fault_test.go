@@ -1,0 +1,324 @@
+package fault
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"nsync/internal/sigproc"
+)
+
+// waveSig builds a deterministic 2-lane test signal: a sine plus seeded
+// noise, so every fault has structure to destroy.
+func waveSig(seed int64, rate float64, n int) *sigproc.Signal {
+	rng := rand.New(rand.NewSource(seed))
+	s := sigproc.New(rate, 2, n)
+	for c := range s.Data {
+		for i := 0; i < n; i++ {
+			t := float64(i) / rate
+			s.Data[c][i] = math.Sin(2*math.Pi*(3+float64(c))*t) + 0.1*rng.NormFloat64()
+		}
+	}
+	return s
+}
+
+func TestSpecValidate(t *testing.T) {
+	good := Spec{Kind: Dropout, Severity: 0.5, Onset: 1}
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid spec rejected: %v", err)
+	}
+	bad := []Spec{
+		{Kind: Kind(99), Severity: 0.5},
+		{Kind: Dropout, Severity: -0.1},
+		{Kind: Dropout, Severity: 1.5},
+		{Kind: Dropout, Severity: math.NaN()},
+		{Kind: Dropout, Severity: 0.5, Onset: -1},
+	}
+	for i, sp := range bad {
+		if err := sp.Validate(); err == nil {
+			t.Errorf("bad spec %d (%+v) accepted", i, sp)
+		}
+	}
+	if _, err := NewInjector(1, bad[0]); err == nil {
+		t.Error("NewInjector accepted a bad spec")
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	want := map[Kind]string{
+		Dropout: "dropout", StuckAt: "stuckat", Saturation: "saturation",
+		SpikeBurst: "spikes", GainStep: "gainstep", ClockDrift: "clockdrift",
+	}
+	for k, s := range want {
+		if k.String() != s {
+			t.Errorf("%d.String() = %q, want %q", int(k), k.String(), s)
+		}
+	}
+	if Kind(42).String() != "Kind(42)" {
+		t.Errorf("unknown kind string = %q", Kind(42).String())
+	}
+	sp := Spec{Kind: StuckAt, Severity: 1, Onset: 12}
+	if sp.String() != "stuckat@12.0s/1.00" {
+		t.Errorf("spec string = %q", sp.String())
+	}
+}
+
+func TestApplyDeterministicAndNonMutating(t *testing.T) {
+	src := waveSig(7, 100, 2000)
+	orig := src.Clone()
+	for _, k := range AllKinds {
+		in, err := NewInjector(99, Spec{Kind: k, Severity: 0.7, Onset: 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, err := in.Apply(src)
+		if err != nil {
+			t.Fatalf("%v: %v", k, err)
+		}
+		b, err := in.Apply(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for c := range a.Data {
+			for i := range a.Data[c] {
+				if a.Data[c][i] != b.Data[c][i] {
+					t.Fatalf("%v: same seed, different output at [%d][%d]", k, c, i)
+				}
+				if src.Data[c][i] != orig.Data[c][i] {
+					t.Fatalf("%v: Apply mutated its input", k)
+				}
+			}
+		}
+	}
+}
+
+func TestDropout(t *testing.T) {
+	src := waveSig(1, 100, 1000) // 10 s
+	in, _ := NewInjector(1, Spec{Kind: Dropout, Severity: 0.5, Onset: 4})
+	out, err := in.Apply(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Gap covers half of the remaining 6 s: samples [400, 700) are zero.
+	for c := range out.Data {
+		for i := 400; i < 700; i++ {
+			if out.Data[c][i] != 0 {
+				t.Fatalf("sample [%d][%d] = %v inside the gap", c, i, out.Data[c][i])
+			}
+		}
+		if out.Data[c][399] != src.Data[c][399] || out.Data[c][700] != src.Data[c][700] {
+			t.Fatal("dropout damaged samples outside the gap")
+		}
+	}
+}
+
+func TestStuckAtSeverityScalesLanes(t *testing.T) {
+	src := waveSig(2, 100, 1000)
+	// Severity 0.5 on 2 lanes: exactly one lane dies.
+	in, _ := NewInjector(1, Spec{Kind: StuckAt, Severity: 0.5, Onset: 2})
+	out, err := in.Apply(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 200; i < 1000; i++ {
+		if out.Data[0][i] != out.Data[0][200] {
+			t.Fatal("stuck lane moved after onset")
+		}
+	}
+	if out.Data[1][500] == out.Data[1][200] {
+		t.Error("healthy lane appears stuck too")
+	}
+	// Severity 1.0: both lanes die.
+	in, _ = NewInjector(1, Spec{Kind: StuckAt, Severity: 1, Onset: 2})
+	out, err = in.Apply(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c := range out.Data {
+		for i := 200; i < 1000; i++ {
+			if out.Data[c][i] != out.Data[c][200] {
+				t.Fatalf("lane %d moved after onset at severity 1", c)
+			}
+		}
+	}
+}
+
+func TestSaturationClipsToRail(t *testing.T) {
+	src := waveSig(3, 100, 1000)
+	in, _ := NewInjector(1, Spec{Kind: Saturation, Severity: 1, Onset: 5})
+	out, err := in.Apply(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c, ch := range out.Data {
+		maxAbs := 0.0
+		for i := 0; i < 500; i++ {
+			if a := math.Abs(src.Data[c][i]); a > maxAbs {
+				maxAbs = a
+			}
+		}
+		rail := maxAbs * 0.05
+		for i := 500; i < 1000; i++ {
+			if math.Abs(ch[i]) > rail+1e-12 {
+				t.Fatalf("lane %d sample %d = %v exceeds rail %v", c, i, ch[i], rail)
+			}
+		}
+	}
+}
+
+func TestSpikeBurstAddsSpikes(t *testing.T) {
+	src := waveSig(4, 100, 2000)
+	in, _ := NewInjector(5, Spec{Kind: SpikeBurst, Severity: 1, Onset: 10})
+	out, err := in.Apply(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	changed := 0
+	for i := 0; i < 2000; i++ {
+		if out.Data[0][i] != src.Data[0][i] {
+			if i < 1000 {
+				t.Fatalf("spike before onset at %d", i)
+			}
+			changed++
+		}
+	}
+	// 20 spikes/s over 10 s, minus collisions.
+	if changed < 100 {
+		t.Errorf("only %d spiked samples, want ~200", changed)
+	}
+}
+
+func TestGainStep(t *testing.T) {
+	src := waveSig(5, 100, 1000)
+	in, _ := NewInjector(1, Spec{Kind: GainStep, Severity: 1, Onset: 5})
+	out, err := in.Apply(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c := range out.Data {
+		if out.Data[c][100] != src.Data[c][100] {
+			t.Fatal("gain step applied before onset")
+		}
+		if got, want := out.Data[c][600], 4*src.Data[c][600]; math.Abs(got-want) > 1e-12 {
+			t.Fatalf("lane %d post-onset gain = %v, want %v", c, got, want)
+		}
+	}
+}
+
+func TestClockDriftShiftsTail(t *testing.T) {
+	rate, n := 100.0, 4000
+	src := sigproc.New(rate, 1, n)
+	for i := 0; i < n; i++ {
+		src.Data[0][i] = math.Sin(2 * math.Pi * 2 * float64(i) / rate)
+	}
+	in, _ := NewInjector(1, Spec{Kind: ClockDrift, Severity: 1, Onset: 0})
+	out, err := in.Apply(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A 2% fast clock advances the waveform by 0.02*i samples: near the
+	// end the drifted signal leads the original by ~20 ms-scale offsets,
+	// so samples differ substantially while the start barely moves.
+	if math.Abs(out.Data[0][10]-src.Data[0][10]) > 0.02 {
+		t.Error("clock drift distorted the signal right at onset")
+	}
+	var maxDiff float64
+	for i := 3000; i < 3900; i++ {
+		if d := math.Abs(out.Data[0][i] - src.Data[0][i]); d > maxDiff {
+			maxDiff = d
+		}
+	}
+	if maxDiff < 0.5 {
+		t.Errorf("tail max deviation %v, want the drift to decorrelate the tail", maxDiff)
+	}
+}
+
+func TestSeverityZeroIsNearIdentity(t *testing.T) {
+	src := waveSig(6, 100, 1000)
+	for _, k := range AllKinds {
+		in, _ := NewInjector(3, Spec{Kind: k, Severity: 0, Onset: 1})
+		out, err := in.Apply(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		diff := 0
+		for c := range out.Data {
+			for i := range out.Data[c] {
+				if out.Data[c][i] != src.Data[c][i] {
+					diff++
+				}
+			}
+		}
+		// StuckAt always kills at least one lane (a fault with no damage at
+		// all would make the severity sweep degenerate at 0 for every kind);
+		// everything else must be identity at severity 0.
+		if k == StuckAt {
+			continue
+		}
+		if diff != 0 {
+			t.Errorf("%v at severity 0 changed %d samples", k, diff)
+		}
+	}
+}
+
+func TestOnsetPastEndIsNoOp(t *testing.T) {
+	src := waveSig(8, 100, 500) // 5 s
+	for _, k := range AllKinds {
+		in, _ := NewInjector(4, Spec{Kind: k, Severity: 1, Onset: 60})
+		out, err := in.Apply(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for c := range out.Data {
+			for i := range out.Data[c] {
+				if out.Data[c][i] != src.Data[c][i] {
+					t.Fatalf("%v with onset past the end modified the signal", k)
+				}
+			}
+		}
+	}
+}
+
+func TestComposedFaults(t *testing.T) {
+	src := waveSig(9, 100, 1000)
+	in, err := NewInjector(11,
+		Spec{Kind: GainStep, Severity: 0.5, Onset: 2},
+		Spec{Kind: Dropout, Severity: 0.2, Onset: 6},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(in.Specs()); got != 2 {
+		t.Fatalf("Specs() len = %d", got)
+	}
+	out, err := in.Apply(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Gain step region before the dropout gap.
+	if got, want := out.Data[0][300], 2.5*src.Data[0][300]; math.Abs(got-want) > 1e-12 {
+		t.Errorf("composed gain wrong: %v vs %v", got, want)
+	}
+	// Dropout gap zeroes even gained samples: [600, 680).
+	for i := 600; i < 680; i++ {
+		if out.Data[0][i] != 0 {
+			t.Fatalf("composed dropout missing at %d", i)
+		}
+	}
+}
+
+func TestApplyEmptyAndInvalidSignals(t *testing.T) {
+	in, _ := NewInjector(1, Spec{Kind: Dropout, Severity: 1, Onset: 0})
+	empty := &sigproc.Signal{}
+	out, err := in.Apply(empty)
+	if err != nil {
+		t.Fatalf("empty signal: %v", err)
+	}
+	if out.Len() != 0 {
+		t.Error("empty signal grew")
+	}
+	ragged := &sigproc.Signal{Rate: 10, Data: [][]float64{{1, 2}, {1}}}
+	if _, err := in.Apply(ragged); err == nil {
+		t.Error("ragged signal: want error")
+	}
+}

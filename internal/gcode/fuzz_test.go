@@ -1,0 +1,63 @@
+package gcode
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+// FuzzParse feeds arbitrary text through the parser and checks the three
+// properties malformed slicer output must not break:
+//
+//  1. Parse never panics — junk yields a *ParseError, not a crash.
+//  2. Parsed word values are always finite.
+//  3. Serialization is stable: parse → serialize → parse → serialize
+//     reproduces the first serialization byte for byte, so rewritten
+//     programs (the Table I attacks edit and re-emit G-code) survive any
+//     number of round trips.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"",
+		"\n\n\n",
+		"G1 X10.5 Y-2.5 F1800\nG1 E0.05\n",
+		"G1X10Y-2.5F1800",
+		"N10 G1 X1 *71",
+		"; comment only\nG28 ; home (all axes)\n",
+		"(inline) G1 (mid) X1 (tail)\n",
+		"M104 S210\nM109 S210\nT0\n",
+		"G1 X1e999\nG1 Xnan\nG1 X+inf\n",
+		"G92 E0\ng1 x2 e.4\n",
+		"123\nX1 Y2\nG\n*\n;(\n",
+		"G1 X1 ; trailing ( open\n",
+		"\x00\xff G1 X1\n",
+		"N1\nN2 *0\n",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, data string) {
+		p1, err := ParseString(data)
+		if err != nil {
+			var pe *ParseError
+			if !errors.As(err, &pe) {
+				t.Fatalf("non-ParseError failure: %v", err)
+			}
+			return
+		}
+		for _, c := range p1.Commands {
+			for letter, v := range c.Words {
+				if math.IsNaN(v) || math.IsInf(v, 0) {
+					t.Fatalf("parsed non-finite word %c%v from %q", letter, v, data)
+				}
+			}
+		}
+		s1 := p1.SerializeString()
+		p2, err := ParseString(s1)
+		if err != nil {
+			t.Fatalf("re-parse of serialized program failed: %v\ninput: %q\nserialized: %q", err, data, s1)
+		}
+		if s2 := p2.SerializeString(); s2 != s1 {
+			t.Fatalf("serialization unstable:\nfirst:  %q\nsecond: %q\ninput: %q", s1, s2, data)
+		}
+	})
+}

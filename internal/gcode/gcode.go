@@ -11,6 +11,7 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"math"
 	"sort"
 	"strconv"
 	"strings"
@@ -187,6 +188,14 @@ func ParseString(s string) (*Program, error) {
 }
 
 func parseLine(line string, lineNo int) (Command, bool, error) {
+	// Split off the ';' comment first: everything after ';' is opaque text,
+	// so a '(' or '*' inside it must not confuse the code-part stripping
+	// below.
+	comment := ""
+	if i := strings.IndexByte(line, ';'); i >= 0 {
+		comment = strings.TrimSpace(line[i+1:])
+		line = line[:i]
+	}
 	// Strip (...) comments.
 	for {
 		open := strings.IndexByte(line, '(')
@@ -199,12 +208,6 @@ func parseLine(line string, lineNo int) (Command, bool, error) {
 		}
 		line = line[:open] + " " + line[open+closeIdx+1:]
 	}
-	// Split off ';' comment.
-	comment := ""
-	if i := strings.IndexByte(line, ';'); i >= 0 {
-		comment = strings.TrimSpace(line[i+1:])
-		line = line[:i]
-	}
 	// Strip '*' checksum.
 	if i := strings.IndexByte(line, '*'); i >= 0 {
 		line = line[:i]
@@ -216,6 +219,9 @@ func parseLine(line string, lineNo int) (Command, bool, error) {
 	cmd := Command{Comment: comment, Line: lineNo}
 	fields := tokenize(line)
 	for i, f := range fields {
+		if !isLetter(f[0]) {
+			return Command{}, false, &ParseError{lineNo, fmt.Sprintf("bad word %q", f)}
+		}
 		letter := upper(f[0])
 		valStr := f[1:]
 		if letter == 'N' && i == 0 {
@@ -223,7 +229,7 @@ func parseLine(line string, lineNo int) (Command, bool, error) {
 		}
 		if cmd.Code == "" && (letter == 'G' || letter == 'M' || letter == 'T') {
 			num, err := strconv.ParseFloat(valStr, 64)
-			if err != nil {
+			if err != nil || math.IsNaN(num) || math.IsInf(num, 0) {
 				return Command{}, false, &ParseError{lineNo, fmt.Sprintf("bad %c-code %q", letter, f)}
 			}
 			cmd.Code = fmt.Sprintf("%c%s", letter, trimFloat(num))
@@ -233,13 +239,19 @@ func parseLine(line string, lineNo int) (Command, bool, error) {
 			return Command{}, false, &ParseError{lineNo, fmt.Sprintf("word %q has no value", f)}
 		}
 		v, err := strconv.ParseFloat(valStr, 64)
-		if err != nil {
+		if err != nil || math.IsNaN(v) || math.IsInf(v, 0) {
 			return Command{}, false, &ParseError{lineNo, fmt.Sprintf("bad value %q", f)}
 		}
 		cmd.Set(letter, v)
 	}
 	if cmd.Code == "" && len(cmd.Words) > 0 {
 		return Command{}, false, &ParseError{lineNo, "parameter words without a command code"}
+	}
+	if cmd.Code == "" && len(cmd.Words) == 0 && comment == "" {
+		// A line that reduced to nothing (e.g. just an N word or a
+		// checksum): drop it rather than emit an empty command, which
+		// would serialize to a bare blank line.
+		return Command{}, false, nil
 	}
 	return cmd, true, nil
 }

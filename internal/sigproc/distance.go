@@ -76,7 +76,11 @@ func MultiChannelDistance(d DistanceFunc, x, y *Signal) (float64, error) {
 	for i := 0; i < c; i++ {
 		sum += d(x.Data[i], y.Data[i])
 	}
-	return sum / float64(c), nil
+	avg := sum / float64(c)
+	if math.IsNaN(avg) || math.IsInf(avg, 0) {
+		return 0, fmt.Errorf("%w: distance is %v", ErrNonFinite, avg)
+	}
+	return avg, nil
 }
 
 // PointDistance computes d between the single sample vectors x[i,:] and

@@ -1,0 +1,66 @@
+package sigproc
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"testing"
+)
+
+func TestCheckFinite(t *testing.T) {
+	s := New(100, 2, 50)
+	if err := s.CheckFinite(); err != nil {
+		t.Fatalf("zeroed signal: %v", err)
+	}
+	var nilSig *Signal
+	if err := nilSig.CheckFinite(); err != nil {
+		t.Fatalf("nil signal: %v", err)
+	}
+
+	for _, bad := range []float64{math.NaN(), math.Inf(1), math.Inf(-1)} {
+		s := New(100, 2, 50)
+		s.Data[1][7] = bad
+		err := s.CheckFinite()
+		if !errors.Is(err, ErrNonFinite) {
+			t.Errorf("poisoned with %v: err = %v, want ErrNonFinite", bad, err)
+		}
+	}
+}
+
+func TestReadSignalRejectsNonFinite(t *testing.T) {
+	s := New(100, 1, 10)
+	s.Data[0][3] = math.NaN()
+	var buf bytes.Buffer
+	if err := s.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadSignal(&buf); !errors.Is(err, ErrNonFinite) {
+		t.Errorf("ReadSignal of NaN-poisoned file: err = %v, want ErrNonFinite", err)
+	}
+}
+
+func TestMultiChannelDistanceRejectsNonFiniteResult(t *testing.T) {
+	x := New(100, 1, 10)
+	y := New(100, 1, 10)
+	x.Data[0][0] = math.NaN()
+	if _, err := MultiChannelDistance(MAE, x, y); !errors.Is(err, ErrNonFinite) {
+		t.Errorf("NaN input: err = %v, want ErrNonFinite", err)
+	}
+	x.Data[0][0] = math.Inf(1)
+	if _, err := MultiChannelDistance(Euclidean, x, y); !errors.Is(err, ErrNonFinite) {
+		t.Errorf("Inf input: err = %v, want ErrNonFinite", err)
+	}
+}
+
+func TestMultiChannelSimilarityRejectsNonFiniteResult(t *testing.T) {
+	x := New(100, 1, 10)
+	y := New(100, 1, 10)
+	for i := range x.Data[0] {
+		x.Data[0][i] = float64(i)
+		y.Data[0][i] = float64(i)
+	}
+	x.Data[0][4] = math.NaN()
+	if _, err := MultiChannelSimilarity(Correlation, x, y); !errors.Is(err, ErrNonFinite) {
+		t.Errorf("NaN input: err = %v, want ErrNonFinite", err)
+	}
+}

@@ -85,6 +85,9 @@ func ReadSignal(r io.Reader) (*Signal, error) {
 			ch[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf))
 		}
 	}
+	if err := s.CheckFinite(); err != nil {
+		return nil, fmt.Errorf("sigproc: read samples: %w", err)
+	}
 	return s, nil
 }
 

@@ -15,8 +15,9 @@ func TestSignalRoundTrip(t *testing.T) {
 			s.Data[c][i] = float64(c*1000+i) / 7
 		}
 	}
-	s.Data[1][5] = math.Inf(1)
-	s.Data[2][6] = -0.0
+	// Non-finite samples are rejected at ingestion (TestReadSignalRejectsNonFinite);
+	// -0.0 must still round-trip bit-exactly.
+	s.Data[2][6] = math.Copysign(0, -1)
 	var buf bytes.Buffer
 	if err := s.Encode(&buf); err != nil {
 		t.Fatal(err)

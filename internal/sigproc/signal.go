@@ -67,6 +67,28 @@ func (s *Signal) Duration() float64 {
 	return float64(s.Len()) / s.Rate
 }
 
+// ErrNonFinite reports NaN or infinite samples where finite values are
+// required.
+var ErrNonFinite = errors.New("sigproc: non-finite sample")
+
+// CheckFinite scans every sample and reports the first NaN or infinity,
+// identifying its channel and index. A corrupted capture (DMA glitch, bad
+// float decode, divide-by-zero upstream) should fail here, at ingestion,
+// rather than silently poisoning correlation sums downstream.
+func (s *Signal) CheckFinite() error {
+	if s == nil {
+		return nil
+	}
+	for c, ch := range s.Data {
+		for i, v := range ch {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return fmt.Errorf("%w: channel %d sample %d is %v", ErrNonFinite, c, i, v)
+			}
+		}
+	}
+	return nil
+}
+
 // Validate reports structural problems: ragged channels or a non-positive
 // rate on a non-empty signal.
 func (s *Signal) Validate() error {

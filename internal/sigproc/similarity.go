@@ -78,7 +78,11 @@ func MultiChannelSimilarity(f SimilarityFunc, x, y *Signal) (float64, error) {
 	for i := 0; i < c; i++ {
 		sum += f(x.Data[i], y.Data[i])
 	}
-	return sum / float64(c), nil
+	avg := sum / float64(c)
+	if math.IsNaN(avg) || math.IsInf(avg, 0) {
+		return 0, fmt.Errorf("%w: similarity is %v", ErrNonFinite, avg)
+	}
+	return avg, nil
 }
 
 // StackedSimilarity flattens all channels into one long vector before

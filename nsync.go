@@ -28,6 +28,7 @@ package nsync
 import (
 	"nsync/internal/core"
 	"nsync/internal/dwm"
+	"nsync/internal/fault"
 	"nsync/internal/sigproc"
 )
 
@@ -99,4 +100,77 @@ func NewDTWDetector(reference *Signal, radius int, occMargin float64) (*Detector
 // previously trained Detector.
 func NewMonitor(reference *Signal, params DWMParams, thresholds Thresholds) (*Monitor, error) {
 	return core.NewMonitor(reference, params, thresholds)
+}
+
+// Graceful degradation under sensor faults: a FusedDetector (offline) or
+// FusedMonitor (streaming) runs one NSYNC detector per side channel,
+// quarantines channels whose signals fail online health checks (flat,
+// saturated, non-finite, or statistically implausible), and fuses the
+// surviving channels' verdicts by k-of-n voting. A dying accelerometer
+// lowers coverage instead of producing a stuck alarm or a silent miss.
+
+// FusedDetector is the multi-channel, health-gated NSYNC detector.
+type FusedDetector = core.FusedDetector
+
+// FusedChannel configures one side channel of a fused detector.
+type FusedChannel = core.FusedChannel
+
+// FusedConfig tunes verdict fusion (the voting quorum K).
+type FusedConfig = core.FusedConfig
+
+// FusedVerdict is the fused k-of-n decision with per-channel detail.
+type FusedVerdict = core.FusedVerdict
+
+// ChannelVerdict is one channel's health-gated contribution to a fusion.
+type ChannelVerdict = core.ChannelVerdict
+
+// HealthConfig tunes the per-channel signal health checks.
+type HealthConfig = core.HealthConfig
+
+// FusedMonitor is the streaming variant of FusedDetector.
+type FusedMonitor = core.FusedMonitor
+
+// FusedMonitorChannel configures one channel of a FusedMonitor.
+type FusedMonitorChannel = core.FusedMonitorChannel
+
+// FusedAlert is an intrusion alert raised by a FusedMonitor.
+type FusedAlert = core.FusedAlert
+
+// NewFusedDetector builds an untrained fused detector over the given
+// channels.
+func NewFusedDetector(channels []FusedChannel, cfg FusedConfig) (*FusedDetector, error) {
+	return core.NewFusedDetector(channels, cfg)
+}
+
+// NewFusedMonitor builds a streaming fused monitor over the given channels.
+func NewFusedMonitor(channels []FusedMonitorChannel, cfg FusedConfig) (*FusedMonitor, error) {
+	return core.NewFusedMonitor(channels, cfg)
+}
+
+// FaultSpec describes one injected sensor fault (kind, severity in [0, 1],
+// onset in seconds); FaultKind enumerates the supported fault types. See
+// internal/fault for the fault model.
+type (
+	FaultSpec = fault.Spec
+	FaultKind = fault.Kind
+)
+
+// The supported sensor-fault kinds.
+const (
+	FaultDropout    = fault.Dropout
+	FaultStuckAt    = fault.StuckAt
+	FaultSaturation = fault.Saturation
+	FaultSpikeBurst = fault.SpikeBurst
+	FaultGainStep   = fault.GainStep
+	FaultClockDrift = fault.ClockDrift
+)
+
+// FaultInjector deterministically applies a sequence of fault specs to
+// signals.
+type FaultInjector = fault.Injector
+
+// NewFaultInjector builds a seeded fault injector; identical seeds and
+// specs reproduce identical corrupted signals.
+func NewFaultInjector(seed int64, specs ...FaultSpec) (*FaultInjector, error) {
+	return fault.NewInjector(seed, specs...)
 }
