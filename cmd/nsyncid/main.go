@@ -6,6 +6,7 @@
 //	nsyncid -ref ref.nsig -train t1.nsig,t2.nsig -observe obs.nsig
 //	nsyncid -ref ref.nsig -train 't*.nsig' -observe obs.nsig -live
 //	nsyncid -sync dtw -radius 1 ...
+//	nsyncid -pprof :6060 ...   # profiling + plaintext metrics at /metrics
 //
 // Offline mode classifies the observation after reading it fully; -live
 // replays the observation in chunks through the streaming monitor and
@@ -17,6 +18,8 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof/* on the default mux
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -24,6 +27,7 @@ import (
 
 	"nsync/internal/core"
 	"nsync/internal/dwm"
+	metrics "nsync/internal/obs"
 	"nsync/internal/sigproc"
 )
 
@@ -51,11 +55,24 @@ func run() error {
 		chunkSec  = flag.Float64("chunk", 0.25, "live-mode chunk size in seconds")
 		workers   = flag.Int("workers", 0, "parallel feature extractions during training (0 = one per CPU, 1 = serial)")
 		timeout   = flag.Duration("timeout", 0, "abort after this long (0 = no limit)")
+		pprofAddr = flag.String("pprof", "", "serve net/http/pprof and plaintext /metrics on this address (e.g. :6060); enables metric collection")
 	)
 	flag.Parse()
 	if *refPath == "" || *trainArg == "" || *obsPath == "" {
 		flag.Usage()
 		return fmt.Errorf("-ref, -train and -observe are required")
+	}
+	if *pprofAddr != "" {
+		metrics.SetEnabled(true)
+		http.Handle("/metrics", metrics.Handler())
+		go func() {
+			// The profiling server lives for the whole process; a busy
+			// detector keeps working if the port is taken, but says why.
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "nsyncid: pprof server:", err)
+			}
+		}()
+		fmt.Fprintf(os.Stderr, "profiling at http://%s/debug/pprof/, metrics at /metrics\n", *pprofAddr)
 	}
 
 	// Ctrl-C (and -timeout, when set) aborts training mid-run.

@@ -10,6 +10,7 @@
 //	repro -experiment tab8 -workers 4  # bound the evaluation worker pool
 //	repro -robustness                # sensor-fault sweep (single vs fused)
 //	repro -experiment all -timeout 10m  # abort if it runs long; Ctrl-C also cancels
+//	repro -experiment tab8 -metrics  # append a pipeline-metrics report to stderr
 //
 // Experiments: fig1 fig2 fig6 fig10 fig11 fig12 tab5 tab6 tab7 tab8 tab9
 // belikovetsky robustness all.
@@ -24,6 +25,7 @@ import (
 	"strings"
 
 	"nsync/internal/experiment"
+	"nsync/internal/obs"
 	"nsync/internal/sensor"
 	"nsync/internal/textplot"
 )
@@ -58,9 +60,19 @@ func run() error {
 		workers    = flag.Int("workers", 0, "worker pool size for simulation and evaluation (0 = one per CPU, 1 = serial)")
 		robustness = flag.Bool("robustness", false, "shorthand for -experiment robustness (sensor-fault sweep)")
 		timeout    = flag.Duration("timeout", 0, "abort the run after this long (0 = no limit)")
+		metrics    = flag.Bool("metrics", false, "collect pipeline metrics and print a report to stderr at exit")
 	)
 	flag.Parse()
 	experiment.SetWorkers(*workers)
+	if *metrics {
+		obs.SetEnabled(true)
+		// The report prints even when a table builder fails: a partial run's
+		// stage timings are exactly what diagnoses the failure.
+		defer func() {
+			fmt.Fprintln(os.Stderr, "\n== pipeline metrics ==")
+			fmt.Fprint(os.Stderr, obs.Report())
+		}()
+	}
 
 	// Ctrl-C (and -timeout, when set) cancels the evaluation engine's
 	// context, so in-flight table builders abort instead of running the

@@ -5,8 +5,14 @@ import (
 	"fmt"
 
 	"nsync/internal/dwm"
+	"nsync/internal/obs"
 	"nsync/internal/sigproc"
 )
+
+// fusedPending tracks, per healthy channel per Push, how many samples sit
+// health-checked but not yet cleared for synchronization (see DESIGN.md
+// §10). Sustained growth means the detection lag is not draining.
+var fusedPending = obs.GetHistogram("fusedmonitor.pending")
 
 // FusedMonitorChannel configures one side channel of a streaming fused
 // monitor.
@@ -146,6 +152,7 @@ func (fm *FusedMonitor) Push(chunks []*sigproc.Signal) ([]FusedAlert, error) {
 		}
 		ch.pending = ch.pending.Slice(clear, ch.pending.Len()).Clone()
 		ch.forwarded += clear
+		fusedPending.Observe(float64(ch.pending.Len()))
 		if len(alerts) > 0 {
 			ch.voting = true
 		}

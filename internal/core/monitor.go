@@ -5,7 +5,15 @@ import (
 	"math"
 
 	"nsync/internal/dwm"
+	"nsync/internal/obs"
 	"nsync/internal/sigproc"
+)
+
+// Streaming-path metrics (see DESIGN.md §10): per-window processing
+// latency and the pending-sample buffer occupancy after each Push.
+var (
+	monitorWindowTimer = obs.GetTimer("monitor.window")
+	monitorBuffer      = obs.GetHistogram("monitor.buffer")
 )
 
 // Alert describes an intrusion detected by a streaming Monitor.
@@ -124,15 +132,23 @@ func (m *Monitor) Push(chunk *sigproc.Signal) ([]Alert, error) {
 		m.buf = m.buf.Slice(nextStart, m.buf.Len()).Clone()
 		m.consumed += nextStart
 	}
+	monitorBuffer.Observe(float64(m.buf.Len()))
 	return newAlerts, nil
 }
 
-// step processes one complete observed window.
+// step processes one complete observed window. It is transactional: every
+// fallible computation (the DWM proposal and the vertical distance) runs
+// before any state mutates, so a failed window leaves the synchronizer,
+// the feature arrays, and the filter buffers exactly where they were — the
+// same window is retried by the next Push instead of being silently
+// skipped with Features desynced from WindowsProcessed.
 func (m *Monitor) step(i int, win *sigproc.Signal) ([]Alert, error) {
-	h, _, err := m.sync.Step(win)
+	tw := monitorWindowTimer.Start()
+	p, err := m.sync.Propose(win)
 	if err != nil {
 		return nil, err
 	}
+	h := p.HDisp
 	sp := m.sync.SampleParams()
 	// Vertical distance against the displaced reference window (Eq. 16).
 	lo := i*sp.NHop + h
@@ -148,6 +164,8 @@ func (m *Monitor) step(i int, win *sigproc.Signal) ([]Alert, error) {
 		return nil, err
 	}
 
+	// Nothing below can fail: commit the synchronizer step and mutate.
+	m.sync.Commit(p)
 	hf := float64(h)
 	m.cdisp += math.Abs(hf - m.prevH)
 	m.prevH = hf
@@ -173,6 +191,7 @@ func (m *Monitor) step(i int, win *sigproc.Signal) ([]Alert, error) {
 		alerts = append(alerts, Alert{Sub: SubVDist, WindowIndex: i, Time: t, Value: vFilt, Limit: m.thresholds.VC})
 	}
 	m.alerts = append(m.alerts, alerts...)
+	monitorWindowTimer.Stop(tw)
 	return alerts, nil
 }
 

@@ -85,3 +85,62 @@ func TestMonitorNoInput(t *testing.T) {
 		t.Errorf("features before any input: %+v", f)
 	}
 }
+
+// TestMonitorObservedOutrunsReference streams an observation that keeps
+// going well past the end of the reference — a print that runs long, or an
+// attack that appends material. Windows beyond the reference end exercise
+// the lo = bn - NWin clamp in step: the monitor must keep producing finite
+// features without panicking, and the vertical distance must rise once the
+// observed content no longer matches the (exhausted) reference.
+func TestMonitorObservedOutrunsReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	ref := noiseSig(rng, 100, 1500)
+	obs := jittered(rng, ref, 300)
+	inSync := obs.Len()
+	// Append unrelated noise so the stream outruns the reference.
+	extra := noiseSig(rng, 100, 800)
+	if err := obs.Concat(extra); err != nil {
+		t.Fatal(err)
+	}
+
+	inf := math.Inf(1)
+	mon, err := NewMonitor(ref, testDWMParams(), Thresholds{CC: inf, HC: inf, VC: inf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for pos := 0; pos < obs.Len(); pos += 73 {
+		end := min(pos+73, obs.Len())
+		if _, err := mon.Push(obs.Slice(pos, end)); err != nil {
+			t.Fatalf("push at %d: %v", pos, err)
+		}
+	}
+
+	sp := testDWMParams().Samples(ref.Rate)
+	refWindows := (ref.Len()-sp.NWin)/sp.NHop + 1
+	if got := mon.WindowsProcessed(); got <= refWindows {
+		t.Fatalf("WindowsProcessed = %d, want > %d (stream must outrun reference)", got, refWindows)
+	}
+
+	f := mon.Features()
+	for i, v := range f.VDist {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatalf("VDist[%d] = %v, want finite", i, v)
+		}
+	}
+	// Mean vertical distance while the streams overlap vs after the observed
+	// passed the reference end: the overrun windows compare fresh noise to
+	// the pinned reference tail, so v_dist must rise clearly.
+	lastInSync := inSync/sp.NHop - 2
+	mean := func(v []float64) float64 {
+		var s float64
+		for _, x := range v {
+			s += x
+		}
+		return s / float64(len(v))
+	}
+	synced := mean(f.VDist[5:lastInSync])
+	overrun := mean(f.VDist[len(f.VDist)-8:])
+	if overrun <= synced*1.5 {
+		t.Errorf("VDist did not rise past reference end: synced mean %.4f, overrun mean %.4f", synced, overrun)
+	}
+}

@@ -1,0 +1,107 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"nsync/internal/sigproc"
+)
+
+// TestMonitorStepTransactional poisons one window's vertical-distance
+// computation and checks that the failed window does not advance the
+// synchronizer: WindowsProcessed must stay equal to the feature-array
+// lengths, and after the fault clears, the stream must converge to exactly
+// the feature trajectory of an unpoisoned monitor (cdisp continuity
+// included). Before the transactional-step fix, the failed window advanced
+// WindowIndex without appending features, so the window was silently
+// skipped and Features desynced from WindowsProcessed forever.
+func TestMonitorStepTransactional(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	ref := noiseSig(rng, 100, 2000)
+	obs := jittered(rng, ref, 300)
+	inf := math.Inf(1)
+	th := Thresholds{CC: inf, HC: inf, VC: inf}
+
+	// The observed stream is fed to both monitors in identical chunks; the
+	// poisoned monitor's distance returns NaN (a MultiChannelDistance
+	// error) for exactly one window, after the DWM proposal succeeded.
+	const poisonWindow = 2
+	calls, poisoned := 0, true
+	dist := func(u, v []float64) float64 {
+		if poisoned && calls == poisonWindow {
+			return math.NaN()
+		}
+		calls++
+		return sigproc.CorrelationDistance(u, v)
+	}
+	mon, err := NewMonitor(ref, testDWMParams(), th, WithMonitorDistance(dist))
+	if err != nil {
+		t.Fatal(err)
+	}
+	clean, err := NewMonitor(ref, testDWMParams(), th)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const chunk = 60
+	sawError := false
+	for pos := 0; pos < obs.Len(); pos += chunk {
+		end := min(pos+chunk, obs.Len())
+		c := obs.Slice(pos, end)
+		if _, err := clean.Push(c); err != nil {
+			t.Fatalf("clean push at %d: %v", pos, err)
+		}
+		_, err := mon.Push(c)
+		if err != nil {
+			if sawError {
+				t.Fatalf("second error at %d: %v", pos, err)
+			}
+			sawError = true
+			// The failed window must not have advanced anything.
+			if got := mon.WindowsProcessed(); got != poisonWindow {
+				t.Errorf("WindowsProcessed after failed window = %d, want %d", got, poisonWindow)
+			}
+			f := mon.Features()
+			if len(f.CDisp) != poisonWindow || len(f.HDist) != poisonWindow || len(f.VDist) != poisonWindow {
+				t.Errorf("feature lengths after failed window = %d/%d/%d, want %d",
+					len(f.CDisp), len(f.HDist), len(f.VDist), poisonWindow)
+			}
+			if got, want := mon.WindowsProcessed(), len(f.CDisp); got != want {
+				t.Errorf("WindowsProcessed (%d) desynced from features (%d)", got, want)
+			}
+			// Clear the fault; the same window must be retried.
+			poisoned = false
+		}
+	}
+	if !sawError {
+		t.Fatal("poisoned window never surfaced an error")
+	}
+
+	// After recovery the poisoned monitor must have processed every window,
+	// with features identical to the clean monitor — in particular CDisp,
+	// whose cumulative sum would show a permanent discontinuity if the
+	// failed window had been skipped.
+	got, want := mon.Features(), clean.Features()
+	if mon.WindowsProcessed() != clean.WindowsProcessed() {
+		t.Fatalf("WindowsProcessed = %d, want %d", mon.WindowsProcessed(), clean.WindowsProcessed())
+	}
+	if len(got.CDisp) != mon.WindowsProcessed() {
+		t.Fatalf("features len %d desynced from WindowsProcessed %d", len(got.CDisp), mon.WindowsProcessed())
+	}
+	for name, pair := range map[string][2][]float64{
+		"CDisp": {got.CDisp, want.CDisp},
+		"HDist": {got.HDist, want.HDist},
+		"VDist": {got.VDist, want.VDist},
+	} {
+		g, w := pair[0], pair[1]
+		if len(g) != len(w) {
+			t.Fatalf("%s length = %d, want %d", name, len(g), len(w))
+		}
+		for i := range g {
+			if g[i] != w[i] {
+				t.Fatalf("%s[%d] = %v, want %v (recovered stream diverged)", name, i, g[i], w[i])
+			}
+		}
+	}
+}

@@ -11,7 +11,16 @@ import (
 	"fmt"
 	"math"
 
+	"nsync/internal/obs"
 	"nsync/internal/sigproc"
+)
+
+// Alignment metrics (see DESIGN.md §10). Cell counts are batched per dp
+// call so the DP inner loop carries no instrumentation at all.
+var (
+	alignCounter = obs.GetCounter("dtw.alignments")
+	cellCounter  = obs.GetCounter("dtw.cells")
+	fastDepth    = obs.GetHistogram("dtw.fastdtw_depth")
 )
 
 // Pair is one tuple (i, j) of a warping path: a[i] corresponds to b[j].
@@ -60,6 +69,7 @@ func Distance(a, b *sigproc.Signal, d sigproc.DistanceFunc) (*Result, error) {
 	if err := checkInputs(a, b); err != nil {
 		return nil, err
 	}
+	alignCounter.Inc()
 	ta, tb := transpose(a), transpose(b)
 	return dp(len(ta), len(tb), vecDist(ta, tb, d), nil)
 }
@@ -73,6 +83,17 @@ func Fast(a, b *sigproc.Signal, d sigproc.DistanceFunc, radius int) (*Result, er
 	}
 	if radius < 0 {
 		return nil, fmt.Errorf("dtw: negative radius %d", radius)
+	}
+	alignCounter.Inc()
+	if obs.Enabled() {
+		// Recursion depth is determined by the input sizes alone: each level
+		// halves both series until either drops to the base-case size.
+		depth, n, m, minSize := 0, a.Len(), b.Len(), radius+2
+		for n > minSize && m > minSize {
+			n, m = (n+1)/2, (m+1)/2
+			depth++
+		}
+		fastDepth.Observe(float64(depth))
 	}
 	ta, tb := transpose(a), transpose(b)
 	return fastdtw(ta, tb, d, radius)
@@ -116,13 +137,16 @@ func dp(n, m int, d PointDist, w *window) (*Result, error) {
 	const inf = math.MaxFloat64
 	// cost[i] stored as per-row slices over the row's window.
 	costs := make([][]float64, n)
+	cells := int64(0)
 	for i := 0; i < n; i++ {
 		lo, hi := w.lo[i], w.hi[i]
 		if lo < 0 || hi >= m || lo > hi {
 			return nil, fmt.Errorf("dtw: invalid window row %d: [%d,%d] of %d", i, lo, hi, m)
 		}
 		costs[i] = make([]float64, hi-lo+1)
+		cells += int64(hi - lo + 1)
 	}
+	cellCounter.Add(cells)
 	at := func(i, j int) float64 {
 		if i < 0 || j < 0 {
 			if i == -1 && j == -1 {
@@ -270,7 +294,11 @@ func fastdtw(x, y [][]float64, d sigproc.DistanceFunc, radius int) (*Result, err
 
 // HDisp extracts the horizontal displacement array of Eq. (5) from a path:
 // h_disp[i] is the mean of j-i over all tuples (i, j). n is the length of
-// signal a; every i in [0, n) appears in a valid DTW path.
+// signal a. Every i in [0, n) appears in a valid full-resolution DTW path,
+// but callers also pass coarse or truncated paths that skip rows; an
+// uncovered row takes the nearest covered row's value — a 0 would read as
+// "perfectly aligned" downstream, masking exactly the misalignment the
+// discriminator looks for.
 func HDisp(path []Pair, n int) []float64 {
 	sum := make([]float64, n)
 	cnt := make([]int, n)
@@ -286,11 +314,14 @@ func HDisp(path []Pair, n int) []float64 {
 			out[i] = sum[i] / float64(cnt[i])
 		}
 	}
+	fillUncovered(out, cnt)
 	return out
 }
 
 // VDist extracts the vertical distance array of Eq. (15): v_dist[i] is the
-// mean of d(a[i], b[j]) over all tuples (i, j) in the path.
+// mean of d(a[i], b[j]) over all tuples (i, j) in the path. Rows the path
+// never covers take the nearest covered row's value (see HDisp) — a 0
+// would read as "zero distance", the strongest possible benign vote.
 func VDist(path []Pair, a, b *sigproc.Signal, d sigproc.DistanceFunc) []float64 {
 	n := a.Len()
 	ta, tb := transpose(a), transpose(b)
@@ -308,5 +339,44 @@ func VDist(path []Pair, a, b *sigproc.Signal, d sigproc.DistanceFunc) []float64 
 			out[i] = sum[i] / float64(cnt[i])
 		}
 	}
+	fillUncovered(out, cnt)
 	return out
+}
+
+// fillUncovered replaces out[i] for rows with cnt[i] == 0 by the value of
+// the nearest covered row (the earlier one on ties). A path covering no
+// rows at all leaves out as zeros.
+func fillUncovered(out []float64, cnt []int) {
+	n := len(out)
+	// prev[i] is the nearest covered row at or before i (-1: none).
+	prev := make([]int, n)
+	last := -1
+	for i := 0; i < n; i++ {
+		if cnt[i] > 0 {
+			last = i
+		}
+		prev[i] = last
+	}
+	// Walk backwards tracking the nearest covered row at or after i; since
+	// only uncovered rows are written and only covered rows are read, the
+	// fill order cannot chain stale values.
+	next := -1
+	for i := n - 1; i >= 0; i-- {
+		if cnt[i] > 0 {
+			next = i
+			continue
+		}
+		p := prev[i]
+		switch {
+		case p < 0 && next < 0: // no covered rows at all: leave zeros
+		case p < 0:
+			out[i] = out[next]
+		case next < 0:
+			out[i] = out[p]
+		case i-p <= next-i:
+			out[i] = out[p]
+		default:
+			out[i] = out[next]
+		}
+	}
 }

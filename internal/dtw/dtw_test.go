@@ -261,3 +261,48 @@ func TestAsymmetricLengths(t *testing.T) {
 	}
 	pathValid(t, res.Path, 50, 150)
 }
+
+// TestHDispCarriesUncoveredRows: rows a coarse/truncated path skips must
+// inherit the nearest covered row's displacement. Pre-fix they read 0 —
+// "perfectly aligned" — which downstream discriminators treat as the
+// strongest possible benign evidence.
+func TestHDispCarriesUncoveredRows(t *testing.T) {
+	path := []Pair{{0, 2}, {2, 3}, {3, 6}, {5, 7}} // rows 1 and 4 skipped
+	h := HDisp(path, 6)
+	// Ties between equally distant covered rows resolve to the earlier row.
+	want := []float64{2, 2, 1, 3, 3, 2}
+	for i := range want {
+		if h[i] != want[i] {
+			t.Errorf("HDisp[%d] = %v, want %v", i, h[i], want[i])
+		}
+	}
+}
+
+func TestHDispLeadingAndTrailingUncovered(t *testing.T) {
+	h := HDisp([]Pair{{2, 5}}, 4) // only row 2 covered
+	want := []float64{3, 3, 3, 3}
+	for i := range want {
+		if h[i] != want[i] {
+			t.Errorf("HDisp[%d] = %v, want %v", i, h[i], want[i])
+		}
+	}
+	// A path covering nothing leaves zeros (nothing to carry).
+	for i, v := range HDisp([]Pair{{9, 9}}, 3) {
+		if v != 0 {
+			t.Errorf("empty-coverage HDisp[%d] = %v, want 0", i, v)
+		}
+	}
+}
+
+func TestVDistCarriesUncoveredRows(t *testing.T) {
+	a := sig(1, 0, 1, 2)
+	b := sig(1, 4, 1, 5)
+	path := []Pair{{0, 0}, {2, 2}} // row 1 skipped
+	v := VDist(path, a, b, abs1)
+	want := []float64{4, 4, 3} // row 1 carries row 0 (earlier on tie), not 0
+	for i := range want {
+		if v[i] != want[i] {
+			t.Errorf("VDist[%d] = %v, want %v", i, v[i], want[i])
+		}
+	}
+}

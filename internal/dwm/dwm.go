@@ -15,8 +15,16 @@ import (
 	"fmt"
 	"math"
 
+	"nsync/internal/obs"
 	"nsync/internal/sigproc"
 	"nsync/internal/tde"
+)
+
+// Hot-path metrics (see DESIGN.md §10). Pointers are resolved once so a
+// disabled registry costs one atomic load per Step.
+var (
+	stepTimer   = obs.GetTimer("dwm.step")
+	searchWidth = obs.GetHistogram("dwm.search_width")
 )
 
 // Params holds the five DWM parameters of Section VI-C, expressed in
@@ -203,21 +211,40 @@ func (s *Synchronizer) NumWindows(n int) int {
 // WindowIndex returns the index of the next window Step expects.
 func (s *Synchronizer) WindowIndex() int { return s.i }
 
-// Step processes observed window a{i} (which must be exactly NWin samples
-// with the reference's channel count) and returns its horizontal
-// displacement in samples together with the TDEB similarity score.
+// Proposal is the computed-but-uncommitted outcome of one DWM step:
+// everything Step would derive from the next observed window, without any
+// synchronizer state change. Obtain one with Propose, apply it with
+// Commit. The split lets callers interleave other fallible work (e.g. the
+// Monitor's vertical-distance computation) between computing a step and
+// committing it, so an error anywhere leaves the synchronizer exactly at
+// the window it was on.
+type Proposal struct {
+	// HDisp is the window's horizontal displacement in samples (Eq. 13).
+	HDisp int
+	// Score is the winning TDEB similarity score.
+	Score float64
+	// hLow is the updated low-frequency displacement (Eq. 12), applied to
+	// the synchronizer on Commit.
+	hLow int
+}
+
+// Propose computes the displacement of observed window a{i} (which must be
+// exactly NWin samples with the reference's channel count) without
+// advancing the synchronizer: WindowIndex and the accumulated arrays are
+// unchanged, and the same window can be proposed again after a failure.
 //
-// Step implements lines 7-11 of the final algorithm: it searches for the
-// window inside b{i; h_low[i-1]}_E, derives h_disp[i] (Eq. 13) and updates
-// h_disp,low (Eq. 12). Near the edges of the reference, the extended search
-// window is clipped to the available samples and the TDEB bias center moves
-// with the prediction.
-func (s *Synchronizer) Step(window *sigproc.Signal) (hDisp int, score float64, err error) {
+// Propose implements lines 7-11 of the final algorithm: it searches for
+// the window inside b{i; h_low[i-1]}_E, derives h_disp[i] (Eq. 13) and the
+// next h_disp,low (Eq. 12). Near the edges of the reference, the extended
+// search window is clipped to the available samples and the TDEB bias
+// center moves with the prediction.
+func (s *Synchronizer) Propose(window *sigproc.Signal) (Proposal, error) {
+	t := stepTimer.Start()
 	if window.Len() != s.sp.NWin {
-		return 0, 0, fmt.Errorf("dwm: window %d has %d samples, want %d", s.i, window.Len(), s.sp.NWin)
+		return Proposal{}, fmt.Errorf("dwm: window %d has %d samples, want %d", s.i, window.Len(), s.sp.NWin)
 	}
 	if window.Channels() != s.ref.Channels() {
-		return 0, 0, fmt.Errorf("dwm: window %d has %d channels, want %d", s.i, window.Channels(), s.ref.Channels())
+		return Proposal{}, fmt.Errorf("dwm: window %d has %d channels, want %d", s.i, window.Channels(), s.ref.Channels())
 	}
 
 	// Predicted start of the matching window in b.
@@ -241,9 +268,14 @@ func (s *Synchronizer) Step(window *sigproc.Signal) (hDisp int, score float64, e
 			lo = bn - s.sp.NWin
 		}
 	}
+	searchWidth.Observe(float64(hi - lo))
 
 	search := s.ref.Slice(lo, hi)
-	var j int
+	var (
+		j     int
+		score float64
+		err   error
+	)
 	if s.bias {
 		// Bias center = similarity-array index of the predicted position.
 		biasCenter := center - lo
@@ -252,19 +284,40 @@ func (s *Synchronizer) Step(window *sigproc.Signal) (hDisp int, score float64, e
 		j, score, err = s.est.Delay(search, window)
 	}
 	if err != nil {
-		return 0, 0, fmt.Errorf("dwm: window %d: %w", s.i, err)
+		return Proposal{}, fmt.Errorf("dwm: window %d: %w", s.i, err)
 	}
 
-	hDisp = lo + j - s.i*s.sp.NHop                       // Eq. (13), generalized for clipping.
-	raw := lo + j - center                               // j - n_ext in the unclipped case.
-	hLow := roundInt(s.sp.Eta*float64(raw)) + s.hLowPrev // Eq. (12).
+	hDisp := lo + j - s.i*s.sp.NHop // Eq. (13), generalized for clipping.
+	raw := lo + j - center          // j - n_ext in the unclipped case.
+	stepTimer.Stop(t)
+	return Proposal{
+		HDisp: hDisp,
+		Score: score,
+		hLow:  roundInt(s.sp.Eta*float64(raw)) + s.hLowPrev, // Eq. (12).
+	}, nil
+}
 
-	s.hDisp = append(s.hDisp, hDisp)
-	s.hLow = append(s.hLow, hLow)
-	s.scores = append(s.scores, score)
-	s.hLowPrev = hLow
+// Commit applies a Proposal: the displacement is appended, h_disp,low
+// advances, and WindowIndex moves to the next window. Only commit the
+// proposal computed for the current window.
+func (s *Synchronizer) Commit(p Proposal) {
+	s.hDisp = append(s.hDisp, p.HDisp)
+	s.hLow = append(s.hLow, p.hLow)
+	s.scores = append(s.scores, p.Score)
+	s.hLowPrev = p.hLow
 	s.i++
-	return hDisp, score, nil
+}
+
+// Step processes observed window a{i} and returns its horizontal
+// displacement in samples together with the TDEB similarity score. It is
+// Propose followed by Commit: on error nothing is committed.
+func (s *Synchronizer) Step(window *sigproc.Signal) (hDisp int, score float64, err error) {
+	p, err := s.Propose(window)
+	if err != nil {
+		return 0, 0, err
+	}
+	s.Commit(p)
+	return p.HDisp, p.Score, nil
 }
 
 // Result snapshots the displacements accumulated so far.
@@ -287,6 +340,12 @@ func Run(a, b *sigproc.Signal, p Params, opts ...Option) (*Result, error) {
 	s, err := NewSynchronizer(b, p, opts...)
 	if err != nil {
 		return nil, err
+	}
+	// Validate the observed signal up front, like the reference: a ragged
+	// observed signal would otherwise only fail deep inside Step, one
+	// confusing per-window error at a time.
+	if err := a.Validate(); err != nil {
+		return nil, fmt.Errorf("dwm: observed: %w", err)
 	}
 	if a.Channels() != b.Channels() {
 		return nil, fmt.Errorf("dwm: observed has %d channels, reference has %d", a.Channels(), b.Channels())

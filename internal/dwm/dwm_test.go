@@ -4,6 +4,7 @@ import (
 	"math"
 	"math/rand"
 	"reflect"
+	"strings"
 	"testing"
 	"testing/quick"
 
@@ -398,5 +399,73 @@ func TestHDispWithinSearchRange(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
 		t.Error(err)
+	}
+}
+
+// TestRunValidatesObserved: a ragged observed signal must fail up front
+// with a clear error, not per-window deep inside Step.
+func TestRunValidatesObserved(t *testing.T) {
+	rng := rand.New(rand.NewSource(38))
+	b := walk(rng, 100, 500)
+	ragged := &sigproc.Signal{
+		Rate: 100,
+		Data: [][]float64{make([]float64, 500), make([]float64, 300)},
+	}
+	_, err := Run(ragged, b, Params{TWin: 0.5, THop: 0.25, TExt: 0.2, TSigma: 0.1, Eta: 0.1})
+	if err == nil {
+		t.Fatal("ragged observed signal: want error from Run")
+	}
+	if !strings.Contains(err.Error(), "observed") {
+		t.Errorf("error should name the observed signal, got: %v", err)
+	}
+}
+
+// TestProposeDoesNotMutate: Propose must leave the synchronizer unchanged,
+// and Propose+Commit must equal Step exactly.
+func TestProposeDoesNotMutate(t *testing.T) {
+	rng := rand.New(rand.NewSource(39))
+	b := walk(rng, 100, 1000)
+	a := growingDelaySignal(b, 100, 4)
+	stepped, err := NewSynchronizer(b, testParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	proposed, err := NewSynchronizer(b, testParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := proposed.NumWindows(a.Len())
+	if n < 3 {
+		t.Fatalf("want at least 3 windows, got %d", n)
+	}
+	for i := 0; i < n; i++ {
+		win := a.Slice(i*proposed.sp.NHop, i*proposed.sp.NHop+proposed.sp.NWin)
+		// Propose twice: the first call must not disturb the second.
+		p1, err := proposed.Propose(win)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := proposed.WindowIndex(); got != i {
+			t.Fatalf("Propose advanced WindowIndex to %d at window %d", got, i)
+		}
+		p2, err := proposed.Propose(win)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p1 != p2 {
+			t.Fatalf("window %d: repeated Propose diverged: %+v vs %+v", i, p1, p2)
+		}
+		proposed.Commit(p2)
+		h, score, err := stepped.Step(win)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if h != p2.HDisp || score != p2.Score {
+			t.Fatalf("window %d: Step (%d, %v) != Propose+Commit (%d, %v)", i, h, score, p2.HDisp, p2.Score)
+		}
+	}
+	got, want := proposed.Result(), stepped.Result()
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Propose+Commit result diverged from Step:\n%+v\n%+v", got, want)
 	}
 }

@@ -7,10 +7,20 @@ import (
 
 	"nsync/internal/gcode"
 	"nsync/internal/ids"
+	"nsync/internal/obs"
 	"nsync/internal/printer"
 	"nsync/internal/sensor"
 	"nsync/internal/sigproc"
 	"nsync/internal/slicer"
+)
+
+// Pipeline-stage and cache metrics (see DESIGN.md §10). Stage timers wrap
+// the coarse phases of a reproduction run; the cache counters make the
+// dataset memoization observable (a miss costs a full roster simulation).
+var (
+	stageGenerate    = obs.GetTimer("stage.generate")
+	datasetCacheHits = obs.GetCounter("experiment.dataset_cache.hits")
+	datasetCacheMiss = obs.GetCounter("experiment.dataset_cache.misses")
 )
 
 // sigprocBH / sigprocBoxcar keep the scale definitions compact.
@@ -149,6 +159,7 @@ type simJob struct {
 // (scale, printer, baseSeed) always yields the same dataset, at any worker
 // count.
 func Generate(s Scale, prof printer.Profile, baseSeed int64) (*Dataset, error) {
+	t := stageGenerate.Start()
 	if err := s.Validate(); err != nil {
 		return nil, err
 	}
@@ -185,6 +196,7 @@ func Generate(s Scale, prof printer.Profile, baseSeed int64) (*Dataset, error) {
 	ds.Train, runs = runs[:s.Counts.Train], runs[s.Counts.Train:]
 	ds.TestBenign, runs = runs[:s.Counts.TestBenign], runs[s.Counts.TestBenign:]
 	ds.TestMalicious = runs
+	stageGenerate.Stop(t)
 	return ds, nil
 }
 
@@ -215,7 +227,10 @@ func GenerateCached(s Scale, prof printer.Profile, baseSeed int64) (*Dataset, er
 	key := fmt.Sprintf("%s/%s/%d", s.Name, prof.Name, baseSeed)
 	cache.mu.Lock()
 	e, ok := cache.entries[key]
-	if !ok {
+	if ok {
+		datasetCacheHits.Inc()
+	} else {
+		datasetCacheMiss.Inc()
 		e = &datasetEntry{}
 		cache.entries[key] = e
 		cache.order = append(cache.order, key)

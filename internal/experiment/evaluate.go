@@ -5,7 +5,18 @@ import (
 
 	"nsync/internal/core"
 	"nsync/internal/ids"
+	"nsync/internal/obs"
 	"nsync/internal/sensor"
+)
+
+// Stage timers for the two evaluation phases (see DESIGN.md §10): training
+// an IDS on the reference + training roster, and classifying the test
+// roster. Both Evaluate and EvaluateNSYNC report into the same pair, so the
+// post-run report shows the aggregate train/classify split of a whole
+// reproduction regardless of which IDSs ran.
+var (
+	stageTrain    = obs.GetTimer("stage.train")
+	stageClassify = obs.GetTimer("stage.classify")
 )
 
 // Outcome is the confusion summary of one IDS over one dataset.
@@ -76,9 +87,12 @@ func (ds *Dataset) testRuns() []*ids.Run {
 // pool (see SetWorkers); verdicts are recorded in roster order, so the
 // Outcome is identical at every worker count.
 func Evaluate(sys ids.IDS, ds *Dataset) (Outcome, error) {
+	tt := stageTrain.Start()
 	if err := sys.Train(ds.Ref, ds.Train); err != nil {
 		return Outcome{}, fmt.Errorf("experiment: train %s: %w", sys.Name(), err)
 	}
+	stageTrain.Stop(tt)
+	tc := stageClassify.Start()
 	runs := ds.testRuns()
 	flags, err := fanOut(runs, func(_ int, r *ids.Run) (bool, error) {
 		flagged, err := sys.Classify(r)
@@ -90,6 +104,7 @@ func Evaluate(sys ids.IDS, ds *Dataset) (Outcome, error) {
 	if err != nil {
 		return Outcome{}, err
 	}
+	stageClassify.Stop(tc)
 	var out Outcome
 	for i, r := range runs {
 		out.record(r.Label, r.Malicious, flags[i])
@@ -132,6 +147,7 @@ func EvaluateNSYNC(ds *Dataset, ch sensor.Channel, tf ids.Transform, sync core.S
 		}
 		return f, nil
 	}
+	tt := stageTrain.Start()
 	feats, err := fanOut(ds.Train, func(_ int, run *ids.Run) (*core.Features, error) {
 		return features(run)
 	})
@@ -145,6 +161,8 @@ func EvaluateNSYNC(ds *Dataset, ch sensor.Channel, tf ids.Transform, sync core.S
 	if err != nil {
 		return NSYNCOutcome{}, err
 	}
+	stageTrain.Stop(tt)
+	tc := stageClassify.Start()
 	runs := ds.testRuns()
 	testFeats, err := fanOut(runs, func(_ int, run *ids.Run) (*core.Features, error) {
 		return features(run)
@@ -152,6 +170,7 @@ func EvaluateNSYNC(ds *Dataset, ch sensor.Channel, tf ids.Transform, sync core.S
 	if err != nil {
 		return NSYNCOutcome{}, err
 	}
+	stageClassify.Stop(tc)
 	out := NSYNCOutcome{Thresholds: th}
 	for i, run := range runs {
 		f := testFeats[i]

@@ -8,8 +8,14 @@ import (
 	"nsync/internal/core"
 	"nsync/internal/fingerprint"
 	"nsync/internal/ids"
+	"nsync/internal/obs"
 	"nsync/internal/sensor"
 )
+
+// stageTable aggregates the wall time of every table/figure builder (see
+// DESIGN.md §10): one observation per builder call, so Count is the number
+// of tables built and the quantiles show their cost spread.
+var stageTable = obs.GetTimer("stage.table")
 
 // The table builders below all follow the same parallel shape: enumerate
 // the independent cells (printer × channel × transform × ...) in paper
@@ -39,6 +45,7 @@ type Table5Row struct {
 // (coarse, layer-level DSYNC) across printers, side channels, and
 // transforms, with OCC thresholds at r = 0 as in the paper.
 func Table5(datasets map[string]*Dataset) ([]Table5Row, error) {
+	defer stageTable.Stop(stageTable.Start())
 	type cell struct {
 		ds *Dataset
 		ch sensor.Channel
@@ -84,6 +91,7 @@ type Table6Row struct {
 // Table6 reproduces Table VI: Bayens' acoustic window-matching IDS [4] at
 // the scale's two window sizes (90 s / 120 s at paper scale), AUD only.
 func Table6(datasets map[string]*Dataset) ([]Table6Row, error) {
+	defer stageTable.Stop(stageTable.Start())
 	type cell struct {
 		ds  *Dataset
 		win float64
@@ -135,6 +143,7 @@ type Table7Row struct {
 // Table7 reproduces Table VII: Gatlin's per-layer fingerprint IDS [13]
 // across printers and side channels.
 func Table7(datasets map[string]*Dataset) ([]Table7Row, error) {
+	defer stageTable.Stop(stageTable.Start())
 	type cell struct {
 		ds *Dataset
 		ch sensor.Channel
@@ -205,6 +214,7 @@ func runNSYNCCells(cells []nsyncCell, table string, newSync func(c nsyncCell) co
 // Table8 reproduces Table VIII: NSYNC with DWM across printers, transforms,
 // and side channels, including the per-sub-module columns.
 func Table8(datasets map[string]*Dataset) ([]Table8Row, error) {
+	defer stageTable.Stop(stageTable.Start())
 	var cells []nsyncCell
 	for _, ds := range orderedDatasets(datasets) {
 		for _, tf := range Transforms {
@@ -222,6 +232,7 @@ func Table8(datasets map[string]*Dataset) ([]Table8Row, error) {
 // paper "was not able to apply DTW on the raw signals because it took
 // forever").
 func Table9(datasets map[string]*Dataset) ([]Table8Row, error) {
+	defer stageTable.Stop(stageTable.Start())
 	var cells []nsyncCell
 	for _, ds := range orderedDatasets(datasets) {
 		for _, ch := range EvalChannels {
@@ -242,6 +253,7 @@ type BelikovetskyResult struct {
 // Belikovetsky reproduces the Section VIII-C prose results: Belikovetsky's
 // PCA + cosine IDS [5] on AUD spectrograms.
 func Belikovetsky(datasets map[string]*Dataset) ([]BelikovetskyResult, error) {
+	defer stageTable.Stop(stageTable.Start())
 	return fanOut(orderedDatasets(datasets), func(_ int, ds *Dataset) (BelikovetskyResult, error) {
 		sys := &baseline.Belikovetsky{
 			AverageSeconds: ds.Scale.BelikovetskyAvg,

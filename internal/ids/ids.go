@@ -13,9 +13,19 @@ import (
 	"sync"
 
 	"nsync/internal/core"
+	"nsync/internal/obs"
 	"nsync/internal/sensor"
 	"nsync/internal/sigproc"
 	"nsync/internal/stft"
+)
+
+// Spectrogram-cache counters (see DESIGN.md §10): a hit returns a
+// previously transformed signal; a miss pays one STFT. Requests that land
+// on an entry another goroutine is still computing count as hits — they
+// share that computation rather than starting one.
+var (
+	spectroCacheHits = obs.GetCounter("ids.spectro_cache.hits")
+	spectroCacheMiss = obs.GetCounter("ids.spectro_cache.misses")
 )
 
 // Transform selects how a side-channel signal is presented to an IDS
@@ -93,7 +103,10 @@ func (r *Run) Signal(ch sensor.Channel, tf Transform) (*sigproc.Signal, error) {
 			r.spectroCache = make(map[sensor.Channel]*spectroEntry)
 		}
 		e, ok := r.spectroCache[ch]
-		if !ok {
+		if ok {
+			spectroCacheHits.Inc()
+		} else {
+			spectroCacheMiss.Inc()
 			e = &spectroEntry{}
 			r.spectroCache[ch] = e
 		}

@@ -1,0 +1,467 @@
+// Package obs is the observability layer of the NSYNC pipeline: a
+// dependency-free metrics registry of atomic counters, gauges, streaming
+// histograms, and named timers. The paper's practicality claim rests on
+// NSYNC being cheap enough for real-time operation (Section VI-A chooses
+// the smallest FastDTW radius "because it takes a very long time to analyze
+// side-channel signals"); this package is how the reproduction measures
+// that claim instead of asserting it.
+//
+// Design constraints, in order:
+//
+//   - Race-safe: every metric may be hammered from the evaluation engine's
+//     worker pool. All state is atomic; the registry itself is a sync.Map.
+//   - Near-zero cost when disabled: collection is off by default and every
+//     recording call first checks one atomic bool and returns. Hot paths
+//     (DWM steps, DTW cell expansions) batch their updates per call, never
+//     per cell.
+//   - Dependency-free: imports only the standard library, so any package
+//     in the module (sigproc, dtw, dwm, pool, core, experiment) can
+//     instrument itself without cycles.
+//
+// Instrumented call sites keep a package-level *Counter/*Timer obtained
+// once via GetCounter etc., so the per-event cost is one atomic load (the
+// enabled check) plus one or two atomic adds when enabled.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// enabled gates every recording call. Disabled by default so library users
+// who never ask for metrics pay only a single atomic load per event.
+var enabled atomic.Bool
+
+// SetEnabled turns metric collection on or off process-wide. Values
+// recorded while disabled are dropped, not buffered.
+func SetEnabled(on bool) { enabled.Store(on) }
+
+// Enabled reports whether metric collection is on.
+func Enabled() bool { return enabled.Load() }
+
+// ---- Counter ----
+
+// Counter is a monotonically increasing event count.
+type Counter struct {
+	name string
+	v    atomic.Int64
+}
+
+// Add increments the counter by n when collection is enabled.
+func (c *Counter) Add(n int64) {
+	if enabled.Load() {
+		c.v.Add(n)
+	}
+}
+
+// Inc increments the counter by one when collection is enabled.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Name returns the counter's registry name.
+func (c *Counter) Name() string { return c.name }
+
+// ---- Gauge ----
+
+// Gauge is a float64 that tracks the most recent value of something
+// (buffer occupancy, worker count).
+type Gauge struct {
+	name string
+	bits atomic.Uint64
+}
+
+// Set records v when collection is enabled.
+func (g *Gauge) Set(v float64) {
+	if enabled.Load() {
+		g.bits.Store(math.Float64bits(v))
+	}
+}
+
+// Value returns the last recorded value (0 before any Set).
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Name returns the gauge's registry name.
+func (g *Gauge) Name() string { return g.name }
+
+// ---- Histogram ----
+
+// Histogram buckets: values are placed by binary exponent with subBuckets
+// subdivisions per octave, covering ~[2^minExp, 2^maxExp). That spans
+// nanosecond-scale durations (stored in seconds) up to hours, and sample
+// counts from 1 to billions, with a worst-case relative quantile error of
+// one sub-bucket (~9%).
+const (
+	subBuckets = 8
+	minExp     = -32 // 2^-32 s ≈ 0.23 ns
+	maxExp     = 32  // 2^32 ≈ 4.3e9
+	numBuckets = (maxExp - minExp) * subBuckets
+)
+
+// Histogram is a streaming log-bucketed histogram with exact count, sum,
+// min, and max, and approximate quantiles. It is safe for concurrent use.
+type Histogram struct {
+	name    string
+	count   atomic.Int64
+	sumBits atomic.Uint64 // float64 sum, CAS-updated
+	minBits atomic.Uint64 // float64, CAS-updated
+	maxBits atomic.Uint64
+	buckets [numBuckets]atomic.Int64
+}
+
+// bucketIndex maps a positive value to its bucket. Non-positive and
+// non-finite values land in bucket 0.
+func bucketIndex(v float64) int {
+	if !(v > 0) || math.IsInf(v, 1) {
+		return 0
+	}
+	frac, exp := math.Frexp(v) // v = frac * 2^exp, frac in [0.5, 1)
+	sub := int((frac - 0.5) * 2 * subBuckets)
+	if sub >= subBuckets {
+		sub = subBuckets - 1
+	}
+	idx := (exp-1-minExp)*subBuckets + sub
+	if idx < 0 {
+		return 0
+	}
+	if idx >= numBuckets {
+		return numBuckets - 1
+	}
+	return idx
+}
+
+// bucketValue is the geometric midpoint of bucket idx, used to report
+// quantiles.
+func bucketValue(idx int) float64 {
+	exp := idx/subBuckets + minExp
+	frac := 0.5 + (float64(idx%subBuckets)+0.5)/(2*subBuckets)
+	return math.Ldexp(frac, exp+1)
+}
+
+// init seeds the min/max sentinels; must run before the first Observe.
+func (h *Histogram) init() {
+	h.minBits.Store(math.Float64bits(math.Inf(1)))
+	h.maxBits.Store(math.Float64bits(math.Inf(-1)))
+}
+
+// Observe records one value when collection is enabled.
+func (h *Histogram) Observe(v float64) {
+	if !enabled.Load() {
+		return
+	}
+	h.buckets[bucketIndex(v)].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		if h.sumBits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			break
+		}
+	}
+	for {
+		old := h.minBits.Load()
+		if math.Float64frombits(old) <= v {
+			break
+		}
+		if h.minBits.CompareAndSwap(old, math.Float64bits(v)) {
+			break
+		}
+	}
+	for {
+		old := h.maxBits.Load()
+		if math.Float64frombits(old) >= v {
+			break
+		}
+		if h.maxBits.CompareAndSwap(old, math.Float64bits(v)) {
+			break
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+
+// Mean returns the mean observed value (0 when empty).
+func (h *Histogram) Mean() float64 {
+	n := h.Count()
+	if n == 0 {
+		return 0
+	}
+	return h.Sum() / float64(n)
+}
+
+// Min returns the exact minimum observed value (0 when empty).
+func (h *Histogram) Min() float64 {
+	if h.Count() == 0 {
+		return 0
+	}
+	return math.Float64frombits(h.minBits.Load())
+}
+
+// Max returns the exact maximum observed value (0 when empty).
+func (h *Histogram) Max() float64 {
+	if h.Count() == 0 {
+		return 0
+	}
+	return math.Float64frombits(h.maxBits.Load())
+}
+
+// Quantile returns the approximate q-quantile (q in [0, 1]) as the
+// geometric midpoint of the bucket holding the q-th observation. Returns 0
+// when the histogram is empty.
+func (h *Histogram) Quantile(q float64) float64 {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := int64(q * float64(n-1))
+	var seen int64
+	for i := 0; i < numBuckets; i++ {
+		seen += h.buckets[i].Load()
+		if seen > rank {
+			return bucketValue(i)
+		}
+	}
+	return h.Max()
+}
+
+// Name returns the histogram's registry name.
+func (h *Histogram) Name() string { return h.name }
+
+// ---- Timer ----
+
+// Timer is a histogram of durations in seconds, with helpers that avoid
+// the time.Now() call entirely while collection is disabled.
+type Timer struct {
+	h Histogram
+}
+
+// Start returns the stopwatch start time, or the zero Time when collection
+// is disabled (Stop treats it as a no-op). The enabled check happens here
+// so disabled hot paths skip the clock read.
+func (t *Timer) Start() time.Time {
+	if !enabled.Load() {
+		return time.Time{}
+	}
+	return time.Now()
+}
+
+// Stop records the time elapsed since start. A zero start (collection was
+// disabled at Start) records nothing.
+func (t *Timer) Stop(start time.Time) {
+	if start.IsZero() {
+		return
+	}
+	t.h.Observe(time.Since(start).Seconds())
+}
+
+// Observe records an explicit duration.
+func (t *Timer) Observe(d time.Duration) { t.h.Observe(d.Seconds()) }
+
+// Histogram exposes the underlying duration histogram (seconds).
+func (t *Timer) Histogram() *Histogram { return &t.h }
+
+// Name returns the timer's registry name.
+func (t *Timer) Name() string { return t.h.name }
+
+// Rate returns recorded events per second of recorded time: Count/Sum.
+// This is the "DWM steps per second" style throughput of an instrumented
+// stage. Returns 0 before any observation.
+func (t *Timer) Rate() float64 {
+	s := t.h.Sum()
+	if s <= 0 {
+		return 0
+	}
+	return float64(t.h.Count()) / s
+}
+
+// ---- Registry ----
+
+// registry maps a metric name to its single instance. sync.Map keeps the
+// common path (metric already registered) lock-free.
+var registry sync.Map // name -> metric (one of *Counter, *Gauge, *Histogram, *Timer)
+
+// getOrCreate returns the metric registered under name, creating it with
+// mk on first use. Panics if name is already registered with a different
+// metric type — two call sites disagreeing about a metric's kind is a
+// programming error worth failing loudly on.
+func getOrCreate[T any](name string, mk func() T) T {
+	if v, ok := registry.Load(name); ok {
+		m, ok := v.(T)
+		if !ok {
+			panic(fmt.Sprintf("obs: metric %q registered as %T", name, v))
+		}
+		return m
+	}
+	v, _ := registry.LoadOrStore(name, mk())
+	m, ok := v.(T)
+	if !ok {
+		panic(fmt.Sprintf("obs: metric %q registered as %T", name, v))
+	}
+	return m
+}
+
+// GetCounter returns the counter registered under name, creating it on
+// first use.
+func GetCounter(name string) *Counter {
+	return getOrCreate(name, func() *Counter { return &Counter{name: name} })
+}
+
+// GetGauge returns the gauge registered under name, creating it on first
+// use.
+func GetGauge(name string) *Gauge {
+	return getOrCreate(name, func() *Gauge { return &Gauge{name: name} })
+}
+
+// GetHistogram returns the histogram registered under name, creating it on
+// first use.
+func GetHistogram(name string) *Histogram {
+	return getOrCreate(name, func() *Histogram {
+		h := &Histogram{name: name}
+		h.init()
+		return h
+	})
+}
+
+// GetTimer returns the timer registered under name, creating it on first
+// use.
+func GetTimer(name string) *Timer {
+	return getOrCreate(name, func() *Timer {
+		t := &Timer{}
+		t.h.name = name
+		t.h.init()
+		return t
+	})
+}
+
+// Reset zeroes every registered metric (the instances stay registered, so
+// cached pointers at call sites remain valid). Meant for tests and for
+// separating report windows.
+func Reset() {
+	registry.Range(func(_, v any) bool {
+		switch m := v.(type) {
+		case *Counter:
+			m.v.Store(0)
+		case *Gauge:
+			m.bits.Store(0)
+		case *Histogram:
+			m.reset()
+		case *Timer:
+			m.h.reset()
+		}
+		return true
+	})
+}
+
+func (h *Histogram) reset() {
+	h.count.Store(0)
+	h.sumBits.Store(0)
+	h.init()
+	for i := range h.buckets {
+		h.buckets[i].Store(0)
+	}
+}
+
+// ---- Reporting ----
+
+// Snapshot is one metric's rendered state.
+type Snapshot struct {
+	Name  string
+	Kind  string // "counter", "gauge", "histogram", "timer"
+	Value string // rendered value column
+}
+
+// Snapshots returns every registered metric's current state, sorted by
+// name. Metrics with no recorded data are included (counters at 0), so a
+// report always shows the full metric surface.
+func Snapshots() []Snapshot {
+	var out []Snapshot
+	registry.Range(func(k, v any) bool {
+		name := k.(string)
+		switch m := v.(type) {
+		case *Counter:
+			out = append(out, Snapshot{name, "counter", fmt.Sprintf("%d", m.Value())})
+		case *Gauge:
+			out = append(out, Snapshot{name, "gauge", fmt.Sprintf("%.4g", m.Value())})
+		case *Histogram:
+			out = append(out, Snapshot{name, "histogram", histLine(m, "%.4g")})
+		case *Timer:
+			out = append(out, Snapshot{name, "timer", timerLine(m)})
+		}
+		return true
+	})
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+func histLine(h *Histogram, format string) string {
+	n := h.Count()
+	if n == 0 {
+		return "count=0"
+	}
+	f := func(v float64) string { return fmt.Sprintf(format, v) }
+	return fmt.Sprintf("count=%d mean=%s p50=%s p95=%s p99=%s min=%s max=%s",
+		n, f(h.Mean()), f(h.Quantile(0.50)), f(h.Quantile(0.95)), f(h.Quantile(0.99)), f(h.Min()), f(h.Max()))
+}
+
+func timerLine(t *Timer) string {
+	h := t.Histogram()
+	n := h.Count()
+	if n == 0 {
+		return "count=0"
+	}
+	d := func(sec float64) string {
+		return time.Duration(sec * float64(time.Second)).Round(time.Microsecond).String()
+	}
+	return fmt.Sprintf("count=%d total=%s p50=%s p95=%s p99=%s max=%s rate=%.1f/s",
+		n, d(h.Sum()), d(h.Quantile(0.50)), d(h.Quantile(0.95)), d(h.Quantile(0.99)), d(h.Max()), t.Rate())
+}
+
+// WriteReport writes the plaintext metrics report: one line per metric,
+// sorted by name, aligned in columns.
+func WriteReport(w io.Writer) error {
+	snaps := Snapshots()
+	nameW, kindW := 0, 0
+	for _, s := range snaps {
+		nameW = max(nameW, len(s.Name))
+		kindW = max(kindW, len(s.Kind))
+	}
+	for _, s := range snaps {
+		if _, err := fmt.Fprintf(w, "%-*s  %-*s  %s\n", nameW, s.Name, kindW, s.Kind, s.Value); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Report returns the plaintext metrics report as a string.
+func Report() string {
+	var b strings.Builder
+	WriteReport(&b) //nolint:errcheck // strings.Builder cannot fail
+	return b.String()
+}
+
+// Handler returns an http.Handler that serves the plaintext report, for
+// mounting at /metrics next to net/http/pprof.
+func Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		WriteReport(w) //nolint:errcheck // client went away
+	})
+}

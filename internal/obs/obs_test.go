@@ -1,0 +1,241 @@
+package obs
+
+import (
+	"math"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// withMetrics runs f with collection enabled and restores the previous
+// state (and a clean slate) afterwards.
+func withMetrics(t *testing.T, f func()) {
+	t.Helper()
+	Reset()
+	SetEnabled(true)
+	t.Cleanup(func() {
+		SetEnabled(false)
+		Reset()
+	})
+	f()
+}
+
+func TestCounterDisabledIsNoop(t *testing.T) {
+	Reset()
+	SetEnabled(false)
+	c := GetCounter("test.disabled_counter")
+	c.Inc()
+	c.Add(41)
+	if got := c.Value(); got != 0 {
+		t.Fatalf("disabled counter recorded %d, want 0", got)
+	}
+}
+
+func TestCounterAndGauge(t *testing.T) {
+	withMetrics(t, func() {
+		c := GetCounter("test.counter")
+		c.Inc()
+		c.Add(9)
+		if got := c.Value(); got != 10 {
+			t.Fatalf("counter = %d, want 10", got)
+		}
+		if again := GetCounter("test.counter"); again != c {
+			t.Fatal("GetCounter returned a different instance for the same name")
+		}
+		g := GetGauge("test.gauge")
+		g.Set(3.5)
+		if got := g.Value(); got != 3.5 {
+			t.Fatalf("gauge = %v, want 3.5", got)
+		}
+	})
+}
+
+func TestHistogramStats(t *testing.T) {
+	withMetrics(t, func() {
+		h := GetHistogram("test.hist")
+		for i := 1; i <= 1000; i++ {
+			h.Observe(float64(i))
+		}
+		if h.Count() != 1000 {
+			t.Fatalf("count = %d, want 1000", h.Count())
+		}
+		if h.Min() != 1 || h.Max() != 1000 {
+			t.Fatalf("min/max = %v/%v, want 1/1000", h.Min(), h.Max())
+		}
+		if got, want := h.Sum(), 500500.0; math.Abs(got-want) > 1e-6 {
+			t.Fatalf("sum = %v, want %v", got, want)
+		}
+		// Log-bucketed quantiles are approximate; accept 10% relative error.
+		checks := []struct{ q, want float64 }{{0.50, 500}, {0.95, 950}, {0.99, 990}}
+		for _, c := range checks {
+			got := h.Quantile(c.q)
+			if rel := math.Abs(got-c.want) / c.want; rel > 0.10 {
+				t.Errorf("p%.0f = %v, want ~%v (rel err %.2f)", c.q*100, got, c.want, rel)
+			}
+		}
+	})
+}
+
+func TestHistogramEmptyAndNonPositive(t *testing.T) {
+	withMetrics(t, func() {
+		h := GetHistogram("test.hist_empty")
+		if h.Quantile(0.5) != 0 || h.Min() != 0 || h.Max() != 0 || h.Mean() != 0 {
+			t.Fatal("empty histogram should report zeros")
+		}
+		h.Observe(0)
+		h.Observe(-5)
+		if h.Count() != 2 {
+			t.Fatalf("count = %d, want 2", h.Count())
+		}
+		if h.Min() != -5 || h.Max() != 0 {
+			t.Fatalf("min/max = %v/%v, want -5/0", h.Min(), h.Max())
+		}
+	})
+}
+
+func TestTimer(t *testing.T) {
+	withMetrics(t, func() {
+		tm := GetTimer("test.timer")
+		tm.Observe(100 * time.Millisecond)
+		tm.Observe(100 * time.Millisecond)
+		h := tm.Histogram()
+		if h.Count() != 2 {
+			t.Fatalf("count = %d, want 2", h.Count())
+		}
+		if got, want := tm.Rate(), 10.0; math.Abs(got-want)/want > 1e-9 {
+			t.Fatalf("rate = %v, want %v", got, want)
+		}
+		start := tm.Start()
+		if start.IsZero() {
+			t.Fatal("Start returned zero time while enabled")
+		}
+		tm.Stop(start)
+		if h.Count() != 3 {
+			t.Fatalf("count after Stop = %d, want 3", h.Count())
+		}
+	})
+}
+
+func TestTimerStartDisabledSkipsClock(t *testing.T) {
+	Reset()
+	SetEnabled(false)
+	tm := GetTimer("test.timer_disabled")
+	start := tm.Start()
+	if !start.IsZero() {
+		t.Fatal("Start should return zero time while disabled")
+	}
+	tm.Stop(start)
+	if tm.Histogram().Count() != 0 {
+		t.Fatal("Stop of a zero start should record nothing")
+	}
+}
+
+// TestRegistryConcurrent hammers registration and recording from many
+// goroutines; run under -race this is the registry's race pass required by
+// the tier-1 criteria.
+func TestRegistryConcurrent(t *testing.T) {
+	withMetrics(t, func() {
+		var wg sync.WaitGroup
+		for g := 0; g < 8; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := 0; i < 1000; i++ {
+					GetCounter("race.counter").Inc()
+					GetHistogram("race.hist").Observe(float64(i%7 + 1))
+					GetTimer("race.timer").Observe(time.Microsecond)
+					GetGauge("race.gauge").Set(float64(i))
+				}
+			}()
+		}
+		// Concurrent readers while writers run.
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				_ = Report()
+			}
+		}()
+		wg.Wait()
+		if got := GetCounter("race.counter").Value(); got != 8000 {
+			t.Fatalf("counter = %d, want 8000", got)
+		}
+		h := GetHistogram("race.hist")
+		if h.Count() != 8000 {
+			t.Fatalf("hist count = %d, want 8000", h.Count())
+		}
+		if h.Min() != 1 || h.Max() != 7 {
+			t.Fatalf("hist min/max = %v/%v, want 1/7", h.Min(), h.Max())
+		}
+	})
+}
+
+func TestMetricKindMismatchPanics(t *testing.T) {
+	withMetrics(t, func() {
+		GetCounter("test.kind_clash")
+		defer func() {
+			if recover() == nil {
+				t.Fatal("expected panic when re-registering a counter as a gauge")
+			}
+		}()
+		GetGauge("test.kind_clash")
+	})
+}
+
+func TestReportAndHandler(t *testing.T) {
+	withMetrics(t, func() {
+		GetCounter("report.hits").Add(3)
+		GetTimer("report.stage").Observe(time.Second)
+		rep := Report()
+		for _, want := range []string{"report.hits", "counter", "3", "report.stage", "timer", "count=1"} {
+			if !strings.Contains(rep, want) {
+				t.Errorf("report missing %q:\n%s", want, rep)
+			}
+		}
+		rec := httptest.NewRecorder()
+		Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+		if !strings.Contains(rec.Body.String(), "report.hits") {
+			t.Errorf("/metrics response missing counter:\n%s", rec.Body.String())
+		}
+	})
+}
+
+func TestResetKeepsInstances(t *testing.T) {
+	withMetrics(t, func() {
+		c := GetCounter("reset.counter")
+		h := GetHistogram("reset.hist")
+		c.Add(5)
+		h.Observe(2)
+		Reset()
+		if c.Value() != 0 || h.Count() != 0 {
+			t.Fatal("Reset did not zero metrics")
+		}
+		// Cached pointers must remain the registered instances.
+		c.Inc()
+		h.Observe(4)
+		if GetCounter("reset.counter").Value() != 1 {
+			t.Fatal("cached counter detached from registry after Reset")
+		}
+		if got := GetHistogram("reset.hist").Min(); got != 4 {
+			t.Fatalf("hist min after reset = %v, want 4 (sentinels not re-seeded?)", got)
+		}
+	})
+}
+
+func TestBucketIndexMonotone(t *testing.T) {
+	vals := []float64{1e-9, 1e-6, 0.001, 0.5, 1, 2, 3, 10, 1e3, 1e6, 1e9}
+	prev := -1
+	for _, v := range vals {
+		idx := bucketIndex(v)
+		if idx <= prev {
+			t.Fatalf("bucketIndex(%v) = %d, not greater than previous %d", v, idx, prev)
+		}
+		prev = idx
+		// The bucket's representative value should be within ~10% of v.
+		if rel := math.Abs(bucketValue(idx)-v) / v; rel > 0.10 {
+			t.Errorf("bucketValue(bucketIndex(%v)) = %v (rel err %.3f)", v, bucketValue(idx), rel)
+		}
+	}
+}

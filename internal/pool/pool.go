@@ -11,7 +11,15 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"nsync/internal/obs"
 )
+
+// queueLatency measures, per work item, how long the item waited between Map
+// being called and a worker picking it up — the fan-out queueing delay (see
+// DESIGN.md §10). Only the parallel path reports; the serial fast path has
+// no queue.
+var queueLatency = obs.GetTimer("pool.queue_latency")
 
 // Resolve maps a worker-count setting to a concrete pool size: values < 1
 // mean "one worker per available CPU" (runtime.GOMAXPROCS(0)).
@@ -55,6 +63,7 @@ func Map[T, R any](ctx context.Context, workers int, items []T, f func(ctx conte
 
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
+	enqueued := queueLatency.Start() // zero when metrics are disabled
 	var (
 		next     atomic.Int64
 		wg       sync.WaitGroup
@@ -70,6 +79,7 @@ func Map[T, R any](ctx context.Context, workers int, items []T, f func(ctx conte
 				if i >= n || ctx.Err() != nil {
 					return
 				}
+				queueLatency.Stop(enqueued)
 				r, err := f(ctx, i, items[i])
 				if err != nil {
 					errOnce.Do(func() {

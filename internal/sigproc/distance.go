@@ -101,24 +101,30 @@ func PointDistance(d DistanceFunc, x *Signal, i int, y *Signal, j int) float64 {
 // output sample is the minimum of the trailing window of n input samples
 // (including the current one). Windows that extend before index 0 are
 // clipped. n < 1 returns a copy of the input.
+//
+// The implementation is the monotonic-deque trailing minimum: each index
+// enters and leaves the deque at most once, so the filter is O(len(v))
+// regardless of the window size, where the naive per-sample scan is
+// O(len(v)*n). The deque front always holds the current window's minimum;
+// candidates that can never win (an earlier sample >= a later one) are
+// evicted from the back as they are dominated.
 func MinFilter(v []float64, n int) []float64 {
 	out := make([]float64, len(v))
 	if n < 1 {
 		copy(out, v)
 		return out
 	}
+	dq := make([]int, 0, min(n, len(v))) // indexes into v, values strictly increasing
+	head := 0                            // dq[head:] is the live deque
 	for i := range v {
-		lo := i - n + 1
-		if lo < 0 {
-			lo = 0
+		if head < len(dq) && dq[head] <= i-n {
+			head++ // front fell out of the trailing window
 		}
-		m := v[lo]
-		for j := lo + 1; j <= i; j++ {
-			if v[j] < m {
-				m = v[j]
-			}
+		for len(dq) > head && v[dq[len(dq)-1]] >= v[i] {
+			dq = dq[:len(dq)-1]
 		}
-		out[i] = m
+		dq = append(dq, i)
+		out[i] = v[dq[head]]
 	}
 	return out
 }

@@ -173,3 +173,82 @@ func TestMovingAverage(t *testing.T) {
 		}
 	}
 }
+
+// minFilterNaive is the original O(n*w) per-sample scan, kept as the
+// reference implementation for the equivalence test against the
+// monotonic-deque MinFilter.
+func minFilterNaive(v []float64, n int) []float64 {
+	out := make([]float64, len(v))
+	if n < 1 {
+		copy(out, v)
+		return out
+	}
+	for i := range v {
+		lo := i - n + 1
+		if lo < 0 {
+			lo = 0
+		}
+		m := v[lo]
+		for j := lo + 1; j <= i; j++ {
+			if v[j] < m {
+				m = v[j]
+			}
+		}
+		out[i] = m
+	}
+	return out
+}
+
+func TestMinFilterMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	lengths := []int{0, 1, 2, 7, 64, 513}
+	windows := []int{-1, 0, 1, 2, 3, 8, 64, 1000}
+	for _, l := range lengths {
+		for _, n := range windows {
+			in := make([]float64, l)
+			for i := range in {
+				in[i] = rng.NormFloat64()
+			}
+			// Duplicates exercise the >= eviction rule.
+			if l > 4 {
+				in[2] = in[1]
+				in[l-1] = in[l-2]
+			}
+			got := MinFilter(in, n)
+			want := minFilterNaive(in, n)
+			if len(got) != len(want) {
+				t.Fatalf("len(MinFilter(%d-sample, n=%d)) = %d, want %d", l, n, len(got), len(want))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("MinFilter(%d-sample, n=%d)[%d] = %v, naive = %v", l, n, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+func benchMinFilterInput(n int) []float64 {
+	rng := rand.New(rand.NewSource(3))
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = rng.NormFloat64()
+	}
+	return v
+}
+
+func BenchmarkMinFilter(b *testing.B) {
+	in := benchMinFilterInput(8192)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MinFilter(in, 128)
+	}
+}
+
+func BenchmarkMinFilterNaive(b *testing.B) {
+	in := benchMinFilterInput(8192)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		minFilterNaive(in, 128)
+	}
+}

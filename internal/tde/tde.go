@@ -9,11 +9,16 @@ import (
 	"fmt"
 	"math"
 
+	"nsync/internal/obs"
 	"nsync/internal/sigproc"
 )
 
 // ErrTooShort is returned when x is shorter than y, so y cannot appear in x.
 var ErrTooShort = errors.New("tde: x is shorter than y")
+
+// estimates counts similarity-array evaluations, the TDE work unit shared by
+// Delay and DelayBiasedAt (see DESIGN.md §10).
+var estimates = obs.GetCounter("tde.estimates")
 
 // Estimator performs time delay estimation with a configurable similarity
 // function. The zero value is not usable; construct with New.
@@ -75,6 +80,7 @@ func (e *Estimator) SimilarityArray(x, y *sigproc.Signal) ([]float64, error) {
 	if x.Channels() != y.Channels() {
 		return nil, fmt.Errorf("tde: channel mismatch %d vs %d", x.Channels(), y.Channels())
 	}
+	estimates.Inc()
 	if e.fastCorr {
 		return fastCorrelationArray(x, y), nil
 	}
