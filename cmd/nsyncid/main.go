@@ -7,6 +7,7 @@
 //	nsyncid -ref ref.nsig -train 't*.nsig' -observe obs.nsig -live
 //	nsyncid -sync dtw -radius 1 ...
 //	nsyncid -pprof :6060 ...   # profiling + plaintext metrics at /metrics
+//	nsyncid -retries 5 ...     # retry transient signal-load failures with backoff
 //
 // Offline mode classifies the observation after reading it fully; -live
 // replays the observation in chunks through the streaming monitor and
@@ -16,6 +17,7 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"net/http"
@@ -28,6 +30,7 @@ import (
 	"nsync/internal/core"
 	"nsync/internal/dwm"
 	metrics "nsync/internal/obs"
+	"nsync/internal/resilience"
 	"nsync/internal/sigproc"
 )
 
@@ -56,6 +59,7 @@ func run() error {
 		workers   = flag.Int("workers", 0, "parallel feature extractions during training (0 = one per CPU, 1 = serial)")
 		timeout   = flag.Duration("timeout", 0, "abort after this long (0 = no limit)")
 		pprofAddr = flag.String("pprof", "", "serve net/http/pprof and plaintext /metrics on this address (e.g. :6060); enables metric collection")
+		retries   = flag.Int("retries", 1, "attempts per signal file load (I/O errors retry with backoff; malformed files fail immediately)")
 	)
 	flag.Parse()
 	if *refPath == "" || *trainArg == "" || *obsPath == "" {
@@ -87,7 +91,8 @@ func run() error {
 	// finish before the pool drains, so a second Ctrl-C force-quits.
 	go func() { <-ctx.Done(); stop() }()
 
-	ref, err := sigproc.LoadFile(*refPath)
+	load := signalLoader(*retries)
+	ref, err := load(ctx, *refPath)
 	if err != nil {
 		return err
 	}
@@ -97,13 +102,13 @@ func run() error {
 	}
 	var train []*sigproc.Signal
 	for _, p := range trainPaths {
-		s, err := sigproc.LoadFile(p)
+		s, err := load(ctx, p)
 		if err != nil {
 			return err
 		}
 		train = append(train, s)
 	}
-	obs, err := sigproc.LoadFile(*obsPath)
+	obs, err := load(ctx, *obsPath)
 	if err != nil {
 		return err
 	}
@@ -194,6 +199,29 @@ func runLive(ref, obs *sigproc.Signal, params dwm.Params, th core.Thresholds, ch
 	}
 	fmt.Printf("stream complete: %d windows analyzed, no intrusion\n", mon.WindowsProcessed())
 	return nil
+}
+
+// signalLoader wraps sigproc.LoadFile in the retry policy selected by
+// -retries: I/O hiccups (a recorder still flushing, a transiently busy NFS
+// mount) are retried with backoff, while a malformed file — which would fail
+// identically on every attempt — fails immediately.
+func signalLoader(attempts int) func(ctx context.Context, path string) (*sigproc.Signal, error) {
+	if attempts <= 1 {
+		return func(_ context.Context, path string) (*sigproc.Signal, error) {
+			return sigproc.LoadFile(path)
+		}
+	}
+	pol := resilience.Policy{
+		MaxAttempts: attempts,
+		Classify: func(err error) bool {
+			return !errors.Is(err, sigproc.ErrBadFormat) && !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded)
+		},
+	}
+	return func(ctx context.Context, path string) (*sigproc.Signal, error) {
+		return resilience.Do(ctx, pol, func(context.Context) (*sigproc.Signal, error) {
+			return sigproc.LoadFile(path)
+		})
+	}
 }
 
 func expandPaths(arg string) ([]string, error) {

@@ -11,6 +11,14 @@
 //	repro -robustness                # sensor-fault sweep (single vs fused)
 //	repro -experiment all -timeout 10m  # abort if it runs long; Ctrl-C also cancels
 //	repro -experiment tab8 -metrics  # append a pipeline-metrics report to stderr
+//	repro -experiment all -checkpoint ckpt  # persist finished cells; rerun to resume
+//	repro -experiment all -checkpoint ckpt -resume=false  # recompute, refresh store
+//	repro -experiment tab5 -chaos panic=0.05,error=0.1 -retries 8  # chaos test
+//	repro -experiment all -partial  # degraded completion: report failed cells, exit 2
+//
+// Exit codes: 0 on success, 1 on fatal error, 2 when the sweep completed
+// degraded (-partial) with at least one failed cell; the failed cells are
+// summarized on stderr. See DESIGN.md §11 for the resilience model.
 //
 // Experiments: fig1 fig2 fig6 fig10 fig11 fig12 tab5 tab6 tab7 tab8 tab9
 // belikovetsky robustness all.
@@ -24,16 +32,26 @@ import (
 	"os/signal"
 	"strings"
 
+	"nsync/internal/checkpoint"
 	"nsync/internal/experiment"
 	"nsync/internal/obs"
+	"nsync/internal/resilience"
 	"nsync/internal/sensor"
 	"nsync/internal/textplot"
 )
 
 func main() {
-	if err := run(); err != nil {
+	fails, err := run()
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "repro:", err)
 		os.Exit(1)
+	}
+	if len(fails) > 0 {
+		fmt.Fprintf(os.Stderr, "repro: completed degraded — %d cell(s) failed after retries:\n", len(fails))
+		for _, f := range fails {
+			fmt.Fprintf(os.Stderr, "  %s: %s\n", f.Key, f.Err)
+		}
+		os.Exit(2)
 	}
 }
 
@@ -52,7 +70,7 @@ type env struct {
 	rob []experiment.RobustnessRow
 }
 
-func run() error {
+func run() ([]experiment.CellFailure, error) {
 	var (
 		expArg     = flag.String("experiment", "all", "which artifact(s) to regenerate (comma separated)")
 		scaleName  = flag.String("scale", "ci", "experiment scale: ci or paper")
@@ -61,9 +79,40 @@ func run() error {
 		robustness = flag.Bool("robustness", false, "shorthand for -experiment robustness (sensor-fault sweep)")
 		timeout    = flag.Duration("timeout", 0, "abort the run after this long (0 = no limit)")
 		metrics    = flag.Bool("metrics", false, "collect pipeline metrics and print a report to stderr at exit")
+		ckptDir    = flag.String("checkpoint", "", "persist completed datasets and table cells in this directory")
+		resume     = flag.Bool("resume", true, "load previously checkpointed results (with -checkpoint); false recomputes everything but still refreshes the store")
+		chaosSpec  = flag.String("chaos", "", "inject pipeline faults, e.g. panic=0.05,error=0.1,latency=0.02,delay=5ms,seed=7 (seed defaults to -seed)")
+		retries    = flag.Int("retries", 0, "max attempts per pipeline work unit (0 = default policy of 3)")
+		partial    = flag.Bool("partial", false, "degraded completion: skip and report cells that fail after retries instead of aborting (exit 2)")
 	)
 	flag.Parse()
 	experiment.SetWorkers(*workers)
+	if *retries != 0 {
+		experiment.SetRetry(resilience.Policy{MaxAttempts: *retries, Seed: *seed})
+	}
+	if *chaosSpec != "" {
+		cfg, err := resilience.ParseChaos(*chaosSpec, *seed)
+		if err != nil {
+			return nil, err
+		}
+		chaos, err := resilience.NewChaos(cfg)
+		if err != nil {
+			return nil, err
+		}
+		experiment.SetChaos(chaos)
+	}
+	if *ckptDir != "" {
+		store, err := checkpoint.Open(*ckptDir)
+		if err != nil {
+			return nil, err
+		}
+		if *resume {
+			experiment.SetCheckpoint(store)
+		} else {
+			experiment.SetCheckpoint(writeOnly{store})
+		}
+	}
+	experiment.SetPartial(*partial)
 	if *metrics {
 		obs.SetEnabled(true)
 		// The report prints even when a table builder fails: a partial run's
@@ -96,7 +145,7 @@ func run() error {
 	case "paper":
 		e.scale = experiment.Paper()
 	default:
-		return fmt.Errorf("unknown scale %q", *scaleName)
+		return nil, fmt.Errorf("unknown scale %q", *scaleName)
 	}
 
 	wanted := strings.Split(*expArg, ",")
@@ -108,11 +157,20 @@ func run() error {
 	}
 	for _, name := range wanted {
 		if err := e.dispatch(strings.TrimSpace(name)); err != nil {
-			return fmt.Errorf("%s: %w", name, err)
+			return nil, fmt.Errorf("%s: %w", name, err)
 		}
 	}
-	return nil
+	// Degraded cells recorded by -partial builders decide the exit code.
+	return experiment.TakeFailures(), nil
 }
+
+// writeOnly wraps a checkpoint store for -resume=false: every load misses,
+// so the sweep recomputes everything, but fresh results still land in the
+// store for the next run.
+type writeOnly struct{ s experiment.CheckpointStore }
+
+func (w writeOnly) Load(string, any) (bool, error) { return false, nil }
+func (w writeOnly) Save(k string, v any) error     { return w.s.Save(k, v) }
 
 // datasets lazily generates the two-printer roster.
 func (e *env) datasets() (map[string]*experiment.Dataset, error) {

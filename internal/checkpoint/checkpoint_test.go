@@ -1,0 +1,183 @@
+package checkpoint
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"nsync/internal/obs"
+)
+
+type cell struct {
+	Printer string
+	FPR     float64
+	Series  []float64
+}
+
+func testStore(t *testing.T) *Store {
+	t.Helper()
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestRoundTrip(t *testing.T) {
+	s := testStore(t)
+	in := cell{Printer: "UM3", FPR: 0.05, Series: []float64{1, 2, 3}}
+	if err := s.Save("table5/um3/acc", in); err != nil {
+		t.Fatal(err)
+	}
+	var out cell
+	ok, err := s.Load("table5/um3/acc", &out)
+	if err != nil || !ok {
+		t.Fatalf("Load = (%v, %v), want hit", ok, err)
+	}
+	if out.Printer != in.Printer || out.FPR != in.FPR || len(out.Series) != 3 || out.Series[2] != 3 {
+		t.Fatalf("round trip mangled the value: %+v", out)
+	}
+}
+
+func TestMissOnAbsentKey(t *testing.T) {
+	s := testStore(t)
+	var out cell
+	ok, err := s.Load("never/saved", &out)
+	if err != nil || ok {
+		t.Fatalf("Load of absent key = (%v, %v), want (false, nil)", ok, err)
+	}
+}
+
+func TestOverwriteLastWins(t *testing.T) {
+	s := testStore(t)
+	if err := s.Save("k", cell{FPR: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Save("k", cell{FPR: 2}); err != nil {
+		t.Fatal(err)
+	}
+	var out cell
+	if ok, err := s.Load("k", &out); !ok || err != nil || out.FPR != 2 {
+		t.Fatalf("after overwrite: ok=%v err=%v out=%+v", ok, err, out)
+	}
+}
+
+func TestCorruptEntryIsAMiss(t *testing.T) {
+	prev := obs.Enabled()
+	obs.SetEnabled(true)
+	defer obs.SetEnabled(prev)
+	s := testStore(t)
+	if err := s.Save("k", cell{Printer: "RM3"}); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(s.Path("k"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip one payload byte: the checksum must catch it and Load must treat
+	// the entry as absent, not fail the resume.
+	mutated := append([]byte(nil), raw...)
+	mutated[len(mutated)-1] ^= 0xFF
+	if err := os.WriteFile(s.Path("k"), mutated, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	before := obs.GetCounter("checkpoint.corrupt").Value()
+	var out cell
+	ok, err := s.Load("k", &out)
+	if err != nil || ok {
+		t.Fatalf("corrupt entry: Load = (%v, %v), want (false, nil)", ok, err)
+	}
+	if after := obs.GetCounter("checkpoint.corrupt").Value(); after != before+1 {
+		t.Errorf("checkpoint.corrupt went %d -> %d, want +1", before, after)
+	}
+
+	// Truncations anywhere in the envelope are also just misses.
+	for _, n := range []int{0, 4, 11, 15, len(raw) / 2, len(raw) - 1} {
+		if err := os.WriteFile(s.Path("k"), raw[:n], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if ok, err := s.Load("k", &out); err != nil || ok {
+			t.Fatalf("truncated to %d bytes: Load = (%v, %v), want (false, nil)", n, ok, err)
+		}
+	}
+}
+
+func TestWrongVersionIsAMiss(t *testing.T) {
+	s := testStore(t)
+	if err := s.Save("k", cell{}); err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := os.ReadFile(s.Path("k"))
+	raw[8] = 0xFE // bump the version field
+	if err := os.WriteFile(s.Path("k"), raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out cell
+	if ok, err := s.Load("k", &out); err != nil || ok {
+		t.Fatalf("future-version entry: Load = (%v, %v), want (false, nil)", ok, err)
+	}
+}
+
+func TestKeyMismatchIsAMiss(t *testing.T) {
+	// A renamed file (or a hash collision) carries the wrong embedded key;
+	// the stored key is authoritative and the load must miss.
+	s := testStore(t)
+	if err := s.Save("original", cell{FPR: 9}); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Rename(s.Path("original"), s.Path("imposter")); err != nil {
+		t.Fatal(err)
+	}
+	var out cell
+	if ok, err := s.Load("imposter", &out); err != nil || ok {
+		t.Fatalf("renamed entry: Load = (%v, %v), want (false, nil)", ok, err)
+	}
+}
+
+func TestSaveIsAtomicNoTempLeftovers(t *testing.T) {
+	s := testStore(t)
+	for i := 0; i < 10; i++ {
+		if err := s.Save("k", cell{FPR: float64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	entries, err := os.ReadDir(s.Dir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.Contains(e.Name(), ".tmp") {
+			t.Errorf("leftover temp file %s", e.Name())
+		}
+		if filepath.Ext(e.Name()) != ".ckpt" {
+			t.Errorf("unexpected file %s in store dir", e.Name())
+		}
+	}
+	if len(entries) != 1 {
+		t.Errorf("%d files for one key, want 1", len(entries))
+	}
+}
+
+func TestMetricsCounters(t *testing.T) {
+	prev := obs.Enabled()
+	obs.SetEnabled(true)
+	defer obs.SetEnabled(prev)
+	s := testStore(t)
+	h0 := obs.GetCounter("checkpoint.hit").Value()
+	m0 := obs.GetCounter("checkpoint.miss").Value()
+	w0 := obs.GetCounter("checkpoint.write").Value()
+	var out cell
+	s.Load("k", &out)   // miss
+	s.Save("k", cell{}) // write
+	s.Load("k", &out)   // hit
+	if d := obs.GetCounter("checkpoint.hit").Value() - h0; d != 1 {
+		t.Errorf("hits +%d, want +1", d)
+	}
+	if d := obs.GetCounter("checkpoint.miss").Value() - m0; d != 1 {
+		t.Errorf("misses +%d, want +1", d)
+	}
+	if d := obs.GetCounter("checkpoint.write").Value() - w0; d != 1 {
+		t.Errorf("writes +%d, want +1", d)
+	}
+}

@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sync"
@@ -37,11 +38,20 @@ var AttackNames = []string{"Void", "InfillGrid", "Speed0.95", "Layer0.3", "Scale
 type Dataset struct {
 	Printer string
 	Scale   Scale
+	// BaseSeed is the seed the roster was derived from; together with the
+	// scale fingerprint and printer it content-addresses the dataset.
+	BaseSeed int64
 
 	Ref           *ids.Run
 	Train         []*ids.Run
 	TestBenign    []*ids.Run
 	TestMalicious []*ids.Run
+}
+
+// ckptID content-addresses the dataset for checkpoint keys: everything a
+// table cell's result depends on besides the cell parameters themselves.
+func (ds *Dataset) ckptID() string {
+	return fmt.Sprintf("%s/%s/%d", ds.Scale.fingerprint(), ds.Printer, ds.BaseSeed)
 }
 
 // sliceConfig returns the benign slicer settings for a scale.
@@ -185,13 +195,19 @@ func Generate(s Scale, prof printer.Profile, baseSeed int64) (*Dataset, error) {
 			jobs = append(jobs, simJob{prog, name, true, next()})
 		}
 	}
-	runs, err := fanOut(jobs, func(_ int, j simJob) (*ids.Run, error) {
-		return s.simulate(j.prog, prof, j.label, j.malicious, j.seed)
+	// Each simulation runs under the engine's resilience wrapper: a chaos
+	// strike or a worker panic costs one retried simulation, not the whole
+	// roster (simulate is deterministic per seed, so a retry reproduces the
+	// identical run).
+	runs, err := fanOutCtx(jobs, func(ctx context.Context, _ int, j simJob) (*ids.Run, error) {
+		return resilientCall(ctx, func() (*ids.Run, error) {
+			return s.simulate(j.prog, prof, j.label, j.malicious, j.seed)
+		})
 	})
 	if err != nil {
 		return nil, err
 	}
-	ds := &Dataset{Printer: prof.Name, Scale: s}
+	ds := &Dataset{Printer: prof.Name, Scale: s, BaseSeed: baseSeed}
 	ds.Ref, runs = runs[0], runs[1:]
 	ds.Train, runs = runs[:s.Counts.Train], runs[s.Counts.Train:]
 	ds.TestBenign, runs = runs[:s.Counts.TestBenign], runs[s.Counts.TestBenign:]
@@ -221,8 +237,10 @@ type datasetEntry struct {
 var cache = &datasetCache{capacity: 2, entries: make(map[string]*datasetEntry)}
 
 // GenerateCached is Generate with process-wide memoization, so table and
-// figure builders sharing a roster do not re-simulate it. It is safe for
-// concurrent use.
+// figure builders sharing a roster do not re-simulate it. When a checkpoint
+// store is installed (SetCheckpoint) it also consults and feeds the on-disk
+// dataset checkpoint, so a killed sweep resumes past the simulation phase
+// entirely. It is safe for concurrent use.
 func GenerateCached(s Scale, prof printer.Profile, baseSeed int64) (*Dataset, error) {
 	key := fmt.Sprintf("%s/%s/%d", s.Name, prof.Name, baseSeed)
 	cache.mu.Lock()
@@ -241,8 +259,109 @@ func GenerateCached(s Scale, prof printer.Profile, baseSeed int64) (*Dataset, er
 		}
 	}
 	cache.mu.Unlock()
-	e.once.Do(func() { e.ds, e.err = Generate(s, prof, baseSeed) })
+	e.once.Do(func() {
+		if ds, ok := loadDatasetCheckpoint(s, prof.Name, baseSeed); ok {
+			e.ds = ds
+			return
+		}
+		e.ds, e.err = Generate(s, prof, baseSeed)
+		if e.err == nil {
+			e.err = saveDatasetCheckpoint(e.ds)
+		}
+	})
 	return e.ds, e.err
+}
+
+// diskRun is the persisted form of one run: the simulation outputs only.
+// Spectrogram configs are re-derived from the Scale at load time (they
+// contain window functions, which do not serialize), and the spectrogram
+// cache rebuilds lazily as always.
+type diskRun struct {
+	Printer    string
+	Label      string
+	Malicious  bool
+	Seed       int64
+	Signals    map[sensor.Channel]*sigproc.Signal
+	LayerTimes []float64
+	Duration   float64
+}
+
+// diskDataset is the persisted form of a dataset.
+type diskDataset struct {
+	Printer       string
+	BaseSeed      int64
+	Ref           *diskRun
+	Train         []*diskRun
+	TestBenign    []*diskRun
+	TestMalicious []*diskRun
+}
+
+func toDiskRun(r *ids.Run) *diskRun {
+	return &diskRun{
+		Printer: r.Printer, Label: r.Label, Malicious: r.Malicious, Seed: r.Seed,
+		Signals: r.Signals, LayerTimes: r.LayerTimes, Duration: r.Duration,
+	}
+}
+
+func toDiskRuns(runs []*ids.Run) []*diskRun {
+	out := make([]*diskRun, len(runs))
+	for i, r := range runs {
+		out[i] = toDiskRun(r)
+	}
+	return out
+}
+
+func (s Scale) fromDiskRun(d *diskRun) *ids.Run {
+	return &ids.Run{
+		Printer: d.Printer, Label: d.Label, Malicious: d.Malicious, Seed: d.Seed,
+		Signals: d.Signals, SpectroConfigs: s.Spectro,
+		LayerTimes: d.LayerTimes, Duration: d.Duration,
+	}
+}
+
+func (s Scale) fromDiskRuns(ds []*diskRun) []*ids.Run {
+	out := make([]*ids.Run, len(ds))
+	for i, d := range ds {
+		out[i] = s.fromDiskRun(d)
+	}
+	return out
+}
+
+func datasetCheckpointKey(s Scale, printer string, baseSeed int64) string {
+	return fmt.Sprintf("dataset/%s/%s/%d", s.fingerprint(), printer, baseSeed)
+}
+
+func loadDatasetCheckpoint(s Scale, printer string, baseSeed int64) (*Dataset, bool) {
+	store := ckptStore()
+	if store == nil {
+		return nil, false
+	}
+	var disk diskDataset
+	ok, err := store.Load(datasetCheckpointKey(s, printer, baseSeed), &disk)
+	if err != nil || !ok || disk.Ref == nil {
+		return nil, false
+	}
+	return &Dataset{
+		Printer: disk.Printer, Scale: s, BaseSeed: disk.BaseSeed,
+		Ref:           s.fromDiskRun(disk.Ref),
+		Train:         s.fromDiskRuns(disk.Train),
+		TestBenign:    s.fromDiskRuns(disk.TestBenign),
+		TestMalicious: s.fromDiskRuns(disk.TestMalicious),
+	}, true
+}
+
+func saveDatasetCheckpoint(ds *Dataset) error {
+	store := ckptStore()
+	if store == nil {
+		return nil
+	}
+	return store.Save(datasetCheckpointKey(ds.Scale, ds.Printer, ds.BaseSeed), &diskDataset{
+		Printer: ds.Printer, BaseSeed: ds.BaseSeed,
+		Ref:           toDiskRun(ds.Ref),
+		Train:         toDiskRuns(ds.Train),
+		TestBenign:    toDiskRuns(ds.TestBenign),
+		TestMalicious: toDiskRuns(ds.TestMalicious),
+	})
 }
 
 // Profiles returns the two evaluation printers in paper order.

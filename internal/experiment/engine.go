@@ -62,9 +62,15 @@ func engineContext() context.Context {
 // configured worker count under the installed engine context (the pool
 // cancels it on the first error).
 func fanOut[T, R any](items []T, f func(i int, item T) (R, error)) ([]R, error) {
-	return pool.Map(engineContext(), Workers(), items, func(_ context.Context, i int, item T) (R, error) {
+	return fanOutCtx(items, func(_ context.Context, i int, item T) (R, error) {
 		return f(i, item)
 	})
+}
+
+// fanOutCtx is fanOut for work that needs the per-item context (retry
+// backoff sleeps, chaos latency injection).
+func fanOutCtx[T, R any](items []T, f func(ctx context.Context, i int, item T) (R, error)) ([]R, error) {
+	return pool.Map(engineContext(), Workers(), items, f)
 }
 
 // Tables bundles every table artifact of the paper's evaluation section
@@ -76,6 +82,10 @@ type Tables struct {
 	T8           []Table8Row
 	T9           []Table8Row
 	Belikovetsky []BelikovetskyResult
+	// Failures lists the cells that failed after retries during a degraded
+	// (SetPartial) run; empty on a clean run. A failed cell is absent from
+	// its table, so consumers can mark it explicitly.
+	Failures []CellFailure
 }
 
 // Figure12 assembles the Fig. 12 summary from the bundled tables.
@@ -88,6 +98,7 @@ func (t *Tables) Figure12() []Fig12Row {
 // already fans its cells out to the worker pool), so peak goroutine count
 // stays bounded by Workers.
 func RunTables(datasets map[string]*Dataset) (*Tables, error) {
+	TakeFailures() // drop stale failures from an earlier aborted sweep
 	out := &Tables{}
 	var err error
 	if out.T5, err = Table5(datasets); err != nil {
@@ -108,5 +119,6 @@ func RunTables(datasets map[string]*Dataset) (*Tables, error) {
 	if out.Belikovetsky, err = Belikovetsky(datasets); err != nil {
 		return nil, err
 	}
+	out.Failures = TakeFailures()
 	return out, nil
 }

@@ -1,0 +1,209 @@
+package experiment
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+
+	"nsync/internal/obs"
+	"nsync/internal/resilience"
+)
+
+// Resilience metrics (see DESIGN.md §11): retries are failed attempts the
+// engine absorbed, panics_recovered are worker panics that surfaced as
+// errors instead of crashes. Both feed the -metrics report next to the
+// checkpoint.hit/miss/write counters from internal/checkpoint.
+var (
+	engineRetries = obs.GetCounter("engine.retries")
+	enginePanics  = obs.GetCounter("engine.panics_recovered")
+)
+
+// retrySetting holds the engine's retry policy; unset means the resilience
+// defaults (3 attempts, 5 ms base backoff).
+var retrySetting atomic.Value
+
+// SetRetry installs the retry policy applied to every pipeline work unit
+// (roster simulations, table cells). The zero Policy restores the defaults.
+// The policy's seed drives deterministic backoff jitter, so a seeded run
+// retries identically every time.
+func SetRetry(p resilience.Policy) { retrySetting.Store(p) }
+
+func retryPolicy() resilience.Policy {
+	p, _ := retrySetting.Load().(resilience.Policy)
+	return p
+}
+
+// chaosSetting holds the installed chaos injector; nil means no injection.
+var chaosSetting atomic.Pointer[resilience.Chaos]
+
+// SetChaos installs a chaos injector that strikes before every pipeline
+// work unit — the pipeline-level analogue of internal/fault's sensor
+// faults. nil disables injection.
+func SetChaos(c *resilience.Chaos) { chaosSetting.Store(c) }
+
+// CheckpointStore is what the engine needs from a checkpoint backend:
+// load-or-miss and save. internal/checkpoint.Store implements it; tests
+// substitute wrappers (write-only stores, kill switches).
+type CheckpointStore interface {
+	// Load reads the entry for key into v and reports whether it existed.
+	Load(key string, v any) (bool, error)
+	// Save persists v under key.
+	Save(key string, v any) error
+}
+
+// ckptSetting boxes the installed store so atomic.Value sees one concrete
+// type regardless of the implementation.
+var ckptSetting atomic.Value
+
+type ckptBox struct{ store CheckpointStore }
+
+// SetCheckpoint installs the store that persists completed datasets and
+// table cells, enabling kill/resume: a sweep killed mid-run and restarted
+// with the same store recomputes only the unfinished cells and produces
+// byte-identical tables. nil disables checkpointing.
+func SetCheckpoint(s CheckpointStore) { ckptSetting.Store(ckptBox{s}) }
+
+func ckptStore() CheckpointStore {
+	box, _ := ckptSetting.Load().(ckptBox)
+	return box.store
+}
+
+// partialSetting enables degraded completion: cells that still fail after
+// retries are recorded as CellFailures instead of aborting the sweep.
+var partialSetting atomic.Bool
+
+// SetPartial controls degraded completion. When on, a table cell that fails
+// after retries is dropped from its table and recorded (see TakeFailures)
+// instead of aborting the whole sweep; context cancellation still aborts.
+func SetPartial(on bool) { partialSetting.Store(on) }
+
+// CellFailure records one table cell that failed after retries during a
+// degraded (SetPartial) run.
+type CellFailure struct {
+	// Table names the builder ("table5", "belikovetsky", ...).
+	Table string
+	// Key is the cell's checkpoint key (content-address).
+	Key string
+	// Err is the final attempt's error text.
+	Err string
+}
+
+// failures accumulates CellFailures across builders of one degraded run.
+var (
+	failMu   sync.Mutex
+	failures []CellFailure
+)
+
+func addFailure(f CellFailure) {
+	failMu.Lock()
+	failures = append(failures, f)
+	failMu.Unlock()
+}
+
+// TakeFailures returns the cell failures recorded since the last call and
+// clears the list. RunTables drains it into Tables.Failures; CLI callers
+// that invoke builders directly drain it themselves after the sweep.
+func TakeFailures() []CellFailure {
+	failMu.Lock()
+	defer failMu.Unlock()
+	out := failures
+	failures = nil
+	return out
+}
+
+// resilientCall wraps one unit of pipeline work — a table cell, one roster
+// simulation — with a chaos strike and the classified retry policy, and
+// keeps the engine counters. Transient failures (chaos injections,
+// recovered panics, errors marked resilience.Transient) are retried with
+// seeded backoff; fatal errors and context cancellation return immediately.
+func resilientCall[R any](ctx context.Context, f func() (R, error)) (R, error) {
+	pol := retryPolicy()
+	userHook := pol.OnRetry
+	pol.OnRetry = func(attempt int, err error) {
+		engineRetries.Inc()
+		countPanic(err)
+		if userHook != nil {
+			userHook(attempt, err)
+		}
+	}
+	chaos := chaosSetting.Load()
+	v, err := resilience.Do(ctx, pol, func(ctx context.Context) (R, error) {
+		var zero R
+		if serr := chaos.Strike(ctx); serr != nil {
+			return zero, serr
+		}
+		return f()
+	})
+	if err != nil {
+		// A panic on the final attempt was still recovered, not crashed;
+		// retried ones were already counted by the OnRetry hook.
+		countPanic(err)
+	}
+	return v, err
+}
+
+func countPanic(err error) {
+	var p *resilience.PanicError
+	if errors.As(err, &p) {
+		enginePanics.Inc()
+	}
+}
+
+// runCells is the checkpointed, chaos-tolerant cell fan-out every table
+// builder goes through: cells are content-addressed by table + key(c), so a
+// resumed sweep loads completed cells from the store and only computes the
+// rest; fresh results are saved before the row is returned. In partial mode
+// a cell that fails after retries is skipped and recorded instead of
+// aborting. Rows keep cell order (failed cells leave no row), so output
+// stays deterministic at every worker count.
+func runCells[C, R any](table string, cells []C, key func(C) string, compute func(c C) (R, error)) ([]R, error) {
+	type slot struct {
+		row R
+		ok  bool
+	}
+	slots, err := fanOutCtx(cells, func(ctx context.Context, _ int, c C) (slot, error) {
+		k := table + "/" + key(c)
+		store := ckptStore()
+		var row R
+		if store != nil {
+			if ok, lerr := store.Load(k, &row); lerr != nil {
+				return slot{}, lerr
+			} else if ok {
+				return slot{row, true}, nil
+			}
+		}
+		row, cerr := resilientCall(ctx, func() (R, error) { return compute(c) })
+		if cerr != nil {
+			if partialSetting.Load() && !isCancellation(cerr) {
+				addFailure(CellFailure{Table: table, Key: k, Err: cerr.Error()})
+				return slot{}, nil
+			}
+			return slot{}, cerr
+		}
+		if store != nil {
+			if serr := store.Save(k, row); serr != nil {
+				return slot{}, serr
+			}
+		}
+		return slot{row, true}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]R, 0, len(slots))
+	for _, s := range slots {
+		if s.ok {
+			rows = append(rows, s.row)
+		}
+	}
+	return rows, nil
+}
+
+// isCancellation separates "the user killed the run" from "this cell is
+// broken": the former must abort even a partial-mode sweep (the checkpoint
+// store holds the progress), the latter is what degraded completion exists
+// for.
+func isCancellation(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}

@@ -1,0 +1,289 @@
+package experiment
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"nsync/internal/checkpoint"
+	"nsync/internal/obs"
+	"nsync/internal/resilience"
+)
+
+// resetResilience puts the engine's global resilience settings into the
+// clean default state and restores it again when the test ends, so tests in
+// this file cannot leak retry policies, chaos injectors, or checkpoint
+// stores into each other or into the rest of the package.
+func resetResilience(t *testing.T) {
+	t.Helper()
+	clean := func() {
+		SetRetry(resilience.Policy{})
+		SetChaos(nil)
+		SetCheckpoint(nil)
+		SetPartial(false)
+		SetContext(nil)
+		TakeFailures()
+	}
+	clean()
+	t.Cleanup(clean)
+}
+
+// fastRetry is a retry policy with microsecond backoff, so exhausting many
+// attempts costs test time, not wall-clock minutes.
+func fastRetry(attempts int) resilience.Policy {
+	return resilience.Policy{
+		MaxAttempts: attempts,
+		BaseDelay:   10 * time.Microsecond,
+		MaxDelay:    100 * time.Microsecond,
+		Seed:        1,
+	}
+}
+
+func TestResilientCallRecoversPanicAndRetries(t *testing.T) {
+	resetResilience(t)
+	prev := obs.Enabled()
+	obs.SetEnabled(true)
+	defer obs.SetEnabled(prev)
+	SetRetry(fastRetry(3))
+	r0 := obs.GetCounter("engine.retries").Value()
+	p0 := obs.GetCounter("engine.panics_recovered").Value()
+
+	calls := 0
+	v, err := resilientCall(context.Background(), func() (int, error) {
+		calls++
+		if calls == 1 {
+			panic("cell exploded")
+		}
+		return 7, nil
+	})
+	if err != nil || v != 7 || calls != 2 {
+		t.Fatalf("resilientCall = (%d, %v) after %d calls, want (7, nil) after 2", v, err, calls)
+	}
+	if d := obs.GetCounter("engine.retries").Value() - r0; d != 1 {
+		t.Errorf("engine.retries +%d, want +1", d)
+	}
+	if d := obs.GetCounter("engine.panics_recovered").Value() - p0; d != 1 {
+		t.Errorf("engine.panics_recovered +%d, want +1", d)
+	}
+
+	// A panic that survives every attempt surfaces as an error with the
+	// stack, never a crash.
+	_, err = resilientCall(context.Background(), func() (int, error) {
+		panic("always broken")
+	})
+	var pe *resilience.PanicError
+	if !errors.As(err, &pe) || !strings.Contains(err.Error(), "resilient_test") {
+		t.Fatalf("exhausted panic: err = %v, want *PanicError with test stack", err)
+	}
+}
+
+// killStore wraps a real checkpoint store and cancels the engine context
+// after a fixed number of saves — simulating a kill -9 mid-sweep at a
+// reproducible point.
+type killStore struct {
+	inner  CheckpointStore
+	after  int64
+	saves  atomic.Int64
+	cancel context.CancelFunc
+}
+
+func (k *killStore) Load(key string, v any) (bool, error) { return k.inner.Load(key, v) }
+
+func (k *killStore) Save(key string, v any) error {
+	if err := k.inner.Save(key, v); err != nil {
+		return err
+	}
+	if k.saves.Add(1) == k.after {
+		k.cancel()
+	}
+	return nil
+}
+
+// countStore counts checkpoint hits, to prove a resume actually loaded
+// completed cells instead of recomputing them.
+type countStore struct {
+	inner CheckpointStore
+	hits  atomic.Int64
+}
+
+func (c *countStore) Load(key string, v any) (bool, error) {
+	ok, err := c.inner.Load(key, v)
+	if ok {
+		c.hits.Add(1)
+	}
+	return ok, err
+}
+
+func (c *countStore) Save(key string, v any) error { return c.inner.Save(key, v) }
+
+func TestKillResumeByteIdenticalTables(t *testing.T) {
+	dss := map[string]*Dataset{"UM3": tinyDatasets(t)["UM3"]}
+	resetResilience(t)
+
+	baseline, err := Table5(dss)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	store, err := checkpoint.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Phase 1: run with a store that kills the engine after 3 saved cells.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	ks := &killStore{inner: store, after: 3, cancel: cancel}
+	SetCheckpoint(ks)
+	SetContext(ctx)
+	if _, err := Table5(dss); err == nil {
+		t.Fatal("killed sweep completed without error")
+	}
+	if ks.saves.Load() < 3 {
+		t.Fatalf("only %d cells saved before the kill", ks.saves.Load())
+	}
+
+	// Phase 2: resume with a fresh context and the same on-disk store.
+	SetContext(nil)
+	cs := &countStore{inner: store}
+	SetCheckpoint(cs)
+	resumed, err := Table5(dss)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cs.hits.Load() < 3 {
+		t.Errorf("resume hit only %d checkpointed cells, want >= 3", cs.hits.Load())
+	}
+	got, want := fmt.Sprintf("%+v", resumed), fmt.Sprintf("%+v", baseline)
+	if got != want {
+		t.Errorf("resumed table differs from uninterrupted run:\n got: %s\nwant: %s", got, want)
+	}
+
+	// Phase 3: a second resume serves everything from the store and still
+	// renders identically.
+	cs2 := &countStore{inner: store}
+	SetCheckpoint(cs2)
+	again, err := Table5(dss)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int(cs2.hits.Load()) != len(baseline) {
+		t.Errorf("full resume hit %d cells, want all %d", cs2.hits.Load(), len(baseline))
+	}
+	if g := fmt.Sprintf("%+v", again); g != want {
+		t.Errorf("fully checkpointed table differs from uninterrupted run:\n got: %s\nwant: %s", g, want)
+	}
+}
+
+func TestChaosSweepMatchesCleanRun(t *testing.T) {
+	dss := map[string]*Dataset{"UM3": tinyDatasets(t)["UM3"]}
+	resetResilience(t)
+
+	clean, err := Table5(dss)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	prev := obs.Enabled()
+	obs.SetEnabled(true)
+	defer obs.SetEnabled(prev)
+	r0 := obs.GetCounter("engine.retries").Value()
+
+	chaos, err := resilience.NewChaos(resilience.ChaosConfig{Seed: 42, PanicRate: 0.25, ErrorRate: 0.35})
+	if err != nil {
+		t.Fatal(err)
+	}
+	SetChaos(chaos)
+	// 25 attempts with p(injection) = 0.6 makes a cell exhausting its
+	// retries essentially impossible, so the sweep must fully succeed.
+	SetRetry(fastRetry(25))
+
+	noisy, err := Table5(dss)
+	if err != nil {
+		t.Fatalf("chaos sweep failed: %v", err)
+	}
+	if got, want := fmt.Sprintf("%+v", noisy), fmt.Sprintf("%+v", clean); got != want {
+		t.Errorf("chaos-injected results differ from fault-free run:\n got: %s\nwant: %s", got, want)
+	}
+	if chaos.Strikes() < int64(len(clean)) {
+		t.Errorf("chaos struck %d times for %d cells", chaos.Strikes(), len(clean))
+	}
+	if d := obs.GetCounter("engine.retries").Value() - r0; d < 1 {
+		t.Errorf("engine.retries +%d during a 60%%-injection sweep, want > 0", d)
+	}
+}
+
+func TestPartialModeRecordsFailuresInsteadOfAborting(t *testing.T) {
+	resetResilience(t)
+	// No simulation needed: the chaos strike fails every cell before its
+	// compute func runs, so an empty dataset shell is enough.
+	ds := &Dataset{Printer: "UM3", Scale: tinyScale(), BaseSeed: 1}
+	dss := map[string]*Dataset{"UM3": ds}
+
+	chaos, err := resilience.NewChaos(resilience.ChaosConfig{Seed: 5, ErrorRate: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	SetChaos(chaos)
+	SetRetry(fastRetry(2))
+	SetPartial(true)
+
+	rows, err := Table5(dss)
+	if err != nil {
+		t.Fatalf("partial mode aborted: %v", err)
+	}
+	if len(rows) != 0 {
+		t.Fatalf("%d rows from all-failing cells", len(rows))
+	}
+	wantCells := len(EvalChannels) * len(Transforms)
+	fails := TakeFailures()
+	if len(fails) != wantCells {
+		t.Fatalf("%d failures recorded, want %d", len(fails), wantCells)
+	}
+	for _, f := range fails {
+		if f.Table != "table5" || !strings.HasPrefix(f.Key, "table5/") {
+			t.Errorf("failure attributed to %q key %q", f.Table, f.Key)
+		}
+		if !strings.Contains(f.Err, "chaos-injected") {
+			t.Errorf("failure lost its cause: %q", f.Err)
+		}
+	}
+	if again := TakeFailures(); len(again) != 0 {
+		t.Errorf("TakeFailures did not clear the list: %d left", len(again))
+	}
+
+	// Cancellation must still abort a partial-mode sweep.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	SetContext(ctx)
+	if _, err := Table5(dss); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled partial sweep: err = %v, want context.Canceled", err)
+	}
+	if stray := TakeFailures(); len(stray) != 0 {
+		t.Errorf("cancellation was recorded as %d cell failures", len(stray))
+	}
+}
+
+func TestResilienceMetricsAppearInReport(t *testing.T) {
+	prev := obs.Enabled()
+	obs.SetEnabled(true)
+	defer obs.SetEnabled(prev)
+	report := obs.Report()
+	for _, name := range []string{
+		"engine.retries",
+		"engine.panics_recovered",
+		"pool.panics_recovered",
+		"checkpoint.hit",
+		"checkpoint.miss",
+		"checkpoint.write",
+		"chaos.injected_errors",
+		"chaos.injected_panics",
+	} {
+		if !strings.Contains(report, name) {
+			t.Errorf("-metrics report is missing %s", name)
+		}
+	}
+}

@@ -5,10 +5,16 @@
 package experiment
 
 import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
 	"fmt"
+	"math"
+	"sort"
 
 	"nsync/internal/dwm"
 	"nsync/internal/sensor"
+	"nsync/internal/sigproc"
 	"nsync/internal/stft"
 )
 
@@ -78,6 +84,52 @@ func (s Scale) Validate() error {
 		return fmt.Errorf("experiment: no spectrogram configs")
 	}
 	return nil
+}
+
+// fingerprint content-addresses the scale for checkpoint keys: it hashes
+// every field that affects generated datasets or evaluation results —
+// deliberately excluding Name, which is a display label — so a resumed
+// sweep with a changed configuration misses cleanly instead of loading
+// stale cells. Maps are folded in sorted key order; window functions are
+// identified by the taper they produce (function pointers are not stable
+// across processes).
+func (s Scale) fingerprint() string {
+	h := sha256.New()
+	fmt.Fprintf(h, "v1|%g|%+v|%g|%g|%g|%+v|", s.TraceRate, s.Sensor, s.PartHeight, s.LayerHeight, s.SpeedFactor, s.Counts)
+	printers := make([]string, 0, len(s.DWM))
+	for name := range s.DWM {
+		printers = append(printers, name)
+	}
+	sort.Strings(printers)
+	for _, name := range printers {
+		fmt.Fprintf(h, "dwm:%s=%+v|", name, s.DWM[name])
+	}
+	chans := make([]int, 0, len(s.Spectro))
+	for ch := range s.Spectro {
+		chans = append(chans, int(ch))
+	}
+	sort.Ints(chans)
+	for _, ch := range chans {
+		cfg := s.Spectro[sensor.Channel(ch)]
+		fmt.Fprintf(h, "stft:%d=%g,%g,%t,%x|", ch, cfg.DeltaF, cfg.DeltaT, cfg.Log, windowFingerprint(cfg.Window))
+	}
+	fmt.Fprintf(h, "%v|%g|%d|%g|%g", s.BayensWindows, s.BelikovetskyAvg, s.DTWRadius, s.OCCMarginNSYNC, s.OCCMarginPrior)
+	return hex.EncodeToString(h.Sum(nil))[:16]
+}
+
+// windowFingerprint identifies a window function by the taper it produces
+// on a probe length.
+func windowFingerprint(w sigproc.WindowFunc) []byte {
+	if w == nil {
+		return nil
+	}
+	probe := w(16)
+	buf := make([]byte, 8*len(probe))
+	for i, v := range probe {
+		binary.LittleEndian.PutUint64(buf[8*i:], math.Float64bits(v))
+	}
+	sum := sha256.Sum256(buf)
+	return sum[:4]
 }
 
 // CI returns the default scale: Table II rates divided by 10, a three-layer

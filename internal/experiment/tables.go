@@ -19,9 +19,11 @@ var stageTable = obs.GetTimer("stage.table")
 
 // The table builders below all follow the same parallel shape: enumerate
 // the independent cells (printer × channel × transform × ...) in paper
-// order, fan the cells out to the engine's worker pool, and collect rows by
-// cell index — so the row order, and therefore the rendered table, is
-// byte-identical at every worker count.
+// order, fan the cells out through the engine's resilience layer (runCells:
+// chaos strike, classified retry, checkpoint load/save, degraded-mode
+// failure capture — see resilient.go), and collect rows by cell index — so
+// the row order, and therefore the rendered table, is byte-identical at
+// every worker count, with or without a mid-run kill and resume.
 
 // fingerprintConfig derives the constellation engine settings from the
 // scale's AUD spectrogram transform.
@@ -59,7 +61,9 @@ func Table5(datasets map[string]*Dataset) ([]Table5Row, error) {
 			}
 		}
 	}
-	return fanOut(cells, func(_ int, c cell) (Table5Row, error) {
+	return runCells("table5", cells, func(c cell) string {
+		return fmt.Sprintf("%s/%v/%v", c.ds.ckptID(), c.ch, c.tf)
+	}, func(c cell) (Table5Row, error) {
 		r := c.ds.Scale.OCCMarginPrior
 		moore := &baseline.Moore{Channel: c.ch, Transform: c.tf, OCC: core.OCCConfig{R: r}}
 		mOut, err := Evaluate(moore, c.ds)
@@ -102,7 +106,9 @@ func Table6(datasets map[string]*Dataset) ([]Table6Row, error) {
 			cells = append(cells, cell{ds, win})
 		}
 	}
-	return fanOut(cells, func(_ int, c cell) (Table6Row, error) {
+	return runCells("table6", cells, func(c cell) string {
+		return fmt.Sprintf("%s/%g", c.ds.ckptID(), c.win)
+	}, func(c cell) (Table6Row, error) {
 		sys := &baseline.Bayens{
 			WindowSeconds: c.win,
 			Fingerprint:   c.ds.Scale.fingerprintConfig(sensor.AUD),
@@ -154,7 +160,9 @@ func Table7(datasets map[string]*Dataset) ([]Table7Row, error) {
 			cells = append(cells, cell{ds, ch})
 		}
 	}
-	return fanOut(cells, func(_ int, c cell) (Table7Row, error) {
+	return runCells("table7", cells, func(c cell) string {
+		return fmt.Sprintf("%s/%v", c.ds.ckptID(), c.ch)
+	}, func(c cell) (Table7Row, error) {
 		sys := &baseline.Gatlin{
 			Channel:     c.ch,
 			Transform:   ids.Raw,
@@ -202,7 +210,9 @@ type nsyncCell struct {
 // newSync building a fresh synchronizer per cell (synchronizers are not
 // shared across goroutines).
 func runNSYNCCells(cells []nsyncCell, table string, newSync func(c nsyncCell) core.Synchronizer) ([]Table8Row, error) {
-	return fanOut(cells, func(_ int, c nsyncCell) (Table8Row, error) {
+	return runCells(table, cells, func(c nsyncCell) string {
+		return fmt.Sprintf("%s/%v/%v", c.ds.ckptID(), c.tf, c.ch)
+	}, func(c nsyncCell) (Table8Row, error) {
 		res, err := EvaluateNSYNC(c.ds, c.ch, c.tf, newSync(c), c.ds.Scale.OCCMarginNSYNC)
 		if err != nil {
 			return Table8Row{}, fmt.Errorf("%s %s/%v/%v: %w", table, c.ds.Printer, c.tf, c.ch, err)
@@ -254,7 +264,9 @@ type BelikovetskyResult struct {
 // PCA + cosine IDS [5] on AUD spectrograms.
 func Belikovetsky(datasets map[string]*Dataset) ([]BelikovetskyResult, error) {
 	defer stageTable.Stop(stageTable.Start())
-	return fanOut(orderedDatasets(datasets), func(_ int, ds *Dataset) (BelikovetskyResult, error) {
+	return runCells("belikovetsky", orderedDatasets(datasets), func(ds *Dataset) string {
+		return ds.ckptID()
+	}, func(ds *Dataset) (BelikovetskyResult, error) {
 		sys := &baseline.Belikovetsky{
 			AverageSeconds: ds.Scale.BelikovetskyAvg,
 			R:              ds.Scale.OCCMarginPrior,

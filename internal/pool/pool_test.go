@@ -5,9 +5,13 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"strings"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"nsync/internal/resilience"
 )
 
 func TestMapOrdersResultsByIndex(t *testing.T) {
@@ -123,6 +127,96 @@ func TestEach(t *testing.T) {
 	}
 	if sum.Load() != 45 {
 		t.Errorf("sum = %d, want 45", sum.Load())
+	}
+}
+
+func TestMapRecoversPanic(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		_, err := Map(context.Background(), workers, []int{0, 1, 2, 3}, func(_ context.Context, i, _ int) (int, error) {
+			if i == 2 {
+				panic("kaboom in worker")
+			}
+			return i, nil
+		})
+		var pe *resilience.PanicError
+		if !errors.As(err, &pe) {
+			t.Fatalf("workers=%d: err = %v, want *resilience.PanicError", workers, err)
+		}
+		if pe.Value != "kaboom in worker" {
+			t.Errorf("workers=%d: panic value = %v", workers, pe.Value)
+		}
+		if !strings.Contains(string(pe.Stack), "pool_test") {
+			t.Errorf("workers=%d: stack does not mention the panicking test func:\n%s", workers, pe.Stack)
+		}
+		if !strings.Contains(err.Error(), "kaboom in worker") || !strings.Contains(err.Error(), "goroutine") {
+			t.Errorf("workers=%d: Error() should carry value and stack, got %q", workers, err.Error())
+		}
+	}
+}
+
+func TestMapDeterministicFirstError(t *testing.T) {
+	// All items fail concurrently (a barrier holds every item in flight until
+	// all have started); the lowest-indexed error must win regardless of
+	// which worker loses the race, on every iteration.
+	const n = 8
+	errs := make([]error, n)
+	for i := range errs {
+		errs[i] = fmt.Errorf("item %d failed", i)
+	}
+	for iter := 0; iter < 50; iter++ {
+		var barrier sync.WaitGroup
+		barrier.Add(n)
+		_, err := Map(context.Background(), n, make([]int, n), func(_ context.Context, i, _ int) (int, error) {
+			barrier.Done()
+			barrier.Wait()
+			return 0, errs[i]
+		})
+		if !errors.Is(err, errs[0]) {
+			t.Fatalf("iter %d: err = %v, want item 0's error", iter, err)
+		}
+	}
+}
+
+func TestMapCancellationPrompt(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var started sync.WaitGroup
+	started.Add(4)
+	done := make(chan error, 1)
+	go func() {
+		_, err := Map(ctx, 4, make([]int, 64), func(ctx context.Context, i, _ int) (int, error) {
+			started.Done()
+			<-ctx.Done()
+			return 0, ctx.Err()
+		})
+		done <- err
+	}()
+	started.Wait()
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Map did not return promptly after cancellation")
+	}
+}
+
+func TestMapTaskTimeout(t *testing.T) {
+	start := time.Now()
+	_, err := MapOpts(context.Background(), Options{Workers: 2, TaskTimeout: 20 * time.Millisecond},
+		[]int{0, 1}, func(ctx context.Context, i, _ int) (int, error) {
+			if i == 1 {
+				<-ctx.Done() // stuck item: only the per-task deadline frees it
+				return 0, ctx.Err()
+			}
+			return i, nil
+		})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("task timeout took %v to fire", elapsed)
 	}
 }
 

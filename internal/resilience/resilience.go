@@ -1,0 +1,232 @@
+// Package resilience is the failure-handling layer of the experiment
+// pipeline: classified errors (transient vs fatal), a deterministic seeded
+// retry with exponential backoff, and a chaos injector that exercises both.
+// The paper's evaluation is a multi-hour sweep on real printers; the
+// reproduction's analogue is a long simulated sweep where one flaky work
+// item must not discard every completed cell. internal/fault corrupts the
+// *signals* a detector sees; this package handles (and injects) failures of
+// the *pipeline* that produces the tables — the other half of the fault
+// story (see DESIGN.md §11).
+//
+// The package is a leaf: it imports only the standard library and
+// internal/obs, so pool, experiment, and the CLIs can all use it without
+// cycles.
+package resilience
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"runtime/debug"
+	"time"
+)
+
+// ---- Panic isolation ----
+
+// PanicError is a recovered panic, carrying the panic value and the stack
+// of the panicking goroutine. A worker panic surfaces as one of these
+// instead of crashing the process, so a sweep can mark the cell failed (or
+// retry it) and keep every other result.
+type PanicError struct {
+	// Value is the value passed to panic().
+	Value any
+	// Stack is the formatted stack of the panicking goroutine, captured at
+	// recover time.
+	Stack []byte
+}
+
+// Error renders the panic value and the captured stack, so a surfaced
+// worker panic is as diagnosable as a crash would have been.
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("panic: %v\n%s", e.Value, e.Stack)
+}
+
+// AsPanicError wraps a recovered panic value (the result of recover()) with
+// the current stack. Call it inside a deferred recover block.
+func AsPanicError(v any) *PanicError {
+	return &PanicError{Value: v, Stack: debug.Stack()}
+}
+
+// ---- Error classification ----
+
+// transientError marks an error as retryable.
+type transientError struct{ err error }
+
+func (e *transientError) Error() string { return e.err.Error() }
+func (e *transientError) Unwrap() error { return e.err }
+
+// Transient marks err as transient: a retry policy with the default
+// classifier will retry it. A nil err stays nil.
+func Transient(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &transientError{err}
+}
+
+// IsTransient reports whether err is worth retrying under the default
+// classification: errors marked Transient and recovered panics are
+// transient; context cancellation and deadline expiry are always fatal (the
+// caller gave up, retrying would fight it); everything else is fatal —
+// a deterministic pipeline failure reproduces on every attempt.
+func IsTransient(err error) bool {
+	if err == nil {
+		return false
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return false
+	}
+	var t *transientError
+	if errors.As(err, &t) {
+		return true
+	}
+	var p *PanicError
+	return errors.As(err, &p)
+}
+
+// ---- Retry ----
+
+// Policy configures Retry and Do. The zero value is usable: it means
+// defaultAttempts attempts with the default backoff and classification.
+type Policy struct {
+	// MaxAttempts is the total number of attempts (not retries); values
+	// < 1 mean the default (3).
+	MaxAttempts int
+	// BaseDelay is the backoff before the first retry (default 5 ms).
+	BaseDelay time.Duration
+	// MaxDelay caps the backoff (default 250 ms).
+	MaxDelay time.Duration
+	// Multiplier grows the backoff per retry (default 2).
+	Multiplier float64
+	// Jitter is the fraction of each delay randomized around its nominal
+	// value, in [0, 1] (default 0.5). The jitter stream derives from Seed
+	// and the attempt number only, so a seeded run backs off identically
+	// every time.
+	Jitter float64
+	// Seed drives the deterministic jitter.
+	Seed int64
+	// Classify decides whether an error is retryable; nil means
+	// IsTransient.
+	Classify func(error) bool
+	// OnRetry, when set, observes every failed attempt that will be
+	// retried, before the backoff sleep.
+	OnRetry func(attempt int, err error)
+	// Sleep replaces the context-aware backoff sleep, for tests; nil means
+	// sleep for d or until ctx is done, whichever comes first.
+	Sleep func(ctx context.Context, d time.Duration) error
+}
+
+const (
+	defaultAttempts   = 3
+	defaultBaseDelay  = 5 * time.Millisecond
+	defaultMaxDelay   = 250 * time.Millisecond
+	defaultMultiplier = 2.0
+	defaultJitter     = 0.5
+)
+
+func (p Policy) withDefaults() Policy {
+	if p.MaxAttempts < 1 {
+		p.MaxAttempts = defaultAttempts
+	}
+	if p.BaseDelay <= 0 {
+		p.BaseDelay = defaultBaseDelay
+	}
+	if p.MaxDelay <= 0 {
+		p.MaxDelay = defaultMaxDelay
+	}
+	if p.Multiplier < 1 {
+		p.Multiplier = defaultMultiplier
+	}
+	if p.Jitter < 0 || p.Jitter > 1 {
+		p.Jitter = defaultJitter
+	}
+	if p.Classify == nil {
+		p.Classify = IsTransient
+	}
+	if p.Sleep == nil {
+		p.Sleep = sleepCtx
+	}
+	return p
+}
+
+// delay computes the backoff before retry number attempt (1-based):
+// BaseDelay * Multiplier^(attempt-1), capped at MaxDelay, with
+// deterministic jitter spreading the value over [d*(1-Jitter/2),
+// d*(1+Jitter/2)].
+func (p Policy) delay(attempt int) time.Duration {
+	d := float64(p.BaseDelay)
+	for i := 1; i < attempt; i++ {
+		d *= p.Multiplier
+		if d >= float64(p.MaxDelay) {
+			d = float64(p.MaxDelay)
+			break
+		}
+	}
+	if p.Jitter > 0 {
+		// One throwaway rand per (seed, attempt): cheap, and deterministic
+		// regardless of how many other retries run concurrently.
+		r := rand.New(rand.NewSource(p.Seed*1000003 + int64(attempt)))
+		d *= 1 + p.Jitter*(r.Float64()-0.5)
+	}
+	return time.Duration(d)
+}
+
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// Do runs op under the policy: panics inside op are recovered into
+// *PanicError, transient errors are retried with exponential backoff, and
+// fatal errors (including context cancellation) return immediately. The
+// returned error is the last attempt's, so a final *PanicError surfaces
+// with its stack intact.
+func Do[T any](ctx context.Context, p Policy, op func(ctx context.Context) (T, error)) (T, error) {
+	p = p.withDefaults()
+	var zero T
+	var err error
+	for attempt := 1; ; attempt++ {
+		if cerr := ctx.Err(); cerr != nil {
+			return zero, cerr
+		}
+		var v T
+		v, err = runRecovered(ctx, op)
+		if err == nil {
+			return v, nil
+		}
+		if attempt >= p.MaxAttempts || !p.Classify(err) {
+			return zero, err
+		}
+		if p.OnRetry != nil {
+			p.OnRetry(attempt, err)
+		}
+		if serr := p.Sleep(ctx, p.delay(attempt)); serr != nil {
+			return zero, serr
+		}
+	}
+}
+
+// Retry is Do for operations without a result.
+func Retry(ctx context.Context, p Policy, op func(ctx context.Context) error) error {
+	_, err := Do(ctx, p, func(ctx context.Context) (struct{}, error) {
+		return struct{}{}, op(ctx)
+	})
+	return err
+}
+
+// runRecovered runs one attempt with panic isolation.
+func runRecovered[T any](ctx context.Context, op func(ctx context.Context) (T, error)) (v T, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = AsPanicError(r)
+		}
+	}()
+	return op(ctx)
+}

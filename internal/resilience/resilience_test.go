@@ -1,0 +1,188 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+)
+
+func noSleep(p *Policy) (slept *[]time.Duration) {
+	var ds []time.Duration
+	p.Sleep = func(_ context.Context, d time.Duration) error {
+		ds = append(ds, d)
+		return nil
+	}
+	return &ds
+}
+
+func TestTransientClassification(t *testing.T) {
+	base := errors.New("flaky")
+	cases := []struct {
+		err  error
+		want bool
+	}{
+		{nil, false},
+		{base, false},
+		{Transient(base), true},
+		{fmt.Errorf("wrapped: %w", Transient(base)), true},
+		{&PanicError{Value: "boom"}, true},
+		{context.Canceled, false},
+		{context.DeadlineExceeded, false},
+		{Transient(fmt.Errorf("op: %w", context.Canceled)), false}, // cancellation wins
+	}
+	for _, c := range cases {
+		if got := IsTransient(c.err); got != c.want {
+			t.Errorf("IsTransient(%v) = %v, want %v", c.err, got, c.want)
+		}
+	}
+	if Transient(nil) != nil {
+		t.Error("Transient(nil) should stay nil")
+	}
+	if !errors.Is(Transient(base), base) {
+		t.Error("Transient should unwrap to the base error")
+	}
+}
+
+func TestRetryRecoversAfterTransient(t *testing.T) {
+	p := Policy{MaxAttempts: 5}
+	slept := noSleep(&p)
+	attempts := 0
+	v, err := Do(context.Background(), p, func(context.Context) (int, error) {
+		attempts++
+		if attempts < 3 {
+			return 0, Transient(errors.New("not yet"))
+		}
+		return 42, nil
+	})
+	if err != nil || v != 42 {
+		t.Fatalf("Do = (%d, %v), want (42, nil)", v, err)
+	}
+	if attempts != 3 {
+		t.Errorf("attempts = %d, want 3", attempts)
+	}
+	if len(*slept) != 2 {
+		t.Errorf("backoff sleeps = %d, want 2", len(*slept))
+	}
+}
+
+func TestRetryFatalReturnsImmediately(t *testing.T) {
+	p := Policy{MaxAttempts: 5}
+	noSleep(&p)
+	fatal := errors.New("deterministic bug")
+	attempts := 0
+	err := Retry(context.Background(), p, func(context.Context) error {
+		attempts++
+		return fatal
+	})
+	if !errors.Is(err, fatal) || attempts != 1 {
+		t.Fatalf("fatal error: attempts=%d err=%v, want 1 attempt", attempts, err)
+	}
+}
+
+func TestRetryExhaustionReturnsLastError(t *testing.T) {
+	p := Policy{MaxAttempts: 3}
+	noSleep(&p)
+	attempts := 0
+	err := Retry(context.Background(), p, func(context.Context) error {
+		attempts++
+		return Transient(fmt.Errorf("attempt %d", attempts))
+	})
+	if attempts != 3 {
+		t.Fatalf("attempts = %d, want 3", attempts)
+	}
+	if err == nil || !strings.Contains(err.Error(), "attempt 3") {
+		t.Fatalf("err = %v, want the last attempt's error", err)
+	}
+}
+
+func TestRetryRecoversPanicsAndRetriesThem(t *testing.T) {
+	p := Policy{MaxAttempts: 3}
+	noSleep(&p)
+	attempts := 0
+	v, err := Do(context.Background(), p, func(context.Context) (string, error) {
+		attempts++
+		if attempts == 1 {
+			panic("first attempt explodes")
+		}
+		return "recovered", nil
+	})
+	if err != nil || v != "recovered" {
+		t.Fatalf("Do = (%q, %v) after %d attempts", v, err, attempts)
+	}
+
+	// A panic on every attempt surfaces as a *PanicError with the stack.
+	_, err = Do(context.Background(), p, func(context.Context) (string, error) {
+		panic("always explodes")
+	})
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v, want *PanicError", err)
+	}
+	if pe.Value != "always explodes" || !strings.Contains(string(pe.Stack), "resilience") {
+		t.Errorf("PanicError = {%v, stack %d bytes}", pe.Value, len(pe.Stack))
+	}
+}
+
+func TestRetryHonorsContext(t *testing.T) {
+	// Cancellation during the backoff sleep aborts the retry loop.
+	ctx, cancel := context.WithCancel(context.Background())
+	p := Policy{MaxAttempts: 10}
+	p.Sleep = func(ctx context.Context, _ time.Duration) error {
+		cancel()
+		return ctx.Err()
+	}
+	attempts := 0
+	err := Retry(ctx, p, func(context.Context) error {
+		attempts++
+		return Transient(errors.New("flaky"))
+	})
+	if !errors.Is(err, context.Canceled) || attempts != 1 {
+		t.Fatalf("attempts=%d err=%v, want 1 attempt and context.Canceled", attempts, err)
+	}
+
+	// An already-cancelled context never runs the op.
+	attempts = 0
+	err = Retry(ctx, p, func(context.Context) error { attempts++; return nil })
+	if !errors.Is(err, context.Canceled) || attempts != 0 {
+		t.Fatalf("cancelled ctx: attempts=%d err=%v", attempts, err)
+	}
+}
+
+func TestBackoffDeterministicAndBounded(t *testing.T) {
+	p := Policy{MaxAttempts: 6, BaseDelay: 10 * time.Millisecond, MaxDelay: 80 * time.Millisecond, Seed: 7}.withDefaults()
+	q := Policy{MaxAttempts: 6, BaseDelay: 10 * time.Millisecond, MaxDelay: 80 * time.Millisecond, Seed: 7}.withDefaults()
+	prev := time.Duration(0)
+	for attempt := 1; attempt <= 5; attempt++ {
+		d1, d2 := p.delay(attempt), q.delay(attempt)
+		if d1 != d2 {
+			t.Fatalf("attempt %d: same seed gave %v vs %v", attempt, d1, d2)
+		}
+		// Jitter 0.5 spreads each nominal delay over [0.75x, 1.25x].
+		if max := time.Duration(float64(p.MaxDelay) * 1.25); d1 <= 0 || d1 > max {
+			t.Errorf("attempt %d: delay %v outside (0, %v]", attempt, d1, max)
+		}
+		if attempt <= 3 && d1 <= prev*3/4 {
+			t.Errorf("attempt %d: delay %v did not grow from %v", attempt, d1, prev)
+		}
+		prev = d1
+	}
+	if d := (Policy{Seed: 8}.withDefaults()).delay(1); d == p.delay(1) {
+		t.Error("different seeds should jitter differently")
+	}
+}
+
+func TestOnRetryObservesFailedAttempts(t *testing.T) {
+	p := Policy{MaxAttempts: 3}
+	noSleep(&p)
+	var seen []int
+	p.OnRetry = func(attempt int, err error) { seen = append(seen, attempt) }
+	_ = Retry(context.Background(), p, func(context.Context) error {
+		return Transient(errors.New("flaky"))
+	})
+	if len(seen) != 2 || seen[0] != 1 || seen[1] != 2 {
+		t.Fatalf("OnRetry attempts = %v, want [1 2] (final failure is not a retry)", seen)
+	}
+}

@@ -52,7 +52,11 @@ func (s *Signal) Encode(w io.Writer) error {
 	return bw.Flush()
 }
 
-// ReadSignal parses a .nsig stream.
+// ReadSignal parses a .nsig stream. The header's declared dimensions are
+// treated as untrusted: allocation grows with the bytes actually present in
+// the stream, never with the declared sample count, so a truncated or
+// hostile file with a huge declared length returns an error after a small,
+// bounded allocation instead of exhausting memory.
 func ReadSignal(r io.Reader) (*Signal, error) {
 	br := bufio.NewReader(r)
 	var magic [8]byte
@@ -71,20 +75,39 @@ func ReadSignal(r io.Reader) (*Signal, error) {
 		return nil, fmt.Errorf("sigproc: read dims: %w", err)
 	}
 	channels, samples := int(hdr[0]), int(hdr[1])
+	// Channels cap their own, much tighter, budget: every channel costs a
+	// slice header even at zero samples, so a header declaring 2^27 empty
+	// channels would still allocate gigabytes without it.
+	const maxChannels = 1 << 12
 	const maxDim = 1 << 28
-	if channels < 0 || samples < 0 || channels > maxDim || samples > maxDim {
+	if channels < 0 || samples < 0 || channels > maxChannels || samples > maxDim {
 		return nil, fmt.Errorf("%w: implausible dims %dx%d", ErrBadFormat, channels, samples)
 	}
-	s := New(rate, channels, samples)
-	buf := make([]byte, 8)
-	for _, ch := range s.Data {
-		for i := range ch {
-			if _, err := io.ReadFull(br, buf); err != nil {
+	if channels > 0 && samples > maxDim/channels {
+		return nil, fmt.Errorf("%w: implausible total size %dx%d", ErrBadFormat, channels, samples)
+	}
+	if math.IsNaN(rate) || math.IsInf(rate, 0) || (samples > 0 && rate <= 0) {
+		return nil, fmt.Errorf("%w: bad rate %v", ErrBadFormat, rate)
+	}
+	// Decode incrementally: initial capacity is capped, growth happens only
+	// as sample bytes actually arrive from the stream.
+	const initCap = 1 << 12
+	buf := make([]byte, 8*1024)
+	data := make([][]float64, channels)
+	for c := range data {
+		ch := make([]float64, 0, min(samples, initCap))
+		for len(ch) < samples {
+			want := 8 * min(samples-len(ch), len(buf)/8)
+			if _, err := io.ReadFull(br, buf[:want]); err != nil {
 				return nil, fmt.Errorf("sigproc: read samples: %w", err)
 			}
-			ch[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf))
+			for off := 0; off < want; off += 8 {
+				ch = append(ch, math.Float64frombits(binary.LittleEndian.Uint64(buf[off:])))
+			}
 		}
+		data[c] = ch
 	}
+	s := &Signal{Rate: rate, Data: data}
 	if err := s.CheckFinite(); err != nil {
 		return nil, fmt.Errorf("sigproc: read samples: %w", err)
 	}
