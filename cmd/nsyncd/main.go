@@ -1,0 +1,210 @@
+// Command nsyncd is the live NSYNC detection daemon: it trains per-channel
+// detectors from recorded benign prints at startup, then accepts framed
+// side-channel streams over TCP (the ingest protocol) and answers each
+// session with a fused intrusion verdict. This is the deployment shape the
+// paper argues for in Section VI — a detector that runs beside the printer
+// for the whole print, not a batch classifier after it.
+//
+// Usage:
+//
+//	nsyncd -listen :7070 \
+//	    -ref 'data/UM3_Benign_1_%s.nsig' \
+//	    -train 'data/UM3_Benign_2_%s.nsig,data/UM3_Benign_3_%s.nsig' \
+//	    -channels ACC,MAG,AUD -k 2
+//
+// The %s in -ref and -train expands to each channel name, matching the
+// <printer>_<label>_<seed>_<channel>.nsig files printsim writes. On SIGTERM
+// or SIGINT the daemon drains gracefully: it stops accepting, flushes every
+// in-flight session's monitors, sends the final verdicts, and exits 0.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof/* on the default mux
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"nsync/internal/core"
+	"nsync/internal/dwm"
+	"nsync/internal/ingest"
+	metrics "nsync/internal/obs"
+	"nsync/internal/sigproc"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "nsyncd:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		listenAddr  = flag.String("listen", ":7070", "TCP address to accept ingest sessions on")
+		refPattern  = flag.String("ref", "", "reference signal path pattern with %s for the channel name, required")
+		trainArg    = flag.String("train", "", "comma-separated training path patterns, each with %s for the channel name, required")
+		channelsArg = flag.String("channels", "ACC,MAG,AUD", "comma-separated channel names, in session order")
+		quorum      = flag.Int("k", 0, "fused vote quorum (0 = any single channel)")
+		tWin        = flag.Float64("twin", 4.0, "DWM t_win seconds")
+		tHop        = flag.Float64("thop", 0, "DWM t_hop seconds (default t_win/2)")
+		tExt        = flag.Float64("text", 2.0, "DWM t_ext seconds")
+		tSigma      = flag.Float64("tsigma", 0, "DWM t_sigma seconds (default t_ext/2)")
+		eta         = flag.Float64("eta", 0.1, "DWM eta")
+		occMargin   = flag.Float64("r", 0.3, "OCC margin r")
+		queueDepth  = flag.Int("queue", 64, "per-session frame queue depth")
+		watermark   = flag.Int("shed-watermark", 256, "aggregate queued frames before load shedding")
+		readTimeout = flag.Duration("read-timeout", 30*time.Second, "per-frame read deadline")
+		enqTimeout  = flag.Duration("enqueue-timeout", 10*time.Second, "stalled-session eviction timeout")
+		retention   = flag.Duration("retention", 60*time.Second, "detached session retention for reconnect")
+		drainWait   = flag.Duration("drain-timeout", 30*time.Second, "graceful drain deadline on SIGTERM")
+		pprofAddr   = flag.String("pprof", "", "serve net/http/pprof and plaintext /metrics on this address; enables metric collection")
+	)
+	flag.Parse()
+	if *refPattern == "" || *trainArg == "" {
+		flag.Usage()
+		return fmt.Errorf("-ref and -train are required")
+	}
+	if *pprofAddr != "" {
+		metrics.SetEnabled(true)
+		http.Handle("/metrics", metrics.Handler())
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				log.Printf("pprof server: %v", err)
+			}
+		}()
+		log.Printf("profiling at http://%s/debug/pprof/, metrics at /metrics", *pprofAddr)
+	}
+
+	names := splitNonEmpty(*channelsArg)
+	if len(names) == 0 {
+		return fmt.Errorf("no channels selected")
+	}
+	params := dwm.Params{TWin: *tWin, THop: *tHop, TExt: *tExt, TSigma: *tSigma, Eta: *eta}
+	if params.THop == 0 {
+		params.THop = params.TWin / 2
+	}
+	if params.TSigma == 0 {
+		params.TSigma = params.TExt / 2
+	}
+
+	chans, specs, err := trainChannels(names, *refPattern, splitNonEmpty(*trainArg), params, *occMargin)
+	if err != nil {
+		return err
+	}
+
+	pool := &ingest.MonitorPool{
+		Build: func() (*core.FusedMonitor, error) {
+			return core.NewFusedMonitor(chans, core.FusedConfig{K: *quorum})
+		},
+		Channels: specs,
+	}
+	srv, err := ingest.NewServer(ingest.Config{
+		Factory:        pool,
+		QueueDepth:     *queueDepth,
+		ShedWatermark:  *watermark,
+		ReadTimeout:    *readTimeout,
+		EnqueueTimeout: *enqTimeout,
+		Retention:      *retention,
+		Logf:           log.Printf,
+	})
+	if err != nil {
+		return err
+	}
+
+	l, err := net.Listen("tcp", *listenAddr)
+	if err != nil {
+		return err
+	}
+	log.Printf("listening on %s (%d channels, k=%d)", l.Addr(), len(specs), *quorum)
+
+	// SIGTERM/SIGINT starts the graceful drain; Serve returns nil once the
+	// listener closes and Shutdown flushes every in-flight session.
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, syscall.SIGTERM, os.Interrupt)
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.Serve(l) }()
+	select {
+	case err := <-errCh:
+		return err
+	case sig := <-sigCh:
+		log.Printf("received %v: draining %d sessions", sig, srv.SessionCount())
+		ctx, cancel := context.WithTimeout(context.Background(), *drainWait)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			return fmt.Errorf("drain: %w", err)
+		}
+		if err := <-errCh; err != nil {
+			return err
+		}
+		log.Printf("drained cleanly")
+		return nil
+	}
+}
+
+// trainChannels loads each channel's reference and training runs, learns
+// its thresholds, and returns both the fused monitor configuration and the
+// wire-level channel specs sessions must match.
+func trainChannels(names []string, refPattern string, trainPatterns []string, params dwm.Params, r float64) ([]core.FusedMonitorChannel, []ingest.ChannelSpec, error) {
+	var chans []core.FusedMonitorChannel
+	var specs []ingest.ChannelSpec
+	for _, name := range names {
+		ref, err := sigproc.LoadFile(expand(refPattern, name))
+		if err != nil {
+			return nil, nil, fmt.Errorf("channel %s reference: %w", name, err)
+		}
+		det, err := core.NewDetector(ref, core.Config{
+			Sync: &core.DWMSynchronizer{Params: params},
+			OCC:  core.OCCConfig{R: r},
+		})
+		if err != nil {
+			return nil, nil, fmt.Errorf("channel %s: %w", name, err)
+		}
+		var train []*sigproc.Signal
+		for _, pat := range trainPatterns {
+			s, err := sigproc.LoadFile(expand(pat, name))
+			if err != nil {
+				return nil, nil, fmt.Errorf("channel %s training: %w", name, err)
+			}
+			train = append(train, s)
+		}
+		if err := det.Train(train); err != nil {
+			return nil, nil, fmt.Errorf("channel %s training: %w", name, err)
+		}
+		th, err := det.Thresholds()
+		if err != nil {
+			return nil, nil, fmt.Errorf("channel %s: %w", name, err)
+		}
+		log.Printf("channel %s: %d lanes @ %.0f Hz, thresholds c_c=%.4g h_c=%.4g v_c=%.4g",
+			name, ref.Channels(), ref.Rate, th.CC, th.HC, th.VC)
+		chans = append(chans, core.FusedMonitorChannel{
+			Name: name, Reference: ref, Params: params, Thresholds: th,
+		})
+		specs = append(specs, ingest.ChannelSpec{Name: name, Lanes: ref.Channels(), Rate: ref.Rate})
+	}
+	return chans, specs, nil
+}
+
+func expand(pattern, channel string) string {
+	if strings.Contains(pattern, "%s") {
+		return fmt.Sprintf(pattern, channel)
+	}
+	return pattern
+}
+
+func splitNonEmpty(arg string) []string {
+	var out []string
+	for _, p := range strings.Split(arg, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}

@@ -11,6 +11,15 @@
 // Each run produces one file per requested side channel, named
 // <printer>_<label>_<seed>_<channel>.nsig, plus a .meta text file with the
 // run's layer times and duration.
+//
+// With -stream, printsim becomes a live replay client instead: the
+// simulated signals are framed and streamed to a running nsyncd over the
+// ingest protocol, optionally injecting transport defects (reordering,
+// duplication, loss, forced reconnects, a mid-print sensor death), and the
+// daemon's verdict decides the exit status (2 = intrusion):
+//
+//	printsim -attack Void -stream localhost:7070 -channels ACC,MAG,AUD
+//	printsim -stream localhost:7070 -shuffle 8 -dup 0.05 -reconnect-every 40
 package main
 
 import (
@@ -22,8 +31,10 @@ import (
 
 	"nsync/internal/experiment"
 	"nsync/internal/gcode"
+	"nsync/internal/ingest"
 	"nsync/internal/printer"
 	"nsync/internal/sensor"
+	"nsync/internal/sigproc"
 )
 
 func main() {
@@ -43,6 +54,16 @@ func run() error {
 		runs        = flag.Int("runs", 1, "number of runs (seeds seed, seed+1, ...)")
 		channelsArg = flag.String("channels", "ACC,TMP,MAG,AUD,EPT,PWR", "comma-separated side channels to record")
 		scaleName   = flag.String("scale", "ci", "experiment scale: ci or paper")
+
+		streamAddr = flag.String("stream", "", "stream to a running nsyncd at this address instead of writing files")
+		sessionID  = flag.String("session", "", "ingest session id (default <printer>_<label>_<seed>)")
+		priority   = flag.Int("priority", 100, "ingest session priority (lower sheds first)")
+		frameLen   = flag.Int("frame", 100, "samples per data frame")
+		shuffle    = flag.Int("shuffle", 0, "permute frame order within windows of this size (lossless reordering)")
+		dupProb    = flag.Float64("dup", 0, "probability a frame is sent twice")
+		dropProb   = flag.Float64("drop", 0, "probability a frame is never sent (lossy)")
+		reconnect  = flag.Int("reconnect-every", 0, "force a disconnect+resume after every N frames")
+		cutChannel = flag.String("cut", "", "stop this channel's data at half the print (simulated sensor death)")
 	)
 	flag.Parse()
 
@@ -79,6 +100,20 @@ func run() error {
 			tr = tr.TrimBefore(ready)
 		}
 		base := fmt.Sprintf("%s_%s_%d", prof.Name, label, s)
+		if *streamAddr != "" {
+			id := *sessionID
+			if id == "" {
+				id = base
+			}
+			err := streamRun(tr, channels, scale, s, *streamAddr, id, streamOptions{
+				priority: *priority, frame: *frameLen, shuffle: *shuffle,
+				dup: *dupProb, drop: *dropProb, reconnect: *reconnect, cut: *cutChannel,
+			})
+			if err != nil {
+				return err
+			}
+			continue
+		}
 		for _, ch := range channels {
 			sig, err := sensor.Acquire(tr, ch, scale.Sensor, s)
 			if err != nil {
@@ -96,6 +131,60 @@ func run() error {
 			return err
 		}
 	}
+	return nil
+}
+
+type streamOptions struct {
+	priority, frame, shuffle, reconnect int
+	dup, drop                           float64
+	cut                                 string
+}
+
+// streamRun acquires the run's side-channel signals and replays them to a
+// running nsyncd, injecting the requested transport defects. The daemon's
+// verdict is printed; an intrusion exits with status 2, matching nsyncid.
+func streamRun(tr *printer.Trace, channels []sensor.Channel, scale experiment.Scale, seed int64, addr, id string, opt streamOptions) error {
+	var signals []*sigproc.Signal
+	var specs []ingest.ChannelSpec
+	cut := -1
+	for i, ch := range channels {
+		sig, err := sensor.Acquire(tr, ch, scale.Sensor, seed)
+		if err != nil {
+			return err
+		}
+		signals = append(signals, sig)
+		specs = append(specs, ingest.ChannelSpec{Name: ch.String(), Lanes: sig.Channels(), Rate: sig.Rate})
+		if strings.EqualFold(ch.String(), opt.cut) {
+			cut = i
+		}
+	}
+	if opt.cut != "" && cut < 0 {
+		return fmt.Errorf("-cut channel %q not in -channels", opt.cut)
+	}
+	fmt.Printf("streaming session %s (%d channels) to %s\n", id, len(specs), addr)
+	ropt := ingest.ReplayOptions{
+		FrameSamples: opt.frame, Seed: seed, ShuffleWindow: opt.shuffle,
+		DupProb: opt.dup, DropProb: opt.drop, ReconnectAfter: opt.reconnect,
+	}
+	if cut >= 0 {
+		ropt.CutChannels = []int{cut}
+	}
+	verdict, err := ingest.Replay(addr, ingest.Hello{SessionID: id, Priority: opt.priority, Channels: specs}, signals, ropt)
+	if err != nil {
+		return err
+	}
+	for _, ch := range verdict.Channels {
+		fmt.Printf("  channel %s: health=%s quarantined=%v voting=%v\n", ch.Name, ch.Health, ch.Quarantined, ch.Voting)
+	}
+	if verdict.Intrusion {
+		first := ""
+		if len(verdict.Alerts) > 0 {
+			first = fmt.Sprintf(" (first at t=%.1fs)", verdict.Alerts[0].Time)
+		}
+		fmt.Printf("verdict: INTRUSION%s [%s]\n", first, verdict.Reason)
+		os.Exit(2)
+	}
+	fmt.Printf("verdict: benign [%s]\n", verdict.Reason)
 	return nil
 }
 

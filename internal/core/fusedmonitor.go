@@ -195,6 +195,77 @@ func (fm *FusedMonitor) fuse() []FusedAlert {
 	return []FusedAlert{a}
 }
 
+// Buffered returns the total samples withheld across all channels: pending
+// samples trailing the health frontier plus each per-channel monitor's
+// window buffer. It is the amount of data Flush is responsible for.
+func (fm *FusedMonitor) Buffered() int {
+	total := 0
+	for _, ch := range fm.chans {
+		if ch.pending != nil {
+			total += ch.pending.Len()
+		}
+		total += ch.mon.Buffered()
+	}
+	return total
+}
+
+// Flush terminates the stream: every healthy channel's withheld tail — up
+// to one full health window held back by the detection lag, plus the final
+// partial DWM window — is health-judged, forwarded, and evaluated, and the
+// fused verdict is recomputed one last time. Without Flush the detection
+// lag silently eats the last seconds of every print. Push after Flush
+// fails; Reset returns the monitor to service.
+func (fm *FusedMonitor) Flush() ([]FusedAlert, error) {
+	for _, ch := range fm.chans {
+		if ch.health.Quarantined() {
+			continue
+		}
+		// Judge the health monitor's buffered partial window first: a fault
+		// confined to the tail must still quarantine, not be synchronized.
+		if r := ch.health.Flush(); r != HealthOK {
+			ch.voting = false
+			ch.pending = nil
+			continue
+		}
+		if ch.pending != nil && ch.pending.Len() > 0 {
+			n := ch.pending.Len()
+			alerts, err := ch.mon.Push(ch.pending)
+			if err != nil {
+				return nil, fmt.Errorf("core: fused monitor channel %s: %w", ch.name, err)
+			}
+			ch.pending = &sigproc.Signal{Rate: ch.rate}
+			ch.forwarded += n
+			if len(alerts) > 0 {
+				ch.voting = true
+			}
+		}
+		alerts, err := ch.mon.Flush()
+		if err != nil {
+			return nil, fmt.Errorf("core: fused monitor channel %s: %w", ch.name, err)
+		}
+		if len(alerts) > 0 {
+			ch.voting = true
+		}
+	}
+	return fm.fuse(), nil
+}
+
+// Reset returns the fused monitor to its freshly constructed state so it
+// can be pooled across print sessions: every per-channel monitor and health
+// tracker resets, quarantines lift, votes clear. A reset monitor produces
+// alerts identical to a freshly built one fed the same stream.
+func (fm *FusedMonitor) Reset() {
+	for _, ch := range fm.chans {
+		ch.mon.Reset()
+		ch.health.Reset()
+		ch.pending = &sigproc.Signal{Rate: ch.rate}
+		ch.forwarded = 0
+		ch.voting = false
+	}
+	fm.alerting = false
+	fm.alerts = nil
+}
+
 // Intrusion reports whether any fused alert has been raised.
 func (fm *FusedMonitor) Intrusion() bool { return len(fm.alerts) > 0 }
 

@@ -275,6 +275,46 @@ func (h *HealthMonitor) Push(chunk *sigproc.Signal) (HealthReason, error) {
 	return HealthOK, nil
 }
 
+// Flush judges the buffered partial health window at stream end and returns
+// the channel's final health. Without it, a fault confined to the stream's
+// last seconds — too short to complete a health window — would never be
+// judged, and FusedMonitor.Flush would forward the damaged tail into the
+// synchronizer. Partial windows shorter than half a health window are
+// forwarded unjudged: the saturation check counts samples pinned at the
+// window extremes, and on a handful of samples a healthy noise window pins
+// a large fraction by construction.
+func (h *HealthMonitor) Flush() HealthReason {
+	if h.quarantined {
+		return h.reason
+	}
+	n := h.buf.Len()
+	if n == 0 {
+		return HealthOK
+	}
+	if n >= h.win/2 {
+		if r := checkWindow(h.buf, h.base, h.cfg); r != HealthOK {
+			h.quarantined = true
+			h.reason = r
+			h.at = float64(h.consumed) / h.rate
+			h.buf = &sigproc.Signal{Rate: h.rate}
+			return r
+		}
+	}
+	h.consumed += n
+	h.buf = &sigproc.Signal{Rate: h.rate}
+	return HealthOK
+}
+
+// Reset returns the monitor to its freshly constructed state (healthy, no
+// buffered samples) so it can be pooled across print sessions.
+func (h *HealthMonitor) Reset() {
+	h.buf = &sigproc.Signal{Rate: h.rate}
+	h.consumed = 0
+	h.quarantined = false
+	h.reason = HealthOK
+	h.at = 0
+}
+
 // Quarantined reports whether the channel has been quarantined.
 func (h *HealthMonitor) Quarantined() bool { return h.quarantined }
 

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"math"
 
@@ -57,6 +58,7 @@ type Monitor struct {
 	rawV     []float64
 	alerts   []Alert
 	features Features
+	flushed  bool
 }
 
 // NewMonitor builds a streaming monitor from a trained detector
@@ -104,6 +106,9 @@ func (m *Monitor) Push(chunk *sigproc.Signal) ([]Alert, error) {
 		// slice. Not an error — live capture loops may legitimately wake
 		// with no new samples.
 		return nil, nil
+	}
+	if m.flushed {
+		return nil, errors.New("core: Push after Flush; Reset the monitor to start a new stream")
 	}
 	if chunk.Channels() != m.reference.Channels() {
 		return nil, fmt.Errorf("core: chunk has %d channels, want %d", chunk.Channels(), m.reference.Channels())
@@ -193,6 +198,122 @@ func (m *Monitor) step(i int, win *sigproc.Signal) ([]Alert, error) {
 	m.alerts = append(m.alerts, alerts...)
 	monitorWindowTimer.Stop(tw)
 	return alerts, nil
+}
+
+// Buffered returns how many pushed samples are sitting in the monitor's
+// buffer, not yet consumed into a complete DWM window. The buffer always
+// retains the overlap between consecutive windows (NWin-NHop samples), so a
+// non-zero value does not by itself mean unanalyzed data; samples the
+// discriminator has never seen exist exactly when Flush would evaluate a
+// final window.
+func (m *Monitor) Buffered() int { return m.buf.Len() }
+
+// Flush evaluates the stream's final partial window. Without it, samples
+// buffered at stream end but too few to complete the next DWM window are
+// dropped forever — an attack burst confined to the print's last seconds
+// would be silently ignored. Flush pads the pending partial window to a
+// full window with the reference's own aligned samples and runs it through
+// the normal discriminator step, returning any alerts it raises. When the
+// final window's span extends past the reference's end the tail is skipped
+// instead: there is no reference content left to judge it against, and the
+// clipped TDE search would manufacture a displacement from the overhang.
+//
+// Flush is a stream terminator: it does nothing when every pushed sample
+// has already been analyzed, a second Flush is a no-op, and Push after
+// Flush is an error (the padded synthetic window must stay the last).
+// Reset returns a flushed monitor to service.
+func (m *Monitor) Flush() ([]Alert, error) {
+	if m.flushed {
+		return nil, nil
+	}
+	defer func() {
+		// The stream is over either way: drop the buffer (including the
+		// retained inter-window overlap) so Buffered reads 0 after Flush.
+		m.flushed = true
+		m.buf = &sigproc.Signal{Rate: m.reference.Rate}
+	}()
+	sp := m.sync.SampleParams()
+	i := m.sync.WindowIndex()
+	start := i*sp.NHop - m.consumed
+	if start < 0 || start > m.buf.Len() {
+		// Push failed mid-stream and left the buffer trimmed short; there is
+		// no coherent final window to evaluate.
+		return nil, nil
+	}
+	tail := m.buf.Len() - start
+	// Samples the discriminator has never seen: everything past the end of
+	// the last analyzed window (which overlaps the pending one by NWin-NHop
+	// samples). No unseen samples means no final window to synthesize.
+	unseen := tail
+	if i > 0 {
+		unseen = tail - (sp.NWin - sp.NHop)
+	}
+	if unseen <= 0 {
+		return nil, nil
+	}
+	if i*sp.NHop+sp.NWin > m.reference.Len() {
+		// The final window's nominal span extends past the reference's end,
+		// so its true alignment is not representable: the TDE search region
+		// is clipped at the reference boundary and the estimate is forced to
+		// the edge, reporting a displacement equal to the overhang no matter
+		// what the samples contain. Every benign print that runs a fraction
+		// of a hop longer than the reference would flush a spurious c_disp
+		// alarm. The reference print has ended — there is nothing sound to
+		// compare the tail against — so skip it. A genuinely duration-
+		// extending attack is still caught by Push: its complete windows
+		// edge-anchor with h_dist growing a full hop per window.
+		return nil, nil
+	}
+	win := sigproc.New(m.reference.Rate, m.reference.Channels(), sp.NWin)
+	partial := m.buf.Slice(start, m.buf.Len())
+	for c := range partial.Data {
+		copy(win.Data[c], partial.Data[c])
+	}
+	// Pad the unseen region with the reference's own samples at the current
+	// alignment, not zeros: a zero tail looks like a flat attack and jolts
+	// the TDE into a large spurious displacement — a c_disp false alarm at
+	// every benign stream end that isn't window-aligned. Reference padding
+	// is the opposite prior: the missing future is presumed benign, so only
+	// the real tail samples argue for an intrusion. The per-sample clamp
+	// matters: when the observed run outlasts the reference, a block-copy
+	// from a shifted-down start would place pad content hundreds of samples
+	// off the true alignment — itself a TDE jolt — so instead the alignment
+	// is kept and the reference's final value is held past its end.
+	base := i*sp.NHop + int(m.prevH)
+	bn := m.reference.Len()
+	for c := range win.Data {
+		for j := tail; j < sp.NWin; j++ {
+			src := base + j
+			if src < 0 {
+				src = 0
+			}
+			if src >= bn {
+				src = bn - 1
+			}
+			win.Data[c][j] = m.reference.Data[c][src]
+		}
+	}
+	return m.step(i, win)
+}
+
+// Reset returns the monitor to its freshly constructed state so it can be
+// pooled across print sessions without re-running NewMonitor: the trained
+// configuration (reference, thresholds, distance, filter window) is kept,
+// every per-stream accumulator is cleared, and a reset monitor produces
+// alerts identical to a fresh one fed the same stream.
+func (m *Monitor) Reset() {
+	m.sync.Reset()
+	m.buf = &sigproc.Signal{Rate: m.reference.Rate}
+	m.consumed = 0
+	m.cdisp = 0
+	m.prevH = 0
+	m.rawH = m.rawH[:0]
+	m.rawV = m.rawV[:0]
+	m.alerts = nil
+	m.features.CDisp = nil
+	m.features.HDist = nil
+	m.features.VDist = nil
+	m.flushed = false
 }
 
 // Alerts returns all alerts raised so far.

@@ -1,0 +1,321 @@
+package core
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"nsync/internal/sigproc"
+)
+
+// trainedThresholds learns discriminator thresholds for ref from seeded
+// benign jitter runs, with the given min-filter window and OCC margin.
+func trainedThresholds(t *testing.T, rng *rand.Rand, ref *sigproc.Signal, filterN int, r float64) Thresholds {
+	t.Helper()
+	det, err := NewDetector(ref, Config{
+		Sync:         &DWMSynchronizer{Params: testDWMParams()},
+		OCC:          OCCConfig{R: r},
+		FilterWindow: filterN,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var train []*sigproc.Signal
+	for i := 0; i < 5; i++ {
+		train = append(train, jittered(rng, ref, 300))
+	}
+	if err := det.Train(train); err != nil {
+		t.Fatal(err)
+	}
+	th, err := det.Thresholds()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return th
+}
+
+// pushChunks streams a signal into a monitor in fixed-size chunks and
+// returns every alert raised.
+func pushChunks(t *testing.T, m *Monitor, s *sigproc.Signal, chunk int) []Alert {
+	t.Helper()
+	var all []Alert
+	for pos := 0; pos < s.Len(); pos += chunk {
+		alerts, err := m.Push(s.SliceClamped(pos, pos+chunk))
+		if err != nil {
+			t.Fatal(err)
+		}
+		all = append(all, alerts...)
+	}
+	return all
+}
+
+// TestMonitorFlushCatchesTailAttack is the silent-tail-loss regression: an
+// attack burst confined to the stream's final sub-window samples raises no
+// alert through Push alone (the partial window never completes), but must
+// be caught by Flush.
+func TestMonitorFlushCatchesTailAttack(t *testing.T) {
+	rng := rand.New(rand.NewSource(90))
+	ref := noiseSig(rng, 100, 3000)
+	th := trainedThresholds(t, rng, ref, 1, 0.5)
+	mon, err := NewMonitor(ref, testDWMParams(), th, WithMonitorFilterWindow(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// 2900 samples end exactly on a window boundary (window 114 covers
+	// samples 2850..2900 at NWin=50, NHop=25); the next window needs data
+	// through sample 2925, so a 24-sample tail can never complete it. The
+	// body tracks the reference with amplitude noise only — this test is
+	// about the tail, not about jitter tracking.
+	benign := ref.Slice(0, 2900).Clone()
+	for i := range benign.Data[0] {
+		benign.Data[0][i] += 0.05 * rng.NormFloat64()
+	}
+	if alerts := pushChunks(t, mon, benign, 97); len(alerts) != 0 {
+		t.Fatalf("benign body alerted: %v", alerts)
+	}
+	tail := sigproc.New(100, 1, 24)
+	for i := range tail.Data[0] {
+		tail.Data[0][i] = 8 * rng.NormFloat64()
+	}
+	alerts, err := mon.Push(tail)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(alerts) != 0 {
+		t.Fatalf("sub-window tail completed a window: %v", alerts)
+	}
+	if mon.Buffered() == 0 {
+		t.Fatal("tail samples not buffered")
+	}
+
+	flushed, err := mon.Flush()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(flushed) == 0 {
+		t.Fatal("Flush ignored the corrupted sub-window tail")
+	}
+	if !mon.Intrusion() {
+		t.Error("flushed alert not recorded")
+	}
+
+	// Flush is idempotent, and the stream is terminated.
+	if again, err := mon.Flush(); err != nil || len(again) != 0 {
+		t.Errorf("second Flush = %v, %v", again, err)
+	}
+	if _, err := mon.Push(tail); err == nil {
+		t.Error("Push after Flush should fail")
+	}
+}
+
+// TestMonitorFlushNoUnseenTail: when every pushed sample has already been
+// analyzed (the stream ends exactly on a window boundary), Flush must not
+// synthesize a window out of the inter-window overlap.
+func TestMonitorFlushNoUnseenTail(t *testing.T) {
+	rng := rand.New(rand.NewSource(91))
+	ref := noiseSig(rng, 100, 3000)
+	th := trainedThresholds(t, rng, ref, DefaultFilterWindow, 0.3)
+	mon, err := NewMonitor(ref, testDWMParams(), th)
+	if err != nil {
+		t.Fatal(err)
+	}
+	obs := jittered(rng, ref, 300).Slice(0, 2900).Clone()
+	pushChunks(t, mon, obs, 100)
+	windows := mon.WindowsProcessed()
+	alerts, err := mon.Flush()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(alerts) != 0 {
+		t.Errorf("Flush on boundary-aligned stream alerted: %v", alerts)
+	}
+	if got := mon.WindowsProcessed(); got != windows {
+		t.Errorf("Flush synthesized a window: %d -> %d", windows, got)
+	}
+}
+
+// TestMonitorFlushSkipsOverhangingTail is the benign-overrun regression: a
+// print that runs a fraction of a hop longer than the reference leaves a
+// final partial window whose span extends past the reference's end. The
+// TDE search for that window is clipped at the reference boundary, so its
+// true alignment is unrepresentable and the estimate is forced to the edge
+// — a displacement jolt equal to the overhang, and a spurious c_disp alarm
+// at every slightly-long benign stream end. Flush must skip such a tail.
+func TestMonitorFlushSkipsOverhangingTail(t *testing.T) {
+	rng := rand.New(rand.NewSource(93))
+	ref := noiseSig(rng, 100, 3000)
+	th := trainedThresholds(t, rng, ref, DefaultFilterWindow, 0.3)
+	mon, err := NewMonitor(ref, testDWMParams(), th)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The observed run tracks the reference but lasts 10 samples longer:
+	// the extra samples repeat the reference's tail with the same jitter.
+	obs := ref.Clone()
+	extra := ref.Slice(ref.Len()-10, ref.Len()).Clone()
+	if err := obs.Concat(extra); err != nil {
+		t.Fatal(err)
+	}
+	for i := range obs.Data[0] {
+		obs.Data[0][i] += 0.05 * rng.NormFloat64()
+	}
+	if alerts := pushChunks(t, mon, obs, 97); len(alerts) != 0 {
+		t.Fatalf("benign overlong body alerted: %v", alerts)
+	}
+	windows := mon.WindowsProcessed()
+	alerts, err := mon.Flush()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(alerts) != 0 {
+		t.Errorf("Flush alerted on a benign overhanging tail: %v", alerts)
+	}
+	if got := mon.WindowsProcessed(); got != windows {
+		t.Errorf("Flush evaluated a window past the reference end: %d -> %d", windows, got)
+	}
+}
+
+// TestMonitorResetIdentical: a reset monitor must produce byte-identical
+// alerts and features to a freshly constructed one on the same stream.
+func TestMonitorResetIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(92))
+	ref := noiseSig(rng, 100, 3000)
+	th := trainedThresholds(t, rng, ref, DefaultFilterWindow, 0.3)
+
+	first := jittered(rng, ref, 300)
+	second := corrupted(rng, ref)
+
+	reused, err := NewMonitor(ref, testDWMParams(), th)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pushChunks(t, reused, first, 97)
+	if _, err := reused.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	reused.Reset()
+	if reused.Buffered() != 0 || reused.WindowsProcessed() != 0 || reused.Intrusion() {
+		t.Fatal("Reset left residual state")
+	}
+
+	fresh, err := NewMonitor(ref, testDWMParams(), th)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotAlerts := pushChunks(t, reused, second, 97)
+	wantAlerts := pushChunks(t, fresh, second, 97)
+	if !reflect.DeepEqual(gotAlerts, wantAlerts) {
+		t.Errorf("reset monitor alerts differ:\n got %v\nwant %v", gotAlerts, wantAlerts)
+	}
+	if !reflect.DeepEqual(reused.Features(), fresh.Features()) {
+		t.Error("reset monitor features differ from fresh monitor")
+	}
+	if !reflect.DeepEqual(reused.Alerts(), fresh.Alerts()) {
+		t.Error("reset monitor accumulated alerts differ from fresh monitor")
+	}
+}
+
+// TestFusedMonitorFlushDrainsWithheldTail: the fused monitor's detection
+// lag withholds up to one health window plus a partial window per channel;
+// an attack confined to that withheld tail must be caught by Flush.
+func TestFusedMonitorFlushDrainsWithheldTail(t *testing.T) {
+	fx := newFusedFixture(t, 0)
+	var chans []FusedMonitorChannel
+	for c, ref := range fx.refs {
+		th, err := fx.fd.Detector(c).Thresholds()
+		if err != nil {
+			t.Fatal(err)
+		}
+		chans = append(chans, FusedMonitorChannel{
+			Name: fx.fd.Channels()[c], Reference: ref,
+			Params: testDWMParams(), Thresholds: th,
+		})
+	}
+	fm, err := NewFusedMonitor(chans, FusedConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Benign prefix of 2700 samples, then 250 corrupted samples. At the
+	// 200-sample health window, the cleared frontier ends at 2800 and the
+	// forwarded frontier at 2600 — the corrupted region never reaches the
+	// per-channel monitors through Push.
+	obs := make([]*sigproc.Signal, len(fx.refs))
+	for c, ref := range fx.refs {
+		s := ref.Slice(0, 2700).Clone()
+		for i := range s.Data[0] {
+			s.Data[0][i] += 0.05 * fx.rng.NormFloat64()
+		}
+		bad := sigproc.New(100, 1, 250)
+		for i := range bad.Data[0] {
+			bad.Data[0][i] = 2 * fx.rng.NormFloat64()
+		}
+		if err := s.Concat(bad); err != nil {
+			t.Fatal(err)
+		}
+		obs[c] = s
+	}
+	if alerts := pushAll(t, fm, obs); len(alerts) != 0 {
+		t.Fatalf("withheld tail alerted through Push: %v", alerts)
+	}
+	if fm.Buffered() == 0 {
+		t.Fatal("no withheld samples before Flush")
+	}
+	alerts, err := fm.Flush()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(alerts) == 0 || !fm.Intrusion() {
+		t.Fatal("Flush did not catch the attack confined to the withheld tail")
+	}
+	if fm.Buffered() != 0 {
+		t.Errorf("Flush left %d samples buffered", fm.Buffered())
+	}
+}
+
+// TestFusedMonitorResetIdentical: a reset fused monitor must match a fresh
+// one on the same stream, including channel states.
+func TestFusedMonitorResetIdentical(t *testing.T) {
+	fx := newFusedFixture(t, 0)
+	newFM := func() *FusedMonitor {
+		var chans []FusedMonitorChannel
+		for c, ref := range fx.refs {
+			th, err := fx.fd.Detector(c).Thresholds()
+			if err != nil {
+				t.Fatal(err)
+			}
+			chans = append(chans, FusedMonitorChannel{
+				Name: fx.fd.Channels()[c], Reference: ref,
+				Params: testDWMParams(), Thresholds: th,
+			})
+		}
+		fm, err := NewFusedMonitor(chans, FusedConfig{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return fm
+	}
+
+	run := fx.maliciousRun()
+	reused := newFM()
+	pushAll(t, reused, fx.benignRun())
+	if _, err := reused.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	reused.Reset()
+	if reused.Buffered() != 0 || reused.Intrusion() {
+		t.Fatal("Reset left residual state")
+	}
+
+	fresh := newFM()
+	got := pushAll(t, reused, run)
+	want := pushAll(t, fresh, run)
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("reset fused monitor alerts differ:\n got %v\nwant %v", got, want)
+	}
+	if !reflect.DeepEqual(reused.ChannelStates(), fresh.ChannelStates()) {
+		t.Error("reset fused monitor channel states differ")
+	}
+}

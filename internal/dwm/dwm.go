@@ -308,6 +308,20 @@ func (s *Synchronizer) Commit(p Proposal) {
 	s.i++
 }
 
+// Reset returns the synchronizer to its initial state — window index 0,
+// h_disp,low[-1] = 0, empty displacement arrays — while keeping the
+// reference, the resolved parameters, and the accumulated slice capacity.
+// It exists so a long-running service can pool synchronizers across print
+// sessions instead of re-running NewSynchronizer per session; a reset
+// synchronizer produces results identical to a freshly constructed one.
+func (s *Synchronizer) Reset() {
+	s.i = 0
+	s.hDisp = s.hDisp[:0]
+	s.hLow = s.hLow[:0]
+	s.scores = s.scores[:0]
+	s.hLowPrev = 0
+}
+
 // Step processes observed window a{i} and returns its horizontal
 // displacement in samples together with the TDEB similarity score. It is
 // Propose followed by Commit: on error nothing is committed.

@@ -1,0 +1,329 @@
+package ingest
+
+import (
+	"bufio"
+	"fmt"
+	"math/rand"
+	"net"
+	"time"
+
+	"nsync/internal/resilience"
+	"nsync/internal/sigproc"
+)
+
+// ServerError is a FrameError received from the server: the server is
+// healthy and reachable but refused or terminated the session (shed,
+// evicted, malformed input). Reconnecting will not help, so it is never
+// classified as transient.
+type ServerError struct{ Msg string }
+
+// Error implements error.
+func (e *ServerError) Error() string { return "ingest: server: " + e.Msg }
+
+// Hello describes the session a client wants to open.
+type Hello struct {
+	SessionID string
+	// Priority orders sessions for load shedding: lower sheds first.
+	Priority int
+	Channels []ChannelSpec
+}
+
+// Client is one connection's worth of framed-protocol state. Reconnecting
+// means Dial-ing a new Client with the same session id and resuming from
+// the committed counts the HelloAck reports.
+type Client struct {
+	conn net.Conn
+	br   *bufio.Reader
+	// Committed is the server's per-channel committed sample count at
+	// handshake time — the resume point.
+	Committed []uint64
+}
+
+// Dial connects, handshakes, and returns a client ready to send data
+// frames. On resume, Committed tells the caller where to pick up each
+// channel.
+func Dial(addr string, h Hello, timeout time.Duration) (*Client, error) {
+	if timeout <= 0 {
+		timeout = 10 * time.Second
+	}
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, err
+	}
+	c := &Client{conn: conn, br: bufio.NewReader(conn)}
+	hello := &Frame{
+		Type: FrameHello, SessionID: h.SessionID, Priority: h.Priority,
+		Channels: h.Channels,
+	}
+	conn.SetDeadline(time.Now().Add(timeout)) //nolint:errcheck // net.Conn deadlines
+	if err := WriteFrame(conn, hello); err != nil {
+		conn.Close() //nolint:errcheck // already failing
+		return nil, err
+	}
+	f, err := ReadFrame(c.br)
+	if err != nil {
+		conn.Close() //nolint:errcheck // already failing
+		return nil, err
+	}
+	conn.SetDeadline(time.Time{}) //nolint:errcheck // net.Conn deadlines
+	switch f.Type {
+	case FrameHelloAck:
+		c.Committed = f.Committed
+		return c, nil
+	case FrameError:
+		conn.Close() //nolint:errcheck // already failing
+		return nil, &ServerError{Msg: f.Message}
+	default:
+		conn.Close() //nolint:errcheck // already failing
+		return nil, fmt.Errorf("%w: %v reply to hello", ErrMalformed, f.Type)
+	}
+}
+
+// SendData sends one data frame: lane-interleaved values for channel ch
+// whose first sample has stream index seq.
+func (c *Client) SendData(ch int, seq uint64, values []float64) error {
+	return WriteFrame(c.conn, &Frame{Type: FrameData, Channel: ch, Seq: seq, Values: values})
+}
+
+// SendEOS declares channel ch's total sample count.
+func (c *Client) SendEOS(ch int, total uint64) error {
+	return WriteFrame(c.conn, &Frame{Type: FrameEOS, Channel: ch, Seq: total})
+}
+
+// Finish asks for the final verdict and waits for it.
+func (c *Client) Finish(timeout time.Duration) (*Verdict, error) {
+	if timeout <= 0 {
+		timeout = 30 * time.Second
+	}
+	if err := WriteFrame(c.conn, &Frame{Type: FrameFinish}); err != nil {
+		return nil, err
+	}
+	c.conn.SetReadDeadline(time.Now().Add(timeout)) //nolint:errcheck // net.Conn deadlines
+	f, err := ReadFrame(c.br)
+	if err != nil {
+		return nil, err
+	}
+	switch f.Type {
+	case FrameVerdict:
+		return f.Verdict, nil
+	case FrameError:
+		return nil, &ServerError{Msg: f.Message}
+	default:
+		return nil, fmt.Errorf("%w: %v reply to finish", ErrMalformed, f.Type)
+	}
+}
+
+// AwaitVerdict blocks until the server sends a terminal frame — the drain
+// verdict on server shutdown, or an error. Use it instead of Finish when
+// the server, not the client, decides when the session ends.
+func (c *Client) AwaitVerdict(timeout time.Duration) (*Verdict, error) {
+	if timeout > 0 {
+		c.conn.SetReadDeadline(time.Now().Add(timeout)) //nolint:errcheck // net.Conn deadlines
+	}
+	for {
+		f, err := ReadFrame(c.br)
+		if err != nil {
+			return nil, err
+		}
+		switch f.Type {
+		case FrameVerdict:
+			return f.Verdict, nil
+		case FrameError:
+			return nil, &ServerError{Msg: f.Message}
+		}
+	}
+}
+
+// Close closes the connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// ---- Replay ----
+
+// ReplayOptions injects transport defects into a replayed stream. The
+// defects are seeded and deterministic: the same options replay the same
+// schedule, which is what lets tests assert verdict equivalence.
+type ReplayOptions struct {
+	// FrameSamples is how many samples each data frame carries (default 100).
+	FrameSamples int
+	// Seed drives the defect schedule.
+	Seed int64
+	// ShuffleWindow permutes the send order within consecutive windows of
+	// this many frames (0 or 1 = in order). Lossless: everything still
+	// arrives, just out of order, exercising the resequencer.
+	ShuffleWindow int
+	// DupProb is the probability a frame is sent twice. Lossless.
+	DupProb float64
+	// DropProb is the probability a frame is never sent. Lossy: the server
+	// fills the gap and detection sees synthetic stuck-at samples.
+	DropProb float64
+	// ReconnectAfter forces a connection drop and resume after every this
+	// many sent frames (0 = never).
+	ReconnectAfter int
+	// CutChannels lists channel indexes whose data stops at half their
+	// length while EOS still declares the full extent — a sensor that died
+	// mid-print. The server fills the missing half and health quarantine
+	// retires the channel.
+	CutChannels []int
+	// MaxDials bounds connection attempts, first dial included (default 8).
+	MaxDials int
+	// Timeout bounds each dial and the final verdict wait (default 30s).
+	Timeout time.Duration
+}
+
+type replayFrame struct {
+	ch     int
+	seq    uint64
+	values []float64
+}
+
+// Replay streams one signal per channel to addr as session h, injecting the
+// configured defects, then sends per-channel EOS (always declaring each
+// channel's full extent) and Finish, and returns the server's verdict.
+// Transient connection failures mid-stream reconnect and resume from the
+// server's committed counts; a ServerError aborts immediately.
+func Replay(addr string, h Hello, signals []*sigproc.Signal, opt ReplayOptions) (*Verdict, error) {
+	if len(signals) != len(h.Channels) {
+		return nil, fmt.Errorf("ingest: %d signals for %d channels", len(signals), len(h.Channels))
+	}
+	if opt.FrameSamples <= 0 {
+		opt.FrameSamples = 100
+	}
+	if opt.MaxDials <= 0 {
+		opt.MaxDials = 8
+	}
+	if opt.Timeout <= 0 {
+		opt.Timeout = 30 * time.Second
+	}
+	rng := rand.New(rand.NewSource(opt.Seed))
+	frames, totals := buildSchedule(signals, h.Channels, rng, opt)
+
+	dials := 0
+	dial := func() (*Client, error) {
+		for {
+			dials++
+			c, err := Dial(addr, h, opt.Timeout)
+			if err == nil {
+				return c, nil
+			}
+			if dials >= opt.MaxDials || !resilience.IsTransientNetwork(err) {
+				return nil, err
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+	c, err := dial()
+	if err != nil {
+		return nil, err
+	}
+	defer func() {
+		if c != nil {
+			c.Close() //nolint:errcheck // best-effort cleanup
+		}
+	}()
+
+	// reconnect re-dials and prunes frames the server already committed.
+	pos := 0
+	reconnect := func() error {
+		c.Close() //nolint:errcheck // tearing down on purpose
+		var err error
+		if c, err = dial(); err != nil {
+			return err
+		}
+		return nil
+	}
+	sent := 0
+	for pos < len(frames) {
+		fr := frames[pos]
+		lanes := uint64(h.Channels[fr.ch].Lanes)
+		if int(fr.ch) < len(c.Committed) {
+			if committed := c.Committed[fr.ch]; fr.seq+uint64(len(fr.values))/lanes <= committed {
+				pos++ // wholly behind the server's commit point after a resume
+				continue
+			}
+		}
+		if err := c.SendData(fr.ch, fr.seq, fr.values); err != nil {
+			if !resilience.IsTransientNetwork(err) {
+				return nil, err
+			}
+			if err := reconnect(); err != nil {
+				return nil, err
+			}
+			continue // retry the same frame on the new connection
+		}
+		pos++
+		sent++
+		if opt.ReconnectAfter > 0 && sent%opt.ReconnectAfter == 0 && pos < len(frames) {
+			if err := reconnect(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	for ch, total := range totals {
+		if err := c.SendEOS(ch, total); err != nil {
+			return nil, err
+		}
+	}
+	return c.Finish(opt.Timeout)
+}
+
+// buildSchedule turns the per-channel signals into a defect-injected frame
+// send order, returning the frames and each channel's declared total.
+func buildSchedule(signals []*sigproc.Signal, specs []ChannelSpec, rng *rand.Rand, opt ReplayOptions) ([]replayFrame, []uint64) {
+	totals := make([]uint64, len(signals))
+	perChannel := make([][]replayFrame, len(signals))
+	for ch, sig := range signals {
+		lanes := specs[ch].Lanes
+		n := sig.Len()
+		totals[ch] = uint64(n)
+		limit := n
+		for _, cut := range opt.CutChannels {
+			if ch == cut {
+				limit = n / 2
+			}
+		}
+		for start := 0; start < limit; start += opt.FrameSamples {
+			end := min(start+opt.FrameSamples, limit)
+			values := make([]float64, 0, (end-start)*lanes)
+			for i := start; i < end; i++ {
+				for l := 0; l < lanes; l++ {
+					values = append(values, sig.Data[l][i])
+				}
+			}
+			perChannel[ch] = append(perChannel[ch], replayFrame{ch: ch, seq: uint64(start), values: values})
+		}
+	}
+	// Round-robin across channels approximates time-aligned live capture.
+	var ordered []replayFrame
+	for i := 0; ; i++ {
+		any := false
+		for ch := range perChannel {
+			if i < len(perChannel[ch]) {
+				ordered = append(ordered, perChannel[ch][i])
+				any = true
+			}
+		}
+		if !any {
+			break
+		}
+	}
+	// Defects: drop, duplicate, then shuffle within windows.
+	var out []replayFrame
+	for _, fr := range ordered {
+		if opt.DropProb > 0 && rng.Float64() < opt.DropProb {
+			continue
+		}
+		out = append(out, fr)
+		if opt.DupProb > 0 && rng.Float64() < opt.DupProb {
+			out = append(out, fr)
+		}
+	}
+	if w := opt.ShuffleWindow; w > 1 {
+		for start := 0; start < len(out); start += w {
+			end := min(start+w, len(out))
+			rng.Shuffle(end-start, func(i, j int) {
+				out[start+i], out[start+j] = out[start+j], out[start+i]
+			})
+		}
+	}
+	return out, totals
+}

@@ -1,0 +1,517 @@
+// Package ingest is the fault-tolerant streaming layer between the network
+// and the core detection engine: a length-prefixed frame protocol carrying
+// sequenced side-channel samples, a per-channel resequencer that repairs
+// out-of-order delivery and fills gaps, and a TCP server with bounded
+// per-session queues, admission control, load shedding, and graceful drain
+// (see DESIGN.md §12).
+//
+// The wire format is deliberately dumb: big-endian, length-prefixed frames
+// with a one-byte version and type, so a torn TCP stream fails as a short
+// read (retryable by reconnecting) while a corrupted one fails decode with
+// ErrMalformed (fatal for the connection, never for the server).
+package ingest
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Version is the wire protocol version carried in every frame.
+const Version = 1
+
+// MaxFramePayload bounds a frame's payload so a corrupted or hostile length
+// prefix cannot make the server allocate gigabytes.
+const MaxFramePayload = 4 << 20
+
+// ErrMalformed reports a structurally invalid frame: bad version, unknown
+// type, truncated payload, or inconsistent lengths. It is a protocol error —
+// the connection that produced it cannot be trusted to frame correctly
+// anymore — as opposed to an I/O error, which only means the stream tore.
+var ErrMalformed = errors.New("ingest: malformed frame")
+
+// FrameType discriminates the frame payloads.
+type FrameType uint8
+
+// The frame types. Hello/HelloAck handshake a session (and carry the resume
+// point on reconnect), Data carries sequenced samples, EOS declares a
+// channel's final extent, Finish requests the final verdict, Verdict and
+// Error are the server's terminal replies.
+const (
+	FrameHello FrameType = iota + 1
+	FrameHelloAck
+	FrameData
+	FrameEOS
+	FrameFinish
+	FrameVerdict
+	FrameError
+)
+
+// String implements fmt.Stringer.
+func (t FrameType) String() string {
+	switch t {
+	case FrameHello:
+		return "hello"
+	case FrameHelloAck:
+		return "hello-ack"
+	case FrameData:
+		return "data"
+	case FrameEOS:
+		return "eos"
+	case FrameFinish:
+		return "finish"
+	case FrameVerdict:
+		return "verdict"
+	case FrameError:
+		return "error"
+	default:
+		return fmt.Sprintf("FrameType(%d)", uint8(t))
+	}
+}
+
+// ChannelSpec declares one side channel in a Hello: its name (matched
+// against the server's trained configuration), lane count (ACC carries 6
+// lanes, MAG 3, ...), and sample rate — side channels sample at different
+// rates (Table II), so the rate is per channel, not per session. Data frame
+// values are sample-major lane-interleaved, so a frame's value count must
+// be a multiple of the channel's lane count.
+type ChannelSpec struct {
+	Name  string
+	Lanes int
+	Rate  float64
+}
+
+// VerdictAlert is one fused alert inside a Verdict.
+type VerdictAlert struct {
+	// Time is seconds since the print began.
+	Time float64
+	// Votes, Healthy, Needed mirror core.FusedAlert.
+	Votes, Healthy, Needed int
+}
+
+// VerdictChannel is one channel's final state inside a Verdict.
+type VerdictChannel struct {
+	Name        string
+	Quarantined bool
+	// Health is the health reason string ("ok", "flat", ...).
+	Health string
+	Voting bool
+}
+
+// Verdict is the server's terminal answer for a session.
+type Verdict struct {
+	// Intrusion reports whether any fused alert fired over the whole stream.
+	Intrusion bool
+	// Reason says how the session ended: "finished" (client asked), or
+	// "drained" (server shut down and flushed what it had).
+	Reason string
+	// Alerts are the fused alerts in firing order.
+	Alerts []VerdictAlert
+	// Channels snapshots every channel's final health and vote.
+	Channels []VerdictChannel
+}
+
+// Frame is the decoded union of every frame type; which fields are
+// meaningful depends on Type. Keeping one struct (rather than an interface)
+// makes the codec a single fuzzable surface.
+type Frame struct {
+	Type FrameType
+
+	// Hello fields.
+	SessionID string
+	Priority  int
+	Channels  []ChannelSpec
+
+	// HelloAck: per-channel committed sample counts (the resume point).
+	Committed []uint64
+
+	// Data and EOS fields. Seq is the index of the frame's first sample
+	// within its channel's stream; Values is lane-interleaved sample data.
+	// For EOS, Seq is the channel's total sample count.
+	Channel int
+	Seq     uint64
+	Values  []float64
+
+	// Verdict field.
+	Verdict *Verdict
+
+	// Error field.
+	Message string
+}
+
+// ---- Encoding ----
+
+type frameWriter struct{ buf []byte }
+
+func (w *frameWriter) u8(v uint8)     { w.buf = append(w.buf, v) }
+func (w *frameWriter) u16(v uint16)   { w.buf = binary.BigEndian.AppendUint16(w.buf, v) }
+func (w *frameWriter) u32(v uint32)   { w.buf = binary.BigEndian.AppendUint32(w.buf, v) }
+func (w *frameWriter) u64(v uint64)   { w.buf = binary.BigEndian.AppendUint64(w.buf, v) }
+func (w *frameWriter) f64(v float64)  { w.u64(math.Float64bits(v)) }
+func (w *frameWriter) str8(s string)  { w.u8(uint8(len(s))); w.buf = append(w.buf, s...) }
+func (w *frameWriter) str16(s string) { w.u16(uint16(len(s))); w.buf = append(w.buf, s...) }
+
+// AppendFrame appends the encoded frame (length prefix included) to dst and
+// returns the extended slice. It validates the frame's string and slice
+// lengths against their wire-format field widths.
+func AppendFrame(dst []byte, f *Frame) ([]byte, error) {
+	w := &frameWriter{buf: make([]byte, 0, 64+8*len(f.Values))}
+	w.u8(Version)
+	w.u8(uint8(f.Type))
+	switch f.Type {
+	case FrameHello:
+		if len(f.SessionID) > 255 || len(f.Channels) > 255 {
+			return nil, fmt.Errorf("%w: hello field too long", ErrMalformed)
+		}
+		w.str8(f.SessionID)
+		w.u8(uint8(f.Priority))
+		w.u8(uint8(len(f.Channels)))
+		for _, ch := range f.Channels {
+			if len(ch.Name) > 255 || ch.Lanes < 1 || ch.Lanes > 255 {
+				return nil, fmt.Errorf("%w: bad channel spec", ErrMalformed)
+			}
+			w.str8(ch.Name)
+			w.u8(uint8(ch.Lanes))
+			w.f64(ch.Rate)
+		}
+	case FrameHelloAck:
+		if len(f.Committed) > 255 {
+			return nil, fmt.Errorf("%w: too many channels", ErrMalformed)
+		}
+		w.u8(uint8(len(f.Committed)))
+		for _, c := range f.Committed {
+			w.u64(c)
+		}
+	case FrameData:
+		w.u8(uint8(f.Channel))
+		w.u64(f.Seq)
+		w.u32(uint32(len(f.Values)))
+		for _, v := range f.Values {
+			w.f64(v)
+		}
+	case FrameEOS:
+		w.u8(uint8(f.Channel))
+		w.u64(f.Seq)
+	case FrameFinish:
+		// no payload beyond the header
+	case FrameVerdict:
+		v := f.Verdict
+		if v == nil {
+			return nil, fmt.Errorf("%w: verdict frame without verdict", ErrMalformed)
+		}
+		if v.Intrusion {
+			w.u8(1)
+		} else {
+			w.u8(0)
+		}
+		w.str16(v.Reason)
+		w.u16(uint16(len(v.Alerts)))
+		for _, a := range v.Alerts {
+			w.f64(a.Time)
+			w.u8(uint8(a.Votes))
+			w.u8(uint8(a.Healthy))
+			w.u8(uint8(a.Needed))
+		}
+		w.u8(uint8(len(v.Channels)))
+		for _, ch := range v.Channels {
+			w.str8(ch.Name)
+			b := uint8(0)
+			if ch.Quarantined {
+				b |= 1
+			}
+			if ch.Voting {
+				b |= 2
+			}
+			w.u8(b)
+			w.str8(ch.Health)
+		}
+	case FrameError:
+		w.str16(f.Message)
+	default:
+		return nil, fmt.Errorf("%w: unknown frame type %d", ErrMalformed, f.Type)
+	}
+	if len(w.buf) > MaxFramePayload {
+		return nil, fmt.Errorf("%w: frame payload %d exceeds %d", ErrMalformed, len(w.buf), MaxFramePayload)
+	}
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(w.buf)))
+	return append(dst, w.buf...), nil
+}
+
+// WriteFrame encodes f and writes it to w as one length-prefixed frame.
+func WriteFrame(w io.Writer, f *Frame) error {
+	buf, err := AppendFrame(nil, f)
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(buf)
+	return err
+}
+
+// ---- Decoding ----
+
+type frameReader struct {
+	buf []byte
+	pos int
+}
+
+func (r *frameReader) take(n int) ([]byte, error) {
+	if n < 0 || r.pos+n > len(r.buf) {
+		return nil, fmt.Errorf("%w: payload truncated", ErrMalformed)
+	}
+	b := r.buf[r.pos : r.pos+n]
+	r.pos += n
+	return b, nil
+}
+
+func (r *frameReader) u8() (uint8, error) {
+	b, err := r.take(1)
+	if err != nil {
+		return 0, err
+	}
+	return b[0], nil
+}
+
+func (r *frameReader) u16() (uint16, error) {
+	b, err := r.take(2)
+	if err != nil {
+		return 0, err
+	}
+	return binary.BigEndian.Uint16(b), nil
+}
+
+func (r *frameReader) u32() (uint32, error) {
+	b, err := r.take(4)
+	if err != nil {
+		return 0, err
+	}
+	return binary.BigEndian.Uint32(b), nil
+}
+
+func (r *frameReader) u64() (uint64, error) {
+	b, err := r.take(8)
+	if err != nil {
+		return 0, err
+	}
+	return binary.BigEndian.Uint64(b), nil
+}
+
+func (r *frameReader) f64() (float64, error) {
+	v, err := r.u64()
+	return math.Float64frombits(v), err
+}
+
+func (r *frameReader) str8() (string, error) {
+	n, err := r.u8()
+	if err != nil {
+		return "", err
+	}
+	b, err := r.take(int(n))
+	return string(b), err
+}
+
+func (r *frameReader) str16() (string, error) {
+	n, err := r.u16()
+	if err != nil {
+		return "", err
+	}
+	b, err := r.take(int(n))
+	return string(b), err
+}
+
+// ReadFrame reads and decodes one length-prefixed frame. A clean io.EOF at
+// the length prefix means the peer closed between frames; a short read
+// anywhere else surfaces as io.ErrUnexpectedEOF (a torn stream, worth a
+// reconnect); a structural problem surfaces wrapping ErrMalformed (the
+// stream cannot be trusted).
+func ReadFrame(r io.Reader) (*Frame, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		if errors.Is(err, io.EOF) {
+			return nil, io.EOF
+		}
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n < 2 {
+		return nil, fmt.Errorf("%w: payload length %d too short", ErrMalformed, n)
+	}
+	if n > MaxFramePayload {
+		return nil, fmt.Errorf("%w: payload length %d exceeds %d", ErrMalformed, n, MaxFramePayload)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		if errors.Is(err, io.EOF) {
+			err = io.ErrUnexpectedEOF
+		}
+		return nil, err
+	}
+	return DecodeFrame(payload)
+}
+
+// DecodeFrame decodes one frame payload (the bytes after the length
+// prefix). Every structural failure wraps ErrMalformed.
+func DecodeFrame(payload []byte) (*Frame, error) {
+	r := &frameReader{buf: payload}
+	ver, err := r.u8()
+	if err != nil {
+		return nil, err
+	}
+	if ver != Version {
+		return nil, fmt.Errorf("%w: version %d, want %d", ErrMalformed, ver, Version)
+	}
+	t, err := r.u8()
+	if err != nil {
+		return nil, err
+	}
+	f := &Frame{Type: FrameType(t)}
+	switch f.Type {
+	case FrameHello:
+		if f.SessionID, err = r.str8(); err != nil {
+			return nil, err
+		}
+		prio, err := r.u8()
+		if err != nil {
+			return nil, err
+		}
+		f.Priority = int(prio)
+		nch, err := r.u8()
+		if err != nil {
+			return nil, err
+		}
+		if nch == 0 {
+			return nil, fmt.Errorf("%w: hello with no channels", ErrMalformed)
+		}
+		for i := 0; i < int(nch); i++ {
+			var ch ChannelSpec
+			if ch.Name, err = r.str8(); err != nil {
+				return nil, err
+			}
+			lanes, err := r.u8()
+			if err != nil {
+				return nil, err
+			}
+			if lanes == 0 {
+				return nil, fmt.Errorf("%w: channel %q with zero lanes", ErrMalformed, ch.Name)
+			}
+			ch.Lanes = int(lanes)
+			if ch.Rate, err = r.f64(); err != nil {
+				return nil, err
+			}
+			if !(ch.Rate > 0) || math.IsInf(ch.Rate, 0) {
+				return nil, fmt.Errorf("%w: channel %q rate %v", ErrMalformed, ch.Name, ch.Rate)
+			}
+			f.Channels = append(f.Channels, ch)
+		}
+	case FrameHelloAck:
+		nch, err := r.u8()
+		if err != nil {
+			return nil, err
+		}
+		for i := 0; i < int(nch); i++ {
+			c, err := r.u64()
+			if err != nil {
+				return nil, err
+			}
+			f.Committed = append(f.Committed, c)
+		}
+	case FrameData:
+		ch, err := r.u8()
+		if err != nil {
+			return nil, err
+		}
+		f.Channel = int(ch)
+		if f.Seq, err = r.u64(); err != nil {
+			return nil, err
+		}
+		nv, err := r.u32()
+		if err != nil {
+			return nil, err
+		}
+		b, err := r.take(int(nv) * 8)
+		if err != nil {
+			return nil, err
+		}
+		f.Values = make([]float64, nv)
+		for i := range f.Values {
+			f.Values[i] = math.Float64frombits(binary.BigEndian.Uint64(b[i*8:]))
+		}
+	case FrameEOS:
+		ch, err := r.u8()
+		if err != nil {
+			return nil, err
+		}
+		f.Channel = int(ch)
+		if f.Seq, err = r.u64(); err != nil {
+			return nil, err
+		}
+	case FrameFinish:
+		// no payload
+	case FrameVerdict:
+		v := &Verdict{}
+		flags, err := r.u8()
+		if err != nil {
+			return nil, err
+		}
+		v.Intrusion = flags&1 != 0
+		if v.Reason, err = r.str16(); err != nil {
+			return nil, err
+		}
+		na, err := r.u16()
+		if err != nil {
+			return nil, err
+		}
+		for i := 0; i < int(na); i++ {
+			var a VerdictAlert
+			if a.Time, err = r.f64(); err != nil {
+				return nil, err
+			}
+			votes, err := r.u8()
+			if err != nil {
+				return nil, err
+			}
+			healthy, err := r.u8()
+			if err != nil {
+				return nil, err
+			}
+			needed, err := r.u8()
+			if err != nil {
+				return nil, err
+			}
+			a.Votes, a.Healthy, a.Needed = int(votes), int(healthy), int(needed)
+			v.Alerts = append(v.Alerts, a)
+		}
+		nch, err := r.u8()
+		if err != nil {
+			return nil, err
+		}
+		for i := 0; i < int(nch); i++ {
+			var ch VerdictChannel
+			if ch.Name, err = r.str8(); err != nil {
+				return nil, err
+			}
+			b, err := r.u8()
+			if err != nil {
+				return nil, err
+			}
+			ch.Quarantined = b&1 != 0
+			ch.Voting = b&2 != 0
+			if ch.Health, err = r.str8(); err != nil {
+				return nil, err
+			}
+			v.Channels = append(v.Channels, ch)
+		}
+		f.Verdict = v
+	case FrameError:
+		if f.Message, err = r.str16(); err != nil {
+			return nil, err
+		}
+	default:
+		return nil, fmt.Errorf("%w: unknown frame type %d", ErrMalformed, t)
+	}
+	if r.pos != len(r.buf) {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrMalformed, len(r.buf)-r.pos)
+	}
+	return f, nil
+}

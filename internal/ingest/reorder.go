@@ -1,0 +1,246 @@
+package ingest
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Resequencer repairs one channel's frame stream: frames may arrive out of
+// order, duplicated, overlapping, or not at all, and the resequencer turns
+// them back into the single in-order sample stream the detection core
+// requires. Sequence numbers are sample indices (a frame's Seq is the index
+// of its first sample), so resumption after a reconnect needs no per-frame
+// bookkeeping — the committed sample count IS the resume point.
+//
+// Losses are not silently skipped: when a gap is abandoned (the reorder
+// buffer overflows past it, or the stream ends with the gap still open) the
+// missing samples are synthesized by repeating the last delivered sample
+// vector. A short gap therefore perturbs a window or two; a long one
+// produces exactly the flat stuck-at signal the core's health quarantine
+// exists to catch — lost data degrades the channel through the same path a
+// dying sensor would, instead of shifting every later sample in time and
+// desynchronizing the whole stream.
+//
+// A Resequencer is not safe for concurrent use.
+type Resequencer struct {
+	lanes       int
+	maxBuffered int    // buffered out-of-order samples before gap abandon
+	maxAhead    uint64 // samples a frame may lead the commit point
+
+	next     uint64 // next expected sample index == committed samples
+	buffered int    // samples currently parked out of order
+	pending  map[uint64][]float64
+	last     []float64 // last delivered sample vector, for gap fill
+
+	eos      bool
+	total    uint64 // declared stream length (valid once eos)
+	released []float64
+
+	// Repair statistics, cumulative.
+	dups, reordered, filled int
+}
+
+// ResequencerConfig bounds a Resequencer. The zero value selects defaults.
+type ResequencerConfig struct {
+	// MaxBuffered is how many samples may sit parked out of order before
+	// the oldest open gap is abandoned and filled (default 4096).
+	MaxBuffered int
+	// MaxAhead is how far (in samples) a frame's Seq may lead the commit
+	// point before it is rejected as a corrupt sequence jump rather than
+	// buffered (default 1<<20). Without it one bit-flipped Seq would make
+	// the resequencer wait forever on a gap no retransmit can fill.
+	MaxAhead uint64
+}
+
+func (c ResequencerConfig) withDefaults() ResequencerConfig {
+	if c.MaxBuffered <= 0 {
+		c.MaxBuffered = 4096
+	}
+	if c.MaxAhead == 0 {
+		c.MaxAhead = 1 << 20
+	}
+	return c
+}
+
+// NewResequencer builds a resequencer for one channel with the given lane
+// count.
+func NewResequencer(lanes int, cfg ResequencerConfig) *Resequencer {
+	if lanes < 1 {
+		lanes = 1
+	}
+	cfg = cfg.withDefaults()
+	return &Resequencer{
+		lanes:       lanes,
+		maxBuffered: cfg.MaxBuffered,
+		maxAhead:    cfg.MaxAhead,
+		pending:     map[uint64][]float64{},
+	}
+}
+
+// Offer feeds one received frame (seq = first sample index, values
+// lane-interleaved) and returns the in-order lane-interleaved samples this
+// frame released, if any. The returned slice is only valid until the next
+// call. Duplicates release nothing; out-of-order frames park until the gap
+// before them closes or is abandoned.
+func (r *Resequencer) Offer(seq uint64, values []float64) ([]float64, error) {
+	if len(values)%r.lanes != 0 {
+		return nil, fmt.Errorf("%w: %d values not a multiple of %d lanes", ErrMalformed, len(values), r.lanes)
+	}
+	n := uint64(len(values) / r.lanes)
+	if n == 0 {
+		return nil, nil
+	}
+	if r.eos && seq+n > r.total {
+		return nil, fmt.Errorf("%w: data past declared end (%d+%d > %d)", ErrMalformed, seq, n, r.total)
+	}
+	r.released = r.released[:0]
+	if seq+n <= r.next {
+		r.dups++ // wholly in the past: retransmit of committed data
+		return nil, nil
+	}
+	if seq < r.next {
+		// Overlapping retransmit: keep only the unseen suffix.
+		r.dups++
+		values = values[(r.next-seq)*uint64(r.lanes):]
+		seq = r.next
+	}
+	if seq > r.next {
+		if seq-r.next > r.maxAhead {
+			return nil, fmt.Errorf("%w: sequence jump to %d with commit at %d", ErrMalformed, seq, r.next)
+		}
+		r.reordered++
+		if prev, ok := r.pending[seq]; ok {
+			r.dups++
+			if uint64(len(values)) <= uint64(len(prev)) {
+				return nil, nil
+			}
+		} else {
+			r.buffered += int(n)
+		}
+		r.pending[seq] = append([]float64(nil), values...)
+		// Abandon the oldest gap once the park buffer is past its bound:
+		// whatever retransmit would have filled it is evidently not coming
+		// at a rate worth stalling the detector for.
+		for r.buffered > r.maxBuffered {
+			r.fillTo(r.oldestPending())
+			r.drain()
+		}
+		return r.released, nil
+	}
+	r.deliver(values)
+	r.drain()
+	return r.released, nil
+}
+
+// SetEOS declares the channel's total sample count. Data past it is
+// malformed; Flush uses it to close any trailing gap.
+func (r *Resequencer) SetEOS(total uint64) error {
+	if total < r.next {
+		return fmt.Errorf("%w: EOS at %d behind commit %d", ErrMalformed, total, r.next)
+	}
+	r.eos = true
+	r.total = total
+	return nil
+}
+
+// Flush terminates the stream: every parked frame is forced out, gaps
+// (including the trailing gap up to the declared EOS extent) are filled,
+// and the released in-order samples are returned. The returned slice is
+// only valid until the next call.
+func (r *Resequencer) Flush() []float64 {
+	r.released = r.released[:0]
+	for len(r.pending) > 0 {
+		r.fillTo(r.oldestPending())
+		r.drain()
+	}
+	if r.eos && r.next < r.total {
+		r.fillTo(r.total)
+	}
+	return r.released
+}
+
+// Committed returns how many samples have been delivered in order — the
+// resume point a reconnecting client should continue from.
+func (r *Resequencer) Committed() uint64 { return r.next }
+
+// EOS reports whether the channel's end has been declared.
+func (r *Resequencer) EOS() bool { return r.eos }
+
+// Complete reports whether the declared stream has been fully delivered.
+func (r *Resequencer) Complete() bool { return r.eos && r.next >= r.total }
+
+// Stats returns the cumulative repair counts: duplicate frames dropped,
+// frames that arrived out of order, and samples synthesized to fill gaps.
+func (r *Resequencer) Stats() (dups, reordered, filled int) {
+	return r.dups, r.reordered, r.filled
+}
+
+// deliver appends in-order values at the commit point.
+func (r *Resequencer) deliver(values []float64) {
+	r.released = append(r.released, values...)
+	r.next += uint64(len(values) / r.lanes)
+	if r.last == nil {
+		r.last = make([]float64, r.lanes)
+	}
+	copy(r.last, values[len(values)-r.lanes:])
+}
+
+// fillTo synthesizes samples from the commit point up to seq by repeating
+// the last delivered sample vector (zeros at stream start).
+func (r *Resequencer) fillTo(seq uint64) {
+	if seq <= r.next {
+		return
+	}
+	if r.last == nil {
+		r.last = make([]float64, r.lanes)
+	}
+	n := int(seq - r.next)
+	r.filled += n
+	for i := 0; i < n; i++ {
+		r.released = append(r.released, r.last...)
+	}
+	r.next = seq
+}
+
+// drain releases every parked frame now reachable from the commit point.
+func (r *Resequencer) drain() {
+	for {
+		var bestSeq uint64
+		var best []float64
+		found := false
+		for seq, vals := range r.pending {
+			n := uint64(len(vals) / r.lanes)
+			if seq+n <= r.next {
+				// Fully behind the commit point by now: a duplicate of data
+				// another frame already covered.
+				r.buffered -= int(n)
+				r.dups++
+				delete(r.pending, seq)
+				continue
+			}
+			if seq <= r.next && (!found || seq < bestSeq) {
+				bestSeq, best, found = seq, vals, true
+			}
+		}
+		if !found {
+			return
+		}
+		delete(r.pending, bestSeq)
+		r.buffered -= len(best) / r.lanes
+		if bestSeq < r.next {
+			best = best[(r.next-bestSeq)*uint64(r.lanes):]
+		}
+		r.deliver(best)
+	}
+}
+
+// oldestPending returns the smallest parked sequence number. Only called
+// with a non-empty pending map.
+func (r *Resequencer) oldestPending() uint64 {
+	seqs := make([]uint64, 0, len(r.pending))
+	for s := range r.pending {
+		seqs = append(seqs, s)
+	}
+	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+	return seqs[0]
+}

@@ -1,0 +1,234 @@
+package ingest
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+// vec builds the lane-interleaved values for samples [start, start+n) with
+// lane l of sample i carrying the value i*10+l, so any reordering or fill
+// shows up as a wrong number.
+func vec(start, n, lanes int) []float64 {
+	out := make([]float64, 0, n*lanes)
+	for i := start; i < start+n; i++ {
+		for l := 0; l < lanes; l++ {
+			out = append(out, float64(i*10+l))
+		}
+	}
+	return out
+}
+
+// collect offers the frame and appends whatever it released.
+func collect(t *testing.T, r *Resequencer, got *[]float64, seq uint64, values []float64) {
+	t.Helper()
+	rel, err := r.Offer(seq, values)
+	if err != nil {
+		t.Fatalf("Offer(%d): %v", seq, err)
+	}
+	*got = append(*got, rel...)
+}
+
+func assertStream(t *testing.T, got []float64, start, n, lanes int) {
+	t.Helper()
+	want := vec(start, n, lanes)
+	if len(got) != len(want) {
+		t.Fatalf("released %d values, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("value %d: got %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestResequencerInOrder(t *testing.T) {
+	r := NewResequencer(2, ResequencerConfig{})
+	var got []float64
+	collect(t, r, &got, 0, vec(0, 10, 2))
+	collect(t, r, &got, 10, vec(10, 10, 2))
+	assertStream(t, got, 0, 20, 2)
+	if r.Committed() != 20 {
+		t.Errorf("Committed() = %d, want 20", r.Committed())
+	}
+	if d, o, f := r.Stats(); d != 0 || o != 0 || f != 0 {
+		t.Errorf("Stats() = %d,%d,%d, want all zero", d, o, f)
+	}
+}
+
+func TestResequencerOutOfOrder(t *testing.T) {
+	r := NewResequencer(3, ResequencerConfig{})
+	var got []float64
+	collect(t, r, &got, 10, vec(10, 10, 3)) // parks
+	if len(got) != 0 {
+		t.Fatalf("out-of-order frame released %d values", len(got))
+	}
+	collect(t, r, &got, 20, vec(20, 5, 3)) // parks
+	collect(t, r, &got, 0, vec(0, 10, 3))  // closes the gap, releases all
+	assertStream(t, got, 0, 25, 3)
+	if _, o, _ := r.Stats(); o != 2 {
+		t.Errorf("reordered = %d, want 2", o)
+	}
+}
+
+func TestResequencerDuplicates(t *testing.T) {
+	r := NewResequencer(1, ResequencerConfig{})
+	var got []float64
+	collect(t, r, &got, 0, vec(0, 10, 1))
+	collect(t, r, &got, 0, vec(0, 10, 1))  // whole retransmit
+	collect(t, r, &got, 5, vec(5, 10, 1))  // overlapping retransmit: 5 new
+	collect(t, r, &got, 20, vec(20, 5, 1)) // parked
+	collect(t, r, &got, 20, vec(20, 5, 1)) // duplicate of a parked frame
+	collect(t, r, &got, 15, vec(15, 5, 1)) // closes the gap
+	assertStream(t, got, 0, 25, 1)
+	if d, _, _ := r.Stats(); d < 3 {
+		t.Errorf("dups = %d, want >= 3", d)
+	}
+}
+
+func TestResequencerGapAbandonFills(t *testing.T) {
+	r := NewResequencer(1, ResequencerConfig{MaxBuffered: 10})
+	var got []float64
+	collect(t, r, &got, 0, vec(0, 5, 1))
+	// Samples 5..9 never arrive; park 11 samples past the gap to overflow
+	// the 10-sample bound.
+	collect(t, r, &got, 10, vec(10, 6, 1))
+	if len(got) != 5 {
+		t.Fatalf("gap not yet abandoned, released %d values", len(got))
+	}
+	collect(t, r, &got, 16, vec(16, 5, 1))
+	// Abandoning the gap fills 5..9 with the last delivered sample (4 → 40.0)
+	// and then releases the parked frames.
+	if len(got) != 21 {
+		t.Fatalf("released %d values after abandon, want 21", len(got))
+	}
+	for i := 5; i < 10; i++ {
+		if got[i] != 40.0 {
+			t.Errorf("filled sample %d = %v, want stuck-at 40.0", i, got[i])
+		}
+	}
+	if got[10] != 100.0 || got[20] != 200.0 {
+		t.Errorf("post-gap samples wrong: got[10]=%v got[20]=%v", got[10], got[20])
+	}
+	if _, _, f := r.Stats(); f != 5 {
+		t.Errorf("filled = %d, want 5", f)
+	}
+}
+
+func TestResequencerFlushFillsTrailingGap(t *testing.T) {
+	r := NewResequencer(2, ResequencerConfig{})
+	var got []float64
+	collect(t, r, &got, 0, vec(0, 10, 2))
+	if err := r.SetEOS(25); err != nil {
+		t.Fatal(err)
+	}
+	if r.Complete() {
+		t.Error("Complete() true with a trailing gap open")
+	}
+	got = append(got, r.Flush()...)
+	if len(got) != 25*2 {
+		t.Fatalf("released %d values, want 50", len(got))
+	}
+	// Samples 10..24 are stuck at sample 9's vector (90, 91).
+	for i := 10; i < 25; i++ {
+		if got[i*2] != 90.0 || got[i*2+1] != 91.0 {
+			t.Fatalf("trailing fill sample %d = (%v,%v), want (90,91)", i, got[i*2], got[i*2+1])
+		}
+	}
+	if !r.Complete() {
+		t.Error("Complete() false after flush")
+	}
+	if _, _, f := r.Stats(); f != 15 {
+		t.Errorf("filled = %d, want 15", f)
+	}
+}
+
+func TestResequencerFlushForcesParked(t *testing.T) {
+	r := NewResequencer(1, ResequencerConfig{})
+	var got []float64
+	collect(t, r, &got, 0, vec(0, 5, 1))
+	collect(t, r, &got, 10, vec(10, 5, 1)) // parked behind a gap
+	got = append(got, r.Flush()...)
+	if len(got) != 15 {
+		t.Fatalf("released %d values, want 15", len(got))
+	}
+	assertStream(t, got[10:], 10, 5, 1) // parked data survives, gap is filled
+}
+
+func TestResequencerMalformed(t *testing.T) {
+	r := NewResequencer(2, ResequencerConfig{MaxAhead: 100})
+	if _, err := r.Offer(0, vec(0, 10, 2)); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		do   func() error
+	}{
+		{"lane mismatch", func() error { _, err := r.Offer(10, []float64{1, 2, 3}); return err }},
+		{"sequence jump", func() error { _, err := r.Offer(10+101, vec(0, 1, 2)); return err }},
+		{"EOS behind commit", func() error { return r.SetEOS(5) }},
+	}
+	for _, tc := range cases {
+		if err := tc.do(); !errors.Is(err, ErrMalformed) {
+			t.Errorf("%s: got %v, want ErrMalformed", tc.name, err)
+		}
+	}
+	if err := r.SetEOS(20); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Offer(15, vec(15, 10, 2)); !errors.Is(err, ErrMalformed) {
+		t.Errorf("data past EOS: got %v, want ErrMalformed", err)
+	}
+}
+
+func TestResequencerEmptyFrame(t *testing.T) {
+	r := NewResequencer(2, ResequencerConfig{})
+	rel, err := r.Offer(0, nil)
+	if err != nil || len(rel) != 0 {
+		t.Errorf("empty frame: got %v values, err %v", len(rel), err)
+	}
+}
+
+// TestResequencerRandomizedLossless permutes a stream within bounded windows
+// with duplicates and asserts byte-exact reconstruction — the property the
+// verdict-equivalence E2E test rests on.
+func TestResequencerRandomizedLossless(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		lanes := 1 + rng.Intn(4)
+		const frames, frameLen = 40, 25
+		type fr struct {
+			seq    uint64
+			values []float64
+		}
+		var sched []fr
+		for i := 0; i < frames; i++ {
+			f := fr{seq: uint64(i * frameLen), values: vec(i*frameLen, frameLen, lanes)}
+			sched = append(sched, f)
+			if rng.Float64() < 0.2 {
+				sched = append(sched, f) // duplicate
+			}
+		}
+		const w = 8
+		for start := 0; start < len(sched); start += w {
+			end := min(start+w, len(sched))
+			rng.Shuffle(end-start, func(i, j int) {
+				sched[start+i], sched[start+j] = sched[start+j], sched[start+i]
+			})
+		}
+		r := NewResequencer(lanes, ResequencerConfig{})
+		var got []float64
+		for _, f := range sched {
+			rel, err := r.Offer(f.seq, f.values)
+			if err != nil {
+				t.Fatalf("seed %d: Offer(%d): %v", seed, f.seq, err)
+			}
+			got = append(got, rel...)
+		}
+		got = append(got, r.Flush()...)
+		assertStream(t, got, 0, frames*frameLen, lanes)
+		if _, _, filled := r.Stats(); filled != 0 {
+			t.Errorf("seed %d: lossless schedule filled %d samples", seed, filled)
+		}
+	}
+}

@@ -1,0 +1,465 @@
+package ingest
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Config tunes a Server. The zero value of every field selects a default.
+type Config struct {
+	// Factory supplies a sink per admitted session. Required.
+	Factory SinkFactory
+	// QueueDepth is the per-session frame queue capacity (default 64). A
+	// full queue blocks the session's reader — backpressure, not loss.
+	QueueDepth int
+	// ShedWatermark is the aggregate queued-frame count across all
+	// sessions above which new sessions are rejected and the
+	// lowest-priority active session is shed (default 256).
+	ShedWatermark int
+	// ReadTimeout is the per-frame read deadline (default 30s). A client
+	// silent for this long is evicted as stalled.
+	ReadTimeout time.Duration
+	// EnqueueTimeout is how long a handler may block on a full session
+	// queue before the session is evicted as unserviceable (default 10s).
+	EnqueueTimeout time.Duration
+	// Retention is how long a detached session (connection lost before
+	// Finish) waits for the client to reconnect and resume (default 60s).
+	Retention time.Duration
+	// Resequencer bounds each channel's reorder buffer.
+	Resequencer ResequencerConfig
+	// Logf, when set, receives one line per session lifecycle event.
+	Logf func(format string, args ...any)
+}
+
+func (c Config) withDefaults() Config {
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.ShedWatermark <= 0 {
+		c.ShedWatermark = 256
+	}
+	if c.ReadTimeout <= 0 {
+		c.ReadTimeout = 30 * time.Second
+	}
+	if c.EnqueueTimeout <= 0 {
+		c.EnqueueTimeout = 10 * time.Second
+	}
+	if c.Retention <= 0 {
+		c.Retention = 60 * time.Second
+	}
+	return c
+}
+
+// Server accepts framed side-channel streams over TCP and feeds them, one
+// bounded queue and one worker per session, into sinks built by the
+// configured factory. It survives client disconnects (sessions are retained
+// for resume), slow clients (per-frame read deadlines), stalled pipelines
+// (enqueue timeouts), and overload (admission control plus lowest-priority
+// shedding), and drains gracefully on Shutdown: accepting stops, every
+// in-flight session is flushed, and final verdicts go out before Serve
+// returns.
+type Server struct {
+	cfg   Config
+	depth atomic.Int64 // aggregate queued frames, the shed signal
+
+	mu        sync.Mutex
+	listeners map[net.Listener]struct{}
+	sessions  map[string]*session
+	draining  bool
+
+	wg sync.WaitGroup // one count per live session
+}
+
+// NewServer builds a server; cfg.Factory is required.
+func NewServer(cfg Config) (*Server, error) {
+	if cfg.Factory == nil {
+		return nil, errors.New("ingest: Config.Factory is required")
+	}
+	return &Server{
+		cfg:       cfg.withDefaults(),
+		listeners: map[net.Listener]struct{}{},
+		sessions:  map[string]*session{},
+	}, nil
+}
+
+// Serve accepts connections on l until Shutdown closes it. It returns nil
+// after a graceful shutdown, or the accept error otherwise.
+func (srv *Server) Serve(l net.Listener) error {
+	srv.mu.Lock()
+	if srv.draining {
+		srv.mu.Unlock()
+		return errors.New("ingest: server is draining")
+	}
+	srv.listeners[l] = struct{}{}
+	srv.mu.Unlock()
+	var handlers sync.WaitGroup
+	defer handlers.Wait()
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			srv.mu.Lock()
+			delete(srv.listeners, l)
+			draining := srv.draining
+			srv.mu.Unlock()
+			if draining {
+				return nil
+			}
+			return err
+		}
+		handlers.Add(1)
+		go func() {
+			defer handlers.Done()
+			srv.handle(conn)
+		}()
+	}
+}
+
+// Shutdown drains the server: listeners close (Serve returns), attached
+// handlers are woken to stop reading and flush, detached sessions are
+// flushed directly, and every session's final verdict is produced before
+// Shutdown returns. The context bounds the wait.
+func (srv *Server) Shutdown(ctx context.Context) error {
+	srv.mu.Lock()
+	srv.draining = true
+	ls := make([]net.Listener, 0, len(srv.listeners))
+	for l := range srv.listeners {
+		ls = append(ls, l)
+	}
+	sessions := make([]*session, 0, len(srv.sessions))
+	for _, s := range srv.sessions {
+		sessions = append(sessions, s)
+	}
+	srv.mu.Unlock()
+	for _, l := range ls {
+		l.Close() //nolint:errcheck // shutdown path
+	}
+	for _, s := range sessions {
+		s.mu.Lock()
+		attached := s.conn != nil
+		if s.retention != nil {
+			s.retention.Stop()
+			s.retention = nil
+		}
+		s.mu.Unlock()
+		if attached {
+			// The handler owns the connection: wake its blocking read; it
+			// sees draining, flushes, and writes the verdict itself.
+			s.wake()
+		} else {
+			// No handler: flush directly so the session still completes.
+			sess := s
+			go func() {
+				if err := sess.enqueue(queued{reason: "drained"}, 0); err == nil {
+					<-sess.outcomeCh
+					metDrained.Inc()
+				}
+			}()
+		}
+	}
+	done := make(chan struct{})
+	go func() {
+		srv.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// SessionCount returns how many sessions are live (attached or retained).
+func (srv *Server) SessionCount() int {
+	srv.mu.Lock()
+	defer srv.mu.Unlock()
+	return len(srv.sessions)
+}
+
+// QueuedFrames returns the aggregate queued-frame depth across sessions.
+func (srv *Server) QueuedFrames() int { return int(srv.depth.Load()) }
+
+func (srv *Server) logf(format string, args ...any) {
+	if srv.cfg.Logf != nil {
+		srv.cfg.Logf(format, args...)
+	}
+}
+
+// handle owns one connection from accept to close. It performs the
+// handshake, then pumps frames into the session queue until the stream
+// ends, tears, or the server drains. All writes to conn happen here.
+func (srv *Server) handle(conn net.Conn) {
+	defer conn.Close() //nolint:errcheck // read side already decided the outcome
+	br := bufio.NewReader(conn)
+	conn.SetReadDeadline(time.Now().Add(srv.cfg.ReadTimeout)) //nolint:errcheck // net.Conn deadlines
+	hello, err := ReadFrame(br)
+	if err != nil || hello.Type != FrameHello {
+		srv.writeError(conn, "expected hello")
+		return
+	}
+	s, reject := srv.admit(hello)
+	if reject != "" {
+		srv.writeError(conn, reject)
+		return
+	}
+	if err := srv.attachWithGrace(s, conn); err != nil {
+		metRejected.Inc()
+		srv.writeError(conn, "session already attached")
+		return
+	}
+	if err := WriteFrame(conn, &Frame{Type: FrameHelloAck, Committed: s.committedSnapshot()}); err != nil {
+		s.detach(srv.cfg.Retention)
+		return
+	}
+	srv.logf("session %s: attached (priority %d, %d channels)", s.id, s.priority, len(s.reseq))
+	srv.pump(conn, br, s)
+}
+
+// attachWithGrace binds conn to the session, briefly retrying while the
+// previous handler notices its dead connection. A reconnecting client can
+// beat the server's EOF on the old connection by a scheduling quantum; that
+// race should resume the session, not reject it.
+func (srv *Server) attachWithGrace(s *session, conn net.Conn) error {
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		err := s.attach(conn)
+		if err == nil || time.Now().After(deadline) {
+			return err
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// pump is the handler read loop for an attached session.
+func (srv *Server) pump(conn net.Conn, br *bufio.Reader, s *session) {
+	for {
+		if s.terminated() {
+			srv.writeError(conn, s.terminationMessage())
+			return
+		}
+		if srv.isDraining() {
+			srv.drainSession(conn, s)
+			return
+		}
+		conn.SetReadDeadline(time.Now().Add(srv.cfg.ReadTimeout)) //nolint:errcheck // net.Conn deadlines
+		f, err := ReadFrame(br)
+		if err != nil {
+			srv.readFailed(conn, s, err)
+			return
+		}
+		metFrames.Inc()
+		switch f.Type {
+		case FrameData, FrameEOS:
+			if err := s.enqueue(queued{f: f}, srv.cfg.EnqueueTimeout); err != nil {
+				if errors.Is(err, errStalled) {
+					s.terminate("session queue stalled; evicted")
+					metEvicted.Inc()
+					srv.logf("session %s: evicted (queue stalled)", s.id)
+				}
+				srv.writeError(conn, s.terminationMessage())
+				return
+			}
+			srv.shedIfOverloaded()
+		case FrameFinish:
+			if err := s.enqueue(queued{reason: "finished"}, srv.cfg.EnqueueTimeout); err != nil {
+				srv.writeError(conn, s.terminationMessage())
+				return
+			}
+			srv.deliverOutcome(conn, s)
+			return
+		default:
+			metMalformed.Inc()
+			srv.writeError(conn, fmt.Sprintf("unexpected %v frame", f.Type))
+			s.detach(srv.cfg.Retention)
+			return
+		}
+	}
+}
+
+// readFailed classifies a read-loop failure and routes it: wake-ups land in
+// the drain/termination paths, idle timeouts evict, malformed framing and
+// torn streams detach the session so the client can reconnect and resume.
+func (srv *Server) readFailed(conn net.Conn, s *session, err error) {
+	var ne net.Error
+	timeout := errors.As(err, &ne) && ne.Timeout()
+	switch {
+	case s.terminated():
+		srv.writeError(conn, s.terminationMessage())
+	case srv.isDraining():
+		srv.drainSession(conn, s)
+	case timeout:
+		s.terminate("read timeout; session evicted")
+		metEvicted.Inc()
+		srv.logf("session %s: evicted (read timeout)", s.id)
+		srv.writeError(conn, s.terminationMessage())
+	case errors.Is(err, ErrMalformed):
+		metMalformed.Inc()
+		srv.logf("session %s: malformed frame: %v", s.id, err)
+		srv.writeError(conn, fmt.Sprintf("malformed frame: %v", err))
+		s.detach(srv.cfg.Retention)
+	default:
+		// Torn stream or peer gone: retain the session for resume.
+		srv.logf("session %s: detached (%v)", s.id, err)
+		s.detach(srv.cfg.Retention)
+	}
+}
+
+// drainSession flushes one attached session during shutdown and writes its
+// final verdict to the still-connected client.
+func (srv *Server) drainSession(conn net.Conn, s *session) {
+	if err := s.enqueue(queued{reason: "drained"}, 0); err != nil {
+		srv.writeError(conn, s.terminationMessage())
+		return
+	}
+	metDrained.Inc()
+	srv.deliverOutcome(conn, s)
+	srv.logf("session %s: drained", s.id)
+}
+
+// deliverOutcome waits for the worker's terminal outcome and reports it.
+func (srv *Server) deliverOutcome(conn net.Conn, s *session) {
+	out := <-s.outcomeCh
+	if out.err != nil {
+		srv.writeError(conn, fmt.Sprintf("session failed: %v", out.err))
+		return
+	}
+	metCompleted.Inc()
+	conn.SetWriteDeadline(time.Now().Add(srv.cfg.ReadTimeout))       //nolint:errcheck // net.Conn deadlines
+	WriteFrame(conn, &Frame{Type: FrameVerdict, Verdict: out.v})     //nolint:errcheck // client may be gone
+	srv.logf("session %s: %s (intrusion=%v)", s.id, out.v.Reason, out.v.Intrusion)
+}
+
+func (srv *Server) writeError(conn net.Conn, msg string) {
+	conn.SetWriteDeadline(time.Now().Add(srv.cfg.ReadTimeout)) //nolint:errcheck // net.Conn deadlines
+	WriteFrame(conn, &Frame{Type: FrameError, Message: msg})   //nolint:errcheck // best-effort report
+}
+
+func (srv *Server) isDraining() bool {
+	srv.mu.Lock()
+	defer srv.mu.Unlock()
+	return srv.draining
+}
+
+// admit decides a Hello's fate: resume a retained session, reject under
+// drain or overload, or build a fresh session. It returns the session or a
+// rejection message.
+func (srv *Server) admit(hello *Frame) (*session, string) {
+	srv.mu.Lock()
+	if srv.draining {
+		srv.mu.Unlock()
+		metRejected.Inc()
+		return nil, "server draining"
+	}
+	if s, ok := srv.sessions[hello.SessionID]; ok {
+		srv.mu.Unlock()
+		if s.terminated() {
+			metRejected.Inc()
+			return nil, s.terminationMessage()
+		}
+		return srv.resume(hello, s)
+	}
+	if int(srv.depth.Load()) >= srv.cfg.ShedWatermark {
+		srv.mu.Unlock()
+		metShed.Inc()
+		metRejected.Inc()
+		return nil, "server overloaded; session shed"
+	}
+	srv.mu.Unlock()
+
+	sink, err := srv.cfg.Factory.Acquire(hello)
+	if err != nil {
+		metRejected.Inc()
+		return nil, err.Error()
+	}
+	s := newSession(srv, hello, sink)
+
+	srv.mu.Lock()
+	if srv.draining {
+		srv.mu.Unlock()
+		srv.cfg.Factory.Release(sink)
+		metRejected.Inc()
+		return nil, "server draining"
+	}
+	if _, ok := srv.sessions[hello.SessionID]; ok {
+		srv.mu.Unlock()
+		srv.cfg.Factory.Release(sink)
+		metRejected.Inc()
+		return nil, "session id already active"
+	}
+	srv.sessions[hello.SessionID] = s
+	srv.wg.Add(1)
+	srv.mu.Unlock()
+	metAccepted.Inc()
+	metActive.Add(1)
+	go s.run()
+	return s, ""
+}
+
+// resume validates a reconnecting Hello against the retained session.
+func (srv *Server) resume(hello *Frame, s *session) (*session, string) {
+	if len(hello.Channels) != len(s.reseq) {
+		metRejected.Inc()
+		return nil, "resume hello channel layout mismatch"
+	}
+	metResumed.Inc()
+	srv.logf("session %s: resumed", s.id)
+	return s, ""
+}
+
+// shedIfOverloaded sheds the lowest-priority live session once the
+// aggregate queue depth crosses the watermark. Shedding one session frees
+// its queued frames immediately (the worker discards them), so depth falls
+// fast and higher-priority sessions keep their service intact.
+func (srv *Server) shedIfOverloaded() {
+	if int(srv.depth.Load()) < srv.cfg.ShedWatermark {
+		return
+	}
+	srv.mu.Lock()
+	var victims []*session
+	for _, s := range srv.sessions {
+		if !s.terminated() {
+			victims = append(victims, s)
+		}
+	}
+	srv.mu.Unlock()
+	// With one session left there is nothing lower-priority to sacrifice for
+	// it: the bounded queue already throttles it through TCP backpressure,
+	// and admission control keeps new sessions out until depth falls.
+	if len(victims) < 2 {
+		return
+	}
+	sort.Slice(victims, func(i, j int) bool {
+		if victims[i].priority != victims[j].priority {
+			return victims[i].priority < victims[j].priority
+		}
+		return victims[i].id < victims[j].id
+	})
+	v := victims[0]
+	v.terminate("shed: server overloaded")
+	metShed.Inc()
+	srv.logf("session %s: shed (priority %d, depth %d)", v.id, v.priority, srv.depth.Load())
+	v.wake()
+}
+
+// removeSession is called exactly once, by the session worker on exit.
+func (srv *Server) removeSession(s *session) {
+	srv.mu.Lock()
+	delete(srv.sessions, s.id)
+	srv.mu.Unlock()
+	s.mu.Lock()
+	if s.retention != nil {
+		s.retention.Stop()
+		s.retention = nil
+	}
+	s.mu.Unlock()
+	srv.cfg.Factory.Release(s.sink)
+	metActive.Add(-1)
+	srv.wg.Done()
+}

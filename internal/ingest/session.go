@@ -1,0 +1,305 @@
+package ingest
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"nsync/internal/obs"
+)
+
+// Ingest metrics (see DESIGN.md §12). Counters record admission and repair
+// events; gauges mirror the server's internal occupancy so an operator can
+// watch backpressure building before shedding starts. The server's own
+// decisions never read obs state — metrics may be disabled.
+var (
+	metAccepted  = obs.GetCounter("ingest.accepted")
+	metRejected  = obs.GetCounter("ingest.rejected")
+	metShed      = obs.GetCounter("ingest.shed")
+	metFrames    = obs.GetCounter("ingest.frames")
+	metMalformed = obs.GetCounter("ingest.malformed")
+	metDups      = obs.GetCounter("ingest.dups")
+	metReordered = obs.GetCounter("ingest.reordered")
+	metFilled    = obs.GetCounter("ingest.gap_filled")
+	metDepth     = obs.GetGauge("ingest.queue_depth")
+	metActive    = obs.GetGauge("session.active")
+	metCompleted = obs.GetCounter("session.completed")
+	metDrained   = obs.GetCounter("session.drained")
+	metEvicted   = obs.GetCounter("session.evicted")
+	metResumed   = obs.GetCounter("session.resumed")
+)
+
+// queued is one unit of session-worker input: a data/EOS frame, or a
+// terminal command (reason non-empty) asking the worker to flush everything
+// and produce the final verdict.
+type queued struct {
+	f      *Frame
+	reason string
+}
+
+// outcome is the worker's single terminal output: the final verdict, or the
+// error that killed the session.
+type outcome struct {
+	v   *Verdict
+	err error
+}
+
+var (
+	errStalled    = errors.New("ingest: session queue stalled")
+	errTerminated = errors.New("ingest: session terminated")
+)
+
+// session is one print stream's server-side state. Frames flow
+// handler → bounded queue → worker → resequencer → sink; the bounded queue
+// is the backpressure point (a full queue blocks the handler, which stops
+// reading, which fills the TCP window). The handler goroutine owns all
+// connection writes; the worker owns the resequencers and the sink.
+type session struct {
+	id       string
+	priority int
+	srv      *Server
+	sink     Sink
+	reseq    []*Resequencer
+
+	// committed mirrors each resequencer's commit point so the handler can
+	// build a HelloAck while the worker is mid-push.
+	committed []atomic.Uint64
+
+	queue     chan queued
+	outcomeCh chan outcome  // buffered 1; worker sends exactly once
+	quit      chan struct{} // closed by terminate
+	done      chan struct{} // closed when the worker exits
+	termOnce  sync.Once
+	termMsg   atomic.Pointer[string]
+
+	mu        sync.Mutex
+	conn      net.Conn // attached connection; nil while detached
+	retention *time.Timer
+}
+
+func newSession(srv *Server, hello *Frame, sink Sink) *session {
+	s := &session{
+		id:        hello.SessionID,
+		priority:  hello.Priority,
+		srv:       srv,
+		sink:      sink,
+		reseq:     make([]*Resequencer, len(hello.Channels)),
+		committed: make([]atomic.Uint64, len(hello.Channels)),
+		queue:     make(chan queued, srv.cfg.QueueDepth),
+		outcomeCh: make(chan outcome, 1),
+		quit:      make(chan struct{}),
+		done:      make(chan struct{}),
+	}
+	for i, ch := range hello.Channels {
+		s.reseq[i] = NewResequencer(ch.Lanes, srv.cfg.Resequencer)
+	}
+	return s
+}
+
+// terminate marks the session shed/evicted: the worker discards queued
+// frames and exits, and the handler (if any) reports msg to the client.
+func (s *session) terminate(msg string) {
+	s.termOnce.Do(func() {
+		s.termMsg.Store(&msg)
+		close(s.quit)
+	})
+}
+
+func (s *session) terminated() bool {
+	select {
+	case <-s.quit:
+		return true
+	default:
+		return false
+	}
+}
+
+// enqueue hands one unit to the worker, blocking up to timeout. The block
+// is deliberate: it stalls the handler's read loop and lets TCP push back
+// on the client. A timeout means the worker cannot keep up even with the
+// client throttled — the session is beyond saving.
+func (s *session) enqueue(q queued, timeout time.Duration) error {
+	var timer <-chan time.Time
+	if timeout > 0 {
+		t := time.NewTimer(timeout)
+		defer t.Stop()
+		timer = t.C
+	}
+	select {
+	case s.queue <- q:
+		s.srv.depth.Add(1)
+		metDepth.Add(1)
+		return nil
+	case <-s.quit:
+		return errTerminated
+	case <-timer:
+		return errStalled
+	}
+}
+
+// run is the session worker: the only goroutine that touches the
+// resequencers and the sink. It exits after sending exactly one outcome
+// (verdict or error) or after termination, and removal from the server
+// happens here so it cannot race a new session reusing the id.
+func (s *session) run() {
+	defer func() {
+		close(s.done)
+		s.srv.removeSession(s)
+	}()
+	for {
+		select {
+		case <-s.quit:
+			s.discardQueue()
+			s.outcomeCh <- outcome{err: errTerminated}
+			return
+		case q := <-s.queue:
+			s.srv.depth.Add(-1)
+			metDepth.Add(-1)
+			if q.reason != "" {
+				v, err := s.finish(q.reason)
+				s.outcomeCh <- outcome{v: v, err: err}
+				return
+			}
+			if err := s.consume(q.f); err != nil {
+				s.terminate(fmt.Sprintf("session failed: %v", err))
+				s.discardQueue()
+				s.outcomeCh <- outcome{err: err}
+				return
+			}
+		}
+	}
+}
+
+// consume feeds one data or EOS frame through the channel's resequencer
+// and pushes whatever came out in order into the sink.
+func (s *session) consume(f *Frame) error {
+	ch := f.Channel
+	if ch < 0 || ch >= len(s.reseq) {
+		return fmt.Errorf("%w: channel %d of %d", ErrMalformed, ch, len(s.reseq))
+	}
+	r := s.reseq[ch]
+	d0, o0, g0 := r.Stats()
+	var released []float64
+	switch f.Type {
+	case FrameEOS:
+		if err := r.SetEOS(f.Seq); err != nil {
+			return err
+		}
+		// The client sends EOS after the channel's last data frame on the
+		// same ordered connection, so every frame that could close a gap is
+		// already behind us: flush now, filling whatever is still missing.
+		released = r.Flush()
+	case FrameData:
+		var err error
+		released, err = r.Offer(f.Seq, f.Values)
+		if err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("%w: unexpected %v frame mid-stream", ErrMalformed, f.Type)
+	}
+	d1, o1, g1 := r.Stats()
+	metDups.Add(int64(d1 - d0))
+	metReordered.Add(int64(o1 - o0))
+	metFilled.Add(int64(g1 - g0))
+	if len(released) > 0 {
+		if err := s.sink.Push(ch, released); err != nil {
+			return err
+		}
+	}
+	s.committed[ch].Store(r.Committed())
+	return nil
+}
+
+// finish flushes every channel's resequencer (filling open and trailing
+// gaps) and asks the sink for the final verdict.
+func (s *session) finish(reason string) (*Verdict, error) {
+	for ch, r := range s.reseq {
+		_, _, g0 := r.Stats()
+		released := r.Flush()
+		_, _, g1 := r.Stats()
+		metFilled.Add(int64(g1 - g0))
+		if len(released) > 0 {
+			if err := s.sink.Push(ch, released); err != nil {
+				return nil, err
+			}
+		}
+		s.committed[ch].Store(r.Committed())
+	}
+	return s.sink.Finish(reason)
+}
+
+// discardQueue drops everything still queued, keeping the aggregate depth
+// accounting straight.
+func (s *session) discardQueue() {
+	for {
+		select {
+		case <-s.queue:
+			s.srv.depth.Add(-1)
+			metDepth.Add(-1)
+		default:
+			return
+		}
+	}
+}
+
+// committedSnapshot builds the per-channel resume points for a HelloAck.
+func (s *session) committedSnapshot() []uint64 {
+	out := make([]uint64, len(s.committed))
+	for i := range s.committed {
+		out[i] = s.committed[i].Load()
+	}
+	return out
+}
+
+// attach binds a connection to the session, cancelling any retention
+// countdown. It fails if another connection is already attached.
+func (s *session) attach(conn net.Conn) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.conn != nil {
+		return fmt.Errorf("ingest: session %q already attached", s.id)
+	}
+	if s.retention != nil {
+		s.retention.Stop()
+		s.retention = nil
+	}
+	s.conn = conn
+	return nil
+}
+
+// detach releases the connection and starts the retention countdown: the
+// client has this long to reconnect and resume before the session is
+// evicted.
+func (s *session) detach(retention time.Duration) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.conn = nil
+	if s.terminated() {
+		return
+	}
+	s.retention = time.AfterFunc(retention, func() {
+		s.terminate("session retention expired")
+		metEvicted.Inc()
+	})
+}
+
+// wake interrupts the attached handler's blocking read (if any) so it
+// notices a drain or termination promptly.
+func (s *session) wake() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.conn != nil {
+		s.conn.SetReadDeadline(time.Now()) //nolint:errcheck // best-effort wake
+	}
+}
+
+func (s *session) terminationMessage() string {
+	if m := s.termMsg.Load(); m != nil {
+		return *m
+	}
+	return "session terminated"
+}

@@ -1,0 +1,148 @@
+package ingest
+
+import (
+	"fmt"
+	"sync"
+
+	"nsync/internal/core"
+	"nsync/internal/sigproc"
+)
+
+// Sink consumes one session's repaired, in-order sample stream. Exactly one
+// goroutine (the session worker) calls a sink; implementations need no
+// locking.
+type Sink interface {
+	// Push feeds in-order lane-interleaved samples for channel ch.
+	Push(ch int, values []float64) error
+	// Finish flushes buffered tails and returns the session's final verdict.
+	Finish(reason string) (*Verdict, error)
+}
+
+// SinkFactory hands out sinks for admitted sessions and takes them back
+// when sessions end, so the expensive trained state behind them (references,
+// thresholds) can be pooled across prints. Acquire must reject a Hello whose
+// channel layout the sink cannot serve. A factory must be safe for
+// concurrent use.
+type SinkFactory interface {
+	Acquire(hello *Frame) (Sink, error)
+	Release(s Sink)
+}
+
+// MonitorSink adapts a core.FusedMonitor to the Sink interface: it
+// de-interleaves each channel's lane-major wire samples back into the
+// channel-major sigproc layout and forwards them, collecting fused alerts
+// along the way.
+type MonitorSink struct {
+	fm    *core.FusedMonitor
+	specs []ChannelSpec
+}
+
+// NewMonitorSink wraps a fused monitor whose channels (in order) have the
+// given specs.
+func NewMonitorSink(fm *core.FusedMonitor, specs []ChannelSpec) *MonitorSink {
+	return &MonitorSink{fm: fm, specs: specs}
+}
+
+// Push implements Sink.
+func (s *MonitorSink) Push(ch int, values []float64) error {
+	if ch < 0 || ch >= len(s.specs) {
+		return fmt.Errorf("ingest: channel %d out of range", ch)
+	}
+	lanes := s.specs[ch].Lanes
+	n := len(values) / lanes
+	sig := sigproc.New(s.specs[ch].Rate, lanes, n)
+	for i := 0; i < n; i++ {
+		for l := 0; l < lanes; l++ {
+			sig.Data[l][i] = values[i*lanes+l]
+		}
+	}
+	chunks := make([]*sigproc.Signal, len(s.specs))
+	chunks[ch] = sig
+	_, err := s.fm.Push(chunks)
+	return err
+}
+
+// Finish implements Sink: it flushes the fused monitor's withheld tails and
+// snapshots the final fused verdict.
+func (s *MonitorSink) Finish(reason string) (*Verdict, error) {
+	if _, err := s.fm.Flush(); err != nil {
+		return nil, err
+	}
+	v := &Verdict{Intrusion: s.fm.Intrusion(), Reason: reason}
+	for _, a := range s.fm.Alerts() {
+		v.Alerts = append(v.Alerts, VerdictAlert{Time: a.Time, Votes: a.Votes, Healthy: a.Healthy, Needed: a.Needed})
+	}
+	for i, st := range s.fm.ChannelStates() {
+		name := st.Name
+		if name == "" && i < len(s.specs) {
+			name = s.specs[i].Name
+		}
+		v.Channels = append(v.Channels, VerdictChannel{
+			Name: name, Quarantined: st.Quarantined,
+			Health: st.Health.String(), Voting: st.Voting,
+		})
+	}
+	return v, nil
+}
+
+// MonitorPool is a SinkFactory over recycled fused monitors: each Release
+// resets the monitor (core guarantees a reset monitor matches a fresh one)
+// and parks it for the next session, so steady-state operation allocates no
+// new monitors. It admits only sessions whose channel layout and rate match
+// the trained configuration.
+type MonitorPool struct {
+	// Build constructs a fresh fused monitor from the trained configuration.
+	Build func() (*core.FusedMonitor, error)
+	// Channels is the expected channel layout, in order.
+	Channels []ChannelSpec
+	// MaxIdle bounds how many reset monitors are kept (default 4).
+	MaxIdle int
+
+	mu   sync.Mutex
+	idle []*core.FusedMonitor
+}
+
+// Acquire implements SinkFactory.
+func (p *MonitorPool) Acquire(hello *Frame) (Sink, error) {
+	if len(hello.Channels) != len(p.Channels) {
+		return nil, fmt.Errorf("ingest: session has %d channels, trained for %d", len(hello.Channels), len(p.Channels))
+	}
+	for i, ch := range hello.Channels {
+		want := p.Channels[i]
+		if ch.Name != want.Name || ch.Lanes != want.Lanes || ch.Rate != want.Rate {
+			return nil, fmt.Errorf("ingest: channel %d is %s/%d lanes @ %g Hz, trained for %s/%d lanes @ %g Hz",
+				i, ch.Name, ch.Lanes, ch.Rate, want.Name, want.Lanes, want.Rate)
+		}
+	}
+	p.mu.Lock()
+	var fm *core.FusedMonitor
+	if n := len(p.idle); n > 0 {
+		fm, p.idle = p.idle[n-1], p.idle[:n-1]
+	}
+	p.mu.Unlock()
+	if fm == nil {
+		var err error
+		if fm, err = p.Build(); err != nil {
+			return nil, err
+		}
+	}
+	return NewMonitorSink(fm, p.Channels), nil
+}
+
+// Release implements SinkFactory.
+func (p *MonitorPool) Release(s Sink) {
+	ms, ok := s.(*MonitorSink)
+	if !ok {
+		return
+	}
+	ms.fm.Reset()
+	maxIdle := p.MaxIdle
+	if maxIdle <= 0 {
+		maxIdle = 4
+	}
+	p.mu.Lock()
+	if len(p.idle) < maxIdle {
+		p.idle = append(p.idle, ms.fm)
+	}
+	p.mu.Unlock()
+}

@@ -86,6 +86,21 @@ func (g *Gauge) Set(v float64) {
 	}
 }
 
+// Add adjusts the gauge by delta when collection is enabled, for gauges
+// that track an occupancy (queue depth, active sessions) maintained by
+// increments and decrements rather than absolute Sets.
+func (g *Gauge) Add(delta float64) {
+	if !enabled.Load() {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		if g.bits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+delta)) {
+			return
+		}
+	}
+}
+
 // Value returns the last recorded value (0 before any Set).
 func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
 

@@ -52,6 +52,39 @@ func TestCounterAndGauge(t *testing.T) {
 	})
 }
 
+func TestGaugeAdd(t *testing.T) {
+	withMetrics(t, func() {
+		g := GetGauge("test.gauge_add")
+		g.Set(10)
+		g.Add(2.5)
+		g.Add(-4)
+		if got := g.Value(); got != 8.5 {
+			t.Fatalf("gauge = %v, want 8.5", got)
+		}
+		var wg sync.WaitGroup
+		for i := 0; i < 8; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for j := 0; j < 1000; j++ {
+					g.Add(1)
+					g.Add(-1)
+				}
+			}()
+		}
+		wg.Wait()
+		if got := g.Value(); got != 8.5 {
+			t.Fatalf("gauge after balanced concurrent adds = %v, want 8.5", got)
+		}
+	})
+	SetEnabled(false)
+	g := GetGauge("test.gauge_add_disabled")
+	g.Add(5)
+	if got := g.Value(); got != 0 {
+		t.Fatalf("disabled gauge recorded %v, want 0", got)
+	}
+}
+
 func TestHistogramStats(t *testing.T) {
 	withMetrics(t, func() {
 		h := GetHistogram("test.hist")

@@ -1,0 +1,42 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net"
+	"syscall"
+)
+
+// IsTransientNetwork classifies network errors for reconnect loops: a torn
+// stream, a timeout, or a connection-level failure is transient (the peer
+// may be back in a moment, and a sequenced protocol can resume), while
+// context cancellation is fatal — the caller gave up.
+//
+// Context errors are checked first deliberately: context.DeadlineExceeded
+// implements net.Error with Timeout() == true, so testing net.Error first
+// would misclassify a caller-imposed deadline as a retryable peer timeout.
+func IsTransientNetwork(err error) bool {
+	if err == nil {
+		return false
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return false
+	}
+	var ne net.Error
+	if errors.As(err, &ne) && ne.Timeout() {
+		return true
+	}
+	if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) || errors.Is(err, net.ErrClosed) {
+		return true
+	}
+	for _, errno := range []syscall.Errno{
+		syscall.ECONNRESET, syscall.ECONNREFUSED, syscall.ECONNABORTED,
+		syscall.EPIPE, syscall.ETIMEDOUT, syscall.EHOSTUNREACH, syscall.ENETUNREACH,
+	} {
+		if errors.Is(err, errno) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,91 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"syscall"
+	"testing"
+	"time"
+)
+
+type timeoutErr struct{}
+
+func (timeoutErr) Error() string   { return "deadline exceeded" }
+func (timeoutErr) Timeout() bool   { return true }
+func (timeoutErr) Temporary() bool { return true }
+
+type permanentNetErr struct{}
+
+func (permanentNetErr) Error() string   { return "no route" }
+func (permanentNetErr) Timeout() bool   { return false }
+func (permanentNetErr) Temporary() bool { return false }
+
+func TestIsTransientNetwork(t *testing.T) {
+	transient := []error{
+		io.EOF,
+		io.ErrUnexpectedEOF,
+		net.ErrClosed,
+		timeoutErr{},
+		&net.OpError{Op: "read", Err: timeoutErr{}},
+		syscall.ECONNRESET,
+		syscall.ECONNREFUSED,
+		syscall.ECONNABORTED,
+		syscall.EPIPE,
+		syscall.ETIMEDOUT,
+		syscall.EHOSTUNREACH,
+		syscall.ENETUNREACH,
+		&net.OpError{Op: "dial", Err: syscall.ECONNREFUSED},
+		fmt.Errorf("send frame: %w", io.ErrUnexpectedEOF),
+	}
+	for _, err := range transient {
+		if !IsTransientNetwork(err) {
+			t.Errorf("IsTransientNetwork(%v) = false, want true", err)
+		}
+	}
+	permanent := []error{
+		nil,
+		errors.New("protocol violation"),
+		permanentNetErr{},
+		syscall.EINVAL,
+		// Context cancellation means the CALLER gave up: retrying would
+		// override that decision, so it must win over the fact that
+		// context.DeadlineExceeded also implements net.Error's Timeout.
+		context.Canceled,
+		context.DeadlineExceeded,
+		fmt.Errorf("wrapped: %w", context.DeadlineExceeded),
+	}
+	for _, err := range permanent {
+		if IsTransientNetwork(err) {
+			t.Errorf("IsTransientNetwork(%v) = true, want false", err)
+		}
+	}
+}
+
+func TestIsTransientNetworkRealConn(t *testing.T) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	go func() {
+		conn, err := l.Accept()
+		if err == nil {
+			conn.Close()
+		}
+	}()
+	conn, err := net.Dial("tcp", l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// Peer closes immediately: the read error must classify as transient.
+	conn.SetReadDeadline(time.Now().Add(2 * time.Second)) //nolint:errcheck // net.Conn deadlines
+	if _, err := conn.Read(make([]byte, 1)); err == nil {
+		t.Skip("read unexpectedly succeeded")
+	} else if !IsTransientNetwork(err) {
+		t.Errorf("real peer-closed read error %v not transient", err)
+	}
+}
