@@ -63,12 +63,20 @@ type benchRecord struct {
 // synchronization throughput probe under testing.Benchmark (which honours
 // -test.benchtime) and writes the results.
 func writeBenchJSON(path string) error {
+	// One evaluation probe per explicit worker count (1/2/4/8): the JSON
+	// gains a real scaling curve, each row carrying the worker count it was
+	// actually benchmarked at. The old harness's single "Parallel" probe
+	// used workers = 0, which resolves to GOMAXPROCS and on a single-core
+	// runner recorded workers: 1 — an unmeasured curve (see
+	// benchEvaluateNSYNC).
 	probes := []struct {
 		name string
 		f    func(b *testing.B)
 	}{
 		{"EvaluateNSYNCSerial", func(b *testing.B) { b.ReportAllocs(); benchEvaluateNSYNC(b, 1) }},
-		{"EvaluateNSYNCParallel", func(b *testing.B) { b.ReportAllocs(); benchEvaluateNSYNC(b, 0) }},
+		{"EvaluateNSYNCParallel/workers=2", func(b *testing.B) { b.ReportAllocs(); benchEvaluateNSYNC(b, 2) }},
+		{"EvaluateNSYNCParallel/workers=4", func(b *testing.B) { b.ReportAllocs(); benchEvaluateNSYNC(b, 4) }},
+		{"EvaluateNSYNCParallel/workers=8", func(b *testing.B) { b.ReportAllocs(); benchEvaluateNSYNC(b, 8) }},
 		{"DWMSyncRawAudio", benchDWMSteps},
 	}
 	var records []benchRecord

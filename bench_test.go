@@ -15,6 +15,7 @@ package nsync
 //	go test -bench=BenchmarkTable8NSYNCDWM -benchmem
 
 import (
+	"fmt"
 	"sync"
 	"testing"
 
@@ -464,8 +465,20 @@ func BenchmarkAblationChannelAvg(b *testing.B) {
 // cache first, so the Serial/Parallel pair isolates the worker pool: their
 // time ratio is the engine's speedup. The results themselves are identical
 // at every worker count (TestWorkerCountDeterminism).
+//
+// workers must be explicit (>= 1). The old harness benchmarked the parallel
+// variant with workers = 0 ("resolve to GOMAXPROCS"), which on a single-core
+// CI runner silently resolved to 1: the "parallel" row both ran serially
+// and recorded workers: 1 into BENCH_nsync.json, so the scaling curve was
+// never actually measured. Requesting concrete counts keeps the recorded
+// workers value honest even when the machine has fewer cores (the rows then
+// measure oversubscription rather than silently collapsing into duplicates
+// of the serial row).
 func benchEvaluateNSYNC(b *testing.B, workers int) {
 	b.Helper()
+	if workers < 1 {
+		b.Fatalf("benchEvaluateNSYNC: workers must be explicit and >= 1, got %d", workers)
+	}
 	ds := benchDatasets(b)["UM3"]
 	params := experiment.CI().DWM["UM3"]
 	eval := func() experiment.NSYNCOutcome {
@@ -485,11 +498,46 @@ func benchEvaluateNSYNC(b *testing.B, workers int) {
 		acc = eval().Overall.Accuracy()
 	}
 	b.ReportMetric(acc, "acc")
-	b.ReportMetric(float64(experiment.Workers()), "workers")
+	b.ReportMetric(float64(workers), "workers")
+	b.ReportMetric(float64(evalWindows(b, ds)), "windows_per_op")
 }
 
-func BenchmarkEvaluateNSYNCSerial(b *testing.B)   { benchEvaluateNSYNC(b, 1) }
-func BenchmarkEvaluateNSYNCParallel(b *testing.B) { benchEvaluateNSYNC(b, 0) }
+// evalWindows counts the DWM windows one EvaluateNSYNC op synchronizes:
+// every training and test run of the benchmarked cell, so the JSON harness
+// can derive a windows-per-second throughput per worker count.
+func evalWindows(b *testing.B, ds *experiment.Dataset) int {
+	b.Helper()
+	params := experiment.CI().DWM["UM3"]
+	ref, err := ds.Ref.Signal(sensor.ACC, ids.Raw)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s, err := dwm.NewSynchronizer(ref, params)
+	if err != nil {
+		b.Fatal(err)
+	}
+	total := 0
+	for _, runs := range [][]*ids.Run{ds.Train, ds.TestBenign, ds.TestMalicious} {
+		for _, r := range runs {
+			sig, err := r.Signal(sensor.ACC, ids.Raw)
+			if err != nil {
+				b.Fatal(err)
+			}
+			total += s.NumWindows(sig.Len())
+		}
+	}
+	return total
+}
+
+func BenchmarkEvaluateNSYNCSerial(b *testing.B) { benchEvaluateNSYNC(b, 1) }
+
+// BenchmarkEvaluateNSYNCParallel sweeps explicit worker counts so the
+// recorded scaling curve has one honestly-labelled row per count.
+func BenchmarkEvaluateNSYNCParallel(b *testing.B) {
+	for _, w := range []int{2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) { benchEvaluateNSYNC(b, w) })
+	}
+}
 
 // BenchmarkDWMSyncRawAudio measures the raw synchronization throughput that
 // makes real-time NSYNC possible: seconds of 2-channel raw audio

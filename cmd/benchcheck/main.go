@@ -1,0 +1,125 @@
+// Command benchcheck validates a BENCH_nsync.json produced by the benchmark
+// harness (bench_json_test.go). It exists because the harness once recorded
+// an unmeasured scaling curve — the "parallel" evaluation probe resolved
+// workers = 0 to the single CI core and silently wrote workers: 1 — and
+// nothing noticed for several releases. CI runs benchcheck after the bench
+// step and fails the build when the file regresses into that shape.
+//
+// Checks:
+//   - the per-worker-count evaluation rows (1/2/4/8) are all present;
+//   - every EvaluateNSYNCParallel row records workers > 1, matching the
+//     count in its name;
+//   - every evaluation row and the DWM sync row carry a positive
+//     steps_per_sec throughput.
+//
+// Usage: benchcheck [path] (default BENCH_nsync.json).
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+type benchRecord struct {
+	Name        string             `json:"name"`
+	N           int                `json:"n"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	AllocsPerOp int64              `json:"allocs_per_op"`
+	BytesPerOp  int64              `json:"bytes_per_op"`
+	StepsPerSec float64            `json:"steps_per_sec"`
+	Extra       map[string]float64 `json:"extra"`
+}
+
+type benchFile struct {
+	Results []benchRecord `json:"results"`
+}
+
+func main() {
+	path := "BENCH_nsync.json"
+	if len(os.Args) > 1 {
+		path = os.Args[1]
+	}
+	problems, err := check(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchcheck: %v\n", err)
+		os.Exit(1)
+	}
+	if len(problems) > 0 {
+		for _, p := range problems {
+			fmt.Fprintf(os.Stderr, "benchcheck: %s: %s\n", path, p)
+		}
+		os.Exit(1)
+	}
+	fmt.Printf("benchcheck: %s OK\n", path)
+}
+
+func check(path string) ([]string, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var bf benchFile
+	if err := json.Unmarshal(raw, &bf); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	byName := make(map[string]benchRecord, len(bf.Results))
+	for _, r := range bf.Results {
+		byName[r.Name] = r
+	}
+	var problems []string
+	want := []string{
+		"EvaluateNSYNCSerial",
+		"EvaluateNSYNCParallel/workers=2",
+		"EvaluateNSYNCParallel/workers=4",
+		"EvaluateNSYNCParallel/workers=8",
+		"DWMSyncRawAudio",
+	}
+	for _, name := range want {
+		rec, ok := byName[name]
+		if !ok {
+			problems = append(problems, fmt.Sprintf("missing record %q", name))
+			continue
+		}
+		problems = append(problems, checkRecord(rec)...)
+	}
+	return problems, nil
+}
+
+func checkRecord(rec benchRecord) []string {
+	var problems []string
+	fail := func(format string, args ...any) {
+		problems = append(problems, fmt.Sprintf("%s: %s", rec.Name, fmt.Sprintf(format, args...)))
+	}
+	if rec.N < 1 || rec.NsPerOp <= 0 {
+		fail("no measured iterations (n=%d, ns_per_op=%g)", rec.N, rec.NsPerOp)
+	}
+	if rec.StepsPerSec <= 0 {
+		fail("missing steps_per_sec throughput")
+	}
+	if !strings.HasPrefix(rec.Name, "EvaluateNSYNC") {
+		return problems
+	}
+	workers, ok := rec.Extra["workers"]
+	if !ok {
+		fail("missing workers metric")
+		return problems
+	}
+	if idx := strings.LastIndex(rec.Name, "workers="); idx >= 0 {
+		named, err := strconv.Atoi(rec.Name[idx+len("workers="):])
+		if err != nil {
+			fail("unparseable worker count in name: %v", err)
+		} else if int(workers) != named {
+			fail("records workers=%d but its name says %d — the scaling curve is mislabelled", int(workers), named)
+		}
+	}
+	if strings.Contains(rec.Name, "Parallel") && workers <= 1 {
+		fail("parallel variant records workers=%g; the scaling curve was not actually measured", workers)
+	}
+	if strings.Contains(rec.Name, "Serial") && workers != 1 {
+		fail("serial variant records workers=%g, want 1", workers)
+	}
+	return problems
+}

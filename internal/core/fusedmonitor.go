@@ -84,6 +84,9 @@ type fusedMonChannel struct {
 	forwarded int             // samples already handed to the monitor
 	rate      float64
 	voting    bool
+	// fwdView is the reusable view of the cleared pending prefix handed to
+	// the monitor each Push (session scratch, see DESIGN.md §13).
+	fwdView sigproc.Signal
 }
 
 // NewFusedMonitor builds a streaming fused monitor over the given channels.
@@ -146,11 +149,11 @@ func (fm *FusedMonitor) Push(chunks []*sigproc.Signal) ([]FusedAlert, error) {
 		if clear <= 0 {
 			continue
 		}
-		alerts, err := ch.mon.Push(ch.pending.Slice(0, clear))
+		alerts, err := ch.mon.Push(ch.pending.SliceInto(&ch.fwdView, 0, clear))
 		if err != nil {
 			return nil, fmt.Errorf("core: fused monitor channel %s: %w", ch.name, err)
 		}
-		ch.pending = ch.pending.Slice(clear, ch.pending.Len()).Clone()
+		ch.pending.DropFront(clear)
 		ch.forwarded += clear
 		fusedPending.Observe(float64(ch.pending.Len()))
 		if len(alerts) > 0 {
@@ -233,7 +236,7 @@ func (fm *FusedMonitor) Flush() ([]FusedAlert, error) {
 			if err != nil {
 				return nil, fmt.Errorf("core: fused monitor channel %s: %w", ch.name, err)
 			}
-			ch.pending = &sigproc.Signal{Rate: ch.rate}
+			ch.pending.DropFront(n)
 			ch.forwarded += n
 			if len(alerts) > 0 {
 				ch.voting = true
@@ -258,7 +261,11 @@ func (fm *FusedMonitor) Reset() {
 	for _, ch := range fm.chans {
 		ch.mon.Reset()
 		ch.health.Reset()
-		ch.pending = &sigproc.Signal{Rate: ch.rate}
+		if ch.pending == nil {
+			ch.pending = &sigproc.Signal{Rate: ch.rate}
+		} else {
+			ch.pending.DropFront(ch.pending.Len())
+		}
 		ch.forwarded = 0
 		ch.voting = false
 	}

@@ -54,11 +54,23 @@ type Monitor struct {
 	consumed int // samples consumed into windows so far
 	cdisp    float64
 	prevH    float64
-	rawH     []float64 // trailing raw values for the min filter
-	rawV     []float64
-	alerts   []Alert
-	features Features
-	flushed  bool
+	// rawH/rawV hold the trailing raw values for the min filter. With
+	// filterN > 0 they are fixed-size rings (the min is order-independent,
+	// so overwrite position doesn't matter); with filterN <= 0 they grow
+	// over the whole stream, preserving the min-over-history semantics.
+	rawH, rawV       []float64
+	rawHPos, rawVPos int
+	alerts           []Alert
+	features         Features
+	flushed          bool
+
+	// Session scratch (DESIGN.md §13): the sliding observed-window and
+	// displaced-reference views resliced per step, and the padded final
+	// window rebuilt per Flush. All are fully overwritten before use and
+	// survive Reset, so a pooled long-running monitor stops allocating.
+	winView  sigproc.Signal
+	refView  sigproc.Signal
+	flushWin *sigproc.Signal
 }
 
 // NewMonitor builds a streaming monitor from a trained detector
@@ -124,17 +136,18 @@ func (m *Monitor) Push(chunk *sigproc.Signal) ([]Alert, error) {
 		if start+sp.NWin > m.buf.Len() {
 			break
 		}
-		win := m.buf.Slice(start, start+sp.NWin)
+		win := m.buf.SliceInto(&m.winView, start, start+sp.NWin)
 		alerts, err := m.step(i, win)
 		if err != nil {
 			return newAlerts, err
 		}
 		newAlerts = append(newAlerts, alerts...)
 	}
-	// Drop samples that can no longer be part of any future window.
+	// Drop samples that can no longer be part of any future window,
+	// compacting the buffer in place so its capacity is reused.
 	nextStart := m.sync.WindowIndex()*sp.NHop - m.consumed
 	if nextStart > 0 {
-		m.buf = m.buf.Slice(nextStart, m.buf.Len()).Clone()
+		m.buf.DropFront(nextStart)
 		m.consumed += nextStart
 	}
 	monitorBuffer.Observe(float64(m.buf.Len()))
@@ -164,7 +177,7 @@ func (m *Monitor) step(i int, win *sigproc.Signal) ([]Alert, error) {
 	if lo+sp.NWin > bn {
 		lo = bn - sp.NWin
 	}
-	v, err := sigproc.MultiChannelDistance(m.dist, win, m.reference.Slice(lo, lo+sp.NWin))
+	v, err := sigproc.MultiChannelDistance(m.dist, win, m.reference.SliceInto(&m.refView, lo, lo+sp.NWin))
 	if err != nil {
 		return nil, err
 	}
@@ -175,8 +188,8 @@ func (m *Monitor) step(i int, win *sigproc.Signal) ([]Alert, error) {
 	m.cdisp += math.Abs(hf - m.prevH)
 	m.prevH = hf
 
-	m.rawH = appendTrailing(m.rawH, math.Abs(hf), m.filterN)
-	m.rawV = appendTrailing(m.rawV, v, m.filterN)
+	m.rawH = pushTrailing(m.rawH, &m.rawHPos, math.Abs(hf), m.filterN)
+	m.rawV = pushTrailing(m.rawV, &m.rawVPos, v, m.filterN)
 	hFilt := minOf(m.rawH)
 	vFilt := minOf(m.rawV)
 
@@ -229,8 +242,9 @@ func (m *Monitor) Flush() ([]Alert, error) {
 	defer func() {
 		// The stream is over either way: drop the buffer (including the
 		// retained inter-window overlap) so Buffered reads 0 after Flush.
+		// Truncation keeps the backing for the next session after Reset.
 		m.flushed = true
-		m.buf = &sigproc.Signal{Rate: m.reference.Rate}
+		m.buf.DropFront(m.buf.Len())
 	}()
 	sp := m.sync.SampleParams()
 	i := m.sync.WindowIndex()
@@ -264,8 +278,14 @@ func (m *Monitor) Flush() ([]Alert, error) {
 		// edge-anchor with h_dist growing a full hop per window.
 		return nil, nil
 	}
-	win := sigproc.New(m.reference.Rate, m.reference.Channels(), sp.NWin)
-	partial := m.buf.Slice(start, m.buf.Len())
+	// The padded window is session scratch, rebuilt (fully overwritten:
+	// observed prefix below, reference padding after) on every Flush.
+	win := m.flushWin
+	if win == nil {
+		win = sigproc.New(m.reference.Rate, m.reference.Channels(), sp.NWin)
+		m.flushWin = win
+	}
+	partial := m.buf.SliceInto(&m.winView, start, m.buf.Len())
 	for c := range partial.Data {
 		copy(win.Data[c], partial.Data[c])
 	}
@@ -303,16 +323,19 @@ func (m *Monitor) Flush() ([]Alert, error) {
 // alerts identical to a fresh one fed the same stream.
 func (m *Monitor) Reset() {
 	m.sync.Reset()
-	m.buf = &sigproc.Signal{Rate: m.reference.Rate}
+	m.buf.DropFront(m.buf.Len())
 	m.consumed = 0
 	m.cdisp = 0
 	m.prevH = 0
 	m.rawH = m.rawH[:0]
 	m.rawV = m.rawV[:0]
-	m.alerts = nil
-	m.features.CDisp = nil
-	m.features.HDist = nil
-	m.features.VDist = nil
+	m.rawHPos, m.rawVPos = 0, 0
+	// Truncate rather than drop the accumulators: Alerts and Features hand
+	// out copies, so the backing arrays are never shared with callers.
+	m.alerts = m.alerts[:0]
+	m.features.CDisp = m.features.CDisp[:0]
+	m.features.HDist = m.features.HDist[:0]
+	m.features.VDist = m.features.VDist[:0]
 	m.flushed = false
 }
 
@@ -335,11 +358,17 @@ func (m *Monitor) Features() *Features {
 // WindowsProcessed returns how many observed windows have been analyzed.
 func (m *Monitor) WindowsProcessed() int { return m.sync.WindowIndex() }
 
-func appendTrailing(buf []float64, v float64, n int) []float64 {
-	buf = append(buf, v)
-	if n > 0 && len(buf) > n {
-		buf = buf[len(buf)-n:]
+// pushTrailing records v among the trailing n raw values. For n > 0 the
+// buffer becomes a fixed ring once full — pos cycles over the oldest slot —
+// which keeps exactly the last n values without the old reslice-forward
+// scheme's periodic reallocation. For n <= 0 it grows unboundedly (min over
+// the whole history). Only the multiset matters: the consumer is minOf.
+func pushTrailing(buf []float64, pos *int, v float64, n int) []float64 {
+	if n <= 0 || len(buf) < n {
+		return append(buf, v)
 	}
+	buf[*pos] = v
+	*pos = (*pos + 1) % n
 	return buf
 }
 

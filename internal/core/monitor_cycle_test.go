@@ -1,0 +1,140 @@
+package core
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"nsync/internal/scratch"
+	"nsync/internal/sigproc"
+)
+
+// cycleStream runs one full monitor session — chunked Push of the whole
+// signal, Flush, snapshot, Reset — using a reusable chunk view so the test
+// harness itself does not allocate per chunk.
+func cycleStream(t *testing.T, m *Monitor, s *sigproc.Signal, chunk int, view *sigproc.Signal) (int, *Features) {
+	t.Helper()
+	alerts := 0
+	for pos := 0; pos < s.Len(); pos += chunk {
+		end := pos + chunk
+		if end > s.Len() {
+			end = s.Len()
+		}
+		a, err := m.Push(s.SliceInto(view, pos, end))
+		if err != nil {
+			t.Fatal(err)
+		}
+		alerts += len(a)
+	}
+	a, err := m.Flush()
+	if err != nil {
+		t.Fatal(err)
+	}
+	alerts += len(a)
+	f := m.Features()
+	m.Reset()
+	return alerts, f
+}
+
+// TestMonitorFlushResetCyclesStable pools one monitor across many sessions
+// whose streams end off the window grid, so every cycle exercises the
+// padded-window Flush path. Each cycle must reproduce the first cycle's
+// verdicts and features exactly, and — once the buffers are warm — a whole
+// session must not allocate: the padded flush window, the sample buffer,
+// and the feature arrays are all session scratch surviving Reset.
+func TestMonitorFlushResetCyclesStable(t *testing.T) {
+	rng := rand.New(rand.NewSource(94))
+	ref := noiseSig(rng, 100, 3000)
+	th := trainedThresholds(t, rng, ref, 1, 0.5)
+	mon, err := NewMonitor(ref, testDWMParams(), th, WithMonitorFilterWindow(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2890 samples: the last complete window ends at 2875, leaving a
+	// 15-sample unseen tail whose padded window Flush must synthesize.
+	stream := ref.Slice(0, 2890).Clone()
+	for i := range stream.Data[0] {
+		stream.Data[0][i] += 0.05 * rng.NormFloat64()
+	}
+
+	var view sigproc.Signal
+	firstAlerts, firstFeatures := cycleStream(t, mon, stream, 97, &view)
+	if got := len(firstFeatures.CDisp); got == 0 {
+		t.Fatal("first cycle processed no windows")
+	}
+	for cycle := 1; cycle < 4; cycle++ {
+		alerts, features := cycleStream(t, mon, stream, 97, &view)
+		if alerts != firstAlerts {
+			t.Fatalf("cycle %d raised %d alerts, first cycle %d", cycle, alerts, firstAlerts)
+		}
+		if !reflect.DeepEqual(features, firstFeatures) {
+			t.Fatalf("cycle %d features differ from first cycle", cycle)
+		}
+	}
+
+	if scratch.RaceEnabled {
+		return // sync.Pool drops items at random under -race
+	}
+	allocs := testing.AllocsPerRun(5, func() {
+		a, f := cycleStream(t, mon, stream, 97, &view)
+		if a != firstAlerts || len(f.CDisp) != len(firstFeatures.CDisp) {
+			t.Fatalf("warm cycle diverged: %d alerts, %d windows", a, len(f.CDisp))
+		}
+	})
+	// Features() intentionally copies out (three slices plus the struct);
+	// everything else — buffer, windows, flush padding, filter rings — must
+	// reuse session scratch. Anything above this small copy-out budget means
+	// a per-cycle allocation crept back into the hot path.
+	if allocs > 8 {
+		t.Errorf("a warm Push/Flush/Reset cycle allocates %.1f objects, want <= 8 (the Features copy-out)", allocs)
+	}
+}
+
+// TestMonitorSnapshotsDoNotAliasState: Alerts and Features hand out copies;
+// later pushes, a Flush, and a Reset must not mutate earlier snapshots.
+func TestMonitorSnapshotsDoNotAliasState(t *testing.T) {
+	rng := rand.New(rand.NewSource(95))
+	ref := noiseSig(rng, 100, 3000)
+	th := trainedThresholds(t, rng, ref, 1, 0.5)
+	mon, err := NewMonitor(ref, testDWMParams(), th, WithMonitorFilterWindow(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corruption occupies the stream's second half; push three quarters so
+	// alerts actually accumulate before the snapshot.
+	stream := corrupted(rng, ref)
+	cut := 3 * stream.Len() / 4
+	if _, err := mon.Push(stream.Slice(0, cut)); err != nil {
+		t.Fatal(err)
+	}
+	alerts := mon.Alerts()
+	features := mon.Features()
+	alertsSnap := append([]Alert(nil), alerts...)
+	featuresSnap := &Features{
+		CDisp:     append([]float64(nil), features.CDisp...),
+		HDist:     append([]float64(nil), features.HDist...),
+		VDist:     append([]float64(nil), features.VDist...),
+		IndexRate: features.IndexRate,
+	}
+	if len(alertsSnap) == 0 {
+		t.Fatal("corrupted half-stream raised no alerts; aliasing test has nothing to guard")
+	}
+
+	if _, err := mon.Push(stream.Slice(cut, stream.Len())); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mon.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	mon.Reset()
+	if _, err := mon.Push(stream.Slice(0, 400)); err != nil {
+		t.Fatal(err)
+	}
+
+	if !reflect.DeepEqual(alerts, alertsSnap) {
+		t.Error("Alerts() snapshot mutated by later pushes/Reset: result aliases monitor state")
+	}
+	if !reflect.DeepEqual(features, featuresSnap) {
+		t.Error("Features() snapshot mutated by later pushes/Reset: result aliases monitor state")
+	}
+}

@@ -87,8 +87,11 @@ func (al *dwmAlignment) VDist(d sigproc.DistanceFunc) ([]float64, error) {
 	nWin, nHop := al.res.NWin, al.res.NHop
 	bn := al.b.Len()
 	out := make([]float64, len(al.res.HDisp))
+	// One pair of reusable window views slides over both signals; the
+	// distance functions only read their arguments.
+	var aView, bView sigproc.Signal
 	for i, h := range al.res.HDisp {
-		aWin := al.a.Slice(i*nHop, i*nHop+nWin)
+		aWin := al.a.SliceInto(&aView, i*nHop, i*nHop+nWin)
 		lo := i*nHop + h
 		if lo < 0 {
 			lo = 0
@@ -99,7 +102,7 @@ func (al *dwmAlignment) VDist(d sigproc.DistanceFunc) ([]float64, error) {
 		if lo < 0 {
 			return nil, fmt.Errorf("core: reference shorter than one window (%d < %d)", bn, nWin)
 		}
-		bWin := al.b.Slice(lo, lo+nWin)
+		bWin := al.b.SliceInto(&bView, lo, lo+nWin)
 		v, err := sigproc.MultiChannelDistance(d, aWin, bWin)
 		if err != nil {
 			return nil, err
@@ -238,10 +241,11 @@ func (al *nullAlignment) IndexRate() float64 { return al.a.Rate / float64(al.hop
 
 func (al *nullAlignment) VDist(d sigproc.DistanceFunc) ([]float64, error) {
 	out := make([]float64, al.count)
+	var aView, bView sigproc.Signal
 	for i := range out {
 		lo := i * al.hop
-		aw := al.a.Slice(lo, lo+al.win)
-		bw := al.b.Slice(lo, lo+al.win)
+		aw := al.a.SliceInto(&aView, lo, lo+al.win)
+		bw := al.b.SliceInto(&bView, lo, lo+al.win)
 		v, err := sigproc.MultiChannelDistance(d, aw, bw)
 		if err != nil {
 			return nil, err

@@ -12,6 +12,7 @@ import (
 	"math"
 
 	"nsync/internal/obs"
+	"nsync/internal/scratch"
 	"nsync/internal/sigproc"
 )
 
@@ -46,18 +47,53 @@ func vecDist(a, b [][]float64, d sigproc.DistanceFunc) PointDist {
 	return func(i, j int) float64 { return d(a[i], b[j]) }
 }
 
-// transpose converts a channel-major signal into time-major vectors:
-// out[n][c] = s.Data[c][n]. One backing array is used.
-func transpose(s *sigproc.Signal) [][]float64 {
-	n, c := s.Len(), s.Channels()
-	backing := make([]float64, n*c)
-	out := make([][]float64, n)
+// rowsBuf backs one time-major copy of a signal (a transpose or a FastDTW
+// halving): the flat value backing plus the row headers carved from it.
+// Alignments pool these so the per-call copies stop being garbage
+// (DESIGN.md §13); the rows always stay inside the owning operation and are
+// never returned to callers.
+type rowsBuf struct {
+	backing []float64
+	rows    [][]float64
+}
+
+var rowsPool = scratch.Pool[rowsBuf]{
+	New: func() *rowsBuf { return &rowsBuf{} },
+	Poison: func(rb *rowsBuf) {
+		for i := range rb.backing {
+			rb.backing[i] = math.NaN()
+		}
+	},
+}
+
+// carve shapes the buffer into n rows of c values each and returns the row
+// headers. Contents are unspecified; every cell must be overwritten.
+func (rb *rowsBuf) carve(n, c int) [][]float64 {
+	rb.backing = scratch.Resize(rb.backing, n*c)
+	rb.rows = scratch.Resize(rb.rows, n)
 	for i := 0; i < n; i++ {
-		row := backing[i*c : (i+1)*c : (i+1)*c]
+		rb.rows[i] = rb.backing[i*c : (i+1)*c : (i+1)*c]
+	}
+	return rb.rows
+}
+
+// transpose is the allocating variant of transposeInto, for copies that
+// outlive a single alignment (the Online aligner's fixed reference).
+func transpose(s *sigproc.Signal) [][]float64 {
+	var rb rowsBuf
+	return transposeInto(&rb, s)
+}
+
+// transposeInto converts a channel-major signal into time-major vectors
+// backed by rb: out[n][c] = s.Data[c][n].
+func transposeInto(rb *rowsBuf, s *sigproc.Signal) [][]float64 {
+	n, c := s.Len(), s.Channels()
+	out := rb.carve(n, c)
+	for i := 0; i < n; i++ {
+		row := out[i]
 		for k := 0; k < c; k++ {
 			row[k] = s.Data[k][i]
 		}
-		out[i] = row
 	}
 	return out
 }
@@ -70,7 +106,10 @@ func Distance(a, b *sigproc.Signal, d sigproc.DistanceFunc) (*Result, error) {
 		return nil, err
 	}
 	alignCounter.Inc()
-	ta, tb := transpose(a), transpose(b)
+	ra, rb := rowsPool.Get(), rowsPool.Get()
+	defer rowsPool.Put(ra)
+	defer rowsPool.Put(rb)
+	ta, tb := transposeInto(ra, a), transposeInto(rb, b)
 	return dp(len(ta), len(tb), vecDist(ta, tb, d), nil)
 }
 
@@ -95,8 +134,15 @@ func Fast(a, b *sigproc.Signal, d sigproc.DistanceFunc, radius int) (*Result, er
 		}
 		fastDepth.Observe(float64(depth))
 	}
-	ta, tb := transpose(a), transpose(b)
-	return fastdtw(ta, tb, d, radius)
+	ra, rb := rowsPool.Get(), rowsPool.Get()
+	defer rowsPool.Put(ra)
+	defer rowsPool.Put(rb)
+	ta, tb := transposeInto(ra, a), transposeInto(rb, b)
+	// One window is reused across every recursion level: each level's window
+	// is dead by the time the caller level builds its own.
+	wb := winPool.Get()
+	defer winPool.Put(wb)
+	return fastdtw(ta, tb, d, radius, wb)
 }
 
 func checkInputs(a, b *sigproc.Signal) error {
@@ -121,30 +167,73 @@ type window struct {
 	lo, hi []int
 }
 
-func fullWindow(n, m int) *window {
-	w := &window{lo: make([]int, n), hi: make([]int, n)}
-	for i := range w.lo {
+var winPool = scratch.Pool[window]{
+	New: func() *window { return &window{} },
+	Poison: func(w *window) {
+		for i := range w.lo {
+			w.lo[i] = math.MinInt
+		}
+		for i := range w.hi {
+			w.hi[i] = math.MinInt
+		}
+	},
+}
+
+// reset shapes the window to n rows spanning the full [0, m-1] rectangle.
+func (w *window) reset(n, m int) {
+	w.lo = scratch.ResizeZero(w.lo, n)
+	w.hi = scratch.Resize(w.hi, n)
+	for i := range w.hi {
 		w.hi[i] = m - 1
 	}
-	return w
+}
+
+// dpBuf is the scratch of one dynamic-programming pass: the flat cost
+// backing, the per-row window slices carved from it, and the full-rectangle
+// window used when the caller passes none.
+type dpBuf struct {
+	backing []float64
+	costs   [][]float64
+	full    window
+}
+
+var dpPool = scratch.Pool[dpBuf]{
+	New: func() *dpBuf { return &dpBuf{} },
+	Poison: func(db *dpBuf) {
+		for i := range db.backing {
+			db.backing[i] = math.NaN()
+		}
+	},
 }
 
 // dp runs the constrained dynamic program. w may be nil (full window).
 func dp(n, m int, d PointDist, w *window) (*Result, error) {
+	buf := dpPool.Get()
+	defer dpPool.Put(buf)
 	if w == nil {
-		w = fullWindow(n, m)
+		buf.full.reset(n, m)
+		w = &buf.full
 	}
 	const inf = math.MaxFloat64
-	// cost[i] stored as per-row slices over the row's window.
-	costs := make([][]float64, n)
+	// cost[i] stored as per-row slices over the row's window, all carved
+	// from one pooled flat backing. Every in-window cell is written by the
+	// DP sweep before any read, so the backing is not cleared.
 	cells := int64(0)
 	for i := 0; i < n; i++ {
 		lo, hi := w.lo[i], w.hi[i]
 		if lo < 0 || hi >= m || lo > hi {
 			return nil, fmt.Errorf("dtw: invalid window row %d: [%d,%d] of %d", i, lo, hi, m)
 		}
-		costs[i] = make([]float64, hi-lo+1)
 		cells += int64(hi - lo + 1)
+	}
+	buf.backing = scratch.Resize(buf.backing, int(cells))
+	costs := scratch.Resize(buf.costs, n)
+	buf.costs = costs
+	off := 0
+	for i := 0; i < n; i++ {
+		width := w.hi[i] - w.lo[i] + 1
+		costs[i] = buf.backing[off : off+width : off+width]
+		off += width
 	}
 	cellCounter.Add(cells)
 	at := func(i, j int) float64 {
@@ -198,17 +287,17 @@ func reverse(p []Pair) {
 	}
 }
 
-// halve shrinks a time-major series by averaging adjacent pairs.
-func halve(x [][]float64) [][]float64 {
-	n := (len(x) + 1) / 2
+// halveInto shrinks a time-major series by averaging adjacent pairs, backed
+// by rb.
+func halveInto(rb *rowsBuf, x [][]float64) [][]float64 {
 	if len(x) == 0 {
 		return nil
 	}
+	n := (len(x) + 1) / 2
 	c := len(x[0])
-	backing := make([]float64, n*c)
-	out := make([][]float64, n)
+	out := rb.carve(n, c)
 	for i := 0; i < n; i++ {
-		row := backing[i*c : (i+1)*c : (i+1)*c]
+		row := out[i]
 		a := x[2*i]
 		if 2*i+1 < len(x) {
 			b := x[2*i+1]
@@ -218,15 +307,15 @@ func halve(x [][]float64) [][]float64 {
 		} else {
 			copy(row, a)
 		}
-		out[i] = row
 	}
 	return out
 }
 
-// expandWindow projects a coarse path to the fine resolution and widens it
-// by radius cells in every direction (Salvador-Chan).
-func expandWindow(path []Pair, n, m, radius int) *window {
-	w := &window{lo: make([]int, n), hi: make([]int, n)}
+// expandWindowInto projects a coarse path to the fine resolution and widens
+// it by radius cells in every direction (Salvador-Chan), writing into w.
+func expandWindowInto(w *window, path []Pair, n, m, radius int) *window {
+	w.lo = scratch.Resize(w.lo, n)
+	w.hi = scratch.Resize(w.hi, n)
 	for i := range w.lo {
 		w.lo[i] = m // sentinel: empty
 		w.hi[i] = -1
@@ -278,17 +367,25 @@ func expandWindow(path []Pair, n, m, radius int) *window {
 	return w
 }
 
-// fastdtw is the recursive FastDTW core over time-major vectors.
-func fastdtw(x, y [][]float64, d sigproc.DistanceFunc, radius int) (*Result, error) {
+// fastdtw is the recursive FastDTW core over time-major vectors. wb is the
+// shared scratch window: by the time any level fills it (after its own
+// recursive call has returned), no deeper level holds a window anymore.
+func fastdtw(x, y [][]float64, d sigproc.DistanceFunc, radius int, wb *window) (*Result, error) {
 	minSize := radius + 2
 	if len(x) <= minSize || len(y) <= minSize {
 		return dp(len(x), len(y), vecDist(x, y, d), nil)
 	}
-	coarse, err := fastdtw(halve(x), halve(y), d, radius)
+	hx, hy := rowsPool.Get(), rowsPool.Get()
+	cx, cy := halveInto(hx, x), halveInto(hy, y)
+	coarse, err := fastdtw(cx, cy, d, radius, wb)
+	// The coarse path is heap-allocated; the halved copies can be recycled
+	// before the fine pass.
+	rowsPool.Put(hx)
+	rowsPool.Put(hy)
 	if err != nil {
 		return nil, err
 	}
-	w := expandWindow(coarse.Path, len(x), len(y), radius)
+	w := expandWindowInto(wb, coarse.Path, len(x), len(y), radius)
 	return dp(len(x), len(y), vecDist(x, y, d), w)
 }
 
@@ -300,8 +397,11 @@ func fastdtw(x, y [][]float64, d sigproc.DistanceFunc, radius int) (*Result, err
 // "perfectly aligned" downstream, masking exactly the misalignment the
 // discriminator looks for.
 func HDisp(path []Pair, n int) []float64 {
-	sum := make([]float64, n)
-	cnt := make([]int, n)
+	sb := statsPool.Get()
+	defer statsPool.Put(sb)
+	sum := scratch.ResizeZero(sb.sum, n)
+	cnt := scratch.ResizeZero(sb.cnt, n)
+	sb.sum, sb.cnt = sum, cnt
 	for _, p := range path {
 		if p.I >= 0 && p.I < n {
 			sum[p.I] += float64(p.J - p.I)
@@ -314,7 +414,7 @@ func HDisp(path []Pair, n int) []float64 {
 			out[i] = sum[i] / float64(cnt[i])
 		}
 	}
-	fillUncovered(out, cnt)
+	fillUncovered(sb, out, cnt)
 	return out
 }
 
@@ -324,9 +424,15 @@ func HDisp(path []Pair, n int) []float64 {
 // would read as "zero distance", the strongest possible benign vote.
 func VDist(path []Pair, a, b *sigproc.Signal, d sigproc.DistanceFunc) []float64 {
 	n := a.Len()
-	ta, tb := transpose(a), transpose(b)
-	sum := make([]float64, n)
-	cnt := make([]int, n)
+	ra, rb := rowsPool.Get(), rowsPool.Get()
+	defer rowsPool.Put(ra)
+	defer rowsPool.Put(rb)
+	ta, tb := transposeInto(ra, a), transposeInto(rb, b)
+	sb := statsPool.Get()
+	defer statsPool.Put(sb)
+	sum := scratch.ResizeZero(sb.sum, n)
+	cnt := scratch.ResizeZero(sb.cnt, n)
+	sb.sum, sb.cnt = sum, cnt
 	for _, p := range path {
 		if p.I >= 0 && p.I < n && p.J >= 0 && p.J < len(tb) {
 			sum[p.I] += d(ta[p.I], tb[p.J])
@@ -339,17 +445,42 @@ func VDist(path []Pair, a, b *sigproc.Signal, d sigproc.DistanceFunc) []float64 
 			out[i] = sum[i] / float64(cnt[i])
 		}
 	}
-	fillUncovered(out, cnt)
+	fillUncovered(sb, out, cnt)
 	return out
+}
+
+// statsBuf is the scratch of one path-statistics extraction (HDisp/VDist):
+// per-row accumulators and the nearest-covered-row index of fillUncovered.
+// The returned arrays themselves are heap-allocated — they go to callers.
+type statsBuf struct {
+	sum  []float64
+	cnt  []int
+	prev []int
+}
+
+var statsPool = scratch.Pool[statsBuf]{
+	New: func() *statsBuf { return &statsBuf{} },
+	Poison: func(sb *statsBuf) {
+		for i := range sb.sum {
+			sb.sum[i] = math.NaN()
+		}
+		for i := range sb.cnt {
+			sb.cnt[i] = math.MinInt
+		}
+		for i := range sb.prev {
+			sb.prev[i] = math.MinInt
+		}
+	},
 }
 
 // fillUncovered replaces out[i] for rows with cnt[i] == 0 by the value of
 // the nearest covered row (the earlier one on ties). A path covering no
 // rows at all leaves out as zeros.
-func fillUncovered(out []float64, cnt []int) {
+func fillUncovered(sb *statsBuf, out []float64, cnt []int) {
 	n := len(out)
 	// prev[i] is the nearest covered row at or before i (-1: none).
-	prev := make([]int, n)
+	prev := scratch.Resize(sb.prev, n)
+	sb.prev = prev
 	last := -1
 	for i := 0; i < n; i++ {
 		if cnt[i] > 0 {

@@ -234,12 +234,12 @@ func TestVDistAveragesMultipleTuples(t *testing.T) {
 
 func TestHalveOddLength(t *testing.T) {
 	x := [][]float64{{1}, {3}, {10}}
-	h := halve(x)
+	h := halveInto(&rowsBuf{}, x)
 	if len(h) != 2 || h[0][0] != 2 || h[1][0] != 10 {
-		t.Errorf("halve = %v", h)
+		t.Errorf("halveInto = %v", h)
 	}
-	if got := halve(nil); got != nil {
-		t.Errorf("halve(nil) = %v, want nil", got)
+	if got := halveInto(&rowsBuf{}, nil); got != nil {
+		t.Errorf("halveInto(nil) = %v, want nil", got)
 	}
 }
 

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 
+	"nsync/internal/scratch"
 	"nsync/internal/sigproc"
 )
 
@@ -26,9 +27,10 @@ type Online struct {
 	// reference samples); 0 means unbounded.
 	band int
 
-	row  []float64 // cost[j]: best cost aligning observed[0..i] with ref[0..j]
-	i    int       // observed samples consumed
-	last int       // argmin of the current row (best ref position)
+	row   []float64 // cost[j]: best cost aligning observed[0..i] with ref[0..j]
+	spare []float64 // retired row recycled as the next Push's workspace
+	i     int       // observed samples consumed
+	last  int       // argmin of the current row (best ref position)
 }
 
 // NewOnline builds a streaming aligner against a fixed reference. band > 0
@@ -66,8 +68,17 @@ func (o *Online) Push(sample []float64) (refIndex int, cost float64, err error) 
 	if o.band > 0 {
 		lo = max(0, o.i-o.band)
 		hi = min(n-1, o.i+o.band)
+		if lo > hi {
+			// The observed stream has outrun the reference by more than the
+			// band; pin the alignment at the reference tail rather than
+			// excluding every cell (which would index past the row).
+			lo = hi
+		}
 	}
-	next := make([]float64, n)
+	// Double-buffer the DP rows: the row retired two pushes ago becomes this
+	// push's workspace, so the steady state allocates nothing.
+	next := scratch.Resize(o.spare, n)
+	o.spare = nil
 	for j := range next {
 		next[j] = math.Inf(1)
 	}
@@ -94,7 +105,7 @@ func (o *Online) Push(sample []float64) (refIndex int, cost float64, err error) 
 			next[j] = o.dist(sample, o.ref[j]) + best
 		}
 	}
-	o.row = next
+	o.row, o.spare = next, o.row
 	o.i++
 	o.last = lo
 	for j := lo + 1; j <= hi; j++ {

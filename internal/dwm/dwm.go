@@ -155,6 +155,10 @@ type Synchronizer struct {
 	scores []float64
 	// hLowPrev is h_disp,low[i-1]; the paper defines h_disp,low[-1] = 0.
 	hLowPrev int
+	// searchView is the reusable search-window view over ref; Propose
+	// reslices it instead of allocating a Signal per step. Single-owner
+	// session scratch (a Synchronizer is not safe for concurrent use).
+	searchView sigproc.Signal
 }
 
 // Option configures a Synchronizer.
@@ -270,7 +274,7 @@ func (s *Synchronizer) Propose(window *sigproc.Signal) (Proposal, error) {
 	}
 	searchWidth.Observe(float64(hi - lo))
 
-	search := s.ref.Slice(lo, hi)
+	search := s.ref.SliceInto(&s.searchView, lo, hi)
 	var (
 		j     int
 		score float64
@@ -365,9 +369,10 @@ func Run(a, b *sigproc.Signal, p Params, opts ...Option) (*Result, error) {
 		return nil, fmt.Errorf("dwm: observed has %d channels, reference has %d", a.Channels(), b.Channels())
 	}
 	nWindows := s.NumWindows(a.Len())
+	var winView sigproc.Signal
 	for i := 0; i < nWindows; i++ {
 		start := i * s.sp.NHop
-		if _, _, err := s.Step(a.Slice(start, start+s.sp.NWin)); err != nil {
+		if _, _, err := s.Step(a.SliceInto(&winView, start, start+s.sp.NWin)); err != nil {
 			return nil, err
 		}
 	}

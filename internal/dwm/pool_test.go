@@ -1,0 +1,159 @@
+package dwm
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"nsync/internal/scratch"
+	"nsync/internal/sigproc"
+)
+
+// TestRunPooledEquivalence verifies a full DWM run over the pooled TDE/
+// signal-view hot path is byte-identical to the allocating path. Poison is
+// on, so a stale read from a recycled buffer would turn into NaN scores.
+func TestRunPooledEquivalence(t *testing.T) {
+	scratch.SetPoison(true)
+	defer scratch.SetPoison(false)
+	rng := rand.New(rand.NewSource(600))
+	b := walk(rng, 100, 3000)
+	a := growingDelaySignal(b, 400, 3)
+
+	compute := func() *Result {
+		r, err := Run(a, b, testParams())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	compute() // warm the pools
+	pooled := compute()
+	scratch.SetEnabled(false)
+	fresh := compute()
+	scratch.SetEnabled(true)
+
+	if len(pooled.HDisp) != len(fresh.HDisp) {
+		t.Fatalf("window counts differ: %d vs %d", len(pooled.HDisp), len(fresh.HDisp))
+	}
+	for i := range pooled.HDisp {
+		if pooled.HDisp[i] != fresh.HDisp[i] || pooled.HLow[i] != fresh.HLow[i] {
+			t.Errorf("window %d: pooled (h=%d, low=%d) != fresh (h=%d, low=%d)",
+				i, pooled.HDisp[i], pooled.HLow[i], fresh.HDisp[i], fresh.HLow[i])
+		}
+		if pooled.Scores[i] != fresh.Scores[i] {
+			t.Errorf("window %d: pooled score %v != fresh %v", i, pooled.Scores[i], fresh.Scores[i])
+		}
+	}
+}
+
+// TestStepAllocFree is the allocation guard on the DWM hot path: once the
+// synchronizer and the shared TDE pools are warm, Step must not allocate.
+func TestStepAllocFree(t *testing.T) {
+	if scratch.RaceEnabled {
+		t.Skip("race mode: sync.Pool drops items at random, steady state is not alloc-free")
+	}
+	rng := rand.New(rand.NewSource(601))
+	b := walk(rng, 100, 3000)
+	a := growingDelaySignal(b, 400, 3)
+	s, err := NewSynchronizer(b, testParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	nWindows := s.NumWindows(a.Len())
+	var winView sigproc.Signal
+	feed := func() {
+		if s.WindowIndex() == nWindows {
+			s.Reset() // keeps slice capacity, so later appends stay in place
+		}
+		start := s.WindowIndex() * s.SampleParams().NHop
+		if _, _, err := s.Step(a.SliceInto(&winView, start, start+s.SampleParams().NWin)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < nWindows; i++ {
+		feed() // warm pass: grows the result slices and the TDE pools
+	}
+	if allocs := testing.AllocsPerRun(100, feed); allocs > 0 {
+		t.Errorf("Step allocates %.1f objects per window in steady state, want 0", allocs)
+	}
+}
+
+// TestResultDoesNotAliasState: the slices Result hands out must survive
+// further Steps and a Reset recycling the synchronizer's internal arrays.
+func TestResultDoesNotAliasState(t *testing.T) {
+	rng := rand.New(rand.NewSource(602))
+	b := walk(rng, 100, 2000)
+	a := growingDelaySignal(b, 400, 2)
+	s, err := NewSynchronizer(b, testParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp := s.SampleParams()
+	nWindows := s.NumWindows(a.Len())
+	if nWindows < 4 {
+		t.Fatalf("test signal too short: %d windows", nWindows)
+	}
+	var winView sigproc.Signal
+	step := func(i int) {
+		start := i * sp.NHop
+		if _, _, err := s.Step(a.SliceInto(&winView, start, start+sp.NWin)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < nWindows/2; i++ {
+		step(i)
+	}
+	snap := s.Result()
+	hDisp := append([]int(nil), snap.HDisp...)
+	scores := append([]float64(nil), snap.Scores...)
+	for i := nWindows / 2; i < nWindows; i++ {
+		step(i)
+	}
+	s.Reset()
+	step(0) // scribbles over the truncated-but-capacious internal arrays
+	for i := range hDisp {
+		if snap.HDisp[i] != hDisp[i] {
+			t.Fatalf("Result.HDisp[%d] changed from %d to %d after later steps: result aliases synchronizer state", i, hDisp[i], snap.HDisp[i])
+		}
+		if snap.Scores[i] != scores[i] {
+			t.Fatalf("Result.Scores[%d] changed from %v to %v after later steps", i, scores[i], snap.Scores[i])
+		}
+	}
+}
+
+// TestConcurrentRunsShareProcessPools runs independent synchronizers in
+// parallel over the shared TDE scratch pools; under -race this verifies the
+// pooled hot path is race-clean, and each run must still equal the serial
+// result exactly.
+func TestConcurrentRunsShareProcessPools(t *testing.T) {
+	rng := rand.New(rand.NewSource(603))
+	b := walk(rng, 100, 2500)
+	a := growingDelaySignal(b, 400, 2)
+	want, err := Run(a, b, testParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const workers = 4
+	var wg sync.WaitGroup
+	errs := make([]error, workers)
+	results := make([]*Result, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			results[w], errs[w] = Run(a, b, testParams())
+		}(w)
+	}
+	wg.Wait()
+	for w := 0; w < workers; w++ {
+		if errs[w] != nil {
+			t.Fatalf("worker %d: %v", w, errs[w])
+		}
+		for i := range want.HDisp {
+			if results[w].HDisp[i] != want.HDisp[i] || results[w].Scores[i] != want.Scores[i] {
+				t.Fatalf("worker %d window %d: (%d, %v) != serial (%d, %v)",
+					w, i, results[w].HDisp[i], results[w].Scores[i], want.HDisp[i], want.Scores[i])
+			}
+		}
+	}
+}

@@ -1,12 +1,15 @@
 // Package fft implements the discrete Fourier transform with an iterative
 // radix-2 Cooley-Tukey kernel and Bluestein's algorithm for arbitrary
 // lengths. It is the numerical substrate of the STFT/spectrogram pipeline
-// (Table III of the paper). Only the standard library is used.
+// (Table III of the paper).
 package fft
 
-import "math/cmplx"
+import (
+	"math"
+	"math/cmplx"
 
-import "math"
+	"nsync/internal/scratch"
+)
 
 // Forward computes the DFT of x (any length) and returns a new slice.
 //
@@ -18,33 +21,52 @@ func Forward(x []complex128) []complex128 {
 	return out
 }
 
+// InPlace computes the DFT of x in place, overwriting it. It is Forward
+// without the output allocation, for hot paths that own a reusable buffer.
+func InPlace(x []complex128) { transform(x, false) }
+
 // Inverse computes the inverse DFT of x (any length), including the 1/N
 // normalization, and returns a new slice.
 func Inverse(x []complex128) []complex128 {
 	out := make([]complex128, len(x))
 	copy(out, x)
-	transform(out, true)
-	n := float64(len(out))
+	inverseInPlace(out)
+	return out
+}
+
+// InverseInPlace computes the normalized inverse DFT of x in place,
+// overwriting it.
+func InverseInPlace(x []complex128) { inverseInPlace(x) }
+
+func inverseInPlace(x []complex128) {
+	transform(x, true)
+	n := float64(len(x))
 	if n > 0 {
-		for i := range out {
-			out[i] /= complex(n, 0)
+		for i := range x {
+			x[i] /= complex(n, 0)
 		}
 	}
-	return out
 }
 
 // ForwardReal computes the DFT of a real input and returns the first
 // N/2+1 bins (the remainder is conjugate-symmetric and carries no extra
 // information for real signals).
 func ForwardReal(x []float64) []complex128 {
-	buf := make([]complex128, len(x))
+	return ForwardRealInto(nil, x)
+}
+
+// ForwardRealInto is ForwardReal writing into dst's backing array when it
+// has the capacity (allocating otherwise). The returned slice aliases dst;
+// the caller owns it until the next call with the same dst.
+func ForwardRealInto(dst []complex128, x []float64) []complex128 {
+	if len(x) == 0 {
+		return nil
+	}
+	buf := scratch.Resize(dst, len(x))
 	for i, v := range x {
 		buf[i] = complex(v, 0)
 	}
 	transform(buf, false)
-	if len(buf) == 0 {
-		return nil
-	}
 	return buf[:len(buf)/2+1]
 }
 
@@ -104,6 +126,28 @@ func radix2(x []complex128, inverse bool) {
 	}
 }
 
+// blueBuf is the per-transform scratch of bluestein: the chirp factors and
+// the two convolution operands.
+type blueBuf struct {
+	chirp, a, b []complex128
+}
+
+var bluePool = scratch.Pool[blueBuf]{
+	New: func() *blueBuf { return &blueBuf{} },
+	Poison: func(bb *blueBuf) {
+		poisonComplex(bb.chirp)
+		poisonComplex(bb.a)
+		poisonComplex(bb.b)
+	},
+}
+
+func poisonComplex(s []complex128) {
+	nan := complex(math.NaN(), math.NaN())
+	for i := range s {
+		s[i] = nan
+	}
+}
+
 // bluestein converts an arbitrary-length DFT into a power-of-two circular
 // convolution (chirp-z transform).
 func bluestein(x []complex128, inverse bool) {
@@ -112,8 +156,11 @@ func bluestein(x []complex128, inverse bool) {
 	if inverse {
 		sign = 1.0
 	}
+	bb := bluePool.Get()
+	defer bluePool.Put(bb)
 	// Chirp factors w[k] = exp(sign * i * pi * k^2 / n).
-	chirp := make([]complex128, n)
+	chirp := scratch.Resize(bb.chirp, n)
+	bb.chirp = chirp
 	for k := 0; k < n; k++ {
 		// k*k may overflow for very large n if computed in int; use
 		// modular arithmetic on 2n which preserves the angle.
@@ -124,8 +171,9 @@ func bluestein(x []complex128, inverse bool) {
 	for m < 2*n-1 {
 		m <<= 1
 	}
-	a := make([]complex128, m)
-	b := make([]complex128, m)
+	a := scratch.ResizeZero(bb.a, m)
+	b := scratch.ResizeZero(bb.b, m)
+	bb.a, bb.b = a, b
 	for k := 0; k < n; k++ {
 		a[k] = x[k] * chirp[k]
 	}

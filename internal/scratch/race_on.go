@@ -1,0 +1,8 @@
+//go:build race
+
+package scratch
+
+// RaceEnabled reports whether the race detector is compiled in. Under the
+// race detector sync.Pool deliberately drops items at random, so allocation
+// guards over pooled paths must not assert a zero-alloc steady state.
+const RaceEnabled = true

@@ -1,0 +1,120 @@
+// Package scratch is the reusable-buffer machinery behind the repo's
+// allocation-free hot paths (DESIGN.md §13). The synchronization pipeline —
+// STFT frames, TDE similarity arrays and prefix sums, DTW cost matrices,
+// DWM search windows, Monitor session buffers — used to allocate fresh
+// slices on every window of every signal, which at fleet scale turns the
+// garbage collector into the bottleneck long before the CPU saturates.
+//
+// The package deliberately stays tiny: a typed sync.Pool wrapper plus a
+// slice-resizing helper. Each hot package owns a composite scratch struct
+// (all the slices one operation needs) and pools whole structs, so a hot
+// operation costs one Get and one Put regardless of how many internal
+// buffers it touches, and pooling a pointer-to-struct through sync.Pool
+// allocates nothing in steady state.
+//
+// # Ownership rules
+//
+//   - A pooled buffer is owned by exactly one goroutine between Get and Put.
+//   - Anything returned to a caller must be copied out of scratch first;
+//     returning a view of a pooled buffer is an aliasing bug that corrupts
+//     the caller's data on the next Get.
+//   - Buffers obtained from Resize have unspecified contents; the owner must
+//     fully overwrite (or clear) every element it will read.
+//
+// # Verifying pooled paths
+//
+// SetEnabled(false) turns every Pool into a plain allocator, so a pooled
+// code path can be run twice — once against recycled buffers, once against
+// fresh ones — and compared byte for byte. SetPoison(true) additionally
+// fills buffers with poison (each pool's Poison hook, typically NaN) as
+// they are returned, so any path that reads recycled contents it did not
+// overwrite produces loudly wrong output instead of silently lucky output.
+// Both switches exist for tests; production leaves pooling on and poison
+// off.
+package scratch
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+var (
+	disabled  atomic.Bool // zero value: pooling enabled
+	poisoning atomic.Bool
+)
+
+// SetEnabled switches buffer reuse on or off process-wide. Disabled pools
+// hand out fresh allocations and drop returned buffers, which restores the
+// pre-pooling allocation behavior exactly; it exists so equivalence tests
+// can diff pooled output against unpooled output.
+func SetEnabled(on bool) { disabled.Store(!on) }
+
+// Enabled reports whether buffer reuse is on (the default).
+func Enabled() bool { return !disabled.Load() }
+
+// SetPoison makes every Pool run its Poison hook on returned buffers, so a
+// consumer that reads recycled contents it never overwrote computes visibly
+// corrupt results. Test-only; it has no effect while pooling is disabled.
+func SetPoison(on bool) { poisoning.Store(on) }
+
+// Poisoning reports whether returned buffers are being poisoned.
+func Poisoning() bool { return poisoning.Load() }
+
+// Pool is a typed sync.Pool of *T. T is a package's composite scratch
+// struct: every slice one hot operation needs, pooled as a unit.
+type Pool[T any] struct {
+	// New constructs an empty scratch struct. Required.
+	New func() *T
+	// Poison, if set, scribbles over the struct's buffers; it runs on Put
+	// while poison mode is on (see SetPoison).
+	Poison func(*T)
+
+	p sync.Pool
+}
+
+// Get returns a scratch struct, recycled when one is available. The
+// struct's slices keep whatever length and contents their previous owner
+// left; use Resize before reading or writing them.
+func (pl *Pool[T]) Get() *T {
+	if Enabled() {
+		if v := pl.p.Get(); v != nil {
+			return v.(*T)
+		}
+	}
+	return pl.New()
+}
+
+// Put returns a scratch struct for reuse. The caller must not touch x, or
+// any slice inside it, after Put. nil is ignored.
+func (pl *Pool[T]) Put(x *T) {
+	if x == nil || !Enabled() {
+		return
+	}
+	if Poisoning() && pl.Poison != nil {
+		pl.Poison(x)
+	}
+	pl.p.Put(x)
+}
+
+// Resize returns a slice of length n backed by s when s has the capacity,
+// and by a fresh allocation otherwise. Contents are unspecified either way:
+// the caller owns every element and must overwrite (or clear) what it
+// reads. Typical use inside a pooled struct:
+//
+//	buf.prefix = scratch.Resize(buf.prefix, n+1)
+func Resize[E any](s []E, n int) []E {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	// Round up so a slightly growing workload (e.g. DWM search windows
+	// clipped near signal edges) converges instead of reallocating on every
+	// small size change.
+	return make([]E, n, n+n/4)
+}
+
+// ResizeZero is Resize followed by clearing every element.
+func ResizeZero[E any](s []E, n int) []E {
+	s = Resize(s, n)
+	clear(s)
+	return s
+}

@@ -119,6 +119,23 @@ func (s *Signal) Slice(n1, n2 int) *Signal {
 	return out
 }
 
+// SliceInto is Slice writing the channel headers into dst and returning it,
+// so a loop sliding a window over s can reuse one view instead of
+// allocating a Signal per position. The view shares sample memory with s,
+// like Slice; dst must not be s itself.
+func (s *Signal) SliceInto(dst *Signal, n1, n2 int) *Signal {
+	dst.Rate = s.Rate
+	if cap(dst.Data) >= len(s.Data) {
+		dst.Data = dst.Data[:len(s.Data)]
+	} else {
+		dst.Data = make([][]float64, len(s.Data))
+	}
+	for c := range s.Data {
+		dst.Data[c] = s.Data[c][n1:n2]
+	}
+	return dst
+}
+
 // SliceClamped is Slice with the range clipped to [0, Len]. Useful at signal
 // boundaries where the paper's windows may extend past the data.
 func (s *Signal) SliceClamped(n1, n2 int) *Signal {
@@ -250,6 +267,15 @@ func (s *Signal) Concat(other *Signal) error {
 		s.Data[c] = append(s.Data[c], other.Data[c]...)
 	}
 	return nil
+}
+
+// DropFront removes the first n samples of every channel in place,
+// retaining the backing capacity. Streaming consumers use it to trim
+// consumed samples from a growing buffer without cloning the tail.
+func (s *Signal) DropFront(n int) {
+	for c, ch := range s.Data {
+		s.Data[c] = ch[:copy(ch, ch[n:])]
+	}
 }
 
 // Decimate returns a new signal keeping every factor-th sample. The rate is

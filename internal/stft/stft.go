@@ -9,8 +9,30 @@ import (
 	"math"
 
 	"nsync/internal/fft"
+	"nsync/internal/scratch"
 	"nsync/internal/sigproc"
 )
+
+// frameBuf is the scratch of one STFT computation: the tapered real frame
+// and the complex FFT workspace, reused across every frame of the transform
+// (DESIGN.md §13).
+type frameBuf struct {
+	re   []float64
+	spec []complex128
+}
+
+var framePool = scratch.Pool[frameBuf]{
+	New: func() *frameBuf { return &frameBuf{} },
+	Poison: func(fb *frameBuf) {
+		for i := range fb.re {
+			fb.re[i] = math.NaN()
+		}
+		nan := complex(math.NaN(), math.NaN())
+		for i := range fb.spec {
+			fb.spec[i] = nan
+		}
+	},
+}
 
 // Config describes one spectrogram transform. The paper specifies transforms
 // per side channel by spectral resolution Δf (window length = 1/Δf seconds)
@@ -97,7 +119,10 @@ func Transform(s *sigproc.Signal, cfg Config) (*sigproc.Signal, error) {
 	taper := wf(win)
 
 	out := sigproc.New(1/cfg.DeltaT, bins*s.Channels(), frames)
-	buf := make([]float64, win)
+	fb := framePool.Get()
+	defer framePool.Put(fb)
+	buf := scratch.Resize(fb.re, win)
+	fb.re = buf
 	for c := 0; c < s.Channels(); c++ {
 		ch := s.Data[c]
 		for f := 0; f < frames; f++ {
@@ -105,7 +130,8 @@ func Transform(s *sigproc.Signal, cfg Config) (*sigproc.Signal, error) {
 			for i := 0; i < win; i++ {
 				buf[i] = ch[start+i] * taper[i]
 			}
-			spec := fft.ForwardReal(buf)
+			spec := fft.ForwardRealInto(fb.spec, buf)
+			fb.spec = spec
 			for k := 0; k < bins; k++ {
 				mag := cmplxAbs(spec[k])
 				if cfg.Log {

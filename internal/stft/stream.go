@@ -1,0 +1,145 @@
+package stft
+
+import (
+	"fmt"
+	"math"
+
+	"nsync/internal/fft"
+	"nsync/internal/scratch"
+	"nsync/internal/sigproc"
+)
+
+// Streamer computes the spectrogram of Config incrementally: samples arrive
+// in arbitrary-sized chunks and only the frames newly completed by each
+// chunk are transformed. A live monitor that recomputed the full STFT per
+// pushed chunk would do O(session²) work; the Streamer keeps exactly one
+// window of pending samples per channel and does O(chunk) work per push,
+// with zero steady-state allocations beyond the frames appended to the
+// caller's spectrogram.
+//
+// A Streamer is owned by one goroutine; its pending buffers and FFT
+// workspace are per-instance session scratch in the sense of DESIGN.md §13.
+type Streamer struct {
+	cfg      Config
+	rate     float64
+	channels int
+	win, hop int
+	bins     int
+	taper    []float64
+
+	// pending holds, per input channel, the samples not yet consumed by a
+	// completed frame (always fewer than win+hop after a Push).
+	pending [][]float64
+	// re/spec are the frame workspace, identical in role to frameBuf but
+	// owned by the Streamer for its whole life rather than pooled per call.
+	re     []float64
+	spec   []complex128
+	frames int
+}
+
+// NewStreamer returns a Streamer producing the same spectrogram as
+// Transform would on the concatenation of every pushed chunk.
+func NewStreamer(rate float64, channels int, cfg Config) (*Streamer, error) {
+	if err := cfg.Validate(rate); err != nil {
+		return nil, err
+	}
+	if channels < 1 {
+		return nil, fmt.Errorf("stft: streamer needs at least one channel, got %d", channels)
+	}
+	wf := cfg.Window
+	if wf == nil {
+		wf = sigproc.Boxcar
+	}
+	win := cfg.WindowSamples(rate)
+	return &Streamer{
+		cfg:      cfg,
+		rate:     rate,
+		channels: channels,
+		win:      win,
+		hop:      cfg.HopSamples(rate),
+		bins:     win/2 + 1,
+		taper:    wf(win),
+		pending:  make([][]float64, channels),
+	}, nil
+}
+
+// Bins returns the number of frequency bins per input channel.
+func (st *Streamer) Bins() int { return st.bins }
+
+// Channels returns the channel count of the spectrogram the Streamer
+// appends to: bins per input channel times input channels.
+func (st *Streamer) Channels() int { return st.bins * st.channels }
+
+// Rate returns the spectrogram sampling rate, 1/DeltaT.
+func (st *Streamer) Rate() float64 { return 1 / st.cfg.DeltaT }
+
+// Frames returns the total number of frames emitted since the last Reset.
+func (st *Streamer) Frames() int { return st.frames }
+
+// NewOutput returns an empty spectrogram signal shaped to receive this
+// Streamer's frames via Push.
+func (st *Streamer) NewOutput() *sigproc.Signal {
+	return sigproc.New(st.Rate(), st.Channels(), 0)
+}
+
+// Reset discards pending samples and the frame count, keeping the buffers
+// for the next session.
+func (st *Streamer) Reset() {
+	for c := range st.pending {
+		st.pending[c] = st.pending[c][:0]
+	}
+	st.frames = 0
+}
+
+// Push appends chunk to the stream and appends every newly completed frame
+// to dst, which must have been shaped like NewOutput (Channels() output
+// channels; Push appends to each channel's slice). It returns the number of
+// frames appended. chunk may be empty; its rate and channel count must
+// match the Streamer's.
+func (st *Streamer) Push(chunk *sigproc.Signal, dst *sigproc.Signal) (int, error) {
+	if chunk.Rate != st.rate {
+		return 0, fmt.Errorf("stft: chunk rate %v, streamer rate %v", chunk.Rate, st.rate)
+	}
+	if chunk.Channels() != st.channels {
+		return 0, fmt.Errorf("stft: chunk has %d channels, streamer %d", chunk.Channels(), st.channels)
+	}
+	if dst.Channels() != st.Channels() {
+		return 0, fmt.Errorf("stft: dst has %d channels, streamer emits %d", dst.Channels(), st.Channels())
+	}
+	for c := 0; c < st.channels; c++ {
+		st.pending[c] = append(st.pending[c], chunk.Data[c]...)
+	}
+	n := len(st.pending[0])
+	if n < st.win {
+		return 0, nil
+	}
+	emitted := (n-st.win)/st.hop + 1
+	st.re = scratch.Resize(st.re, st.win)
+	for c := 0; c < st.channels; c++ {
+		ch := st.pending[c]
+		for f := 0; f < emitted; f++ {
+			start := f * st.hop
+			for i := 0; i < st.win; i++ {
+				st.re[i] = ch[start+i] * st.taper[i]
+			}
+			spec := fft.ForwardRealInto(st.spec, st.re)
+			st.spec = spec
+			for k := 0; k < st.bins; k++ {
+				mag := cmplxAbs(spec[k])
+				if st.cfg.Log {
+					mag = math.Log10(1 + mag)
+				}
+				dst.Data[c*st.bins+k] = append(dst.Data[c*st.bins+k], mag)
+			}
+		}
+	}
+	// Drop the consumed prefix in place; the surviving tail (less than one
+	// full window) seeds the next push.
+	consumed := emitted * st.hop
+	for c := 0; c < st.channels; c++ {
+		tail := copy(st.pending[c], st.pending[c][consumed:])
+		st.pending[c] = st.pending[c][:tail]
+	}
+	st.frames += emitted
+	return emitted, nil
+}

@@ -1,0 +1,163 @@
+package stft
+
+import (
+	"math/rand"
+	"testing"
+
+	"nsync/internal/scratch"
+	"nsync/internal/sigproc"
+)
+
+func randomSignal(rng *rand.Rand, rate float64, channels, n int) *sigproc.Signal {
+	s := sigproc.New(rate, channels, n)
+	for c := 0; c < channels; c++ {
+		for i := 0; i < n; i++ {
+			s.Data[c][i] = rng.NormFloat64()
+		}
+	}
+	return s
+}
+
+// TestStreamerMatchesTransform feeds a signal to a Streamer in a random
+// chunk schedule (including empty chunks) and requires the incrementally
+// built spectrogram to be byte-identical to the batch Transform. Poison is
+// on, so a Streamer or Transform reading recycled buffer contents it did
+// not overwrite would surface as NaNs.
+func TestStreamerMatchesTransform(t *testing.T) {
+	scratch.SetPoison(true)
+	defer scratch.SetPoison(false)
+	rng := rand.New(rand.NewSource(42))
+	cfgs := []Config{
+		{DeltaF: 10, DeltaT: 0.05},                            // win 100, hop 50 (non-pow2 FFT)
+		{DeltaF: 7.8125, DeltaT: 0.064, Window: sigproc.Hann}, // win 128, hop 64 (radix-2)
+		{DeltaF: 10, DeltaT: 0.03, Log: true},                 // overlapping hop, log magnitude
+	}
+	for ci, cfg := range cfgs {
+		for _, channels := range []int{1, 3} {
+			sig := randomSignal(rng, 1000, channels, 1237)
+			want, err := Transform(sig, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			st, err := NewStreamer(sig.Rate, channels, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := st.NewOutput()
+			emitted := 0
+			for pos := 0; pos < sig.Len(); {
+				n := rng.Intn(200) // 0 is a legal idle chunk
+				if pos+n > sig.Len() {
+					n = sig.Len() - pos
+				}
+				var chunkView sigproc.Signal
+				k, err := st.Push(sig.SliceInto(&chunkView, pos, pos+n), got)
+				if err != nil {
+					t.Fatal(err)
+				}
+				emitted += k
+				pos += n
+			}
+			if emitted != want.Len() || st.Frames() != want.Len() {
+				t.Fatalf("cfg %d ch %d: streamed %d frames (Frames()=%d), transform has %d", ci, channels, emitted, st.Frames(), want.Len())
+			}
+			if got.Channels() != want.Channels() {
+				t.Fatalf("cfg %d ch %d: %d output channels, want %d", ci, channels, got.Channels(), want.Channels())
+			}
+			for c := range want.Data {
+				for f := range want.Data[c] {
+					if got.Data[c][f] != want.Data[c][f] {
+						t.Fatalf("cfg %d ch %d: bin %d frame %d: streamed %v != batch %v", ci, channels, c, f, got.Data[c][f], want.Data[c][f])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestStreamerReset verifies a reset Streamer reproduces a fresh one's
+// output exactly, reusing its buffers.
+func TestStreamerReset(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	cfg := Config{DeltaF: 10, DeltaT: 0.05, Window: sigproc.Hann}
+	sig := randomSignal(rng, 1000, 2, 777)
+	st, err := NewStreamer(sig.Rate, 2, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func() *sigproc.Signal {
+		out := st.NewOutput()
+		if _, err := st.Push(sig, out); err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	first := run()
+	st.Reset()
+	if st.Frames() != 0 {
+		t.Fatalf("Frames() = %d after Reset, want 0", st.Frames())
+	}
+	second := run()
+	for c := range first.Data {
+		for f := range first.Data[c] {
+			if first.Data[c][f] != second.Data[c][f] {
+				t.Fatalf("bin %d frame %d: %v before Reset, %v after", c, f, first.Data[c][f], second.Data[c][f])
+			}
+		}
+	}
+}
+
+// TestStreamerValidation covers the mismatch errors.
+func TestStreamerValidation(t *testing.T) {
+	cfg := Config{DeltaF: 10, DeltaT: 0.05}
+	if _, err := NewStreamer(1000, 0, cfg); err == nil {
+		t.Error("NewStreamer accepted zero channels")
+	}
+	if _, err := NewStreamer(0, 1, cfg); err == nil {
+		t.Error("NewStreamer accepted zero rate")
+	}
+	st, err := NewStreamer(1000, 2, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := st.NewOutput()
+	if _, err := st.Push(sigproc.New(999, 2, 10), dst); err == nil {
+		t.Error("Push accepted a rate mismatch")
+	}
+	if _, err := st.Push(sigproc.New(1000, 1, 10), dst); err == nil {
+		t.Error("Push accepted a channel mismatch")
+	}
+	if _, err := st.Push(sigproc.New(1000, 2, 10), sigproc.New(st.Rate(), 1, 0)); err == nil {
+		t.Error("Push accepted a mis-shaped destination")
+	}
+}
+
+// TestTransformPooledEquivalence runs Transform pooled+poisoned and
+// unpooled; outputs must be byte-identical.
+func TestTransformPooledEquivalence(t *testing.T) {
+	scratch.SetPoison(true)
+	defer scratch.SetPoison(false)
+	rng := rand.New(rand.NewSource(44))
+	sig := randomSignal(rng, 1000, 2, 900)
+	cfg := Config{DeltaF: 10, DeltaT: 0.05, Window: sigproc.Hann, Log: true}
+	if _, err := Transform(sig, cfg); err != nil { // warm the pool
+		t.Fatal(err)
+	}
+	pooled, err := Transform(sig, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scratch.SetEnabled(false)
+	fresh, err := Transform(sig, cfg)
+	scratch.SetEnabled(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c := range fresh.Data {
+		for f := range fresh.Data[c] {
+			if pooled.Data[c][f] != fresh.Data[c][f] {
+				t.Fatalf("bin %d frame %d: pooled %v != fresh %v", c, f, pooled.Data[c][f], fresh.Data[c][f])
+			}
+		}
+	}
+}

@@ -4,18 +4,23 @@ import (
 	"math"
 
 	"nsync/internal/fft"
+	"nsync/internal/scratch"
 	"nsync/internal/sigproc"
 )
 
-// fastCorrelationArray computes the same values as the naive sliding method
+// fastCorrelationInto computes the same values as the naive sliding method
 // with the Pearson correlation similarity, in O((Nx+Ny) log) instead of
 // O(Nx*Ny) per channel: the cross-term is an FFT cross-correlation and the
 // window statistics come from prefix sums. This is what makes DWM cheap
-// enough to run on raw 48 kHz-class signals in real time.
-func fastCorrelationArray(x, y *sigproc.Signal) []float64 {
+// enough to run on raw 48 kHz-class signals in real time. All working
+// memory — the output, prefix sums, cross-terms, and FFT operands — comes
+// from buf, so the steady-state cost is zero allocations; the returned
+// slice aliases buf.scores.
+func fastCorrelationInto(buf *corrBuf, x, y *sigproc.Signal) []float64 {
 	nx, ny := x.Len(), y.Len()
 	positions := nx - ny + 1
-	out := make([]float64, positions)
+	out := scratch.ResizeZero(buf.scores, positions)
+	buf.scores = out
 	channels := x.Channels()
 	if channels == 0 || positions <= 0 {
 		return out
@@ -34,10 +39,12 @@ func fastCorrelationArray(x, y *sigproc.Signal) []float64 {
 			// Constant window: correlation defined as 0 for every position.
 			continue
 		}
-		dots := crossDot(xc, yc)
+		dots := crossDotInto(buf, xc, yc)
 		// Prefix sums of x and x^2.
-		prefix := make([]float64, nx+1)
-		prefix2 := make([]float64, nx+1)
+		prefix := scratch.Resize(buf.prefix, nx+1)
+		prefix2 := scratch.Resize(buf.prefix2, nx+1)
+		buf.prefix, buf.prefix2 = prefix, prefix2
+		prefix[0], prefix2[0] = 0, 0
 		for i, v := range xc {
 			prefix[i+1] = prefix[i] + v
 			prefix2[i+1] = prefix2[i] + v*v
@@ -67,14 +74,16 @@ func fastCorrelationArray(x, y *sigproc.Signal) []float64 {
 	return out
 }
 
-// crossDot returns d[p] = sum_i x[p+i]*y[i] for p = 0..len(x)-len(y), via a
-// single FFT-sized circular convolution.
-func crossDot(x, y []float64) []float64 {
+// crossDotInto returns d[p] = sum_i x[p+i]*y[i] for p = 0..len(x)-len(y),
+// via a single FFT-sized circular convolution. The result is written into
+// buf.dots and aliases it.
+func crossDotInto(buf *corrBuf, x, y []float64) []float64 {
 	nx, ny := len(x), len(y)
 	positions := nx - ny + 1
+	out := scratch.Resize(buf.dots, positions)
+	buf.dots = out
 	// Direct evaluation is faster for small problems.
 	if nx*ny <= 64*1024 {
-		out := make([]float64, positions)
 		for p := 0; p < positions; p++ {
 			var s float64
 			xp := x[p : p+ny]
@@ -86,8 +95,9 @@ func crossDot(x, y []float64) []float64 {
 		return out
 	}
 	m := fft.NextPow2(nx + ny)
-	fx := make([]complex128, m)
-	fy := make([]complex128, m)
+	fx := scratch.ResizeZero(buf.fx, m)
+	fy := scratch.ResizeZero(buf.fy, m)
+	buf.fx, buf.fy = fx, fy
 	for i, v := range x {
 		fx[i] = complex(v, 0)
 	}
@@ -95,15 +105,14 @@ func crossDot(x, y []float64) []float64 {
 	for i, v := range y {
 		fy[ny-1-i] = complex(v, 0)
 	}
-	Fx := fft.Forward(fx)
-	Fy := fft.Forward(fy)
-	for i := range Fx {
-		Fx[i] *= Fy[i]
+	fft.InPlace(fx)
+	fft.InPlace(fy)
+	for i := range fx {
+		fx[i] *= fy[i]
 	}
-	conv := fft.Inverse(Fx)
-	out := make([]float64, positions)
+	fft.InverseInPlace(fx)
 	for p := 0; p < positions; p++ {
-		out[p] = real(conv[p+ny-1])
+		out[p] = real(fx[p+ny-1])
 	}
 	return out
 }

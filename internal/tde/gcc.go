@@ -6,6 +6,7 @@ import (
 	"math/cmplx"
 
 	"nsync/internal/fft"
+	"nsync/internal/scratch"
 	"nsync/internal/sigproc"
 )
 
@@ -45,22 +46,27 @@ func GCCPHATArray(x, y *sigproc.Signal) ([]float64, error) {
 	positions := nx - ny + 1
 	out := make([]float64, positions)
 	m := fft.NextPow2(nx + ny)
+	buf := corrPool.Get()
+	defer corrPool.Put(buf)
 	for c := 0; c < x.Channels(); c++ {
-		fx := make([]complex128, m)
-		fy := make([]complex128, m)
+		fx := scratch.ResizeZero(buf.fx, m)
+		fy := scratch.ResizeZero(buf.fy, m)
+		buf.fx, buf.fy = fx, fy
 		for i, v := range x.Data[c] {
 			fx[i] = complex(v, 0)
 		}
 		for i, v := range y.Data[c] {
 			fy[i] = complex(v, 0)
 		}
-		X := fft.Forward(fx)
-		Y := fft.Forward(fy)
+		fft.InPlace(fx)
+		fft.InPlace(fy)
+		X, Y := fx, fy
 		// Regularized PHAT whitening: dividing by (|G| + eps*mean|G|)
 		// instead of |G| keeps near-empty bins from being amplified into
 		// pure noise, the standard stabilization of the textbook PHAT.
 		var meanMag float64
-		cross := make([]complex128, len(X))
+		cross := scratch.Resize(buf.fz, len(X))
+		buf.fz = cross
 		for i := range X {
 			cross[i] = X[i] * cmplx.Conj(Y[i])
 			meanMag += cmplx.Abs(cross[i])
@@ -73,7 +79,8 @@ func GCCPHATArray(x, y *sigproc.Signal) ([]float64, error) {
 		for i := range X {
 			X[i] = cross[i] / complex(cmplx.Abs(cross[i])+eps, 0)
 		}
-		g := fft.Inverse(X)
+		fft.InverseInPlace(X)
+		g := X
 		// g[d] is the correlation at delay d (y shifted right by d in x).
 		for d := 0; d < positions; d++ {
 			out[d] += real(g[d])

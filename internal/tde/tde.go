@@ -10,6 +10,7 @@ import (
 	"math"
 
 	"nsync/internal/obs"
+	"nsync/internal/scratch"
 	"nsync/internal/sigproc"
 )
 
@@ -19,6 +20,49 @@ var ErrTooShort = errors.New("tde: x is shorter than y")
 // estimates counts similarity-array evaluations, the TDE work unit shared by
 // Delay and DelayBiasedAt (see DESIGN.md §10).
 var estimates = obs.GetCounter("tde.estimates")
+
+// corrBuf is the scratch of one delay estimation: the similarity and biased
+// arrays plus everything the fast correlation path needs. Delay and the
+// DelayBiased variants pool whole corrBufs, so one DWM step costs one pool
+// round-trip instead of half a dozen slice allocations per window
+// (DESIGN.md §13). Estimators stay stateless — scratch never lives on the
+// Estimator, which is documented as safe to share across goroutines.
+type corrBuf struct {
+	scores  []float64 // similarity array s[n]
+	biased  []float64 // TDEB-weighted copy of scores
+	prefix  []float64 // prefix sums of x
+	prefix2 []float64 // prefix sums of x^2
+	dots    []float64 // sliding cross-terms
+	// fx/fy are FFT operands; fz is the whitened cross-spectrum of the
+	// GCC-PHAT path.
+	fx, fy, fz []complex128
+
+	// winData backs the sliding window view of the naive (non-fast) path.
+	winData [][]float64
+}
+
+var corrPool = scratch.Pool[corrBuf]{
+	New: func() *corrBuf { return &corrBuf{} },
+	Poison: func(cb *corrBuf) {
+		poisonFloats(cb.scores)
+		poisonFloats(cb.biased)
+		poisonFloats(cb.prefix)
+		poisonFloats(cb.prefix2)
+		poisonFloats(cb.dots)
+		nan := complex(math.NaN(), math.NaN())
+		for _, s := range [][]complex128{cb.fx, cb.fy, cb.fz} {
+			for i := range s {
+				s[i] = nan
+			}
+		}
+	},
+}
+
+func poisonFloats(s []float64) {
+	for i := range s {
+		s[i] = math.NaN()
+	}
+}
 
 // Estimator performs time delay estimation with a configurable similarity
 // function. The zero value is not usable; construct with New.
@@ -71,8 +115,21 @@ func New(opts ...Option) *Estimator {
 }
 
 // SimilarityArray computes s[n] = f(x[n:n+Ny], y) for n = 0..Nx-Ny
-// (Eq. (1)). The returned slice has length Nx-Ny+1.
+// (Eq. (1)). The returned slice has length Nx-Ny+1 and is owned by the
+// caller (it never aliases pooled scratch).
 func (e *Estimator) SimilarityArray(x, y *sigproc.Signal) ([]float64, error) {
+	buf := corrPool.Get()
+	defer corrPool.Put(buf)
+	s, err := e.similarityInto(buf, x, y)
+	if err != nil {
+		return nil, err
+	}
+	return append([]float64(nil), s...), nil
+}
+
+// similarityInto computes the similarity array into buf.scores and returns
+// it. The result aliases buf and is valid only until buf is pooled again.
+func (e *Estimator) similarityInto(buf *corrBuf, x, y *sigproc.Signal) ([]float64, error) {
 	nx, ny := x.Len(), y.Len()
 	if nx < ny {
 		return nil, fmt.Errorf("%w: len(x)=%d len(y)=%d", ErrTooShort, nx, ny)
@@ -82,11 +139,19 @@ func (e *Estimator) SimilarityArray(x, y *sigproc.Signal) ([]float64, error) {
 	}
 	estimates.Inc()
 	if e.fastCorr {
-		return fastCorrelationArray(x, y), nil
+		return fastCorrelationInto(buf, x, y), nil
 	}
-	scores := make([]float64, nx-ny+1)
+	scores := scratch.Resize(buf.scores, nx-ny+1)
+	buf.scores = scores
+	// Reusable sliding-window view of x; the similarity functions only read
+	// their arguments, so one set of channel headers is resliced per
+	// position instead of allocating a Signal per candidate delay.
+	buf.winData = scratch.Resize(buf.winData, x.Channels())
+	win := &sigproc.Signal{Rate: x.Rate, Data: buf.winData}
 	for n := range scores {
-		win := x.Slice(n, n+ny)
+		for c := range x.Data {
+			buf.winData[c] = x.Data[c][n : n+ny]
+		}
 		var (
 			s   float64
 			err error
@@ -107,7 +172,9 @@ func (e *Estimator) SimilarityArray(x, y *sigproc.Signal) ([]float64, error) {
 // Delay returns n_delay = argmax_n s[n] (Eq. (2)): the sample offset in x at
 // which y best matches, along with the winning similarity score.
 func (e *Estimator) Delay(x, y *sigproc.Signal) (delay int, score float64, err error) {
-	s, err := e.SimilarityArray(x, y)
+	buf := corrPool.Get()
+	defer corrPool.Put(buf)
+	s, err := e.similarityInto(buf, x, y)
 	if err != nil {
 		return 0, 0, err
 	}
@@ -123,12 +190,14 @@ func (e *Estimator) Delay(x, y *sigproc.Signal) (delay int, score float64, err e
 // (a bigger window weight can only help, never flip the sign of the
 // preference).
 func (e *Estimator) DelayBiased(x, y *sigproc.Signal, sigma float64) (delay int, score float64, err error) {
-	s, err := e.SimilarityArray(x, y)
+	buf := corrPool.Get()
+	defer corrPool.Put(buf)
+	s, err := e.similarityInto(buf, x, y)
 	if err != nil {
 		return 0, 0, err
 	}
-	b := BiasedScores(s, sigma)
-	d := argmax(b)
+	buf.biased = biasedScoresInto(scratch.Resize(buf.biased, len(s)), s, (len(s)-1)/2, sigma)
+	d := argmax(buf.biased)
 	return d, s[d], nil
 }
 
@@ -137,12 +206,14 @@ func (e *Estimator) DelayBiased(x, y *sigproc.Signal, sigma float64) (delay int,
 // this near the edges of the reference signal, where the extended search
 // window is clipped and the predicted delay is no longer centered.
 func (e *Estimator) DelayBiasedAt(x, y *sigproc.Signal, center int, sigma float64) (delay int, score float64, err error) {
-	s, err := e.SimilarityArray(x, y)
+	buf := corrPool.Get()
+	defer corrPool.Put(buf)
+	s, err := e.similarityInto(buf, x, y)
 	if err != nil {
 		return 0, 0, err
 	}
-	b := BiasedScoresAt(s, center, sigma)
-	d := argmax(b)
+	buf.biased = biasedScoresInto(scratch.Resize(buf.biased, len(s)), s, center, sigma)
+	d := argmax(buf.biased)
 	return d, s[d], nil
 }
 
@@ -157,7 +228,12 @@ func BiasedScores(s []float64, sigma float64) []float64 {
 // Scores are first shifted to be non-negative so the multiplicative weight
 // acts as a monotone bias.
 func BiasedScoresAt(s []float64, center int, sigma float64) []float64 {
-	out := make([]float64, len(s))
+	return biasedScoresInto(make([]float64, len(s)), s, center, sigma)
+}
+
+// biasedScoresInto writes the biased scores into out (len(out) must equal
+// len(s)) and returns out.
+func biasedScoresInto(out, s []float64, center int, sigma float64) []float64 {
 	if len(s) == 0 {
 		return out
 	}
