@@ -1,7 +1,8 @@
 package nsync
 
 // The BENCH_nsync.json harness: when benchmarks are requested (any
-// -bench pattern), TestMain re-runs the three headline performance probes
+// -bench pattern), TestMain re-runs the headline probes — the evaluation
+// scaling curve, DWM throughput, and the sensor-drift recovery sweep —
 // via testing.Benchmark after the normal run and writes their results as
 // machine-readable JSON, so CI can archive a perf trajectory next to the
 // human-readable benchmark log. A plain `go test ./...` never writes the
@@ -78,6 +79,10 @@ func writeBenchJSON(path string) error {
 		{"EvaluateNSYNCParallel/workers=4", func(b *testing.B) { b.ReportAllocs(); benchEvaluateNSYNC(b, 4) }},
 		{"EvaluateNSYNCParallel/workers=8", func(b *testing.B) { b.ReportAllocs(); benchEvaluateNSYNC(b, 8) }},
 		{"DWMSyncRawAudio", benchDWMSteps},
+		// The continuous-operations probe: no throughput, but its Extra
+		// metrics record the drift decay/recovery outcome that benchcheck
+		// asserts on (rebased FPR must end near the fresh-retrain floor).
+		{"DriftSweepACC", benchDriftSweep},
 	}
 	var records []benchRecord
 	for _, p := range probes {

@@ -457,6 +457,41 @@ func BenchmarkAblationChannelAvg(b *testing.B) {
 	b.ReportMetric(stacked, "rough_stacked")
 }
 
+// ---- Continuous operations (experiment/drift.go) ----
+
+// benchDriftSweep runs the sensor-drift decay sweep on UM3 ACC: a frozen
+// detector, the rolling re-baselined detector, and a freshly retrained
+// floor, classified across a drifting print sequence. The reported metrics
+// are the final-print false-positive rates — the decay the frozen detector
+// suffers and the recovery re-baselining buys back (benchcheck asserts the
+// recovery, so a silent guardrail or blending regression fails CI).
+//
+// Prints is pinned at 5: the combined aging scenario decays the frozen
+// detector visibly by then while the re-baselined one still tracks the
+// fresh floor; past that, even retraining cannot fully absorb the drift at
+// CI scale, and the recovery margin stops being a meaningful assertion.
+func benchDriftSweep(b *testing.B) {
+	ds := benchDatasets(b)["UM3"]
+	const prints = 5
+	var last experiment.DriftRow
+	for i := 0; i < b.N; i++ {
+		rows, err := experiment.Drift(map[string]*experiment.Dataset{"UM3": ds},
+			experiment.DriftConfig{Prints: prints})
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = rows[len(rows)-1]
+	}
+	b.ReportMetric(float64(prints), "prints")
+	b.ReportMetric(last.Frozen.FPR(), "frozen_final_fpr")
+	b.ReportMetric(last.Rebased.FPR(), "rebased_final_fpr")
+	b.ReportMetric(last.FreshFPR, "fresh_final_fpr")
+}
+
+// BenchmarkDriftSweepACC regenerates the sensor-drift decay table (repro
+// -drift) for UM3 and reports the final-print FPR of each detector variant.
+func BenchmarkDriftSweepACC(b *testing.B) { benchDriftSweep(b) }
+
 // ---- Parallel evaluation engine (experiment/engine.go) ----
 
 // benchEvaluateNSYNC times one synchronization-heavy workload — the

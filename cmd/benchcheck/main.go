@@ -10,7 +10,11 @@
 //   - every EvaluateNSYNCParallel row records workers > 1, matching the
 //     count in its name;
 //   - every evaluation row and the DWM sync row carry a positive
-//     steps_per_sec throughput.
+//     steps_per_sec throughput;
+//   - the DriftSweepACC row (an accuracy probe, no throughput) records the
+//     drift sweep's final FPR metrics, and the re-baselined detector's FPR
+//     recovered to within 0.25 of the fresh-retrain floor — a regression in
+//     the rolling re-baseline engine fails the build, not just the table.
 //
 // Usage: benchcheck [path] (default BENCH_nsync.json).
 package main
@@ -76,6 +80,7 @@ func check(path string) ([]string, error) {
 		"EvaluateNSYNCParallel/workers=4",
 		"EvaluateNSYNCParallel/workers=8",
 		"DWMSyncRawAudio",
+		"DriftSweepACC",
 	}
 	for _, name := range want {
 		rec, ok := byName[name]
@@ -88,7 +93,44 @@ func check(path string) ([]string, error) {
 	return problems, nil
 }
 
+// driftRecoveryTolerance is how far above the fresh-retrain FPR floor the
+// re-baselined detector may end the sweep (matches TestDriftRecovery).
+const driftRecoveryTolerance = 0.25
+
+// checkDriftRecord validates the continuous-operations probe: it carries no
+// throughput, but its Extra metrics must show the re-baselined detector
+// recovering the frozen detector's drift-induced FPR decay.
+func checkDriftRecord(rec benchRecord) []string {
+	var problems []string
+	fail := func(format string, args ...any) {
+		problems = append(problems, fmt.Sprintf("%s: %s", rec.Name, fmt.Sprintf(format, args...)))
+	}
+	if rec.N < 1 || rec.NsPerOp <= 0 {
+		fail("no measured iterations (n=%d, ns_per_op=%g)", rec.N, rec.NsPerOp)
+	}
+	for _, key := range []string{"prints", "frozen_final_fpr", "rebased_final_fpr", "fresh_final_fpr"} {
+		if _, ok := rec.Extra[key]; !ok {
+			fail("missing %s metric", key)
+		}
+	}
+	if len(problems) > 0 {
+		return problems
+	}
+	if rec.Extra["prints"] <= 0 {
+		fail("prints=%g: the sweep did not run", rec.Extra["prints"])
+	}
+	rebased, fresh := rec.Extra["rebased_final_fpr"], rec.Extra["fresh_final_fpr"]
+	if rebased > fresh+driftRecoveryTolerance {
+		fail("rebased final FPR %.2f exceeds fresh floor %.2f by more than %.2f — re-baselining is not recovering drift",
+			rebased, fresh, driftRecoveryTolerance)
+	}
+	return problems
+}
+
 func checkRecord(rec benchRecord) []string {
+	if rec.Name == "DriftSweepACC" {
+		return checkDriftRecord(rec)
+	}
 	var problems []string
 	fail := func(format string, args ...any) {
 		problems = append(problems, fmt.Sprintf("%s: %s", rec.Name, fmt.Sprintf(format, args...)))

@@ -36,6 +36,8 @@ import (
 	"nsync/internal/dwm"
 	"nsync/internal/ingest"
 	metrics "nsync/internal/obs"
+	"nsync/internal/registry"
+
 	"nsync/internal/sigproc"
 )
 
@@ -66,11 +68,25 @@ func run() error {
 		retention   = flag.Duration("retention", 60*time.Second, "detached session retention for reconnect")
 		drainWait   = flag.Duration("drain-timeout", 30*time.Second, "graceful drain deadline on SIGTERM")
 		pprofAddr   = flag.String("pprof", "", "serve net/http/pprof and plaintext /metrics on this address; enables metric collection")
+		showMetrics = flag.Bool("metrics", false, "enable metric collection and print the metrics report on exit")
+
+		recoveryWins = flag.Int("recovery-windows", 0, "consecutive healthy windows that un-quarantine a channel (0: quarantine is sticky)")
+
+		rebaseAlpha  = flag.Float64("rebase", 0, "rolling re-baseline EWMA weight alpha in (0,1] (0 disables continuous re-baselining)")
+		rebaseAfter  = flag.Int("rebase-after", 3, "absorbed benign prints before a candidate model is proposed")
+		rebaseWindow = flag.Int("rebase-window", 8, "threshold recalibration window (prints)")
+		modelStore   = flag.String("model-store", "", "directory for the content-addressed model store (empty: candidates are not persisted)")
+		shadowSess   = flag.Int("shadow-sessions", 2, "agreeing sessions a candidate must shadow before canary")
+		canarySess   = flag.Int("canary-sessions", 1, "agreeing sessions a candidate must serve as canary before promotion")
+		disagreeBgt  = flag.Int("disagree-budget", 0, "verdict disagreements a candidate may accumulate before rollback")
 	)
 	flag.Parse()
 	if *refPattern == "" || *trainArg == "" {
 		flag.Usage()
 		return fmt.Errorf("-ref and -train are required")
+	}
+	if *showMetrics {
+		metrics.SetEnabled(true)
 	}
 	if *pprofAddr != "" {
 		metrics.SetEnabled(true)
@@ -95,7 +111,8 @@ func run() error {
 		params.TSigma = params.TExt / 2
 	}
 
-	chans, specs, err := trainChannels(names, *refPattern, splitNonEmpty(*trainArg), params, *occMargin)
+	health := core.HealthConfig{RecoveryWindows: *recoveryWins}
+	chans, specs, feats, err := trainChannels(names, *refPattern, splitNonEmpty(*trainArg), params, *occMargin, health)
 	if err != nil {
 		return err
 	}
@@ -106,8 +123,27 @@ func run() error {
 		},
 		Channels: specs,
 	}
+	// All sessions go through the swap layer so a promoted candidate model
+	// can replace the serving pool under load without dropping sessions.
+	swap := ingest.NewSwapFactory(pool)
+	var factory ingest.SinkFactory = swap
+	if *rebaseAlpha > 0 {
+		ctrl, err := newController(continuousOptions{
+			Alpha: *rebaseAlpha, Window: *rebaseWindow, Margin: *occMargin,
+			RebaseAfter: *rebaseAfter, StoreDir: *modelStore,
+			Quorum: *quorum, Health: health,
+			Deploy: registry.DeploymentConfig{
+				ShadowSessions: *shadowSess, CanarySessions: *canarySess,
+				DisagreementBudget: *disagreeBgt,
+			},
+		}, chans, feats, specs, swap)
+		if err != nil {
+			return err
+		}
+		factory = &captureFactory{inner: swap, ctrl: ctrl}
+	}
 	srv, err := ingest.NewServer(ingest.Config{
-		Factory:        pool,
+		Factory:        factory,
 		QueueDepth:     *queueDepth,
 		ShedWatermark:  *watermark,
 		ReadTimeout:    *readTimeout,
@@ -145,51 +181,62 @@ func run() error {
 			return err
 		}
 		log.Printf("drained cleanly")
+		if *showMetrics {
+			fmt.Print(metrics.Report())
+		}
 		return nil
 	}
 }
 
 // trainChannels loads each channel's reference and training runs, learns
-// its thresholds, and returns both the fused monitor configuration and the
-// wire-level channel specs sessions must match.
-func trainChannels(names []string, refPattern string, trainPatterns []string, params dwm.Params, r float64) ([]core.FusedMonitorChannel, []ingest.ChannelSpec, error) {
+// its thresholds, and returns the fused monitor configuration, the
+// wire-level channel specs sessions must match, and the per-channel training
+// features (kept so the re-baseline engine can seed its recalibration
+// window with the boot model's exact training evidence).
+func trainChannels(names []string, refPattern string, trainPatterns []string, params dwm.Params, r float64, health core.HealthConfig) ([]core.FusedMonitorChannel, []ingest.ChannelSpec, [][]*core.Features, error) {
 	var chans []core.FusedMonitorChannel
 	var specs []ingest.ChannelSpec
+	var feats [][]*core.Features
 	for _, name := range names {
 		ref, err := sigproc.LoadFile(expand(refPattern, name))
 		if err != nil {
-			return nil, nil, fmt.Errorf("channel %s reference: %w", name, err)
+			return nil, nil, nil, fmt.Errorf("channel %s reference: %w", name, err)
 		}
 		det, err := core.NewDetector(ref, core.Config{
 			Sync: &core.DWMSynchronizer{Params: params},
 			OCC:  core.OCCConfig{R: r},
 		})
 		if err != nil {
-			return nil, nil, fmt.Errorf("channel %s: %w", name, err)
+			return nil, nil, nil, fmt.Errorf("channel %s: %w", name, err)
 		}
-		var train []*sigproc.Signal
+		var chFeats []*core.Features
 		for _, pat := range trainPatterns {
 			s, err := sigproc.LoadFile(expand(pat, name))
 			if err != nil {
-				return nil, nil, fmt.Errorf("channel %s training: %w", name, err)
+				return nil, nil, nil, fmt.Errorf("channel %s training: %w", name, err)
 			}
-			train = append(train, s)
+			f, err := det.Features(s)
+			if err != nil {
+				return nil, nil, nil, fmt.Errorf("channel %s training: %w", name, err)
+			}
+			chFeats = append(chFeats, f)
 		}
-		if err := det.Train(train); err != nil {
-			return nil, nil, fmt.Errorf("channel %s training: %w", name, err)
+		if err := det.TrainFromFeatures(chFeats); err != nil {
+			return nil, nil, nil, fmt.Errorf("channel %s training: %w", name, err)
 		}
 		th, err := det.Thresholds()
 		if err != nil {
-			return nil, nil, fmt.Errorf("channel %s: %w", name, err)
+			return nil, nil, nil, fmt.Errorf("channel %s: %w", name, err)
 		}
 		log.Printf("channel %s: %d lanes @ %.0f Hz, thresholds c_c=%.4g h_c=%.4g v_c=%.4g",
 			name, ref.Channels(), ref.Rate, th.CC, th.HC, th.VC)
 		chans = append(chans, core.FusedMonitorChannel{
-			Name: name, Reference: ref, Params: params, Thresholds: th,
+			Name: name, Reference: ref, Params: params, Thresholds: th, Health: health,
 		})
 		specs = append(specs, ingest.ChannelSpec{Name: name, Lanes: ref.Channels(), Rate: ref.Rate})
+		feats = append(feats, chFeats)
 	}
-	return chans, specs, nil
+	return chans, specs, feats, nil
 }
 
 func expand(pattern, channel string) string {

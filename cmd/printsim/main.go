@@ -20,6 +20,13 @@
 //
 //	printsim -attack Void -stream localhost:7070 -channels ACC,MAG,AUD
 //	printsim -stream localhost:7070 -shuffle 8 -dup 0.05 -reconnect-every 40
+//
+// -drift superimposes slow sensor aging (gain ramp, noise-floor creep,
+// clock skew, DC offset wander) on the recorded or streamed signals, as
+// print number print+i of a drifting sequence (mirroring -chaos syntax:
+// comma-separated key=value):
+//
+//	printsim -runs 3 -drift 'noise=0.06,clock=0.0004,print=4' -stream localhost:7070
 package main
 
 import (
@@ -64,6 +71,7 @@ func run() error {
 		dropProb   = flag.Float64("drop", 0, "probability a frame is never sent (lossy)")
 		reconnect  = flag.Int("reconnect-every", 0, "force a disconnect+resume after every N frames")
 		cutChannel = flag.String("cut", "", "stop this channel's data at half the print (simulated sensor death)")
+		driftArg   = flag.String("drift", "", "inject slow sensor drift, key=value pairs: gain/noise/clock/offset per-print rates, print=N (sequence index of the first run; run i is print N+i), seed=S, channel=ACC (e.g. 'noise=0.06,clock=0.0004,print=4')")
 	)
 	flag.Parse()
 
@@ -82,6 +90,18 @@ func run() error {
 	prog, label, err := selectProgram(scale, *gcodePath, *attack)
 	if err != nil {
 		return err
+	}
+	var drift *sensor.DriftInjector
+	driftPrint := 0
+	if *driftArg != "" {
+		plan, err := sensor.ParseDrift(*driftArg, *seed)
+		if err != nil {
+			return err
+		}
+		if drift, err = plan.Injector(); err != nil {
+			return err
+		}
+		driftPrint = plan.Print
 	}
 	if err := os.MkdirAll(*outDir, 0o755); err != nil {
 		return err
@@ -108,6 +128,7 @@ func run() error {
 			err := streamRun(tr, channels, scale, s, *streamAddr, id, streamOptions{
 				priority: *priority, frame: *frameLen, shuffle: *shuffle,
 				dup: *dupProb, drop: *dropProb, reconnect: *reconnect, cut: *cutChannel,
+				drift: drift, driftPrint: driftPrint + i,
 			})
 			if err != nil {
 				return err
@@ -118,6 +139,11 @@ func run() error {
 			sig, err := sensor.Acquire(tr, ch, scale.Sensor, s)
 			if err != nil {
 				return err
+			}
+			if drift != nil {
+				if sig, err = drift.Apply(sig, ch, driftPrint+i); err != nil {
+					return err
+				}
 			}
 			path := filepath.Join(*outDir, fmt.Sprintf("%s_%s.nsig", base, ch))
 			if err := sig.SaveFile(path); err != nil {
@@ -138,6 +164,8 @@ type streamOptions struct {
 	priority, frame, shuffle, reconnect int
 	dup, drop                           float64
 	cut                                 string
+	drift                               *sensor.DriftInjector
+	driftPrint                          int
 }
 
 // streamRun acquires the run's side-channel signals and replays them to a
@@ -151,6 +179,11 @@ func streamRun(tr *printer.Trace, channels []sensor.Channel, scale experiment.Sc
 		sig, err := sensor.Acquire(tr, ch, scale.Sensor, seed)
 		if err != nil {
 			return err
+		}
+		if opt.drift != nil {
+			if sig, err = opt.drift.Apply(sig, ch, opt.driftPrint); err != nil {
+				return err
+			}
 		}
 		signals = append(signals, sig)
 		specs = append(specs, ingest.ChannelSpec{Name: ch.String(), Lanes: sig.Channels(), Rate: sig.Rate})

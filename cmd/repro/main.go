@@ -9,6 +9,7 @@
 //	repro -experiment fig10 -scale ci -seed 1000
 //	repro -experiment tab8 -workers 4  # bound the evaluation worker pool
 //	repro -robustness                # sensor-fault sweep (single vs fused)
+//	repro -drift                     # sensor-drift decay + re-baseline recovery
 //	repro -experiment all -timeout 10m  # abort if it runs long; Ctrl-C also cancels
 //	repro -experiment tab8 -metrics  # append a pipeline-metrics report to stderr
 //	repro -experiment all -checkpoint ckpt  # persist finished cells; rerun to resume
@@ -21,7 +22,7 @@
 // summarized on stderr. See DESIGN.md §11 for the resilience model.
 //
 // Experiments: fig1 fig2 fig6 fig10 fig11 fig12 tab5 tab6 tab7 tab8 tab9
-// belikovetsky robustness all.
+// belikovetsky robustness drift all.
 package main
 
 import (
@@ -68,6 +69,7 @@ type env struct {
 	t9  []experiment.Table8Row
 	bel []experiment.BelikovetskyResult
 	rob []experiment.RobustnessRow
+	dft []experiment.DriftRow
 }
 
 func run() ([]experiment.CellFailure, error) {
@@ -77,6 +79,7 @@ func run() ([]experiment.CellFailure, error) {
 		seed       = flag.Int64("seed", 1000, "dataset base seed")
 		workers    = flag.Int("workers", 0, "worker pool size for simulation and evaluation (0 = one per CPU, 1 = serial)")
 		robustness = flag.Bool("robustness", false, "shorthand for -experiment robustness (sensor-fault sweep)")
+		driftSweep = flag.Bool("drift", false, "shorthand for -experiment drift (sensor-drift decay and re-baseline recovery sweep)")
 		timeout    = flag.Duration("timeout", 0, "abort the run after this long (0 = no limit)")
 		metrics    = flag.Bool("metrics", false, "collect pipeline metrics and print a report to stderr at exit")
 		ckptDir    = flag.String("checkpoint", "", "persist completed datasets and table cells in this directory")
@@ -150,10 +153,13 @@ func run() ([]experiment.CellFailure, error) {
 
 	wanted := strings.Split(*expArg, ",")
 	if *expArg == "all" {
-		wanted = []string{"fig1", "fig2", "fig6", "fig10", "fig11", "tab5", "tab6", "belikovetsky", "tab7", "tab8", "tab9", "fig12", "robustness"}
+		wanted = []string{"fig1", "fig2", "fig6", "fig10", "fig11", "tab5", "tab6", "belikovetsky", "tab7", "tab8", "tab9", "fig12", "robustness", "drift"}
 	}
 	if *robustness {
 		wanted = []string{"robustness"}
+	}
+	if *driftSweep {
+		wanted = []string{"drift"}
 	}
 	for _, name := range wanted {
 		if err := e.dispatch(strings.TrimSpace(name)); err != nil {
@@ -217,8 +223,10 @@ func (e *env) dispatch(name string) error {
 		return e.belikovetsky()
 	case "robustness":
 		return e.robustness()
+	case "drift":
+		return e.drift()
 	default:
-		return fmt.Errorf("unknown experiment (want fig1 fig2 fig6 fig10 fig11 fig12 tab5 tab6 tab7 tab8 tab9 belikovetsky robustness all)")
+		return fmt.Errorf("unknown experiment (want fig1 fig2 fig6 fig10 fig11 fig12 tab5 tab6 tab7 tab8 tab9 belikovetsky robustness drift all)")
 	}
 }
 
@@ -499,6 +507,32 @@ func (e *env) robustness() error {
 	}
 	fmt.Print(textplot.Table([]string{
 		"printer", "fault", "single ACC", "acc", "fused k=1", "acc", "fused k=2", "acc", "quarantined",
+	}, rows))
+	fmt.Println()
+	return nil
+}
+
+func (e *env) drift() error {
+	dss, err := e.datasets()
+	if err != nil {
+		return err
+	}
+	if e.dft == nil {
+		if e.dft, err = experiment.Drift(dss, experiment.DriftConfig{}); err != nil {
+			return err
+		}
+	}
+	fmt.Println("== Continuous operations: ACC sensor drift, frozen vs re-baselined detector (FPR/TPR) ==")
+	var rows [][]string
+	for _, r := range e.dft {
+		rows = append(rows, []string{
+			r.Printer, fmt.Sprintf("%d", r.Print),
+			r.Frozen.String(), r.Rebased.String(), fmt.Sprintf("%.2f", r.FreshFPR),
+			fmt.Sprintf("%d", r.Absorbed), fmt.Sprintf("%d", r.Rejected),
+		})
+	}
+	fmt.Print(textplot.Table([]string{
+		"printer", "print", "frozen", "rebased", "fresh FPR", "absorbed", "rejected",
 	}, rows))
 	fmt.Println()
 	return nil

@@ -128,12 +128,48 @@ func (fm *FusedMonitor) Push(chunks []*sigproc.Signal) ([]FusedAlert, error) {
 	}
 	for i, chunk := range chunks {
 		ch := fm.chans[i]
-		if chunk == nil || chunk.Len() == 0 || ch.health.Quarantined() {
+		if chunk == nil || chunk.Len() == 0 {
 			continue
 		}
+		if ch.health.Quarantined() && !ch.health.RecoveryEnabled() {
+			continue
+		}
+		recBefore := ch.health.Recoveries()
 		reason, err := ch.health.Push(chunk)
 		if err != nil {
 			return nil, fmt.Errorf("core: fused monitor channel %s: %w", ch.name, err)
+		}
+		if ch.health.Quarantined() {
+			ch.voting = false
+			ch.pending = nil
+			continue
+		}
+		if ch.health.Recoveries() != recBefore {
+			// The channel just served out its probation. The monitor's stream
+			// position is still back at the quarantine point: bridge the
+			// quarantined span with reference content so the DWM stays locked
+			// to the reference timebase (see Monitor.BridgeGap), then rebuild
+			// the pending holdback from the healthy tail buffered past the
+			// last judged window. Alerts raised by the synthetic bridge are
+			// discarded — reference content is not evidence — and the vote is
+			// re-earned from post-recovery samples only.
+			gap := ch.health.ClearedSamples() - ch.forwarded
+			if gap > 0 {
+				if _, err := ch.mon.BridgeGap(gap); err != nil {
+					return nil, fmt.Errorf("core: fused monitor channel %s: %w", ch.name, err)
+				}
+				ch.forwarded += gap
+			}
+			if ch.pending == nil {
+				ch.pending = &sigproc.Signal{Rate: ch.rate}
+			} else {
+				ch.pending.DropFront(ch.pending.Len())
+			}
+			if err := ch.pending.Concat(ch.health.BufferedTail()); err != nil {
+				return nil, fmt.Errorf("core: fused monitor channel %s: %w", ch.name, err)
+			}
+			ch.voting = false
+			continue
 		}
 		if reason != HealthOK {
 			ch.voting = false

@@ -72,6 +72,16 @@ type HealthConfig struct {
 	// RMS is implausible (default 8). Only the hot side is checked; the
 	// quiet side is already covered by the flat check.
 	RMSRatio float64
+	// RecoveryWindows enables probationary recovery from quarantine: while
+	// quarantined, the monitor keeps judging complete windows, and this many
+	// CONSECUTIVE healthy windows un-quarantine the channel (an unhealthy
+	// window resets the count). 0, the default, keeps quarantine sticky
+	// forever — the right call for acute faults, but a transient glitch on
+	// top of slow drift would permanently amputate a channel over a fleet's
+	// lifetime. The recovered span is never retroactively trusted: samples
+	// judged while quarantined stay out of ClearedSamples until the recovery
+	// point.
+	RecoveryWindows int
 }
 
 func (c HealthConfig) withDefaults() HealthConfig {
@@ -211,8 +221,10 @@ func CheckSignal(reference, observed *sigproc.Signal, cfg HealthConfig) (HealthR
 
 // HealthMonitor is the streaming counterpart of CheckSignal: it consumes
 // sample chunks as a print progresses and quarantines the channel at the
-// first unhealthy window. Quarantine is sticky — a sensor that went flat
-// mid-print is not trusted again even if it twitches back to life.
+// first unhealthy window. By default quarantine is sticky — a sensor that
+// went flat mid-print is not trusted again even if it twitches back to life.
+// Setting HealthConfig.RecoveryWindows makes quarantine probationary
+// instead: a sustained run of healthy windows earns the channel back.
 //
 // A HealthMonitor is not safe for concurrent use.
 type HealthMonitor struct {
@@ -222,7 +234,10 @@ type HealthMonitor struct {
 	rate float64
 
 	buf         *sigproc.Signal
-	consumed    int
+	consumed    int // healthy samples cleared for synchronization
+	position    int // total samples judged into windows, healthy or not
+	streak      int // consecutive healthy windows while quarantined
+	recoveries  int
 	quarantined bool
 	reason      HealthReason
 	at          float64
@@ -251,28 +266,61 @@ func NewHealthMonitor(reference *sigproc.Signal, cfg HealthConfig) (*HealthMonit
 }
 
 // Push feeds newly observed samples and evaluates every health window they
-// complete. It returns the channel's health after the push; once a reason
-// other than HealthOK is returned, the monitor stays quarantined.
+// complete. It returns the channel's health after the push. Without
+// RecoveryWindows configured, quarantine is terminal: once a reason other
+// than HealthOK is returned, the monitor stays quarantined. With it, the
+// monitor keeps judging windows during quarantine and lifts it after
+// RecoveryWindows consecutive healthy ones — ClearedSamples then jumps to
+// the recovery point, so the quarantined span itself is never cleared.
 func (h *HealthMonitor) Push(chunk *sigproc.Signal) (HealthReason, error) {
-	if h.quarantined {
+	if h.quarantined && !h.RecoveryEnabled() {
 		return h.reason, nil
 	}
 	if err := h.buf.Concat(chunk); err != nil {
-		return HealthOK, err
+		return h.health(), err
 	}
 	for h.buf.Len() >= h.win {
 		win := h.buf.Slice(0, h.win)
-		if r := checkWindow(win, h.base, h.cfg); r != HealthOK {
-			h.quarantined = true
-			h.reason = r
-			h.at = float64(h.consumed) / h.rate
-			h.buf = &sigproc.Signal{Rate: h.rate}
-			return r, nil
+		r := checkWindow(win, h.base, h.cfg)
+		if r != HealthOK {
+			if !h.quarantined {
+				h.quarantined = true
+				h.reason = r
+				h.at = float64(h.position) / h.rate
+			}
+			h.streak = 0
+			h.position += h.win
+			if !h.RecoveryEnabled() {
+				h.buf = &sigproc.Signal{Rate: h.rate}
+				return h.reason, nil
+			}
+			h.buf = h.buf.Slice(h.win, h.buf.Len()).Clone()
+			continue
 		}
+		h.position += h.win
 		h.buf = h.buf.Slice(h.win, h.buf.Len()).Clone()
+		if h.quarantined {
+			h.streak++
+			if h.streak >= h.cfg.RecoveryWindows {
+				h.quarantined = false
+				h.reason = HealthOK
+				h.streak = 0
+				h.recoveries++
+				h.consumed = h.position
+			}
+			continue
+		}
 		h.consumed += h.win
 	}
-	return HealthOK, nil
+	return h.health(), nil
+}
+
+// health is the monitor's current verdict.
+func (h *HealthMonitor) health() HealthReason {
+	if h.quarantined {
+		return h.reason
+	}
+	return HealthOK
 }
 
 // Flush judges the buffered partial health window at stream end and returns
@@ -295,12 +343,15 @@ func (h *HealthMonitor) Flush() HealthReason {
 		if r := checkWindow(h.buf, h.base, h.cfg); r != HealthOK {
 			h.quarantined = true
 			h.reason = r
-			h.at = float64(h.consumed) / h.rate
+			h.at = float64(h.position) / h.rate
+			h.streak = 0
+			h.position += n
 			h.buf = &sigproc.Signal{Rate: h.rate}
 			return r
 		}
 	}
 	h.consumed += n
+	h.position += n
 	h.buf = &sigproc.Signal{Rate: h.rate}
 	return HealthOK
 }
@@ -310,6 +361,9 @@ func (h *HealthMonitor) Flush() HealthReason {
 func (h *HealthMonitor) Reset() {
 	h.buf = &sigproc.Signal{Rate: h.rate}
 	h.consumed = 0
+	h.position = 0
+	h.streak = 0
+	h.recoveries = 0
 	h.quarantined = false
 	h.reason = HealthOK
 	h.at = 0
@@ -319,8 +373,10 @@ func (h *HealthMonitor) Reset() {
 func (h *HealthMonitor) Quarantined() bool { return h.quarantined }
 
 // ClearedSamples returns how many samples from the start of the stream have
-// been evaluated as healthy. Samples in windows not yet complete — or in the
-// window that triggered quarantine — are not counted.
+// been cleared for synchronization. Samples in windows not yet complete — or
+// in the window that triggered quarantine — are not counted. On probationary
+// recovery the counter jumps to the recovery point: the quarantined span was
+// judged but never cleared, and clearance resumes from there.
 func (h *HealthMonitor) ClearedSamples() int { return h.consumed }
 
 // WindowSamples returns the health window length in samples.
@@ -332,3 +388,15 @@ func (h *HealthMonitor) Reason() HealthReason { return h.reason }
 // QuarantinedAt returns the start time in seconds of the window that
 // triggered quarantine (0 while healthy).
 func (h *HealthMonitor) QuarantinedAt() float64 { return h.at }
+
+// RecoveryEnabled reports whether probationary recovery is configured.
+func (h *HealthMonitor) RecoveryEnabled() bool { return h.cfg.RecoveryWindows > 0 }
+
+// Recoveries returns how many times the channel has left quarantine.
+func (h *HealthMonitor) Recoveries() int { return h.recoveries }
+
+// BufferedTail returns a copy of the samples buffered past the last judged
+// window. After a probationary recovery this is the healthy partial window
+// the caller may resume forwarding from; ClearedSamples does not include it
+// until its window completes.
+func (h *HealthMonitor) BufferedTail() *sigproc.Signal { return h.buf.Clone() }

@@ -154,6 +154,40 @@ func (m *Monitor) Push(chunk *sigproc.Signal) ([]Alert, error) {
 	return newAlerts, nil
 }
 
+// BridgeGap feeds n synthetic samples of reference content through the
+// normal Push path, holding the current alignment. It exists for the gap a
+// health quarantine opens in a stream: the quarantined span must not be
+// judged (its samples are sensor garbage, not evidence about the print),
+// but simply skipping it would shear the DWM's stream position away from
+// the reference timebase and every later window would alarm on a phantom
+// displacement. Bridging with the reference's own samples at the held
+// alignment is the same presumed-benign prior Flush uses for its padding:
+// the TDE re-finds h ≈ prevH, c_disp and v_dist contributions are ≈ 0, and
+// only real post-recovery samples argue for an intrusion. The per-sample
+// clamp holds the reference's final value past its end, exactly as in
+// Flush.
+func (m *Monitor) BridgeGap(n int) ([]Alert, error) {
+	if n <= 0 {
+		return nil, nil
+	}
+	bn := m.reference.Len()
+	base := m.consumed + m.buf.Len() + int(m.prevH)
+	fill := sigproc.New(m.reference.Rate, m.reference.Channels(), n)
+	for c := range fill.Data {
+		for j := 0; j < n; j++ {
+			src := base + j
+			if src < 0 {
+				src = 0
+			}
+			if src >= bn {
+				src = bn - 1
+			}
+			fill.Data[c][j] = m.reference.Data[c][src]
+		}
+	}
+	return m.Push(fill)
+}
+
 // step processes one complete observed window. It is transactional: every
 // fallible computation (the DWM proposal and the vertical distance) runs
 // before any state mutates, so a failed window leaves the synchronizer,

@@ -1,0 +1,280 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"nsync/internal/sigproc"
+)
+
+// flatSpan returns a copy of s whose samples in [from, to) are zeroed — a
+// window-aligned flat fault the health monitor judges as Flat.
+func flatSpan(s *sigproc.Signal, from, to int) *sigproc.Signal {
+	out := s.Clone()
+	for c := range out.Data {
+		for i := from; i < to && i < out.Len(); i++ {
+			out.Data[c][i] = 0
+		}
+	}
+	return out
+}
+
+func pushHealth(t *testing.T, hm *HealthMonitor, s *sigproc.Signal) {
+	t.Helper()
+	for pos := 0; pos < s.Len(); pos += 97 {
+		if _, err := hm.Push(s.SliceClamped(pos, pos+97)); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestHealthMonitorProbationaryRecovery(t *testing.T) {
+	rng := rand.New(rand.NewSource(80))
+	ref := noiseSig(rng, 100, 3000) // 30 s, health window 2 s = 200 samples
+	hm, err := NewHealthMonitor(ref, HealthConfig{RecoveryWindows: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hm.RecoveryEnabled() {
+		t.Fatal("RecoveryEnabled should be true")
+	}
+	// Windows 5-6 flat (samples 1000-1400), healthy before and after.
+	obs := flatSpan(noiseSig(rng, 100, 3000), 1000, 1400)
+	pushHealth(t, hm, obs.Slice(0, 1500))
+	if !hm.Quarantined() || hm.Reason() != Flat {
+		t.Fatalf("flat span not quarantined: %v", hm.Reason())
+	}
+	if at := hm.QuarantinedAt(); at < 10 || at >= 12 {
+		t.Errorf("quarantined at %vs, want the window starting at 10s", at)
+	}
+	// Two healthy windows are not enough for the 3-window probation.
+	pushHealth(t, hm, obs.Slice(1500, 1800))
+	if !hm.Quarantined() {
+		t.Fatal("recovered before serving the full probation")
+	}
+	// The third consecutive healthy window lifts the quarantine.
+	pushHealth(t, hm, obs.Slice(1800, 2100))
+	if hm.Quarantined() {
+		t.Fatal("probation served but still quarantined")
+	}
+	if hm.Recoveries() != 1 {
+		t.Fatalf("Recoveries = %d, want 1", hm.Recoveries())
+	}
+	if r, err := hm.Push(obs.Slice(2100, 2200)); err != nil || r != HealthOK {
+		t.Fatalf("post-recovery health = %v, err %v", r, err)
+	}
+	// The recovered span was judged but never cleared: ClearedSamples jumped
+	// to the recovery point (window 10 ends at sample 2000) and resumes
+	// normally afterwards.
+	if got := hm.ClearedSamples(); got != 2200 {
+		t.Errorf("ClearedSamples = %d, want 2200", got)
+	}
+}
+
+func TestHealthMonitorProbationStreakResets(t *testing.T) {
+	rng := rand.New(rand.NewSource(81))
+	ref := noiseSig(rng, 100, 4000)
+	hm, err := NewHealthMonitor(ref, HealthConfig{RecoveryWindows: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flat window 5, one healthy window, flat window 7: the healthy window
+	// between the two faults must not count toward recovery afterwards.
+	obs := flatSpan(flatSpan(noiseSig(rng, 100, 4000), 1000, 1200), 1400, 1600)
+	pushHealth(t, hm, obs.Slice(0, 1800)) // one healthy window after the relapse
+	if !hm.Quarantined() {
+		t.Fatal("want still quarantined: streak must reset on the relapse window")
+	}
+	pushHealth(t, hm, obs.Slice(1800, 2000))
+	if hm.Quarantined() {
+		t.Fatal("two consecutive healthy windows after the relapse should recover")
+	}
+	if hm.Recoveries() != 1 {
+		t.Errorf("Recoveries = %d, want 1", hm.Recoveries())
+	}
+}
+
+func TestHealthMonitorStickyIgnoresRecoveryAccessors(t *testing.T) {
+	// Regression: the default config keeps the original terminal-quarantine
+	// behavior — no probation, Recoveries stays 0, post-quarantine pushes
+	// return the original reason without judging anything.
+	rng := rand.New(rand.NewSource(82))
+	ref := noiseSig(rng, 100, 3000)
+	hm, err := NewHealthMonitor(ref, HealthConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hm.RecoveryEnabled() {
+		t.Fatal("RecoveryEnabled should default to false")
+	}
+	pushHealth(t, hm, flatSpan(noiseSig(rng, 100, 3000), 1000, 1400))
+	if !hm.Quarantined() {
+		t.Fatal("flat span not quarantined")
+	}
+	for i := 0; i < 10; i++ {
+		if r, err := hm.Push(noiseSig(rng, 100, 500)); err != nil || r != Flat {
+			t.Fatalf("sticky push %d: reason %v, err %v", i, r, err)
+		}
+	}
+	if !hm.Quarantined() || hm.Recoveries() != 0 {
+		t.Fatalf("sticky quarantine lifted: quarantined=%v recoveries=%d", hm.Quarantined(), hm.Recoveries())
+	}
+	hm.Reset()
+	if hm.Quarantined() || hm.Recoveries() != 0 || hm.ClearedSamples() != 0 {
+		t.Error("Reset should clear quarantine and counters")
+	}
+}
+
+func TestMonitorBridgeGapKeepsLock(t *testing.T) {
+	rng := rand.New(rand.NewSource(83))
+	ref := noiseSig(rng, 100, 3000)
+	th := Thresholds{CC: 50, HC: 25, VC: 0.9}
+	m, err := NewMonitor(ref, testDWMParams(), th)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reference prefix, a bridged gap, then the reference tail at the
+	// correct stream position: the bridge must keep the DWM locked so the
+	// resumed genuine samples raise no phantom-displacement alarm.
+	if _, err := m.Push(ref.Slice(0, 1000)); err != nil {
+		t.Fatal(err)
+	}
+	if alerts, err := m.BridgeGap(800); err != nil || len(alerts) != 0 {
+		t.Fatalf("bridge alerts %v, err %v", alerts, err)
+	}
+	if alerts, err := m.Push(ref.Slice(1800, 2600)); err != nil || len(alerts) != 0 {
+		t.Fatalf("post-bridge alerts %v, err %v", alerts, err)
+	}
+	if m.WindowsProcessed() == 0 {
+		t.Fatal("no windows processed across the bridge")
+	}
+	f := m.Features()
+	for i, v := range f.VDist {
+		if v > 0.1 {
+			t.Fatalf("v_dist[%d] = %v after bridge: lock lost", i, v)
+		}
+	}
+	// Degenerate calls: zero-length is a no-op, and a bridge running past
+	// the reference end clamps instead of panicking.
+	if alerts, err := m.BridgeGap(0); err != nil || alerts != nil {
+		t.Fatalf("BridgeGap(0) = %v, %v", alerts, err)
+	}
+	if _, err := m.BridgeGap(1000); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFusedMonitorProbationaryRecovery(t *testing.T) {
+	fx := newFusedFixture(t, 0)
+	newFM := func(recovery int) *FusedMonitor {
+		var chans []FusedMonitorChannel
+		for c, ref := range fx.refs {
+			th, err := fx.fd.Detector(c).Thresholds()
+			if err != nil {
+				t.Fatal(err)
+			}
+			chans = append(chans, FusedMonitorChannel{
+				Name:       fx.fd.Channels()[c],
+				Reference:  ref,
+				Params:     testDWMParams(),
+				Thresholds: th,
+				Health:     HealthConfig{RecoveryWindows: recovery},
+			})
+		}
+		fm, err := NewFusedMonitor(chans, FusedConfig{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return fm
+	}
+
+	// Benign stream; channel 0 goes flat for two health windows mid-print
+	// and then comes back. With probation enabled the channel must be
+	// quarantined during the fault, recover afterwards, and the benign print
+	// must end with no fused alert and all channels healthy.
+	fm := newFM(2)
+	obs := fx.benignRun()
+	obs[0] = flatSpan(obs[0], 1000, 1400)
+	sawQuarantine := false
+	maxLen := 0
+	for _, s := range obs {
+		maxLen = max(maxLen, s.Len())
+	}
+	for pos := 0; pos < maxLen; pos += 97 {
+		chunks := make([]*sigproc.Signal, len(obs))
+		for c, s := range obs {
+			chunks[c] = s.SliceClamped(pos, pos+97)
+		}
+		alerts, err := fm.Push(chunks)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(alerts) != 0 {
+			t.Fatalf("benign transient-fault stream alerted at %d: %v", pos, alerts)
+		}
+		if fm.ChannelStates()[0].Quarantined {
+			sawQuarantine = true
+		}
+	}
+	if _, err := fm.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if !sawQuarantine {
+		t.Fatal("flat span never quarantined the channel")
+	}
+	if st := fm.ChannelStates()[0]; st.Quarantined {
+		t.Fatalf("channel did not recover: %+v", st)
+	}
+	if fm.Intrusion() {
+		t.Fatal("benign stream with transient fault flagged as intrusion")
+	}
+
+	// After recovery the channel's vote is live again: the same transient
+	// fault followed by a corrupted tail must still raise the fused alert,
+	// with only the recovered channel observing the attack.
+	fm = newFM(2)
+	obs = fx.benignRun()
+	obs[0] = flatSpan(obs[0], 1000, 1400)
+	rng := rand.New(rand.NewSource(84))
+	for i := 2400; i < obs[0].Len(); i++ {
+		obs[0].Data[0][i] = rng.NormFloat64() * 2
+	}
+	alerts := pushAll(t, fm, obs)
+	if _, err := fm.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if len(alerts) == 0 && !fm.Intrusion() {
+		t.Fatal("recovered channel never re-voted on the post-recovery attack")
+	}
+	if st := fm.ChannelStates()[0]; st.Quarantined || !st.Voting {
+		t.Fatalf("recovered channel state: %+v", st)
+	}
+
+	// Regression: with the default sticky config the same kind of stream
+	// keeps the channel quarantined to the end. A fresh fixture replays the
+	// exact benign draw the first phase proved alert-free.
+	fx2 := newFusedFixture(t, 0)
+	var chans []FusedMonitorChannel
+	for c, ref := range fx2.refs {
+		th, err := fx2.fd.Detector(c).Thresholds()
+		if err != nil {
+			t.Fatal(err)
+		}
+		chans = append(chans, FusedMonitorChannel{
+			Name: fx2.fd.Channels()[c], Reference: ref,
+			Params: testDWMParams(), Thresholds: th,
+		})
+	}
+	fm, err := NewFusedMonitor(chans, FusedConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	obs = fx2.benignRun()
+	obs[0] = flatSpan(obs[0], 1000, 1400)
+	if alerts := pushAll(t, fm, obs); len(alerts) != 0 {
+		t.Fatalf("sticky run alerted: %v", alerts)
+	}
+	if st := fm.ChannelStates()[0]; !st.Quarantined {
+		t.Fatalf("sticky config recovered: %+v", st)
+	}
+}

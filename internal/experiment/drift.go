@@ -1,0 +1,263 @@
+package experiment
+
+import (
+	"fmt"
+
+	"nsync/internal/core"
+	"nsync/internal/ids"
+	"nsync/internal/rebase"
+	"nsync/internal/sensor"
+	"nsync/internal/sigproc"
+)
+
+// DriftConfig parameterizes the sensor-drift accuracy-decay sweep.
+type DriftConfig struct {
+	// Channel is the drifting side channel (default ACC).
+	Channel sensor.Channel
+	// Specs are the drift processes applied per print; default a combined
+	// aging scenario (noise-floor creep, clock skew, gain ramp, offset
+	// wander) tuned so a frozen detector decays visibly within Prints.
+	Specs []sensor.DriftSpec
+	// Seed seeds the drift injector's randomness (default 1).
+	Seed int64
+	// Prints is how many prints of the drifting sequence to sweep
+	// (default 6).
+	Prints int
+	// Rebase tunes the rolling re-baseline engine; a zero Margin inherits
+	// the scale's NSYNC OCC margin.
+	Rebase rebase.Config
+	// Health tunes the engine's absorption health gate.
+	Health core.HealthConfig
+}
+
+func (c DriftConfig) withDefaults(margin float64) DriftConfig {
+	if c.Channel == 0 {
+		c.Channel = sensor.ACC
+	}
+	if len(c.Specs) == 0 {
+		// Rates are tuned so a frozen detector is clean at print 1 and
+		// measurably decayed by print ~5: noise-floor creep is the gradual
+		// driver, clock skew compounds it (DWM absorbs small skews, so the
+		// per-print rate is tiny), and gain/offset exercise the reference
+		// blend but barely move the correlation-based features.
+		c.Specs = []sensor.DriftSpec{
+			{Kind: sensor.DriftNoise, Rate: 0.06},
+			{Kind: sensor.DriftClock, Rate: 0.0004},
+			{Kind: sensor.DriftGain, Rate: 0.05},
+			{Kind: sensor.DriftOffset, Rate: 0.05},
+		}
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.Prints <= 0 {
+		c.Prints = 6
+	}
+	if c.Rebase.Margin == 0 {
+		c.Rebase.Margin = margin
+	}
+	c.Rebase.Health = c.Health
+	return c
+}
+
+// DriftRow is one print of the decay sweep: the detector outcomes on test
+// runs captured as print number Print of a drifting sequence.
+type DriftRow struct {
+	Printer string
+	// Print is the 1-based sequence index (drift level).
+	Print int
+	// Frozen is the outcome of the boot-time detector, never re-baselined —
+	// the paper's deployment model, aging without maintenance.
+	Frozen Outcome
+	// Rebased is the outcome of the rolling re-baselined detector, whose
+	// reference and thresholds absorbed the verified-benign maintenance
+	// prints of the sequence so far.
+	Rebased Outcome
+	// FreshFPR is the benign false-positive rate of a detector retrained
+	// from scratch at this drift level — the floor any mitigation is
+	// chasing.
+	FreshFPR float64
+	// Absorbed and Rejected are the re-baseline engine's cumulative
+	// decisions after this print's maintenance pass.
+	Absorbed, Rejected int
+}
+
+// driftDataset runs the sweep on one printer's dataset.
+//
+// The sequence model per print k: the printer runs one maintenance print per
+// training run (verified benign, offered to the re-baseline engine), one
+// attack print is offered to the engine to exercise its guardrail, and the
+// full test roster is captured at drift level k and classified three ways —
+// by the frozen boot detector, by the rolling re-baselined detector, and by
+// a detector freshly retrained at level k.
+func driftDataset(ds *Dataset, cfg DriftConfig) ([]DriftRow, error) {
+	cfg = cfg.withDefaults(ds.Scale.OCCMarginNSYNC)
+	ch := cfg.Channel
+	params, ok := ds.Scale.DWM[ds.Printer]
+	if !ok {
+		return nil, fmt.Errorf("experiment: drift: scale %q has no DWM params for printer %q", ds.Scale.Name, ds.Printer)
+	}
+	refSig, err := ds.Ref.Signal(ch, ids.Raw)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := sensor.NewDriftInjector(cfg.Seed, cfg.Specs...); err != nil {
+		return nil, err
+	}
+	// drifted captures run's channel signal as print number k of the
+	// sequence. The injector is re-seeded per run so two prints at the same
+	// drift level do not share a noise realization (the deterministic drift
+	// components — gain, clock skew — depend only on the level).
+	drifted := func(run *ids.Run, k int) (*sigproc.Signal, error) {
+		s, err := run.Signal(ch, ids.Raw)
+		if err != nil {
+			return nil, err
+		}
+		if k == 0 {
+			return s, nil
+		}
+		inj, err := sensor.NewDriftInjector(cfg.Seed^run.Seed, cfg.Specs...)
+		if err != nil {
+			return nil, err
+		}
+		return inj.Apply(s, ch, k)
+	}
+
+	newDet := func(ref *sigproc.Signal) (*core.Detector, error) {
+		return core.NewDetector(ref, core.Config{
+			Sync: &core.DWMSynchronizer{Params: params},
+			OCC:  core.OCCConfig{R: cfg.Rebase.Margin},
+		})
+	}
+	trainFeatures := func(det *core.Detector, drift int) ([]*core.Features, error) {
+		return fanOut(ds.Train, func(_ int, run *ids.Run) (*core.Features, error) {
+			s, err := drifted(run, drift)
+			if err != nil {
+				return nil, err
+			}
+			return det.Features(s)
+		})
+	}
+
+	// The frozen boot detector, trained once on the clean roster.
+	frozen, err := newDet(refSig)
+	if err != nil {
+		return nil, err
+	}
+	seedFeats, err := trainFeatures(frozen, 0)
+	if err != nil {
+		return nil, fmt.Errorf("experiment: drift train %s/%v: %w", ds.Printer, ch, err)
+	}
+	if err := frozen.TrainFromFeatures(seedFeats); err != nil {
+		return nil, err
+	}
+
+	// The rolling re-baseline engine, seeded with the same boot state.
+	eng, err := rebase.NewEngine(cfg.Rebase, []rebase.Channel{{
+		Name: ch.String(), Reference: refSig, Params: params, Train: seedFeats,
+	}})
+	if err != nil {
+		return nil, err
+	}
+
+	runs := ds.testRuns()
+	var rows []DriftRow
+	for k := 1; k <= cfg.Prints; k++ {
+		// Maintenance pass: the benign prints of the interval, drifted to
+		// level k, are offered to the engine (its own guardrail decides), plus
+		// one attack print that the guardrail must keep out of the baseline.
+		for _, run := range ds.Train {
+			s, err := drifted(run, k)
+			if err != nil {
+				return nil, err
+			}
+			if _, err := eng.Absorb([]*sigproc.Signal{s}); err != nil {
+				return nil, fmt.Errorf("experiment: drift absorb print %d: %w", k, err)
+			}
+		}
+		if len(ds.TestMalicious) > 0 {
+			s, err := drifted(ds.TestMalicious[(k-1)%len(ds.TestMalicious)], k)
+			if err != nil {
+				return nil, err
+			}
+			if _, err := eng.Absorb([]*sigproc.Signal{s}); err != nil {
+				return nil, fmt.Errorf("experiment: drift attack probe print %d: %w", k, err)
+			}
+		}
+
+		// The re-baselined detector after this interval's maintenance.
+		rebased, err := newDet(eng.Reference(0))
+		if err != nil {
+			return nil, err
+		}
+		rebased.SetThresholds(eng.Thresholds(0))
+
+		// The fresh floor: reference and training set recaptured at level k.
+		driftedRef, err := drifted(ds.Ref, k)
+		if err != nil {
+			return nil, err
+		}
+		fresh, err := newDet(driftedRef)
+		if err != nil {
+			return nil, err
+		}
+		freshFeats, err := trainFeatures(fresh, k)
+		if err != nil {
+			return nil, fmt.Errorf("experiment: drift fresh train print %d: %w", k, err)
+		}
+		if err := fresh.TrainFromFeatures(freshFeats); err != nil {
+			return nil, err
+		}
+
+		type verdicts struct{ frozen, rebased, fresh bool }
+		vs, err := fanOut(runs, func(_ int, run *ids.Run) (verdicts, error) {
+			s, err := drifted(run, k)
+			if err != nil {
+				return verdicts{}, err
+			}
+			var v verdicts
+			for _, d := range []struct {
+				det  *core.Detector
+				flag *bool
+			}{{frozen, &v.frozen}, {rebased, &v.rebased}, {fresh, &v.fresh}} {
+				verdict, err := d.det.Classify(s)
+				if err != nil {
+					return verdicts{}, fmt.Errorf("experiment: drift classify %s seed %d print %d: %w", run.Label, run.Seed, k, err)
+				}
+				*d.flag = verdict.Intrusion
+			}
+			return v, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		row := DriftRow{Printer: ds.Printer, Print: k, Absorbed: eng.Absorbed(), Rejected: eng.Rejected()}
+		var freshOut Outcome
+		for i, run := range runs {
+			row.Frozen.record(run.Label, run.Malicious, vs[i].frozen)
+			row.Rebased.record(run.Label, run.Malicious, vs[i].rebased)
+			if !run.Malicious {
+				freshOut.record(run.Label, false, vs[i].fresh)
+			}
+		}
+		row.FreshFPR = freshOut.FPR()
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// Drift sweeps detection accuracy across a sequence of prints on a slowly
+// drifting acquisition chain, for every dataset: the frozen boot detector
+// (accuracy decay), the rolling re-baselined detector (the mitigation), and
+// a freshly retrained detector (the recovery floor).
+func Drift(datasets map[string]*Dataset, cfg DriftConfig) ([]DriftRow, error) {
+	var rows []DriftRow
+	for _, ds := range orderedDatasets(datasets) {
+		r, err := driftDataset(ds, cfg)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, r...)
+	}
+	return rows, nil
+}

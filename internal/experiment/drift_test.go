@@ -1,0 +1,177 @@
+package experiment
+
+import (
+	"math/rand"
+	"testing"
+
+	"nsync/internal/dwm"
+	"nsync/internal/ids"
+	"nsync/internal/rebase"
+	"nsync/internal/sensor"
+	"nsync/internal/sigproc"
+)
+
+// The drift sweep needs many sequenced prints, so it runs on a synthetic
+// single-channel roster (band-limited noise references, the same benign
+// model the core and rebase tests use) instead of the simulation-heavy tiny
+// roster — that keeps TestDriftRecovery inside `go test -short`, where the
+// CI drift-soak job runs it.
+
+func driftNoiseSig(rng *rand.Rand, rate float64, n int) *sigproc.Signal {
+	// A wide smoothing window keeps the signal oversampled, like a real side
+	// channel: sub-sample interpolation (clock-skew resampling, warp
+	// blending) then costs little, so drift decay is gradual rather than a
+	// cliff at the first resample.
+	const ma = 15
+	white := make([]float64, n+ma)
+	for i := range white {
+		white[i] = rng.NormFloat64()
+	}
+	s := sigproc.New(rate, 1, n)
+	for i := 0; i < n; i++ {
+		var sum float64
+		for j := 0; j < ma; j++ {
+			sum += white[i+j]
+		}
+		s.Data[0][i] = sum / ma
+	}
+	return s
+}
+
+func driftJittered(rng *rand.Rand, b *sigproc.Signal, segLen int) *sigproc.Signal {
+	out := &sigproc.Signal{Rate: b.Rate}
+	pos := 0
+	for pos+segLen <= b.Len() {
+		_ = out.Concat(b.Slice(pos, pos+segLen))
+		pos += segLen
+		if rng.Intn(2) == 0 {
+			pos++
+		} else if pos > 0 {
+			pos--
+		}
+	}
+	for i := range out.Data[0] {
+		out.Data[0][i] += 0.05 * rng.NormFloat64()
+	}
+	return out
+}
+
+func driftAttack(rng *rand.Rand, b *sigproc.Signal) *sigproc.Signal {
+	out := driftJittered(rng, b, 200)
+	for i := out.Len() / 2; i < out.Len(); i++ {
+		out.Data[0][i] = rng.NormFloat64() * 2
+	}
+	return out
+}
+
+// syntheticDriftDataset builds a one-channel ACC roster around a shared
+// band-limited reference.
+func syntheticDriftDataset(seed int64) *Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	ref := driftNoiseSig(rng, 100, 3000)
+	mkRun := func(label string, malicious bool, sig *sigproc.Signal) *ids.Run {
+		return &ids.Run{
+			Printer: "SYN", Label: label, Malicious: malicious, Seed: rng.Int63(),
+			Signals:  map[sensor.Channel]*sigproc.Signal{sensor.ACC: sig},
+			Duration: float64(sig.Len()) / sig.Rate,
+		}
+	}
+	ds := &Dataset{
+		Printer: "SYN",
+		Scale: Scale{
+			Name:           "drift-syn",
+			DWM:            map[string]dwm.Params{"SYN": {TWin: 0.5, THop: 0.25, TExt: 0.2, TSigma: 0.1, Eta: 0.1}},
+			OCCMarginNSYNC: 1.0,
+		},
+		BaseSeed: seed,
+		Ref:      mkRun("Benign(ref)", false, ref),
+	}
+	for i := 0; i < 6; i++ {
+		ds.Train = append(ds.Train, mkRun("Benign(train)", false, driftJittered(rng, ref, 300)))
+	}
+	for i := 0; i < 6; i++ {
+		ds.TestBenign = append(ds.TestBenign, mkRun("Benign", false, driftJittered(rng, ref, 300)))
+	}
+	for i := 0; i < 4; i++ {
+		ds.TestMalicious = append(ds.TestMalicious, mkRun("Void", true, driftAttack(rng, ref)))
+	}
+	return ds
+}
+
+func driftTestConfig() DriftConfig {
+	return DriftConfig{
+		Prints: 5,
+		Rebase: rebase.Config{Window: 12},
+	}
+}
+
+// TestDriftRecovery is the acceptance sweep: a frozen detector's benign FPR
+// decays across a drifting print sequence, and rolling re-baselining
+// recovers it to within tolerance of a freshly retrained detector.
+func TestDriftRecovery(t *testing.T) {
+	ds := syntheticDriftDataset(7)
+	rows, err := Drift(map[string]*Dataset{"SYN": ds}, driftTestConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("rows = %d, want 5", len(rows))
+	}
+	for i, r := range rows {
+		if r.Print != i+1 || r.Printer != "SYN" {
+			t.Fatalf("row %d = %+v", i, r)
+		}
+		t.Logf("print %d: frozen %.2f/%.2f rebased %.2f/%.2f fresh FPR %.2f (absorbed %d, rejected %d)",
+			r.Print, r.Frozen.FPR(), r.Frozen.TPR(), r.Rebased.FPR(), r.Rebased.TPR(), r.FreshFPR, r.Absorbed, r.Rejected)
+	}
+	first, last := rows[0], rows[len(rows)-1]
+
+	// Accuracy decay: by the end of the sequence the frozen detector is
+	// alarming on benign prints it would have passed when fresh.
+	if last.Frozen.FPR() <= first.Frozen.FPR() {
+		t.Errorf("frozen FPR did not decay: print 1 %.2f, print %d %.2f",
+			first.Frozen.FPR(), last.Print, last.Frozen.FPR())
+	}
+	if last.Frozen.FPR() < 0.5 {
+		t.Errorf("frozen FPR %.2f at print %d: drift too mild to measure decay", last.Frozen.FPR(), last.Print)
+	}
+
+	// Recovery: the re-baselined detector ends within tolerance of the
+	// freshly retrained floor, and strictly better than the frozen one.
+	if last.Rebased.FPR() > last.FreshFPR+0.25 {
+		t.Errorf("rebased FPR %.2f not within 0.25 of fresh floor %.2f", last.Rebased.FPR(), last.FreshFPR)
+	}
+	if last.Rebased.FPR() >= last.Frozen.FPR() {
+		t.Errorf("rebased FPR %.2f no better than frozen %.2f", last.Rebased.FPR(), last.Frozen.FPR())
+	}
+	// The evolved baseline must still catch the attacks.
+	if last.Rebased.TPR() == 0 {
+		t.Error("re-baselined detector lost every attack")
+	}
+
+	// The maintenance passes actually fed the engine, and the embedded
+	// attack probes never made it into the baseline.
+	if last.Absorbed == 0 {
+		t.Error("no maintenance prints absorbed")
+	}
+	if last.Rejected < len(rows) {
+		t.Errorf("rejected %d prints, want at least the %d attack probes", last.Rejected, len(rows))
+	}
+}
+
+func TestDriftConfigDefaults(t *testing.T) {
+	cfg := DriftConfig{}.withDefaults(0.3)
+	if cfg.Channel != sensor.ACC || cfg.Prints != 6 || cfg.Seed != 1 {
+		t.Errorf("defaults = %+v", cfg)
+	}
+	if len(cfg.Specs) != 4 {
+		t.Errorf("default specs = %v", cfg.Specs)
+	}
+	if cfg.Rebase.Margin != 0.3 {
+		t.Errorf("margin not inherited: %+v", cfg.Rebase)
+	}
+	ds := &Dataset{Printer: "nope", Scale: CI()}
+	if _, err := driftDataset(ds, DriftConfig{}); err == nil {
+		t.Error("unknown printer: want error")
+	}
+}

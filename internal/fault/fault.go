@@ -138,15 +138,29 @@ func (in *Injector) Apply(s *sigproc.Signal) (*sigproc.Signal, error) {
 		return nil, fmt.Errorf("fault: %w", err)
 	}
 	out := s.Clone()
+	if err := in.ApplyInPlace(out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// ApplyInPlace corrupts s in place with every spec applied in order, with
+// the same determinism as Apply. It is the no-copy path for callers that
+// already own their signal — the sensor drift injector composes faults onto
+// an already-cloned drifted signal this way.
+func (in *Injector) ApplyInPlace(s *sigproc.Signal) error {
+	if err := s.Validate(); err != nil {
+		return fmt.Errorf("fault: %w", err)
+	}
 	for i, sp := range in.specs {
 		// One sub-stream per spec index: inserting or removing a spec does
 		// not perturb the randomness of the others.
 		rng := rand.New(rand.NewSource(int64(uint64(in.seed) ^ uint64(i+1)*0x9E3779B97F4A7C15)))
-		if err := apply(out, sp, rng); err != nil {
-			return nil, fmt.Errorf("fault: spec %d (%v): %w", i, sp, err)
+		if err := apply(s, sp, rng); err != nil {
+			return fmt.Errorf("fault: spec %d (%v): %w", i, sp, err)
 		}
 	}
-	return out, nil
+	return nil
 }
 
 // apply mutates sig in place according to sp.

@@ -1,0 +1,285 @@
+package ingest
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+type fakeSink struct {
+	id        string
+	pushes    int
+	finished  bool
+	intrusion bool
+	pushErr   error
+	finishErr error
+}
+
+func (s *fakeSink) Push(ch int, values []float64) error {
+	s.pushes++
+	return s.pushErr
+}
+
+func (s *fakeSink) Finish(reason string) (*Verdict, error) {
+	s.finished = true
+	if s.finishErr != nil {
+		return nil, s.finishErr
+	}
+	return &Verdict{Intrusion: s.intrusion, Reason: s.id}, nil
+}
+
+type fakeFactory struct {
+	name       string
+	intrusion  bool
+	acquireErr error
+
+	mu       sync.Mutex
+	acquired int
+	released []Sink
+}
+
+func (f *fakeFactory) Acquire(hello *Frame) (Sink, error) {
+	if f.acquireErr != nil {
+		return nil, f.acquireErr
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.acquired++
+	return &fakeSink{id: fmt.Sprintf("%s-%d", f.name, f.acquired), intrusion: f.intrusion}, nil
+}
+
+func (f *fakeFactory) Release(s Sink) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.released = append(f.released, s)
+}
+
+func testHello() *Frame {
+	return &Frame{Type: FrameHello, SessionID: "s", Channels: []ChannelSpec{{Name: "X", Lanes: 1, Rate: 100}}}
+}
+
+// TestSwapReleasesToOrigin is the zero-drop invariant: a session admitted
+// before a Swap keeps its pre-swap sink and is released back to the factory
+// that built it, even though the factory pointer has moved on.
+func TestSwapReleasesToOrigin(t *testing.T) {
+	a := &fakeFactory{name: "a"}
+	b := &fakeFactory{name: "b"}
+	sw := NewSwapFactory(a)
+
+	s1, err := sw.Acquire(testHello())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw.Swap(b)
+	s2, err := sw.Acquire(testHello())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.acquired != 1 || b.acquired != 1 {
+		t.Fatalf("acquired a=%d b=%d", a.acquired, b.acquired)
+	}
+	// The old session still works and finishes against its own model.
+	if err := s1.Push(0, []float64{1}); err != nil {
+		t.Fatal(err)
+	}
+	v1, err := s1.Finish("eof")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v1.Reason != "a-1" {
+		t.Fatalf("pre-swap session served by %s", v1.Reason)
+	}
+	v2, err := s2.Finish("eof")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v2.Reason != "b-1" {
+		t.Fatalf("post-swap session served by %s", v2.Reason)
+	}
+	sw.Release(s1)
+	sw.Release(s2)
+	if len(a.released) != 1 || len(b.released) != 1 {
+		t.Fatalf("released a=%d b=%d", len(a.released), len(b.released))
+	}
+	if rs, ok := a.released[0].(*fakeSink); !ok || rs.id != "a-1" {
+		t.Fatalf("factory a got back %#v", a.released[0])
+	}
+}
+
+func TestShadowTeesAndReportsBothVerdicts(t *testing.T) {
+	p := &fakeFactory{name: "p"}
+	c := &fakeFactory{name: "c", intrusion: true}
+	sw := NewSwapFactory(p)
+
+	var gotP, gotS *Verdict
+	sw.SetShadow(c, false, func(pv, sv *Verdict) { gotP, gotS = pv, sv })
+	s, err := sw.Acquire(testHello())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ss, ok := s.(*shadowSink)
+	if !ok {
+		t.Fatalf("got %T, want *shadowSink", s)
+	}
+	if err := s.Push(0, []float64{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	if ss.primary.(*fakeSink).pushes != 1 || ss.shadow.(*fakeSink).pushes != 1 {
+		t.Fatal("push not teed to both sinks")
+	}
+	v, err := s.Finish("eof")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Shadow (serve=false): the primary verdict is authoritative.
+	if v.Intrusion || v.Reason != "p-1" {
+		t.Fatalf("verdict = %+v, want primary's", v)
+	}
+	if gotP == nil || gotS == nil || gotP.Intrusion || !gotS.Intrusion {
+		t.Fatalf("onVerdict got %+v / %+v", gotP, gotS)
+	}
+	sw.Release(s)
+	if len(p.released) != 1 || len(c.released) != 1 {
+		t.Fatal("shadow session not released to both origins")
+	}
+
+	// Canary (serve=true): the shadow verdict is authoritative; both still run.
+	sw.SetServe(true)
+	s, err = sw.Acquire(testHello())
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err = s.Finish("eof")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Intrusion || v.Reason != "c-2" {
+		t.Fatalf("canary verdict = %+v, want shadow's", v)
+	}
+
+	// ClearShadow: new sessions are primary-only again.
+	sw.ClearShadow()
+	s, err = sw.Acquire(testHello())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.(*routedSink); !ok {
+		t.Fatalf("after ClearShadow got %T, want *routedSink", s)
+	}
+}
+
+// TestShadowFailuresNeverCostTheSession covers both degradation paths: a
+// shadow factory that cannot admit the session, and a shadow sink that
+// errors mid-stream. In both cases the session runs to a primary verdict.
+func TestShadowFailuresNeverCostTheSession(t *testing.T) {
+	p := &fakeFactory{name: "p"}
+	sw := NewSwapFactory(p)
+	sw.SetShadow(&fakeFactory{name: "c", acquireErr: errors.New("layout mismatch")}, false, nil)
+	s, err := sw.Acquire(testHello())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.(*routedSink); !ok {
+		t.Fatalf("degraded session is %T, want *routedSink", s)
+	}
+	sw.Release(s)
+
+	// Mid-stream shadow failure: the shadow is dropped, the session finishes.
+	called := false
+	c := &fakeFactory{name: "c"}
+	sw.SetShadow(c, true, func(pv, sv *Verdict) { called = true })
+	s, err = sw.Acquire(testHello())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ss := s.(*shadowSink)
+	ss.shadow.(*fakeSink).pushErr = errors.New("boom")
+	if err := s.Push(0, []float64{1}); err != nil {
+		t.Fatalf("shadow failure leaked into the session: %v", err)
+	}
+	if err := s.Push(0, []float64{2}); err != nil {
+		t.Fatal(err)
+	}
+	if ss.shadow.(*fakeSink).pushes != 1 {
+		t.Fatal("dead shadow still being pushed")
+	}
+	v, err := s.Finish("eof")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Even in serve mode, a dead shadow yields no verdict: primary rules.
+	if v.Reason != "p-2" {
+		t.Fatalf("verdict = %+v, want primary's", v)
+	}
+	if called {
+		t.Fatal("onVerdict called without a shadow verdict")
+	}
+	if ss.shadow.(*fakeSink).finished {
+		t.Fatal("dead shadow sink was finished")
+	}
+	sw.Release(s)
+	if len(c.released) != 1 {
+		t.Fatal("dead shadow sink not released to its origin")
+	}
+}
+
+// TestSwapUnderLoad hammers Acquire/Push/Finish/Release from many goroutines
+// while another goroutine keeps swapping primaries and toggling the shadow.
+// Run under -race; every session must complete with a verdict.
+func TestSwapUnderLoad(t *testing.T) {
+	factories := []*fakeFactory{{name: "f0"}, {name: "f1"}, {name: "f2"}}
+	sw := NewSwapFactory(factories[0])
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 200; i++ {
+			sw.Swap(factories[i%len(factories)])
+			switch i % 3 {
+			case 0:
+				sw.SetShadow(factories[(i+1)%len(factories)], i%2 == 0, func(pv, sv *Verdict) {})
+			case 1:
+				sw.SetServe(true)
+			case 2:
+				sw.ClearShadow()
+			}
+		}
+	}()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				s, err := sw.Acquire(testHello())
+				if err != nil {
+					t.Errorf("Acquire: %v", err)
+					return
+				}
+				for j := 0; j < 4; j++ {
+					if err := s.Push(0, []float64{1}); err != nil {
+						t.Errorf("Push: %v", err)
+						return
+					}
+				}
+				if v, err := s.Finish("eof"); err != nil || v == nil {
+					t.Errorf("Finish: %+v, %v", v, err)
+					return
+				}
+				sw.Release(s)
+			}
+		}()
+	}
+	wg.Wait()
+	<-done
+	var acquired, released int
+	for _, f := range factories {
+		f.mu.Lock()
+		acquired += f.acquired
+		released += len(f.released)
+		f.mu.Unlock()
+	}
+	if acquired != released {
+		t.Fatalf("acquired %d sinks, released %d — sessions dropped", acquired, released)
+	}
+}

@@ -1,0 +1,224 @@
+package registry
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"nsync/internal/obs"
+)
+
+// Promotion metrics (see DESIGN.md §14): model.version tracks the active
+// model's generation number (how many promotions this process has seen, 1
+// being the boot model), swap.disagreements counts live sessions where the
+// candidate and active model returned different verdicts.
+var (
+	modelVersionGauge = obs.GetGauge("model.version")
+	disagreements     = obs.GetCounter("swap.disagreements")
+)
+
+// State is a candidate model's position in the promotion lifecycle.
+type State int
+
+// The lifecycle states. A candidate enters at Shadow and either walks
+// Shadow → Canary → Active or drops to Retired when its disagreement budget
+// runs out.
+const (
+	// StateNone means no candidate is in flight.
+	StateNone State = iota
+	// StateShadow: the candidate runs side-by-side on live sessions; the
+	// active model's verdict is authoritative.
+	StateShadow
+	// StateCanary: the candidate's verdict is authoritative, but the active
+	// model still runs and disagreements still count against the budget.
+	StateCanary
+	// StateActive: promoted; the candidate became the active model.
+	StateActive
+	// StateRetired: rolled back; the candidate was discarded.
+	StateRetired
+)
+
+// String implements fmt.Stringer.
+func (s State) String() string {
+	switch s {
+	case StateNone:
+		return "none"
+	case StateShadow:
+		return "shadow"
+	case StateCanary:
+		return "canary"
+	case StateActive:
+		return "active"
+	case StateRetired:
+		return "retired"
+	default:
+		return fmt.Sprintf("State(%d)", int(s))
+	}
+}
+
+// DeploymentConfig tunes the promotion state machine. The zero value
+// selects the defaults.
+type DeploymentConfig struct {
+	// ShadowSessions is how many agreeing live sessions the candidate must
+	// shadow before becoming a canary (default 2).
+	ShadowSessions int
+	// CanarySessions is how many agreeing live sessions the candidate must
+	// serve as canary before promotion (default 1).
+	CanarySessions int
+	// DisagreementBudget is how many verdict disagreements the candidate
+	// may accumulate across shadow and canary before it is retired
+	// (default 0: the first disagreement rolls it back).
+	DisagreementBudget int
+}
+
+func (c DeploymentConfig) withDefaults() DeploymentConfig {
+	if c.ShadowSessions <= 0 {
+		c.ShadowSessions = 2
+	}
+	if c.CanarySessions <= 0 {
+		c.CanarySessions = 1
+	}
+	return c
+}
+
+// Deployment is the promotion state machine for one daemon's detector
+// models. It tracks which version is active, walks one candidate at a time
+// through shadow → canary → active, and rolls the candidate back when its
+// disagreement budget runs out. Deployment is safe for concurrent use; the
+// On* hooks are called without the internal lock held, in event order.
+type Deployment struct {
+	cfg DeploymentConfig
+
+	// OnCanary is called when the candidate enters canary (its verdicts
+	// become authoritative). OnPromote is called when it becomes active.
+	// OnRetire is called when it is rolled back, with the reason.
+	OnCanary  func(version string)
+	OnPromote func(version string)
+	OnRetire  func(version string, reason string)
+
+	mu         sync.Mutex
+	active     string
+	candidate  string
+	state      State
+	sessions   int
+	disagreed  int
+	generation int64
+}
+
+// NewDeployment starts a deployment with the given active (boot) version.
+func NewDeployment(cfg DeploymentConfig, activeVersion string) *Deployment {
+	d := &Deployment{cfg: cfg.withDefaults(), active: activeVersion, generation: 1}
+	modelVersionGauge.Set(1)
+	return d
+}
+
+// Active returns the currently authoritative-by-default version.
+func (d *Deployment) Active() string {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.active
+}
+
+// Candidate returns the in-flight candidate version and its state
+// (StateNone and "" when no candidate is in flight).
+func (d *Deployment) Candidate() (string, State) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.state != StateShadow && d.state != StateCanary {
+		return "", StateNone
+	}
+	return d.candidate, d.state
+}
+
+// Generation returns how many models have been active in this process,
+// counting the boot model as 1.
+func (d *Deployment) Generation() int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.generation
+}
+
+// Propose enters a new candidate at Shadow. Only one candidate may be in
+// flight, and re-proposing the active version is an error.
+func (d *Deployment) Propose(version string) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if version == "" {
+		return errors.New("registry: empty candidate version")
+	}
+	if d.state == StateShadow || d.state == StateCanary {
+		return fmt.Errorf("registry: candidate %s already in flight (%s)", d.candidate, d.state)
+	}
+	if version == d.active {
+		return fmt.Errorf("registry: %s is already the active version", version)
+	}
+	d.candidate = version
+	d.state = StateShadow
+	d.sessions = 0
+	d.disagreed = 0
+	return nil
+}
+
+// RecordSession feeds one completed live session on which both the active
+// model and the candidate produced a verdict. agreed reports whether the
+// two verdicts matched. It returns the candidate's state after the session:
+// StateShadow/StateCanary while the walk continues, StateActive on the
+// promoting session, StateRetired on the session that exhausted the budget,
+// StateNone when no candidate was in flight.
+func (d *Deployment) RecordSession(agreed bool) State {
+	d.mu.Lock()
+	if d.state != StateShadow && d.state != StateCanary {
+		d.mu.Unlock()
+		return StateNone
+	}
+	version := d.candidate
+	if !agreed {
+		disagreements.Inc()
+		d.disagreed++
+		if d.disagreed > d.cfg.DisagreementBudget {
+			d.candidate = ""
+			d.state = StateRetired
+			hook := d.OnRetire
+			d.mu.Unlock()
+			if hook != nil {
+				hook(version, fmt.Sprintf("disagreement budget exhausted (%d)", d.disagreed))
+			}
+			return StateRetired
+		}
+		// Budget holds: the disagreed session consumed budget instead of
+		// counting toward the state's session quota.
+		d.mu.Unlock()
+		return d.state
+	}
+	d.sessions++
+	switch d.state {
+	case StateShadow:
+		if d.sessions >= d.cfg.ShadowSessions {
+			d.state = StateCanary
+			d.sessions = 0
+			hook := d.OnCanary
+			d.mu.Unlock()
+			if hook != nil {
+				hook(version)
+			}
+			return StateCanary
+		}
+	case StateCanary:
+		if d.sessions >= d.cfg.CanarySessions {
+			d.active = version
+			d.candidate = ""
+			d.state = StateActive
+			d.generation++
+			modelVersionGauge.Set(float64(d.generation))
+			hook := d.OnPromote
+			d.mu.Unlock()
+			if hook != nil {
+				hook(version)
+			}
+			return StateActive
+		}
+	}
+	state := d.state
+	d.mu.Unlock()
+	return state
+}
