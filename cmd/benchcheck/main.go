@@ -81,6 +81,7 @@ func check(path string) ([]string, error) {
 		"EvaluateNSYNCParallel/workers=8",
 		"DWMSyncRawAudio",
 		"DriftSweepACC",
+		"FleetLoad",
 	}
 	for _, name := range want {
 		rec, ok := byName[name]
@@ -127,9 +128,51 @@ func checkDriftRecord(rec benchRecord) []string {
 	return problems
 }
 
+// checkFleetRecord validates the fleet serving probe: the throughput and
+// latency numbers must have actually been measured, the shed rate must be a
+// rate, and no session may have produced a wrong-lane verdict — a fleet
+// benchmark that misclassifies lanes is measuring a broken detector, and
+// its throughput is not comparable across commits.
+func checkFleetRecord(rec benchRecord) []string {
+	var problems []string
+	fail := func(format string, args ...any) {
+		problems = append(problems, fmt.Sprintf("%s: %s", rec.Name, fmt.Sprintf(format, args...)))
+	}
+	if rec.N < 1 || rec.NsPerOp <= 0 {
+		fail("no measured iterations (n=%d, ns_per_op=%g)", rec.N, rec.NsPerOp)
+	}
+	for _, key := range []string{"sessions", "sessions_per_core_sec", "p99_verdict_ms", "shed_rate", "wrong_verdicts"} {
+		if _, ok := rec.Extra[key]; !ok {
+			fail("missing %s metric", key)
+		}
+	}
+	if len(problems) > 0 {
+		return problems
+	}
+	if rec.Extra["sessions"] <= 0 {
+		fail("sessions=%g: the fleet never ran", rec.Extra["sessions"])
+	}
+	if rec.Extra["sessions_per_core_sec"] <= 0 {
+		fail("sessions_per_core_sec=%g: throughput was not measured", rec.Extra["sessions_per_core_sec"])
+	}
+	if rec.Extra["p99_verdict_ms"] <= 0 {
+		fail("p99_verdict_ms=%g: verdict latency was not measured", rec.Extra["p99_verdict_ms"])
+	}
+	if sr := rec.Extra["shed_rate"]; sr < 0 || sr > 1 {
+		fail("shed_rate=%g is not a rate", sr)
+	}
+	if w := rec.Extra["wrong_verdicts"]; w != 0 {
+		fail("wrong_verdicts=%g: the fleet misclassified lanes; its throughput is meaningless", w)
+	}
+	return problems
+}
+
 func checkRecord(rec benchRecord) []string {
 	if rec.Name == "DriftSweepACC" {
 		return checkDriftRecord(rec)
+	}
+	if rec.Name == "FleetLoad" {
+		return checkFleetRecord(rec)
 	}
 	var problems []string
 	fail := func(format string, args ...any) {

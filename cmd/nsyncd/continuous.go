@@ -12,7 +12,6 @@ package main
 // promoted one.
 
 import (
-	"fmt"
 	"log"
 	"sync"
 
@@ -29,10 +28,13 @@ type continuousOptions struct {
 	Window      int
 	Margin      float64
 	RebaseAfter int
-	StoreDir    string
-	Quorum      int
-	Health      core.HealthConfig
-	Deploy      registry.DeploymentConfig
+	// Store persists candidate models (nil: candidates live only in memory).
+	// Opened by main and shared with the serving pool, so a persisted
+	// candidate is immediately loadable by version over the wire.
+	Store  *registry.Store
+	Quorum int
+	Health core.HealthConfig
+	Deploy registry.DeploymentConfig
 }
 
 // controller owns the re-baseline engine and the promotion lifecycle. Its
@@ -56,7 +58,9 @@ type controller struct {
 // newController builds the continuous-operations loop around the boot-time
 // trained channels. feats are the per-channel training features (one slice
 // per channel, in chans order) that seed the engine's threshold window.
-func newController(opts continuousOptions, chans []core.FusedMonitorChannel, feats [][]*core.Features, specs []ingest.ChannelSpec, swap *ingest.SwapFactory) (*controller, error) {
+// pool is the shared model pool new sessions are served from: a promoted
+// candidate is registered there and becomes the default version.
+func newController(opts continuousOptions, chans []core.FusedMonitorChannel, feats [][]*core.Features, specs []ingest.ChannelSpec, swap *ingest.SwapFactory, pool *ingest.SharedPool) (*controller, error) {
 	rchans := make([]rebase.Channel, len(chans))
 	for i, ch := range chans {
 		rchans[i] = rebase.Channel{Name: ch.Name, Reference: ch.Reference, Params: ch.Params, Train: feats[i]}
@@ -83,16 +87,9 @@ func newController(opts continuousOptions, chans []core.FusedMonitorChannel, fea
 
 	c := &controller{
 		swap: swap, specs: specs, eng: eng,
+		store:  opts.Store,
 		health: opts.Health, quorum: opts.Quorum,
 		rebaseAfter: opts.RebaseAfter,
-	}
-	if opts.StoreDir != "" {
-		if c.store, err = registry.OpenStore(opts.StoreDir); err != nil {
-			return nil, err
-		}
-		if _, err := c.store.Put(boot); err != nil {
-			return nil, fmt.Errorf("persist boot model: %w", err)
-		}
 	}
 	c.dep = registry.NewDeployment(opts.Deploy, bootVersion)
 	c.dep.OnCanary = func(version string) {
@@ -105,7 +102,14 @@ func newController(opts continuousOptions, chans []core.FusedMonitorChannel, fea
 		c.candidate = nil
 		c.mu.Unlock()
 		if m != nil {
-			swap.Swap(&ingest.MonitorPool{Build: m.Monitor, Channels: specs})
+			// Registering pins the promoted model in the shared pool, and the
+			// default flip routes new sessions to it; sessions pinned to an
+			// older version by content address keep being served.
+			if _, err := pool.Register(m); err != nil {
+				log.Printf("register promoted model %s: %v", version, err)
+			} else {
+				pool.SetDefault(version)
+			}
 		}
 		swap.ClearShadow()
 		log.Printf("promoted model %s to active (generation %d)", version, c.dep.Generation())

@@ -62,7 +62,10 @@ func run() error {
 		eta         = flag.Float64("eta", 0.1, "DWM eta")
 		occMargin   = flag.Float64("r", 0.3, "OCC margin r")
 		queueDepth  = flag.Int("queue", 64, "per-session frame queue depth")
-		watermark   = flag.Int("shed-watermark", 256, "aggregate queued frames before load shedding")
+		watermark   = flag.Int("shed-watermark", 256, "aggregate queued frames before load shedding (divided across shards)")
+		shards      = flag.Int("shards", 1, "in-process listener shards; sessions are consistent-hashed across them")
+		tenantSess  = flag.Int("tenant-sessions", 0, "per-tenant concurrent session quota (0 = unlimited)")
+		tenantQueue = flag.Int("tenant-frames", 0, "per-tenant aggregate queued-frame quota (0 = unlimited)")
 		readTimeout = flag.Duration("read-timeout", 30*time.Second, "per-frame read deadline")
 		enqTimeout  = flag.Duration("enqueue-timeout", 10*time.Second, "stalled-session eviction timeout")
 		retention   = flag.Duration("retention", 60*time.Second, "detached session retention for reconnect")
@@ -117,12 +120,34 @@ func run() error {
 		return err
 	}
 
-	pool := &ingest.MonitorPool{
-		Build: func() (*core.FusedMonitor, error) {
-			return core.NewFusedMonitor(chans, core.FusedConfig{K: *quorum})
-		},
-		Channels: specs,
+	// The trained boot configuration becomes a content-addressed model in a
+	// shared pool: every session on the same model shares one set of
+	// reference signals, and a fleet client can pin a specific version via
+	// the Hello's model field. With -model-store the pool also serves any
+	// previously persisted version on demand.
+	boot := &registry.Model{K: *quorum}
+	for _, ch := range chans {
+		boot.Channels = append(boot.Channels, registry.ChannelModel{
+			Name: ch.Name, Reference: ch.Reference, Params: ch.Params,
+			Thresholds: ch.Thresholds, Health: ch.Health,
+		})
 	}
+	var store *registry.Store
+	if *modelStore != "" {
+		if store, err = registry.OpenStore(*modelStore); err != nil {
+			return err
+		}
+		if _, err := store.Put(boot); err != nil {
+			return fmt.Errorf("persist boot model: %w", err)
+		}
+	}
+	pool := ingest.NewSharedPool(store)
+	bootVersion, err := pool.Register(boot)
+	if err != nil {
+		return err
+	}
+	log.Printf("boot model %s registered (default)", bootVersion)
+
 	// All sessions go through the swap layer so a promoted candidate model
 	// can replace the serving pool under load without dropping sessions.
 	swap := ingest.NewSwapFactory(pool)
@@ -130,29 +155,46 @@ func run() error {
 	if *rebaseAlpha > 0 {
 		ctrl, err := newController(continuousOptions{
 			Alpha: *rebaseAlpha, Window: *rebaseWindow, Margin: *occMargin,
-			RebaseAfter: *rebaseAfter, StoreDir: *modelStore,
+			RebaseAfter: *rebaseAfter, Store: store,
 			Quorum: *quorum, Health: health,
 			Deploy: registry.DeploymentConfig{
 				ShadowSessions: *shadowSess, CanarySessions: *canarySess,
 				DisagreementBudget: *disagreeBgt,
 			},
-		}, chans, feats, specs, swap)
+		}, chans, feats, specs, swap, pool)
 		if err != nil {
 			return err
 		}
 		factory = &captureFactory{inner: swap, ctrl: ctrl}
 	}
-	srv, err := ingest.NewServer(ingest.Config{
+	cfg := ingest.Config{
 		Factory:        factory,
 		QueueDepth:     *queueDepth,
 		ShedWatermark:  *watermark,
 		ReadTimeout:    *readTimeout,
 		EnqueueTimeout: *enqTimeout,
 		Retention:      *retention,
+		TenantQuota:    ingest.TenantQuota{MaxSessions: *tenantSess, MaxQueuedFrames: *tenantQueue},
 		Logf:           log.Printf,
-	})
-	if err != nil {
-		return err
+	}
+	var srv interface {
+		Serve(net.Listener) error
+		Shutdown(context.Context) error
+		SessionCount() int
+	}
+	if *shards > 1 {
+		router, err := ingest.NewRouter(*shards, cfg)
+		if err != nil {
+			return err
+		}
+		log.Printf("sharded routing: %d shards, per-shard shed watermark %d", *shards, max(1, *watermark / *shards))
+		srv = router
+	} else {
+		server, err := ingest.NewServer(cfg)
+		if err != nil {
+			return err
+		}
+		srv = server
 	}
 
 	l, err := net.Listen("tcp", *listenAddr)

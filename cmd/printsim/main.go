@@ -65,6 +65,8 @@ func run() error {
 		streamAddr = flag.String("stream", "", "stream to a running nsyncd at this address instead of writing files")
 		sessionID  = flag.String("session", "", "ingest session id (default <printer>_<label>_<seed>)")
 		priority   = flag.Int("priority", 100, "ingest session priority (lower sheds first)")
+		tenantArg  = flag.String("tenant", "", "tenant id carried in the hello (prefix in fleet mode with -fleet-tenants > 1)")
+		modelArg   = flag.String("model", "", "pin a trained model by content address (empty = server default)")
 		frameLen   = flag.Int("frame", 100, "samples per data frame")
 		shuffle    = flag.Int("shuffle", 0, "permute frame order within windows of this size (lossless reordering)")
 		dupProb    = flag.Float64("dup", 0, "probability a frame is sent twice")
@@ -72,6 +74,12 @@ func run() error {
 		reconnect  = flag.Int("reconnect-every", 0, "force a disconnect+resume after every N frames")
 		cutChannel = flag.String("cut", "", "stop this channel's data at half the print (simulated sensor death)")
 		driftArg   = flag.String("drift", "", "inject slow sensor drift, key=value pairs: gain/noise/clock/offset per-print rates, print=N (sequence index of the first run; run i is print N+i), seed=S, channel=ACC (e.g. 'noise=0.06,clock=0.0004,print=4')")
+
+		fleetN      = flag.Int("fleet", 0, "fleet mode: stream this many concurrent sessions to -stream (exit 2 on any wrong-lane verdict)")
+		fleetPar    = flag.Int("fleet-parallel", 64, "max fleet sessions in flight at once")
+		fleetAttack = flag.Int("fleet-attack-every", 5, "every Nth fleet session streams the attack print (0 = all benign)")
+		fleetDefect = flag.Int("fleet-defect-every", 3, "every Nth fleet session injects lossless transport defects (0 = none)")
+		fleetTen    = flag.Int("fleet-tenants", 1, "spread fleet sessions across this many tenant ids")
 	)
 	flag.Parse()
 
@@ -103,6 +111,55 @@ func run() error {
 		}
 		driftPrint = plan.Print
 	}
+	simulate := func(p *gcode.Program) (*printer.Trace, error) {
+		tr, err := printer.Run(p, prof, printer.Options{
+			Seed: *seed, TraceRate: scale.TraceRate,
+			InitialHotend: 205, InitialBed: 60,
+		})
+		if err != nil {
+			return nil, err
+		}
+		if ready := tr.EventTime("hotend-ready"); ready > 0 {
+			tr = tr.TrimBefore(ready)
+		}
+		return tr, nil
+	}
+	if *fleetN > 0 {
+		if *streamAddr == "" {
+			return fmt.Errorf("-fleet requires -stream")
+		}
+		// One benign and one attack print are simulated once; each client
+		// then observes them through its own seeded sensors, so the fleet is
+		// N distinct sessions without N printer simulations.
+		benignProg, malicious, err := scale.Programs()
+		if err != nil {
+			return err
+		}
+		benignTr, err := simulate(benignProg)
+		if err != nil {
+			return err
+		}
+		var attackTr *printer.Trace
+		if *fleetAttack > 0 {
+			attackName := *attack
+			if attackName == "" {
+				attackName = "Void"
+			}
+			attackProg, ok := malicious[attackName]
+			if !ok {
+				return fmt.Errorf("unknown attack %q (want one of %v)", attackName, experiment.AttackNames)
+			}
+			if attackTr, err = simulate(attackProg); err != nil {
+				return err
+			}
+		}
+		return runFleet(benignTr, attackTr, channels, scale, *seed, *streamAddr, fleetOptions{
+			sessions: *fleetN, parallel: *fleetPar,
+			attackEvery: *fleetAttack, defectEvery: *fleetDefect, tenants: *fleetTen,
+			frame: *frameLen, priority: *priority,
+			tenant: *tenantArg, model: *modelArg,
+		})
+	}
 	if err := os.MkdirAll(*outDir, 0o755); err != nil {
 		return err
 	}
@@ -128,6 +185,7 @@ func run() error {
 			err := streamRun(tr, channels, scale, s, *streamAddr, id, streamOptions{
 				priority: *priority, frame: *frameLen, shuffle: *shuffle,
 				dup: *dupProb, drop: *dropProb, reconnect: *reconnect, cut: *cutChannel,
+				tenant: *tenantArg, model: *modelArg,
 				drift: drift, driftPrint: driftPrint + i,
 			})
 			if err != nil {
@@ -164,6 +222,7 @@ type streamOptions struct {
 	priority, frame, shuffle, reconnect int
 	dup, drop                           float64
 	cut                                 string
+	tenant, model                       string
 	drift                               *sensor.DriftInjector
 	driftPrint                          int
 }
@@ -202,7 +261,10 @@ func streamRun(tr *printer.Trace, channels []sensor.Channel, scale experiment.Sc
 	if cut >= 0 {
 		ropt.CutChannels = []int{cut}
 	}
-	verdict, err := ingest.Replay(addr, ingest.Hello{SessionID: id, Priority: opt.priority, Channels: specs}, signals, ropt)
+	verdict, err := ingest.Replay(addr, ingest.Hello{
+		SessionID: id, Priority: opt.priority, Channels: specs,
+		Tenant: opt.tenant, Model: opt.model,
+	}, signals, ropt)
 	if err != nil {
 		return err
 	}

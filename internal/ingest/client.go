@@ -26,6 +26,12 @@ type Hello struct {
 	// Priority orders sessions for load shedding: lower sheds first.
 	Priority int
 	Channels []ChannelSpec
+	// Tenant is the fleet tenant the session belongs to; the server enforces
+	// admission quotas per tenant. Empty means the anonymous tenant.
+	Tenant string
+	// Model optionally selects a trained model by content address when the
+	// server runs a shared model pool. Empty means the server's default.
+	Model string
 }
 
 // Client is one connection's worth of framed-protocol state. Reconnecting
@@ -53,7 +59,7 @@ func Dial(addr string, h Hello, timeout time.Duration) (*Client, error) {
 	c := &Client{conn: conn, br: bufio.NewReader(conn)}
 	hello := &Frame{
 		Type: FrameHello, SessionID: h.SessionID, Priority: h.Priority,
-		Channels: h.Channels,
+		Channels: h.Channels, Tenant: h.Tenant, Model: h.Model,
 	}
 	conn.SetDeadline(time.Now().Add(timeout)) //nolint:errcheck // net.Conn deadlines
 	if err := WriteFrame(conn, hello); err != nil {
@@ -168,6 +174,19 @@ type ReplayOptions struct {
 	MaxDials int
 	// Timeout bounds each dial and the final verdict wait (default 30s).
 	Timeout time.Duration
+	// Stats, when set, receives measurements from the replay — the fleet
+	// load generator reads verdict latency from here.
+	Stats *ReplayStats
+}
+
+// ReplayStats carries measurements out of one Replay call.
+type ReplayStats struct {
+	// FinishLatency is the time from sending Finish to the verdict arriving:
+	// the tail flush plus the server's final decision, the latency an
+	// operator waits on at the end of a print.
+	FinishLatency time.Duration
+	// Dials is how many connections the replay used (1 = no reconnects).
+	Dials int
 }
 
 type replayFrame struct {
@@ -263,7 +282,13 @@ func Replay(addr string, h Hello, signals []*sigproc.Signal, opt ReplayOptions) 
 			return nil, err
 		}
 	}
-	return c.Finish(opt.Timeout)
+	start := time.Now()
+	v, err := c.Finish(opt.Timeout)
+	if opt.Stats != nil {
+		opt.Stats.FinishLatency = time.Since(start)
+		opt.Stats.Dials = dials
+	}
+	return v, err
 }
 
 // buildSchedule turns the per-channel signals into a defect-injected frame

@@ -119,10 +119,17 @@ type Verdict struct {
 type Frame struct {
 	Type FrameType
 
-	// Hello fields.
+	// Hello fields. Tenant names the fleet tenant the session belongs to
+	// (admission quotas are enforced per tenant; empty means the anonymous
+	// tenant). Model optionally selects a trained model by content address
+	// from a shared pool (empty means the pool's default). Both are trailing
+	// optional fields on the wire, so a version-1 Hello without them still
+	// decodes.
 	SessionID string
 	Priority  int
 	Channels  []ChannelSpec
+	Tenant    string
+	Model     string
 
 	// HelloAck: per-channel committed sample counts (the resume point).
 	Committed []uint64
@@ -162,7 +169,7 @@ func AppendFrame(dst []byte, f *Frame) ([]byte, error) {
 	w.u8(uint8(f.Type))
 	switch f.Type {
 	case FrameHello:
-		if len(f.SessionID) > 255 || len(f.Channels) > 255 {
+		if len(f.SessionID) > 255 || len(f.Channels) > 255 || len(f.Tenant) > 255 || len(f.Model) > 255 {
 			return nil, fmt.Errorf("%w: hello field too long", ErrMalformed)
 		}
 		w.str8(f.SessionID)
@@ -176,6 +183,8 @@ func AppendFrame(dst []byte, f *Frame) ([]byte, error) {
 			w.u8(uint8(ch.Lanes))
 			w.f64(ch.Rate)
 		}
+		w.str8(f.Tenant)
+		w.str8(f.Model)
 	case FrameHelloAck:
 		if len(f.Committed) > 255 {
 			return nil, fmt.Errorf("%w: too many channels", ErrMalformed)
@@ -403,6 +412,18 @@ func DecodeFrame(payload []byte) (*Frame, error) {
 				return nil, fmt.Errorf("%w: channel %q rate %v", ErrMalformed, ch.Name, ch.Rate)
 			}
 			f.Channels = append(f.Channels, ch)
+		}
+		// Tenant and model are trailing optional fields: a pre-fleet Hello
+		// ends at the channel list and decodes with both empty.
+		if r.pos < len(r.buf) {
+			if f.Tenant, err = r.str8(); err != nil {
+				return nil, err
+			}
+		}
+		if r.pos < len(r.buf) {
+			if f.Model, err = r.str8(); err != nil {
+				return nil, err
+			}
 		}
 	case FrameHelloAck:
 		nch, err := r.u8()

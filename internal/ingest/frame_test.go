@@ -16,6 +16,9 @@ func sampleFrames() []*Frame {
 			{Name: "MAG", Lanes: 3, Rate: 10},
 			{Name: "AUD", Lanes: 2, Rate: 4800},
 		}},
+		{Type: FrameHello, SessionID: "fleet-17", Priority: 3,
+			Channels: []ChannelSpec{{Name: "ACC", Lanes: 6, Rate: 400}},
+			Tenant:   "plant-berlin", Model: "a1b2c3d4e5f6"},
 		{Type: FrameHelloAck, Committed: []uint64{0, 1200, 1 << 40}},
 		{Type: FrameHelloAck},
 		{Type: FrameData, Channel: 2, Seq: 12345, Values: []float64{1.5, -2.25, 0, 3e300}},
@@ -51,6 +54,48 @@ func TestFrameRoundTrip(t *testing.T) {
 		if !reflect.DeepEqual(got, &norm) {
 			t.Errorf("%v: round trip:\n got %+v\nwant %+v", f.Type, got, &norm)
 		}
+	}
+}
+
+// TestHelloBackwardCompatible decodes a pre-fleet Hello — the payload ends
+// at the channel list, with no tenant or model fields — and a tenant-only
+// Hello. Both layouts must keep decoding after the fleet extension.
+func TestHelloBackwardCompatible(t *testing.T) {
+	legacy := mustAppendRaw(t, func(w *frameWriter) {
+		w.u8(Version)
+		w.u8(uint8(FrameHello))
+		w.str8("old-client")
+		w.u8(5) // priority
+		w.u8(1) // one channel
+		w.str8("ACC")
+		w.u8(6)
+		w.f64(400)
+	})
+	f, err := ReadFrame(bytes.NewReader(legacy))
+	if err != nil {
+		t.Fatalf("legacy hello: %v", err)
+	}
+	if f.SessionID != "old-client" || f.Tenant != "" || f.Model != "" {
+		t.Fatalf("legacy hello decoded as %+v", f)
+	}
+
+	tenantOnly := mustAppendRaw(t, func(w *frameWriter) {
+		w.u8(Version)
+		w.u8(uint8(FrameHello))
+		w.str8("mid-client")
+		w.u8(5)
+		w.u8(1)
+		w.str8("ACC")
+		w.u8(6)
+		w.f64(400)
+		w.str8("plant-7") // tenant but no model
+	})
+	f, err = ReadFrame(bytes.NewReader(tenantOnly))
+	if err != nil {
+		t.Fatalf("tenant-only hello: %v", err)
+	}
+	if f.Tenant != "plant-7" || f.Model != "" {
+		t.Fatalf("tenant-only hello decoded as %+v", f)
 	}
 }
 

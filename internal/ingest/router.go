@@ -1,0 +1,182 @@
+package ingest
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"hash/fnv"
+	"net"
+	"sync"
+	"time"
+)
+
+// Router spreads sessions across N in-process Server shards, each with its
+// own session map, queue accounting, and worker pool, so one contended
+// server mutex and one shared shed signal do not serialize a fleet of
+// printers. The router owns the accept loop: it reads each connection's
+// Hello, consistent-hashes the session id to a shard, and hands the
+// connection to that shard's serveConn. Hashing by session id (not by
+// connection) keeps a reconnecting client on the shard that retains its
+// detached session, so resume works unchanged.
+//
+// Quotas stay fleet-wide: every shard shares one TenantTable, so a tenant
+// cannot multiply its session quota by the shard count. The shed watermark,
+// by contrast, is deliberately per shard — each shard sheds on its own
+// queue depth, which is the locality the sharding exists to buy.
+type Router struct {
+	shards []*Server
+
+	mu        sync.Mutex
+	listeners map[net.Listener]struct{}
+	draining  bool
+
+	handlers sync.WaitGroup
+}
+
+// NewRouter builds shards identical servers from cfg. cfg.Tenants, if nil,
+// is replaced by one table shared across all shards; cfg.ShedWatermark is
+// divided among them (floor 1) so the fleet-wide shed point stays roughly
+// where a single server would put it.
+func NewRouter(shards int, cfg Config) (*Router, error) {
+	if shards <= 0 {
+		return nil, errors.New("ingest: router needs at least one shard")
+	}
+	cfg = cfg.withDefaults()
+	if cfg.Tenants == nil {
+		cfg.Tenants = NewTenantTable(cfg.TenantQuota)
+	}
+	cfg.ShedWatermark = max(1, cfg.ShedWatermark/shards)
+	r := &Router{listeners: map[net.Listener]struct{}{}}
+	for i := 0; i < shards; i++ {
+		srv, err := NewServer(cfg)
+		if err != nil {
+			return nil, err
+		}
+		r.shards = append(r.shards, srv)
+	}
+	return r, nil
+}
+
+// Shards reports the shard count.
+func (r *Router) Shards() int { return len(r.shards) }
+
+// SessionCount sums live sessions across shards.
+func (r *Router) SessionCount() int {
+	n := 0
+	for _, s := range r.shards {
+		n += s.SessionCount()
+	}
+	return n
+}
+
+// QueuedFrames sums queued-frame depth across shards.
+func (r *Router) QueuedFrames() int {
+	n := 0
+	for _, s := range r.shards {
+		n += s.QueuedFrames()
+	}
+	return n
+}
+
+// Tenants returns the fleet-wide tenant table shared by every shard.
+func (r *Router) Tenants() *TenantTable { return r.shards[0].tenants }
+
+// ShardFor reports which shard a session id routes to — exported so tests
+// and operators can predict placement.
+func (r *Router) ShardFor(sessionID string) int {
+	return jumpHash(fnv64(sessionID), len(r.shards))
+}
+
+// Serve accepts connections on l until Shutdown closes it, steering each to
+// its shard. It returns nil after a graceful shutdown, or the accept error
+// otherwise.
+func (r *Router) Serve(l net.Listener) error {
+	r.mu.Lock()
+	if r.draining {
+		r.mu.Unlock()
+		return errors.New("ingest: router is draining")
+	}
+	r.listeners[l] = struct{}{}
+	r.mu.Unlock()
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			r.mu.Lock()
+			delete(r.listeners, l)
+			draining := r.draining
+			r.mu.Unlock()
+			if draining {
+				return nil
+			}
+			return err
+		}
+		r.handlers.Add(1)
+		go func() {
+			defer r.handlers.Done()
+			r.route(conn)
+		}()
+	}
+}
+
+// route reads one connection's Hello and hands it to its shard.
+func (r *Router) route(conn net.Conn) {
+	defer conn.Close() //nolint:errcheck // read side already decided the outcome
+	shard := r.shards[0]
+	br := bufio.NewReader(conn)
+	conn.SetReadDeadline(time.Now().Add(shard.cfg.ReadTimeout)) //nolint:errcheck // net.Conn deadlines
+	hello, err := ReadFrame(br)
+	if err != nil || hello.Type != FrameHello {
+		shard.writeError(conn, "expected hello")
+		return
+	}
+	r.shards[r.ShardFor(hello.SessionID)].serveConn(conn, br, hello)
+}
+
+// Shutdown drains every shard concurrently. The context bounds the whole
+// fleet's drain, and listener teardown happens first so no new sessions
+// land mid-drain.
+func (r *Router) Shutdown(ctx context.Context) error {
+	r.mu.Lock()
+	r.draining = true
+	ls := make([]net.Listener, 0, len(r.listeners))
+	for l := range r.listeners {
+		ls = append(ls, l)
+	}
+	r.mu.Unlock()
+	for _, l := range ls {
+		l.Close() //nolint:errcheck // shutdown path
+	}
+	errs := make([]error, len(r.shards))
+	var wg sync.WaitGroup
+	for i, s := range r.shards {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			errs[i] = s.Shutdown(ctx)
+		}()
+	}
+	wg.Wait()
+	r.handlers.Wait()
+	return errors.Join(errs...)
+}
+
+// fnv64 hashes a session id to the router's key space.
+func fnv64(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s)) //nolint:errcheck // hash.Hash never errors
+	return h.Sum64()
+}
+
+// jumpHash is Lamping & Veach's jump consistent hash: maps key uniformly
+// onto [0, buckets) with no lookup table, and moves only 1/n of keys when a
+// shard is added — which keeps resuming sessions on their shard across a
+// fleet resize that grows the shard count.
+func jumpHash(key uint64, buckets int) int {
+	var b, j int64 = -1, 0
+	for j < int64(buckets) {
+		b = j
+		key = key*2862933555777941757 + 1
+		j = int64(float64(b+1) * (float64(1<<31) / float64((key>>33)+1)))
+	}
+	return int(b)
+}

@@ -1,0 +1,228 @@
+package ingest
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"nsync/internal/sigproc"
+)
+
+// startRouter serves a sharded router on a loopback listener and shuts it
+// down at cleanup, mirroring startServer.
+func startRouter(t *testing.T, shards int, cfg Config) (addr string, r *Router) {
+	t.Helper()
+	r, err := NewRouter(shards, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- r.Serve(l) }()
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := r.Shutdown(ctx); err != nil {
+			t.Errorf("shutdown: %v", err)
+		}
+		if err := <-serveErr; err != nil {
+			t.Errorf("serve: %v", err)
+		}
+	})
+	return l.Addr().String(), r
+}
+
+// TestRouterPlacement: every session lands on exactly the shard ShardFor
+// predicts, and the shard counts sum to the fleet total.
+func TestRouterPlacement(t *testing.T) {
+	addr, r := startRouter(t, 4, Config{Factory: &countFactory{}})
+	const sessions = 16
+	var clients []*Client
+	for i := 0; i < sessions; i++ {
+		id := fmt.Sprintf("printer-%02d", i)
+		c, err := Dial(addr, oneChanHello(id, i), 5*time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		clients = append(clients, c)
+	}
+	defer func() {
+		for _, c := range clients {
+			c.Close()
+		}
+	}()
+	if n := r.SessionCount(); n != sessions {
+		t.Fatalf("SessionCount() = %d, want %d", n, sessions)
+	}
+	used := map[int]bool{}
+	for i := 0; i < sessions; i++ {
+		id := fmt.Sprintf("printer-%02d", i)
+		shard := r.ShardFor(id)
+		used[shard] = true
+		r.shards[shard].mu.Lock()
+		_, ok := r.shards[shard].sessions[id]
+		r.shards[shard].mu.Unlock()
+		if !ok {
+			t.Errorf("session %s not on shard %d", id, shard)
+		}
+	}
+	// 16 ids over 4 shards: a placement that funnels everything onto one
+	// shard would defeat the point. Jump hash spreads uniformly; with these
+	// ids every shard is hit.
+	if len(used) < 2 {
+		t.Errorf("all sessions on %d shard(s)", len(used))
+	}
+}
+
+// TestRouterResumeStaysOnShard replays defect-laden streams with forced
+// mid-print reconnects through the router: the reconnecting client must be
+// routed back to the shard retaining its session, or the resume (and the
+// verdict) is lost.
+func TestRouterResumeStaysOnShard(t *testing.T) {
+	f := &countFactory{}
+	addr, _ := startRouter(t, 3, Config{Factory: f, ReadTimeout: 10 * time.Second, Retention: 30 * time.Second})
+	var wg sync.WaitGroup
+	errCh := make(chan error, 6)
+	for i := 0; i < 6; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(400 + i)))
+			sig := noiseML(rng, 100, 1, 600)
+			id := fmt.Sprintf("reconnect-%d", i)
+			v, err := Replay(addr, oneChanHello(id, i), []*sigproc.Signal{sig}, ReplayOptions{
+				FrameSamples: 40, Seed: int64(i), ShuffleWindow: 4, DupProb: 0.1, ReconnectAfter: 5,
+			})
+			if err != nil {
+				errCh <- fmt.Errorf("%s: %w", id, err)
+				return
+			}
+			if v.Reason != "finished" {
+				errCh <- fmt.Errorf("%s: reason %q", id, v.Reason)
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Error(err)
+	}
+	// Every session's full stream must have arrived despite the reconnects.
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for i, s := range f.sinks {
+		if s.samples[0] != 600 {
+			t.Errorf("sink %d got %d samples, want 600", i, s.samples[0])
+		}
+	}
+}
+
+// TestRouterFleetWideTenantQuota: shards share one tenant table, so a
+// tenant's quota holds across the fleet — it cannot be multiplied by
+// spreading session ids over shards.
+func TestRouterFleetWideTenantQuota(t *testing.T) {
+	addr, r := startRouter(t, 4, Config{Factory: &countFactory{}, TenantQuota: TenantQuota{MaxSessions: 2}})
+	admitted := 0
+	var clients []*Client
+	defer func() {
+		for _, c := range clients {
+			c.Close()
+		}
+	}()
+	shardsHit := map[int]bool{}
+	for i := 0; i < 6; i++ {
+		id := fmt.Sprintf("spread-%d", i)
+		h := oneChanHello(id, 1)
+		h.Tenant = "plant-a"
+		c, err := Dial(addr, h, 5*time.Second)
+		if err == nil {
+			admitted++
+			clients = append(clients, c)
+			shardsHit[r.ShardFor(id)] = true
+			continue
+		}
+		var se *ServerError
+		if !errors.As(err, &se) || !strings.Contains(se.Msg, "session quota") {
+			t.Fatalf("%s: got %v, want session-quota ServerError", id, err)
+		}
+	}
+	if admitted != 2 {
+		t.Fatalf("tenant admitted %d sessions across shards, want 2", admitted)
+	}
+	if r.Tenants().Rejected() != 4 {
+		t.Errorf("Rejected() = %d, want 4", r.Tenants().Rejected())
+	}
+	_ = shardsHit // placement is incidental; the quota must hold regardless
+}
+
+// TestRouterShutdownDrains: Shutdown drains every shard — each attached
+// client gets its final verdict unasked, and Serve returns nil.
+func TestRouterShutdownDrains(t *testing.T) {
+	r, err := NewRouter(2, Config{Factory: &countFactory{}, ReadTimeout: 10 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- r.Serve(l) }()
+	addr := l.Addr().String()
+
+	// Pick ids that land on different shards so both drain paths run.
+	var ids []string
+	for i := 0; len(ids) < 2 && i < 64; i++ {
+		id := fmt.Sprintf("drain-%d", i)
+		if len(ids) == 0 || r.ShardFor(id) != r.ShardFor(ids[0]) {
+			ids = append(ids, id)
+		}
+	}
+	if len(ids) != 2 {
+		t.Fatal("could not find ids on two shards")
+	}
+	var clients []*Client
+	for _, id := range ids {
+		c, err := Dial(addr, oneChanHello(id, 1), 5*time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer c.Close()
+		if err := c.SendData(0, 0, make([]float64, 10)); err != nil {
+			t.Fatal(err)
+		}
+		clients = append(clients, c)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	shutdownErr := make(chan error, 1)
+	go func() { shutdownErr <- r.Shutdown(ctx) }()
+	for i, c := range clients {
+		v, err := c.AwaitVerdict(10 * time.Second)
+		if err != nil {
+			t.Fatalf("client %d: %v", i, err)
+		}
+		if v.Reason != "drained" {
+			t.Errorf("client %d verdict reason %q, want drained", i, v.Reason)
+		}
+	}
+	if err := <-shutdownErr; err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	if err := <-serveErr; err != nil {
+		t.Fatalf("serve after drain: %v", err)
+	}
+	if n := r.SessionCount(); n != 0 {
+		t.Errorf("%d sessions survive shutdown", n)
+	}
+}

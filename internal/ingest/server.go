@@ -26,6 +26,10 @@ type Config struct {
 	// ReadTimeout is the per-frame read deadline (default 30s). A client
 	// silent for this long is evicted as stalled.
 	ReadTimeout time.Duration
+	// WriteTimeout is the deadline for every outbound frame — HelloAck,
+	// Verdict, Error — so a client that stops reading cannot pin a handler
+	// on its terminal write (default: ReadTimeout).
+	WriteTimeout time.Duration
 	// EnqueueTimeout is how long a handler may block on a full session
 	// queue before the session is evicted as unserviceable (default 10s).
 	EnqueueTimeout time.Duration
@@ -34,6 +38,14 @@ type Config struct {
 	Retention time.Duration
 	// Resequencer bounds each channel's reorder buffer.
 	Resequencer ResequencerConfig
+	// TenantQuota is the default per-tenant admission quota (zero value:
+	// unlimited). Ignored when Tenants is set.
+	TenantQuota TenantQuota
+	// Tenants, when set, is the tenant accounting table to enforce quotas
+	// against. Share one table across a Router's shards so quotas hold
+	// fleet-wide; leave nil to let the server build its own from
+	// TenantQuota.
+	Tenants *TenantTable
 	// Logf, when set, receives one line per session lifecycle event.
 	Logf func(format string, args ...any)
 }
@@ -47,6 +59,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.ReadTimeout <= 0 {
 		c.ReadTimeout = 30 * time.Second
+	}
+	if c.WriteTimeout <= 0 {
+		c.WriteTimeout = c.ReadTimeout
 	}
 	if c.EnqueueTimeout <= 0 {
 		c.EnqueueTimeout = 10 * time.Second
@@ -66,12 +81,14 @@ func (c Config) withDefaults() Config {
 // in-flight session is flushed, and final verdicts go out before Serve
 // returns.
 type Server struct {
-	cfg   Config
-	depth atomic.Int64 // aggregate queued frames, the shed signal
+	cfg     Config
+	tenants *TenantTable
+	depth   atomic.Int64 // aggregate queued frames, the shed signal
 
 	mu        sync.Mutex
 	listeners map[net.Listener]struct{}
 	sessions  map[string]*session
+	pending   int // admissions in flight: slot reserved, factory acquire running
 	draining  bool
 
 	wg sync.WaitGroup // one count per live session
@@ -82,8 +99,14 @@ func NewServer(cfg Config) (*Server, error) {
 	if cfg.Factory == nil {
 		return nil, errors.New("ingest: Config.Factory is required")
 	}
+	cfg = cfg.withDefaults()
+	tenants := cfg.Tenants
+	if tenants == nil {
+		tenants = NewTenantTable(cfg.TenantQuota)
+	}
 	return &Server{
-		cfg:       cfg.withDefaults(),
+		cfg:       cfg,
+		tenants:   tenants,
 		listeners: map[net.Listener]struct{}{},
 		sessions:  map[string]*session{},
 	}, nil
@@ -204,6 +227,13 @@ func (srv *Server) handle(conn net.Conn) {
 		srv.writeError(conn, "expected hello")
 		return
 	}
+	srv.serveConn(conn, br, hello)
+}
+
+// serveConn runs the post-handshake lifetime of one connection whose Hello
+// has already been read — the entry point a Router uses after steering the
+// connection to its shard. The caller owns closing conn.
+func (srv *Server) serveConn(conn net.Conn, br *bufio.Reader, hello *Frame) {
 	s, reject := srv.admit(hello)
 	if reject != "" {
 		srv.writeError(conn, reject)
@@ -214,6 +244,7 @@ func (srv *Server) handle(conn net.Conn) {
 		srv.writeError(conn, "session already attached")
 		return
 	}
+	conn.SetWriteDeadline(time.Now().Add(srv.cfg.WriteTimeout)) //nolint:errcheck // net.Conn deadlines
 	if err := WriteFrame(conn, &Frame{Type: FrameHelloAck, Committed: s.committedSnapshot()}); err != nil {
 		s.detach(srv.cfg.Retention)
 		return
@@ -331,13 +362,13 @@ func (srv *Server) deliverOutcome(conn net.Conn, s *session) {
 		return
 	}
 	metCompleted.Inc()
-	conn.SetWriteDeadline(time.Now().Add(srv.cfg.ReadTimeout))       //nolint:errcheck // net.Conn deadlines
+	conn.SetWriteDeadline(time.Now().Add(srv.cfg.WriteTimeout))      //nolint:errcheck // net.Conn deadlines
 	WriteFrame(conn, &Frame{Type: FrameVerdict, Verdict: out.v})     //nolint:errcheck // client may be gone
 	srv.logf("session %s: %s (intrusion=%v)", s.id, out.v.Reason, out.v.Intrusion)
 }
 
 func (srv *Server) writeError(conn net.Conn, msg string) {
-	conn.SetWriteDeadline(time.Now().Add(srv.cfg.ReadTimeout)) //nolint:errcheck // net.Conn deadlines
+	conn.SetWriteDeadline(time.Now().Add(srv.cfg.WriteTimeout)) //nolint:errcheck // net.Conn deadlines
 	WriteFrame(conn, &Frame{Type: FrameError, Message: msg})   //nolint:errcheck // best-effort report
 }
 
@@ -348,8 +379,18 @@ func (srv *Server) isDraining() bool {
 }
 
 // admit decides a Hello's fate: resume a retained session, reject under
-// drain or overload, or build a fresh session. It returns the session or a
-// rejection message.
+// drain, overload, or tenant quota, or build a fresh session. It returns
+// the session or a rejection message.
+//
+// The factory acquire can be slow (it may build a monitor), so admit drops
+// srv.mu around it. That gap is exactly where a concurrent Hello burst used
+// to over-admit: every handler observed depth below the watermark and a
+// tenant below its quota, then all of them sailed through. Admission now
+// reserves a slot under the lock first — srv.pending plus a tenant
+// reservation, both released on any reject path — and re-checks the
+// watermark after the acquire, so a burst can neither exceed a tenant's
+// session quota nor land sessions on a server that saturated while the
+// acquires were in flight.
 func (srv *Server) admit(hello *Frame) (*session, string) {
 	srv.mu.Lock()
 	if srv.draining {
@@ -371,29 +412,58 @@ func (srv *Server) admit(hello *Frame) (*session, string) {
 		metRejected.Inc()
 		return nil, "server overloaded; session shed"
 	}
+	tn, quotaReject := srv.tenants.reserve(hello.Tenant)
+	if quotaReject != "" {
+		srv.mu.Unlock()
+		metTenantRej.Inc()
+		metRejected.Inc()
+		return nil, quotaReject
+	}
+	srv.pending++
 	srv.mu.Unlock()
 
+	reject := func(msg string) (*session, string) {
+		srv.mu.Lock()
+		srv.pending--
+		srv.mu.Unlock()
+		srv.tenants.release(tn, false)
+		metRejected.Inc()
+		return nil, msg
+	}
 	sink, err := srv.cfg.Factory.Acquire(hello)
 	if err != nil {
-		metRejected.Inc()
-		return nil, err.Error()
+		return reject(err.Error())
 	}
-	s := newSession(srv, hello, sink)
+	s := newSession(srv, hello, sink, tn)
 
 	srv.mu.Lock()
+	srv.pending--
 	if srv.draining {
 		srv.mu.Unlock()
 		srv.cfg.Factory.Release(sink)
+		srv.tenants.release(tn, false)
 		metRejected.Inc()
 		return nil, "server draining"
 	}
 	if _, ok := srv.sessions[hello.SessionID]; ok {
 		srv.mu.Unlock()
 		srv.cfg.Factory.Release(sink)
+		srv.tenants.release(tn, false)
 		metRejected.Inc()
 		return nil, "session id already active"
 	}
+	// Re-check the watermark: depth may have crossed it while the factory
+	// acquire ran outside the lock.
+	if int(srv.depth.Load()) >= srv.cfg.ShedWatermark {
+		srv.mu.Unlock()
+		srv.cfg.Factory.Release(sink)
+		srv.tenants.release(tn, false)
+		metShed.Inc()
+		metRejected.Inc()
+		return nil, "server overloaded; session shed"
+	}
 	srv.sessions[hello.SessionID] = s
+	srv.tenants.commit(tn)
 	srv.wg.Add(1)
 	srv.mu.Unlock()
 	metAccepted.Inc()
@@ -402,11 +472,27 @@ func (srv *Server) admit(hello *Frame) (*session, string) {
 	return s, ""
 }
 
-// resume validates a reconnecting Hello against the retained session.
+// resume validates a reconnecting Hello against the retained session. The
+// channel layout must match name by name, in order: a Hello with the same
+// channel *count* but different names, lane counts, or rates would feed
+// lanes into the wrong resequencers and produce a verdict about the wrong
+// signals — reject it instead.
 func (srv *Server) resume(hello *Frame, s *session) (*session, string) {
-	if len(hello.Channels) != len(s.reseq) {
+	if len(hello.Channels) != len(s.specs) {
 		metRejected.Inc()
 		return nil, "resume hello channel layout mismatch"
+	}
+	for i, ch := range hello.Channels {
+		want := s.specs[i]
+		if ch.Name != want.Name || ch.Lanes != want.Lanes || ch.Rate != want.Rate {
+			metRejected.Inc()
+			return nil, fmt.Sprintf("resume hello channel layout mismatch: channel %d is %s/%d lanes @ %g Hz, session has %s/%d lanes @ %g Hz",
+				i, ch.Name, ch.Lanes, ch.Rate, want.Name, want.Lanes, want.Rate)
+		}
+	}
+	if hello.Tenant != s.tenantID {
+		metRejected.Inc()
+		return nil, fmt.Sprintf("resume hello tenant mismatch: %q, session belongs to %q", hello.Tenant, s.tenantID)
 	}
 	metResumed.Inc()
 	srv.logf("session %s: resumed", s.id)
@@ -460,6 +546,7 @@ func (srv *Server) removeSession(s *session) {
 	}
 	s.mu.Unlock()
 	srv.cfg.Factory.Release(s.sink)
+	srv.tenants.release(s.tenant, true)
 	metActive.Add(-1)
 	srv.wg.Done()
 }

@@ -30,6 +30,7 @@ var (
 	metDrained   = obs.GetCounter("session.drained")
 	metEvicted   = obs.GetCounter("session.evicted")
 	metResumed   = obs.GetCounter("session.resumed")
+	metTenantRej = obs.GetCounter("ingest.tenant_rejected")
 )
 
 // queued is one unit of session-worker input: a data/EOS frame, or a
@@ -63,6 +64,11 @@ type session struct {
 	srv      *Server
 	sink     Sink
 	reseq    []*Resequencer
+	// specs is the Hello channel layout the session was admitted with; a
+	// resume Hello must match it exactly.
+	specs    []ChannelSpec
+	tenantID string
+	tenant   *tenant // quota accounting handle; nil only in unit tests
 
 	// committed mirrors each resequencer's commit point so the handler can
 	// build a HelloAck while the worker is mid-push.
@@ -80,12 +86,15 @@ type session struct {
 	retention *time.Timer
 }
 
-func newSession(srv *Server, hello *Frame, sink Sink) *session {
+func newSession(srv *Server, hello *Frame, sink Sink, tn *tenant) *session {
 	s := &session{
 		id:        hello.SessionID,
 		priority:  hello.Priority,
 		srv:       srv,
 		sink:      sink,
+		specs:     append([]ChannelSpec(nil), hello.Channels...),
+		tenantID:  hello.Tenant,
+		tenant:    tn,
 		reseq:     make([]*Resequencer, len(hello.Channels)),
 		committed: make([]atomic.Uint64, len(hello.Channels)),
 		queue:     make(chan queued, srv.cfg.QueueDepth),
@@ -132,6 +141,9 @@ func (s *session) enqueue(q queued, timeout time.Duration) error {
 	case s.queue <- q:
 		s.srv.depth.Add(1)
 		metDepth.Add(1)
+		if s.tenant != nil {
+			s.tenant.depth.Add(1)
+		}
 		return nil
 	case <-s.quit:
 		return errTerminated
@@ -158,6 +170,9 @@ func (s *session) run() {
 		case q := <-s.queue:
 			s.srv.depth.Add(-1)
 			metDepth.Add(-1)
+			if s.tenant != nil {
+				s.tenant.depth.Add(-1)
+			}
 			if q.reason != "" {
 				v, err := s.finish(q.reason)
 				s.outcomeCh <- outcome{v: v, err: err}
@@ -240,6 +255,9 @@ func (s *session) discardQueue() {
 		case <-s.queue:
 			s.srv.depth.Add(-1)
 			metDepth.Add(-1)
+			if s.tenant != nil {
+				s.tenant.depth.Add(-1)
+			}
 		default:
 			return
 		}

@@ -104,15 +104,8 @@ type MonitorPool struct {
 
 // Acquire implements SinkFactory.
 func (p *MonitorPool) Acquire(hello *Frame) (Sink, error) {
-	if len(hello.Channels) != len(p.Channels) {
-		return nil, fmt.Errorf("ingest: session has %d channels, trained for %d", len(hello.Channels), len(p.Channels))
-	}
-	for i, ch := range hello.Channels {
-		want := p.Channels[i]
-		if ch.Name != want.Name || ch.Lanes != want.Lanes || ch.Rate != want.Rate {
-			return nil, fmt.Errorf("ingest: channel %d is %s/%d lanes @ %g Hz, trained for %s/%d lanes @ %g Hz",
-				i, ch.Name, ch.Lanes, ch.Rate, want.Name, want.Lanes, want.Rate)
-		}
+	if err := matchChannelSpecs(hello.Channels, p.Channels); err != nil {
+		return nil, err
 	}
 	p.mu.Lock()
 	var fm *core.FusedMonitor

@@ -1,0 +1,152 @@
+package ingest
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// TenantQuota bounds one tenant's footprint on a server. The zero value is
+// unlimited, so single-tenant deployments pay nothing for the machinery.
+type TenantQuota struct {
+	// MaxSessions caps a tenant's concurrent live sessions (attached or
+	// retained), admission reservations included (0 = unlimited).
+	MaxSessions int
+	// MaxQueuedFrames caps a tenant's aggregate queued frames: once a
+	// tenant's sessions hold this many frames in their queues, new sessions
+	// from that tenant are rejected at admission (0 = unlimited). Existing
+	// sessions are never cut by this quota — backpressure and the global
+	// shed watermark already govern them.
+	MaxQueuedFrames int
+}
+
+func (q TenantQuota) unlimited() bool { return q.MaxSessions <= 0 && q.MaxQueuedFrames <= 0 }
+
+// tenant is one tenant's live accounting. sessions and pending are guarded
+// by the owning table's mutex; depth is written on the session hot path and
+// therefore atomic.
+type tenant struct {
+	id    string
+	quota TenantQuota
+
+	sessions int // admitted live sessions
+	pending  int // admission reservations in flight (slot held, not yet admitted)
+	depth    atomic.Int64
+}
+
+// TenantTable tracks per-tenant admission state. One table can be shared by
+// every shard of a Router so quotas hold fleet-wide, not per shard; it is
+// safe for concurrent use. Its mutex nests strictly inside Server.mu — the
+// table never calls back into a server.
+type TenantTable struct {
+	mu       sync.Mutex
+	def      TenantQuota
+	quotas   map[string]TenantQuota
+	tenants  map[string]*tenant
+	rejected atomic.Int64
+}
+
+// NewTenantTable builds a table whose tenants default to def. Per-tenant
+// overrides come from SetQuota.
+func NewTenantTable(def TenantQuota) *TenantTable {
+	return &TenantTable{def: def, quotas: map[string]TenantQuota{}, tenants: map[string]*tenant{}}
+}
+
+// SetQuota overrides the quota for one tenant id. It applies to subsequent
+// admissions; sessions already admitted are unaffected.
+func (t *TenantTable) SetQuota(id string, q TenantQuota) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.quotas[id] = q
+	if tn, ok := t.tenants[id]; ok {
+		tn.quota = q
+	}
+}
+
+// Sessions reports a tenant's current live session count (reservations not
+// included).
+func (t *TenantTable) Sessions(id string) int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if tn, ok := t.tenants[id]; ok {
+		return tn.sessions
+	}
+	return 0
+}
+
+// QueuedFrames reports a tenant's aggregate queued-frame depth.
+func (t *TenantTable) QueuedFrames(id string) int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if tn, ok := t.tenants[id]; ok {
+		return int(tn.depth.Load())
+	}
+	return 0
+}
+
+// Rejected reports how many admissions the table has refused over quota.
+func (t *TenantTable) Rejected() int64 { return t.rejected.Load() }
+
+func (t *TenantTable) quotaFor(id string) TenantQuota {
+	if q, ok := t.quotas[id]; ok {
+		return q
+	}
+	return t.def
+}
+
+// reserve claims an admission slot for id, returning the tenant handle or a
+// rejection message. A successful reservation MUST be resolved by exactly
+// one commit (admission succeeded) or one release with admitted=false
+// (admission failed) — the slot counts against MaxSessions either way, which
+// is what makes a concurrent Hello burst unable to over-admit past the
+// quota while the factory acquire runs outside the server lock.
+func (t *TenantTable) reserve(id string) (*tenant, string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	tn, ok := t.tenants[id]
+	if !ok {
+		tn = &tenant{id: id, quota: t.quotaFor(id)}
+		t.tenants[id] = tn
+	}
+	if q := tn.quota; !q.unlimited() {
+		if q.MaxSessions > 0 && tn.sessions+tn.pending >= q.MaxSessions {
+			t.rejected.Add(1)
+			return nil, fmt.Sprintf("tenant %q over session quota (%d)", id, q.MaxSessions)
+		}
+		if q.MaxQueuedFrames > 0 && int(tn.depth.Load()) >= q.MaxQueuedFrames {
+			t.rejected.Add(1)
+			return nil, fmt.Sprintf("tenant %q over queued-frame quota (%d)", id, q.MaxQueuedFrames)
+		}
+	}
+	tn.pending++
+	return tn, ""
+}
+
+// commit converts a reservation into an admitted session.
+func (t *TenantTable) commit(tn *tenant) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	tn.pending--
+	tn.sessions++
+}
+
+// release returns a reservation (admitted=false) or an admitted session
+// (admitted=true) to the table, garbage-collecting idle tenants so a churn
+// of one-shot tenant ids cannot grow the table without bound.
+func (t *TenantTable) release(tn *tenant, admitted bool) {
+	if tn == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if admitted {
+		tn.sessions--
+	} else {
+		tn.pending--
+	}
+	if tn.sessions == 0 && tn.pending == 0 && tn.depth.Load() == 0 {
+		if cur, ok := t.tenants[tn.id]; ok && cur == tn {
+			delete(t.tenants, tn.id)
+		}
+	}
+}
