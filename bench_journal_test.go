@@ -1,0 +1,174 @@
+package nsync
+
+// BenchmarkJournalOverhead prices the crash-safety tax: the same wave of
+// mixed concurrent replay sessions is served twice by identically configured
+// servers — once journaling every admit, snapshot, and finish to disk, once
+// with journaling off — and the probe reports the on/off throughput ratio.
+// benchcheck pins that ratio above journalThroughputFloor (the issue's
+// "journaling costs at most ~10%" budget, with headroom for noisy CI
+// runners) and wrong_verdicts at zero: durability paid for with lost
+// detection accuracy or a double-digit slowdown fails the build.
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"nsync/internal/ingest"
+)
+
+const (
+	// journalBenchWave is how many concurrent sessions one wave replays —
+	// smaller than FleetLoad's: this probe measures a ratio, not capacity.
+	journalBenchWave = 16
+	// journalBenchSnapshotEvery forces ~2 monitor snapshots per session at
+	// this probe's 10-frames-per-channel stream, so the snapshot path (the
+	// expensive part of journaling) is actually in the measured loop.
+	journalBenchSnapshotEvery = 8
+	// journalBenchWavesPerOp batches several waves into each measured op: a
+	// single 16-session wave finishes in tens of milliseconds, too little
+	// signal for a ratio two schedulers can agree on.
+	journalBenchWavesPerOp = 4
+)
+
+// journalBenchArm is one measured configuration: a running server plus the
+// accumulated streaming time and verdict tally for the waves it has served.
+type journalBenchArm struct {
+	tag      string
+	addr     string
+	shutdown func()
+	elapsed  time.Duration
+	wrong    int
+	waves    int
+}
+
+// newJournalBenchArm boots a fresh single-shard server over its own pool,
+// journaling iff j != nil.
+func newJournalBenchArm(b *testing.B, fx *fleetBenchFixture, j *ingest.Journal, tag string) *journalBenchArm {
+	b.Helper()
+	pool := ingest.NewSharedPool(nil)
+	if _, err := pool.Register(fx.model); err != nil {
+		b.Fatal(err)
+	}
+	srv, err := ingest.NewServer(ingest.Config{
+		Factory:             pool,
+		Journal:             j,
+		SnapshotEveryFrames: journalBenchSnapshotEvery,
+		ShedWatermark:       1 << 20,
+		ReadTimeout:         30 * time.Second,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	go srv.Serve(l) //nolint:errcheck // exits on Shutdown
+	return &journalBenchArm{
+		tag:  tag,
+		addr: l.Addr().String(),
+		shutdown: func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+			defer cancel()
+			if err := srv.Shutdown(ctx); err != nil {
+				b.Error(err)
+			}
+		},
+	}
+}
+
+// wave replays one journalBenchWave-session wave against the arm and, when
+// timed, adds its wall time to the arm's total.
+func (a *journalBenchArm) wave(b *testing.B, fx *fleetBenchFixture, timed bool) {
+	b.Helper()
+	iter := a.waves
+	a.waves++
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	var firstErr error
+	var errs int
+	start := time.Now()
+	for i := 0; i < journalBenchWave; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sigs, expect := fx.benign[i%len(fx.benign)], false
+			if i%fleetAttackEvery == 0 {
+				sigs, expect = fx.attack[i%len(fx.attack)], true
+			}
+			v, err := ingest.Replay(a.addr, ingest.Hello{
+				SessionID: fmt.Sprintf("jb-%s-%d-%04d", a.tag, iter, i),
+				Channels:  fx.specs,
+			}, sigs, ingest.ReplayOptions{
+				FrameSamples: 200, Seed: int64(iter*journalBenchWave + i),
+				Timeout: 60 * time.Second,
+			})
+			mu.Lock()
+			defer mu.Unlock()
+			switch {
+			case err != nil:
+				errs++
+				if firstErr == nil {
+					firstErr = err
+				}
+			case v.Intrusion != expect:
+				a.wrong++
+			}
+		}(i)
+	}
+	wg.Wait()
+	if timed {
+		a.elapsed += time.Since(start)
+	}
+	if errs > 0 {
+		b.Fatalf("journal=%s: %d sessions failed in transport, first: %v", a.tag, errs, firstErr)
+	}
+}
+
+// BenchmarkJournalOverhead reports journaled fleet throughput, the on/off
+// throughput ratio, the snapshot count (proving the snapshot path ran), and
+// wrong_verdicts across both arms. The arms serve alternating waves rather
+// than back-to-back blocks: on a loaded CI runner a block design charges
+// whatever the machine was doing during one arm entirely to that arm, and
+// the ratio inherits the noise (observed swings of ±20% with a real
+// steady-state overhead near 2%). One untimed warm-up wave per arm absorbs
+// one-time costs — gob type compilation, first-connection setup — that
+// would otherwise all land on the journaled arm, which runs first.
+func BenchmarkJournalOverhead(b *testing.B) {
+	fx := fleetFixture(b)
+	dir := b.TempDir()
+	j, rec, err := ingest.OpenJournal(dir, ingest.JournalConfig{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if len(rec) != 0 {
+		b.Fatalf("fresh journal recovered %d sessions", len(rec))
+	}
+	defer j.Close() //nolint:errcheck // bench teardown
+
+	on := newJournalBenchArm(b, fx, j, "on")
+	defer on.shutdown()
+	off := newJournalBenchArm(b, fx, nil, "off")
+	defer off.shutdown()
+
+	b.ResetTimer()
+	on.wave(b, fx, false) // warm-up
+	off.wave(b, fx, false)
+	for w := 0; w < b.N*journalBenchWavesPerOp; w++ {
+		on.wave(b, fx, true)
+		off.wave(b, fx, true)
+	}
+	b.StopTimer()
+
+	sessions := float64(b.N * journalBenchWavesPerOp * journalBenchWave)
+	onRate := sessions / on.elapsed.Seconds()
+	offRate := sessions / off.elapsed.Seconds()
+	b.ReportMetric(onRate, "sessions_per_sec")
+	b.ReportMetric(onRate/offRate, "throughput_ratio")
+	b.ReportMetric(float64(j.Snapshots()), "journal_snapshots")
+	b.ReportMetric(float64(on.wrong+off.wrong), "wrong_verdicts")
+}

@@ -88,6 +88,11 @@ func writeBenchJSON(path string) error {
 		// fleet numbers (sessions per core-second, p99 verdict latency,
 		// shed rate) and a wrong_verdicts count benchcheck pins at zero.
 		{"FleetLoad", BenchmarkFleetLoad},
+		// The crash-safety probe: the same wave served journal-on vs
+		// journal-off. Its Extra metrics carry the on/off throughput ratio
+		// benchcheck floors (journaling may cost at most ~10–15%) and a
+		// wrong_verdicts count pinned at zero across both arms.
+		{"JournalOverhead", BenchmarkJournalOverhead},
 	}
 	var records []benchRecord
 	for _, p := range probes {

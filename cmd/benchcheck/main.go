@@ -14,7 +14,12 @@
 //   - the DriftSweepACC row (an accuracy probe, no throughput) records the
 //     drift sweep's final FPR metrics, and the re-baselined detector's FPR
 //     recovered to within 0.25 of the fresh-retrain floor — a regression in
-//     the rolling re-baseline engine fails the build, not just the table.
+//     the rolling re-baseline engine fails the build, not just the table;
+//   - the FleetLoad row measured real throughput with zero wrong-lane
+//     verdicts;
+//   - the JournalOverhead row shows session journaling costing no more than
+//     its budgeted fleet-throughput overhead, with the snapshot path
+//     actually exercised and zero wrong-lane verdicts in either arm.
 //
 // Usage: benchcheck [path] (default BENCH_nsync.json).
 package main
@@ -82,6 +87,7 @@ func check(path string) ([]string, error) {
 		"DWMSyncRawAudio",
 		"DriftSweepACC",
 		"FleetLoad",
+		"JournalOverhead",
 	}
 	for _, name := range want {
 		rec, ok := byName[name]
@@ -167,12 +173,57 @@ func checkFleetRecord(rec benchRecord) []string {
 	return problems
 }
 
+// journalThroughputFloor is the minimum journal-on/journal-off fleet
+// throughput ratio. The issue budgets journaling at "≤ ~10%" overhead; the
+// floor sits a little under 0.90 because the probe's two arms are separate
+// servers on a shared CI runner and the ratio carries scheduling noise.
+const journalThroughputFloor = 0.80
+
+// checkJournalRecord validates the crash-safety probe: the ratio must have
+// actually been measured with the snapshot path in the loop, journaling must
+// not cost more than the budgeted overhead, and neither arm may have
+// produced a wrong-lane verdict — durability that changes verdicts is a
+// correctness bug, not a perf trade.
+func checkJournalRecord(rec benchRecord) []string {
+	var problems []string
+	fail := func(format string, args ...any) {
+		problems = append(problems, fmt.Sprintf("%s: %s", rec.Name, fmt.Sprintf(format, args...)))
+	}
+	if rec.N < 1 || rec.NsPerOp <= 0 {
+		fail("no measured iterations (n=%d, ns_per_op=%g)", rec.N, rec.NsPerOp)
+	}
+	for _, key := range []string{"sessions_per_sec", "throughput_ratio", "journal_snapshots", "wrong_verdicts"} {
+		if _, ok := rec.Extra[key]; !ok {
+			fail("missing %s metric", key)
+		}
+	}
+	if len(problems) > 0 {
+		return problems
+	}
+	if rec.Extra["sessions_per_sec"] <= 0 {
+		fail("sessions_per_sec=%g: journaled throughput was not measured", rec.Extra["sessions_per_sec"])
+	}
+	if rec.Extra["journal_snapshots"] <= 0 {
+		fail("journal_snapshots=%g: the snapshot path never ran, so the ratio measures nothing", rec.Extra["journal_snapshots"])
+	}
+	if r := rec.Extra["throughput_ratio"]; r < journalThroughputFloor {
+		fail("throughput_ratio=%.2f below floor %.2f — journaling regressed fleet throughput past its budget", r, journalThroughputFloor)
+	}
+	if w := rec.Extra["wrong_verdicts"]; w != 0 {
+		fail("wrong_verdicts=%g: journaling changed verdicts", w)
+	}
+	return problems
+}
+
 func checkRecord(rec benchRecord) []string {
 	if rec.Name == "DriftSweepACC" {
 		return checkDriftRecord(rec)
 	}
 	if rec.Name == "FleetLoad" {
 		return checkFleetRecord(rec)
+	}
+	if rec.Name == "JournalOverhead" {
+		return checkJournalRecord(rec)
 	}
 	var problems []string
 	fail := func(format string, args ...any) {

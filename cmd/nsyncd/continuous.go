@@ -254,6 +254,12 @@ type captureSink struct {
 	overflow bool
 }
 
+// Unwrap exposes the wrapped sink so the journal's state capture reaches
+// the stateful monitor underneath. The capture buffer itself is not
+// persisted: a recovered session has a gap in its lane recording, so it is
+// not re-baseline evidence anyway.
+func (s *captureSink) Unwrap() ingest.Sink { return s.Sink }
+
 // Push implements ingest.Sink.
 func (s *captureSink) Push(ch int, values []float64) error {
 	if err := s.Sink.Push(ch, values); err != nil {

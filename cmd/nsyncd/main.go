@@ -66,6 +66,9 @@ func run() error {
 		shards      = flag.Int("shards", 1, "in-process listener shards; sessions are consistent-hashed across them")
 		tenantSess  = flag.Int("tenant-sessions", 0, "per-tenant concurrent session quota (0 = unlimited)")
 		tenantQueue = flag.Int("tenant-frames", 0, "per-tenant aggregate queued-frame quota (0 = unlimited)")
+		journalDir  = flag.String("journal", "", "session journal directory; enables crash recovery of in-flight sessions (empty: off)")
+		journalSync = flag.String("journal-sync", "interval", "journal fsync policy: interval, always, or none")
+		snapEvery   = flag.Int("snapshot-every", 0, "journal a monitor snapshot every N frames per session (0 = default 256)")
 		readTimeout = flag.Duration("read-timeout", 30*time.Second, "per-frame read deadline")
 		enqTimeout  = flag.Duration("enqueue-timeout", 10*time.Second, "stalled-session eviction timeout")
 		retention   = flag.Duration("retention", 60*time.Second, "detached session retention for reconnect")
@@ -137,6 +140,11 @@ func run() error {
 		if store, err = registry.OpenStore(*modelStore); err != nil {
 			return err
 		}
+		if *journalDir != "" {
+			// A journal entry pins its model by hash; the model file that
+			// hash resolves to must be at least as durable as the journal.
+			store.SetSync(true)
+		}
 		if _, err := store.Put(boot); err != nil {
 			return fmt.Errorf("persist boot model: %w", err)
 		}
@@ -167,15 +175,38 @@ func run() error {
 		}
 		factory = &captureFactory{inner: swap, ctrl: ctrl}
 	}
+	// With -journal, boot replays the session journal before serving: every
+	// session that was in flight when the previous process died comes back
+	// detached, its monitor state restored from the last durable snapshot,
+	// waiting for its client to reconnect through the ordinary resume path.
+	var journal *ingest.Journal
+	var journaled []ingest.RecoveredSession
+	if *journalDir != "" {
+		mode, err := ingest.ParseJournalSyncMode(*journalSync)
+		if err != nil {
+			return err
+		}
+		journal, journaled, err = ingest.OpenJournal(*journalDir, ingest.JournalConfig{
+			SyncMode: mode, Logf: log.Printf,
+		})
+		if err != nil {
+			return fmt.Errorf("open journal: %w", err)
+		}
+		defer journal.Close()
+		log.Printf("session journal at %s (sync=%s)", *journalDir, *journalSync)
+	}
+
 	cfg := ingest.Config{
-		Factory:        factory,
-		QueueDepth:     *queueDepth,
-		ShedWatermark:  *watermark,
-		ReadTimeout:    *readTimeout,
-		EnqueueTimeout: *enqTimeout,
-		Retention:      *retention,
-		TenantQuota:    ingest.TenantQuota{MaxSessions: *tenantSess, MaxQueuedFrames: *tenantQueue},
-		Logf:           log.Printf,
+		Factory:             factory,
+		QueueDepth:          *queueDepth,
+		ShedWatermark:       *watermark,
+		ReadTimeout:         *readTimeout,
+		EnqueueTimeout:      *enqTimeout,
+		Retention:           *retention,
+		TenantQuota:         ingest.TenantQuota{MaxSessions: *tenantSess, MaxQueuedFrames: *tenantQueue},
+		Journal:             journal,
+		SnapshotEveryFrames: *snapEvery,
+		Logf:                log.Printf,
 	}
 	var srv interface {
 		Serve(net.Listener) error
@@ -188,11 +219,19 @@ func run() error {
 			return err
 		}
 		log.Printf("sharded routing: %d shards, per-shard shed watermark %d", *shards, max(1, *watermark / *shards))
+		if journal != nil {
+			n := router.Recover(journaled, pool)
+			log.Printf("journal: recovered %d of %d journaled sessions", n, len(journaled))
+		}
 		srv = router
 	} else {
 		server, err := ingest.NewServer(cfg)
 		if err != nil {
 			return err
+		}
+		if journal != nil {
+			n := server.Recover(journaled, pool)
+			log.Printf("journal: recovered %d of %d journaled sessions", n, len(journaled))
 		}
 		srv = server
 	}

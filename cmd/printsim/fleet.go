@@ -37,6 +37,8 @@ type fleetOptions struct {
 	tenant      string // tenant id, or prefix when tenants > 1
 	model       string
 	idPrefix    string
+	backoff     time.Duration // base dial backoff (see ReplayOptions.DialBackoff)
+	maxDials    int           // total connection attempts per session
 }
 
 // fleetResult is one client's outcome.
@@ -145,8 +147,9 @@ func fleetClient(benign, attack *printer.Trace, channels []sensor.Channel, scale
 	}
 	ropt := ingest.ReplayOptions{
 		FrameSamples: opt.frame, Seed: seed,
-		Timeout: 60 * time.Second,
-		Stats:   &ingest.ReplayStats{},
+		Timeout:     60 * time.Second,
+		DialBackoff: opt.backoff, MaxDials: opt.maxDials,
+		Stats: &ingest.ReplayStats{},
 	}
 	if opt.defectEvery > 0 && i%opt.defectEvery == 0 {
 		ropt.ShuffleWindow = 6

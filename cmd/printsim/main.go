@@ -35,6 +35,7 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"time"
 
 	"nsync/internal/experiment"
 	"nsync/internal/gcode"
@@ -72,6 +73,8 @@ func run() error {
 		dupProb    = flag.Float64("dup", 0, "probability a frame is sent twice")
 		dropProb   = flag.Float64("drop", 0, "probability a frame is never sent (lossy)")
 		reconnect  = flag.Int("reconnect-every", 0, "force a disconnect+resume after every N frames")
+		backoff    = flag.Duration("reconnect-backoff", 0, "base delay between dial attempts, growing exponentially with seeded jitter (default 10ms)")
+		maxDials   = flag.Int("max-dials", 0, "total connection attempts per session, first dial included (default 8)")
 		cutChannel = flag.String("cut", "", "stop this channel's data at half the print (simulated sensor death)")
 		driftArg   = flag.String("drift", "", "inject slow sensor drift, key=value pairs: gain/noise/clock/offset per-print rates, print=N (sequence index of the first run; run i is print N+i), seed=S, channel=ACC (e.g. 'noise=0.06,clock=0.0004,print=4')")
 
@@ -158,6 +161,7 @@ func run() error {
 			attackEvery: *fleetAttack, defectEvery: *fleetDefect, tenants: *fleetTen,
 			frame: *frameLen, priority: *priority,
 			tenant: *tenantArg, model: *modelArg,
+			backoff: *backoff, maxDials: *maxDials,
 		})
 	}
 	if err := os.MkdirAll(*outDir, 0o755); err != nil {
@@ -186,6 +190,7 @@ func run() error {
 				priority: *priority, frame: *frameLen, shuffle: *shuffle,
 				dup: *dupProb, drop: *dropProb, reconnect: *reconnect, cut: *cutChannel,
 				tenant: *tenantArg, model: *modelArg,
+				backoff: *backoff, maxDials: *maxDials,
 				drift: drift, driftPrint: driftPrint + i,
 			})
 			if err != nil {
@@ -223,6 +228,8 @@ type streamOptions struct {
 	dup, drop                           float64
 	cut                                 string
 	tenant, model                       string
+	backoff                             time.Duration
+	maxDials                            int
 	drift                               *sensor.DriftInjector
 	driftPrint                          int
 }
@@ -257,6 +264,7 @@ func streamRun(tr *printer.Trace, channels []sensor.Channel, scale experiment.Sc
 	ropt := ingest.ReplayOptions{
 		FrameSamples: opt.frame, Seed: seed, ShuffleWindow: opt.shuffle,
 		DupProb: opt.dup, DropProb: opt.drop, ReconnectAfter: opt.reconnect,
+		DialBackoff: opt.backoff, MaxDials: opt.maxDials,
 	}
 	if cut >= 0 {
 		ropt.CutChannels = []int{cut}

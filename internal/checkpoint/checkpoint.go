@@ -35,6 +35,7 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"sync/atomic"
 
 	"nsync/internal/obs"
 )
@@ -59,6 +60,12 @@ const version uint32 = 1
 // same key last-write-win atomically.
 type Store struct {
 	dir string
+	// durable gates fsync on the write path. Off by default: batch sweeps
+	// re-derive anything a power cut loses, and per-cell fsyncs would
+	// dominate a multi-thousand-cell run. The daemon turns it on — a model
+	// whose hash is pinned in a session journal must still resolve after
+	// the machine, not just the process, comes back.
+	durable atomic.Bool
 }
 
 // Open creates (if needed) and opens a checkpoint directory.
@@ -71,6 +78,13 @@ func Open(dir string) (*Store, error) {
 
 // Dir returns the store's directory.
 func (s *Store) Dir() string { return s.dir }
+
+// SetSync toggles durable writes. When on, Save fsyncs the temp file before
+// the rename and the directory after it, so a committed entry survives power
+// loss, not just process death. The atomic-rename torn-write guarantee holds
+// either way; Sync only closes the written-but-not-yet-on-platter window.
+// Safe to call concurrently with Saves.
+func (s *Store) SetSync(on bool) { s.durable.Store(on) }
 
 // Path returns the file path an entry for key lives at. The name is the
 // hex SHA-256 of the key: keys are long hierarchical strings with
@@ -112,6 +126,14 @@ func (s *Store) Save(key string, v any) error {
 		os.Remove(tmp.Name())
 		return fmt.Errorf("checkpoint: write %q: %w", key, err)
 	}
+	durable := s.durable.Load()
+	if durable {
+		if err := tmp.Sync(); err != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+			return fmt.Errorf("checkpoint: sync %q: %w", key, err)
+		}
+	}
 	if err := tmp.Close(); err != nil {
 		os.Remove(tmp.Name())
 		return fmt.Errorf("checkpoint: write %q: %w", key, err)
@@ -120,8 +142,25 @@ func (s *Store) Save(key string, v any) error {
 		os.Remove(tmp.Name())
 		return fmt.Errorf("checkpoint: commit %q: %w", key, err)
 	}
+	if durable {
+		// The rename is only durable once the directory entry is: fsync the
+		// directory, or a power cut can resurrect the pre-rename state.
+		if err := syncDir(s.dir); err != nil {
+			return fmt.Errorf("checkpoint: commit %q: %w", key, err)
+		}
+	}
 	writes.Inc()
 	return nil
+}
+
+// syncDir fsyncs a directory so renames inside it are on stable storage.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
 }
 
 // Load reads the entry for key into v (a pointer, as for gob.Decode) and

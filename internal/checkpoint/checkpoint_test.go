@@ -181,3 +181,37 @@ func TestMetricsCounters(t *testing.T) {
 		t.Errorf("writes +%d, want +1", d)
 	}
 }
+
+// TestSyncSave exercises the durable-write path: with Sync on, Save must
+// still round-trip, stay atomic (no temp leftovers), and keep working after
+// toggling back off. fsync effects themselves aren't observable from a
+// test, but this pins the code path so it can't rot behind the flag.
+func TestSyncSave(t *testing.T) {
+	s := testStore(t)
+	s.SetSync(true)
+	in := cell{Printer: "UM3", FPR: 0.01, Series: []float64{4, 5}}
+	if err := s.Save("table5/um3/sync", in); err != nil {
+		t.Fatal(err)
+	}
+	var out cell
+	ok, err := s.Load("table5/um3/sync", &out)
+	if err != nil || !ok {
+		t.Fatalf("Load = (%v, %v), want hit", ok, err)
+	}
+	if out.Printer != in.Printer || out.FPR != in.FPR {
+		t.Fatalf("round-trip mismatch: %+v vs %+v", out, in)
+	}
+	entries, err := os.ReadDir(s.Dir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.Contains(e.Name(), ".tmp") {
+			t.Errorf("leftover temp file %s under sync", e.Name())
+		}
+	}
+	s.SetSync(false)
+	if err := s.Save("table5/um3/sync", in); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,242 @@
+// Monitor state capture for crash recovery (DESIGN.md §16). A long-running
+// service snapshots its in-flight detectors so a restarted process can
+// resume a detached session from the last durable snapshot instead of
+// losing the print. The captured state is the exact set of per-stream
+// fields Reset clears — configuration (references, thresholds, resolved
+// parameters) is reconstructed from the trained model on the restore side,
+// and unbounded reporting history (per-window Features, DWM displacement
+// arrays) is deliberately excluded so a snapshot's size is bounded by the
+// pending sample buffers, not by print length. The contract, enforced by
+// TestMonitorStateRoundTrip: capture → restore into a same-config monitor →
+// feed the remaining stream == feeding the whole stream uninterrupted,
+// alert for alert.
+package core
+
+import (
+	"fmt"
+
+	"nsync/internal/dwm"
+	"nsync/internal/sigproc"
+)
+
+// MonitorState is the serializable per-stream state of a Monitor.
+type MonitorState struct {
+	Sync dwm.SyncState
+	// Buf holds the pending observed samples not yet formed into a window,
+	// one slice per lane.
+	Buf      [][]float64
+	Consumed int
+	CDisp    float64
+	PrevH    float64
+	// RawH/RawV are the min-filter trailing buffers with their ring
+	// positions.
+	RawH, RawV       []float64
+	RawHPos, RawVPos int
+	Alerts           []Alert
+	Flushed          bool
+}
+
+// CaptureState deep-copies the monitor's per-stream state. The monitor is
+// left untouched and may keep streaming; the snapshot stays valid.
+func (m *Monitor) CaptureState() *MonitorState {
+	return &MonitorState{
+		Sync:     m.sync.CaptureState(),
+		Buf:      copyLanes(m.buf.Data),
+		Consumed: m.consumed,
+		CDisp:    m.cdisp,
+		PrevH:    m.prevH,
+		RawH:     append([]float64(nil), m.rawH...),
+		RawV:     append([]float64(nil), m.rawV...),
+		RawHPos:  m.rawHPos,
+		RawVPos:  m.rawVPos,
+		Alerts:   append([]Alert(nil), m.alerts...),
+		Flushed:  m.flushed,
+	}
+}
+
+// RestoreState overwrites the monitor's per-stream state with a capture
+// taken from a monitor of the same trained configuration. It fully resets
+// first, so restoring into a recycled pooled monitor is safe. Feature
+// arrays restart empty (they are reporting history, not carried-forward
+// state): Features() after a restore covers post-restore windows only,
+// while alerts and all future per-window decisions match an uninterrupted
+// run exactly.
+func (m *Monitor) RestoreState(st *MonitorState) error {
+	if st == nil {
+		return fmt.Errorf("core: restore: nil monitor state")
+	}
+	if err := laneCountOK("monitor buffer", st.Buf, m.reference.Channels()); err != nil {
+		return err
+	}
+	m.Reset()
+	if err := m.sync.RestoreState(st.Sync); err != nil {
+		return err
+	}
+	m.buf = &sigproc.Signal{Rate: m.reference.Rate, Data: copyLanes(st.Buf)}
+	m.consumed = st.Consumed
+	m.cdisp = st.CDisp
+	m.prevH = st.PrevH
+	m.rawH = append(m.rawH[:0], st.RawH...)
+	m.rawV = append(m.rawV[:0], st.RawV...)
+	m.rawHPos, m.rawVPos = st.RawHPos, st.RawVPos
+	m.alerts = append(m.alerts[:0], st.Alerts...)
+	m.flushed = st.Flushed
+	return nil
+}
+
+// HealthState is the serializable per-stream state of a HealthMonitor.
+type HealthState struct {
+	Buf         [][]float64
+	Consumed    int
+	Position    int
+	Streak      int
+	Recoveries  int
+	Quarantined bool
+	Reason      HealthReason
+	At          float64
+}
+
+// CaptureState deep-copies the health monitor's per-stream state.
+func (h *HealthMonitor) CaptureState() *HealthState {
+	return &HealthState{
+		Buf:         copyLanes(h.buf.Data),
+		Consumed:    h.consumed,
+		Position:    h.position,
+		Streak:      h.streak,
+		Recoveries:  h.recoveries,
+		Quarantined: h.quarantined,
+		Reason:      h.reason,
+		At:          h.at,
+	}
+}
+
+// RestoreState overwrites the health monitor's per-stream state with a
+// capture taken from a monitor of the same configuration.
+func (h *HealthMonitor) RestoreState(st *HealthState) error {
+	if st == nil {
+		return fmt.Errorf("core: restore: nil health state")
+	}
+	if err := laneCountOK("health buffer", st.Buf, len(h.base.std)); err != nil {
+		return err
+	}
+	h.Reset()
+	h.buf = &sigproc.Signal{Rate: h.rate, Data: copyLanes(st.Buf)}
+	h.consumed = st.Consumed
+	h.position = st.Position
+	h.streak = st.Streak
+	h.recoveries = st.Recoveries
+	h.quarantined = st.Quarantined
+	h.reason = st.Reason
+	h.at = st.At
+	return nil
+}
+
+// FusedChannelSnapshot is the serializable per-stream state of one channel
+// inside a FusedMonitor. (FusedChannelState, the human-facing verdict
+// snapshot, is a different type.)
+type FusedChannelSnapshot struct {
+	Monitor *MonitorState
+	Health  *HealthState
+	// Pending holds the health-checked samples not yet cleared for
+	// synchronization. A quarantined channel's pending buffer is nil, and
+	// nil-ness is semantic (Push checks it), so it is preserved explicitly.
+	Pending    [][]float64
+	PendingNil bool
+	Forwarded  int
+	Voting     bool
+}
+
+// FusedMonitorState is the serializable per-stream state of a FusedMonitor.
+// It is gob-encodable; ingest.MonitorSink serializes it into session
+// journal snapshots.
+type FusedMonitorState struct {
+	Channels []FusedChannelSnapshot
+	Alerting bool
+	Alerts   []FusedAlert
+}
+
+// CaptureState deep-copies the fused monitor's full per-stream state —
+// every channel's monitor, health tracker, pending holdback, and vote,
+// plus the fused alert edge state. The monitor keeps streaming unaffected.
+func (fm *FusedMonitor) CaptureState() *FusedMonitorState {
+	st := &FusedMonitorState{
+		Channels: make([]FusedChannelSnapshot, len(fm.chans)),
+		Alerting: fm.alerting,
+		Alerts:   append([]FusedAlert(nil), fm.alerts...),
+	}
+	for i, ch := range fm.chans {
+		cs := FusedChannelSnapshot{
+			Monitor:   ch.mon.CaptureState(),
+			Health:    ch.health.CaptureState(),
+			Forwarded: ch.forwarded,
+			Voting:    ch.voting,
+		}
+		if ch.pending == nil {
+			cs.PendingNil = true
+		} else {
+			cs.Pending = copyLanes(ch.pending.Data)
+		}
+		st.Channels[i] = cs
+	}
+	return st
+}
+
+// RestoreState overwrites the fused monitor's per-stream state with a
+// capture taken from a monitor of the same trained configuration (same
+// channels in the same order). It fully resets first, so restoring into a
+// recycled pooled monitor is safe.
+func (fm *FusedMonitor) RestoreState(st *FusedMonitorState) error {
+	if st == nil {
+		return fmt.Errorf("core: restore: nil fused monitor state")
+	}
+	if len(st.Channels) != len(fm.chans) {
+		return fmt.Errorf("core: restore: state has %d channels, monitor has %d", len(st.Channels), len(fm.chans))
+	}
+	fm.Reset()
+	for i, cs := range st.Channels {
+		ch := fm.chans[i]
+		if err := ch.mon.RestoreState(cs.Monitor); err != nil {
+			return fmt.Errorf("core: restore channel %s: %w", ch.name, err)
+		}
+		if err := ch.health.RestoreState(cs.Health); err != nil {
+			return fmt.Errorf("core: restore channel %s: %w", ch.name, err)
+		}
+		if cs.PendingNil {
+			ch.pending = nil
+		} else {
+			ch.pending = &sigproc.Signal{Rate: ch.rate, Data: copyLanes(cs.Pending)}
+		}
+		ch.forwarded = cs.Forwarded
+		ch.voting = cs.Voting
+	}
+	fm.alerting = st.Alerting
+	fm.alerts = append([]FusedAlert(nil), st.Alerts...)
+	return nil
+}
+
+// copyLanes deep-copies per-lane sample data. Empty lanes round-trip
+// through gob as nil slices; length is what matters downstream.
+func copyLanes(data [][]float64) [][]float64 {
+	if data == nil {
+		return nil
+	}
+	out := make([][]float64, len(data))
+	for i, lane := range data {
+		out[i] = append([]float64(nil), lane...)
+	}
+	return out
+}
+
+// laneCountOK validates a captured buffer's lane count against the
+// restoring monitor's configuration. Empty buffers pass: gob collapses
+// zero-sample lanes, and Concat re-adopts the channel count on first push.
+func laneCountOK(what string, data [][]float64, want int) error {
+	n := 0
+	for _, lane := range data {
+		n += len(lane)
+	}
+	if n > 0 && len(data) != want {
+		return fmt.Errorf("core: restore: %s has %d lanes, want %d", what, len(data), want)
+	}
+	return nil
+}

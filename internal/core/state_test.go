@@ -1,0 +1,254 @@
+package core
+
+import (
+	"bytes"
+	"encoding/gob"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"nsync/internal/sigproc"
+)
+
+// feedChunks pushes s[from:to) into the monitor in fixed-size chunks and
+// returns every alert raised.
+func feedChunks(t *testing.T, m *Monitor, s *sigproc.Signal, from, to, chunk int) []Alert {
+	t.Helper()
+	var all []Alert
+	for pos := from; pos < to; pos += chunk {
+		end := pos + chunk
+		if end > to {
+			end = to
+		}
+		a, err := m.Push(s.Slice(pos, end))
+		if err != nil {
+			t.Fatal(err)
+		}
+		all = append(all, a...)
+	}
+	return all
+}
+
+// TestMonitorStateRoundTrip is the crash-recovery equivalence contract for
+// a single-channel Monitor: capture mid-stream, restore into a recycled
+// same-config monitor, feed the identical tail — every tail alert, every
+// tail feature value, the Flush outcome, and the final verdict must match
+// the uninterrupted run exactly.
+func TestMonitorStateRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(411))
+	ref := noiseSig(rng, 100, 3000)
+	th := trainedThresholds(t, rng, ref, 1, 0.5)
+	newMon := func() *Monitor {
+		m, err := NewMonitor(ref, testDWMParams(), th, WithMonitorFilterWindow(1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+
+	// A stream that alerts in its second half, cut at a chunk boundary that
+	// is deliberately off the window grid (split=1070, chunk=97).
+	stream := corrupted(rng, ref)
+	split := 1070
+
+	uninterrupted := newMon()
+	preAlerts := feedChunks(t, uninterrupted, stream, 0, split, 97)
+	featsAtSplit := len(uninterrupted.Features().CDisp)
+
+	// Capture from the uninterrupted monitor mid-stream; it keeps going.
+	st := uninterrupted.CaptureState()
+
+	// Restore into a dirty pooled monitor that has served another session.
+	restored := newMon()
+	feedChunks(t, restored, stream, 0, 400, 97)
+	if err := restored.RestoreState(st); err != nil {
+		t.Fatal(err)
+	}
+	if got := restored.WindowsProcessed(); got != uninterrupted.WindowsProcessed() {
+		t.Fatalf("restored WindowsProcessed=%d, want %d", got, uninterrupted.WindowsProcessed())
+	}
+	if got, want := restored.Alerts(), preAlerts; !reflect.DeepEqual(got, want) && (len(got) != 0 || len(want) != 0) {
+		t.Fatalf("restored carries %d alerts, capture had %d", len(got), len(want))
+	}
+
+	tailA := feedChunks(t, uninterrupted, stream, split, stream.Len(), 97)
+	tailB := feedChunks(t, restored, stream, split, stream.Len(), 97)
+	if !reflect.DeepEqual(tailA, tailB) {
+		t.Fatalf("tail alerts diverge:\nuninterrupted: %v\nrestored:      %v", tailA, tailB)
+	}
+	fa, err := uninterrupted.Flush()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fb, err := restored.Flush()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(fa, fb) {
+		t.Fatalf("flush alerts diverge: %v vs %v", fa, fb)
+	}
+	if uninterrupted.Intrusion() != restored.Intrusion() {
+		t.Fatalf("verdicts diverge: %v vs %v", uninterrupted.Intrusion(), restored.Intrusion())
+	}
+	if !uninterrupted.Intrusion() {
+		t.Fatal("fixture stream never alerted; the round trip proved nothing")
+	}
+
+	// The restored monitor's features are the uninterrupted run's suffix.
+	full, suffix := uninterrupted.Features(), restored.Features()
+	if !reflect.DeepEqual(full.CDisp[featsAtSplit:], suffix.CDisp) ||
+		!reflect.DeepEqual(full.HDist[featsAtSplit:], suffix.HDist) ||
+		!reflect.DeepEqual(full.VDist[featsAtSplit:], suffix.VDist) {
+		t.Fatal("restored feature suffix diverges from uninterrupted run")
+	}
+}
+
+// TestMonitorRestoreValidates exercises the restore error paths.
+func TestMonitorRestoreValidates(t *testing.T) {
+	rng := rand.New(rand.NewSource(412))
+	ref := noiseSig(rng, 100, 3000)
+	th := trainedThresholds(t, rng, ref, 1, 0.5)
+	m, err := NewMonitor(ref, testDWMParams(), th)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.RestoreState(nil); err == nil {
+		t.Error("nil state: want error")
+	}
+	if err := m.RestoreState(&MonitorState{Buf: [][]float64{{1}, {2}}}); err == nil {
+		t.Error("lane-count mismatch: want error")
+	}
+	st := &MonitorState{}
+	st.Sync.WindowIndex = -1
+	if err := m.RestoreState(st); err == nil {
+		t.Error("negative window index: want error")
+	}
+	fm, err := NewFusedMonitor([]FusedMonitorChannel{{
+		Name: "acc", Reference: ref, Params: testDWMParams(), Thresholds: th,
+	}}, FusedConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fm.RestoreState(nil); err == nil {
+		t.Error("nil fused state: want error")
+	}
+	if err := fm.RestoreState(&FusedMonitorState{}); err == nil {
+		t.Error("fused channel-count mismatch: want error")
+	}
+}
+
+// TestFusedStateRoundTrip is the crash-recovery equivalence contract for
+// the full FusedMonitor, including health state: one channel dies before
+// the capture point (quarantine must survive the round trip), another
+// observes an attack after it. The state additionally round-trips through
+// gob, exactly as the session journal stores it.
+func TestFusedStateRoundTrip(t *testing.T) {
+	fx := newFusedFixture(t, 0)
+	newFM := func() *FusedMonitor {
+		var chans []FusedMonitorChannel
+		for c, ref := range fx.refs {
+			th, err := fx.fd.Detector(c).Thresholds()
+			if err != nil {
+				t.Fatal(err)
+			}
+			chans = append(chans, FusedMonitorChannel{
+				Name:       fx.fd.Channels()[c],
+				Reference:  ref,
+				Params:     testDWMParams(),
+				Thresholds: th,
+			})
+		}
+		fm, err := NewFusedMonitor(chans, FusedConfig{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return fm
+	}
+
+	// Channel 0 goes flat at 15s (quarantined before the capture point);
+	// channel 2 streams an attack confined to the final third (after it).
+	obs := fx.benignRun()
+	obs[0] = deadFrom(t, obs[0], 15)
+	att := obs[2]
+	for i := att.Len() * 2 / 3; i < att.Len(); i++ {
+		att.Data[0][i] = fx.rng.NormFloat64() * 2
+	}
+
+	maxLen := 0
+	for _, s := range obs {
+		maxLen = max(maxLen, s.Len())
+	}
+	split := maxLen * 3 / 5
+
+	pushSpan := func(fm *FusedMonitor, from, to int) []FusedAlert {
+		var all []FusedAlert
+		for pos := from; pos < to; pos += 97 {
+			chunks := make([]*sigproc.Signal, len(obs))
+			for c, s := range obs {
+				end := min(pos+97, to)
+				chunks[c] = s.SliceClamped(pos, end)
+			}
+			alerts, err := fm.Push(chunks)
+			if err != nil {
+				t.Fatal(err)
+			}
+			all = append(all, alerts...)
+		}
+		return all
+	}
+
+	uninterrupted := newFM()
+	pushSpan(uninterrupted, 0, split)
+	if !uninterrupted.ChannelStates()[0].Quarantined {
+		t.Fatal("fixture: channel 0 not quarantined at the capture point")
+	}
+	if uninterrupted.Intrusion() {
+		t.Fatal("fixture: intrusion before the capture point proves nothing about the tail")
+	}
+
+	// Capture → gob → restore into a dirty pooled monitor, the exact path
+	// a journal snapshot takes through MonitorSink.
+	var blob bytes.Buffer
+	if err := gob.NewEncoder(&blob).Encode(uninterrupted.CaptureState()); err != nil {
+		t.Fatal(err)
+	}
+	var decoded FusedMonitorState
+	if err := gob.NewDecoder(bytes.NewReader(blob.Bytes())).Decode(&decoded); err != nil {
+		t.Fatal(err)
+	}
+	restored := newFM()
+	pushSpan(restored, 0, split/2)
+	if err := restored.RestoreState(&decoded); err != nil {
+		t.Fatal(err)
+	}
+	if !restored.ChannelStates()[0].Quarantined {
+		t.Fatal("quarantine did not survive the round trip")
+	}
+
+	tailA := pushSpan(uninterrupted, split, maxLen)
+	tailB := pushSpan(restored, split, maxLen)
+	if !reflect.DeepEqual(tailA, tailB) {
+		t.Fatalf("tail fused alerts diverge:\nuninterrupted: %v\nrestored:      %v", tailA, tailB)
+	}
+	fa, err := uninterrupted.Flush()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fb, err := restored.Flush()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(fa, fb) {
+		t.Fatalf("flush alerts diverge: %v vs %v", fa, fb)
+	}
+	if !reflect.DeepEqual(uninterrupted.Alerts(), restored.Alerts()) {
+		t.Fatal("accumulated fused alerts diverge")
+	}
+	if !reflect.DeepEqual(uninterrupted.ChannelStates(), restored.ChannelStates()) {
+		t.Fatalf("channel states diverge:\nuninterrupted: %+v\nrestored:      %+v",
+			uninterrupted.ChannelStates(), restored.ChannelStates())
+	}
+	if !uninterrupted.Intrusion() {
+		t.Fatal("fixture tail never alerted; the round trip proved nothing")
+	}
+}

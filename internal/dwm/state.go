@@ -1,0 +1,38 @@
+package dwm
+
+import "fmt"
+
+// SyncState is the serializable per-stream state of a Synchronizer: the
+// minimal set of values the streaming algorithm carries forward between
+// steps. Everything else a Synchronizer holds is either configuration
+// (reference, resolved parameters, estimator) that the owner reconstructs
+// from the trained model, or accumulated history (h_disp/h_low/score
+// arrays) that only feeds Result() reporting and is deliberately not
+// persisted — a restored synchronizer's Result covers post-restore windows
+// only, but its future displacement decisions are byte-identical to an
+// uninterrupted run because Propose reads nothing beyond WindowIndex and
+// h_disp,low[i-1].
+type SyncState struct {
+	// WindowIndex is the index of the next window Step expects.
+	WindowIndex int
+	// HLowPrev is h_disp,low[i-1] (Eq. 12), the inertia term.
+	HLowPrev int
+}
+
+// CaptureState snapshots the synchronizer's carried-forward stream state.
+func (s *Synchronizer) CaptureState() SyncState {
+	return SyncState{WindowIndex: s.i, HLowPrev: s.hLowPrev}
+}
+
+// RestoreState rewinds the synchronizer to a captured stream position. The
+// displacement history arrays are cleared (they are not part of the
+// capture), so Result() after a restore reports post-restore windows only.
+func (s *Synchronizer) RestoreState(st SyncState) error {
+	if st.WindowIndex < 0 {
+		return fmt.Errorf("dwm: restore: negative window index %d", st.WindowIndex)
+	}
+	s.Reset()
+	s.i = st.WindowIndex
+	s.hLowPrev = st.HLowPrev
+	return nil
+}

@@ -2,9 +2,12 @@ package ingest
 
 import (
 	"bufio"
+	"context"
+	"errors"
 	"fmt"
 	"math/rand"
 	"net"
+	"strings"
 	"time"
 
 	"nsync/internal/resilience"
@@ -172,6 +175,12 @@ type ReplayOptions struct {
 	CutChannels []int
 	// MaxDials bounds connection attempts, first dial included (default 8).
 	MaxDials int
+	// DialBackoff is the base delay between dial attempts; retries back off
+	// exponentially (seeded jitter included) up to DialBackoffMax
+	// (defaults 10ms and 2s). A fleet of clients orphaned by a daemon
+	// restart therefore spreads its reconnects instead of stampeding.
+	DialBackoff    time.Duration
+	DialBackoffMax time.Duration
 	// Timeout bounds each dial and the final verdict wait (default 30s).
 	Timeout time.Duration
 	// Stats, when set, receives measurements from the replay — the fleet
@@ -213,22 +222,45 @@ func Replay(addr string, h Hello, signals []*sigproc.Signal, opt ReplayOptions) 
 	if opt.Timeout <= 0 {
 		opt.Timeout = 30 * time.Second
 	}
+	if opt.DialBackoff <= 0 {
+		opt.DialBackoff = 10 * time.Millisecond
+	}
+	if opt.DialBackoffMax <= 0 {
+		opt.DialBackoffMax = 2 * time.Second
+	}
 	rng := rand.New(rand.NewSource(opt.Seed))
 	frames, totals := buildSchedule(signals, h.Channels, rng, opt)
 
+	// dial retries transient connection failures with seeded, jittered
+	// exponential backoff, spending whatever remains of the MaxDials budget.
+	// ECONNREFUSED is transient here: a restarting daemon refuses connections
+	// until its listener is back, and that window is exactly what the backoff
+	// is for. So is the server's "already attached" rejection: a deliberate
+	// reconnect can out-race the server noticing the old connection died, and
+	// one backoff later the session is detached and ours again. Every other
+	// ServerError (quota, shed, layout) stays fatal.
 	dials := 0
 	dial := func() (*Client, error) {
-		for {
-			dials++
-			c, err := Dial(addr, h, opt.Timeout)
-			if err == nil {
-				return c, nil
-			}
-			if dials >= opt.MaxDials || !resilience.IsTransientNetwork(err) {
-				return nil, err
-			}
-			time.Sleep(10 * time.Millisecond)
+		budget := opt.MaxDials - dials
+		if budget < 1 {
+			return nil, fmt.Errorf("ingest: dial budget exhausted after %d attempts", dials)
 		}
+		return resilience.Do(context.Background(), resilience.Policy{
+			MaxAttempts: budget,
+			BaseDelay:   opt.DialBackoff,
+			MaxDelay:    opt.DialBackoffMax,
+			Seed:        opt.Seed + int64(dials),
+			Classify: func(err error) bool {
+				if resilience.IsTransientNetwork(err) {
+					return true
+				}
+				var se *ServerError
+				return errors.As(err, &se) && strings.Contains(se.Msg, "already attached")
+			},
+		}, func(context.Context) (*Client, error) {
+			dials++
+			return Dial(addr, h, opt.Timeout)
+		})
 	}
 	c, err := dial()
 	if err != nil {
@@ -240,7 +272,12 @@ func Replay(addr string, h Hello, signals []*sigproc.Signal, opt ReplayOptions) 
 		}
 	}()
 
-	// reconnect re-dials and prunes frames the server already committed.
+	// reconnect re-dials and rewinds the schedule to the start: the server's
+	// committed counts can move BACKWARD across a reconnect (a crashed daemon
+	// recovers from its last durable snapshot, behind what it acked before
+	// dying), so the resume point must come from the fresh HelloAck, not from
+	// how far this client got. Re-sent frames wholly behind the new commit
+	// point are skipped below; partial overlaps are trimmed server-side.
 	pos := 0
 	reconnect := func() error {
 		c.Close() //nolint:errcheck // tearing down on purpose
@@ -248,35 +285,57 @@ func Replay(addr string, h Hello, signals []*sigproc.Signal, opt ReplayOptions) 
 		if c, err = dial(); err != nil {
 			return err
 		}
+		pos = 0
 		return nil
 	}
 	sent := 0
-	for pos < len(frames) {
-		fr := frames[pos]
-		lanes := uint64(h.Channels[fr.ch].Lanes)
-		if int(fr.ch) < len(c.Committed) {
-			if committed := c.Committed[fr.ch]; fr.seq+uint64(len(fr.values))/lanes <= committed {
-				pos++ // wholly behind the server's commit point after a resume
-				continue
+	for {
+		for pos < len(frames) {
+			fr := frames[pos]
+			lanes := uint64(h.Channels[fr.ch].Lanes)
+			if int(fr.ch) < len(c.Committed) {
+				if committed := c.Committed[fr.ch]; fr.seq+uint64(len(fr.values))/lanes <= committed {
+					pos++ // wholly behind the server's commit point after a resume
+					continue
+				}
+			}
+			if err := c.SendData(fr.ch, fr.seq, fr.values); err != nil {
+				if !resilience.IsTransientNetwork(err) {
+					return nil, err
+				}
+				if err := reconnect(); err != nil {
+					return nil, err
+				}
+				continue // retry the same frame on the new connection
+			}
+			pos++
+			sent++
+			if opt.ReconnectAfter > 0 && sent%opt.ReconnectAfter == 0 && pos < len(frames) {
+				if err := reconnect(); err != nil {
+					return nil, err
+				}
 			}
 		}
-		if err := c.SendData(fr.ch, fr.seq, fr.values); err != nil {
-			if !resilience.IsTransientNetwork(err) {
-				return nil, err
+		// EOS and Finish ride the same resume loop: a daemon killed during
+		// the finish phase recovers the session detached, and the reconnect
+		// re-sends the (mostly committed-skipped) tail before finishing again.
+		v, err := finishOnce(c, totals, opt)
+		if err != nil && resilience.IsTransientNetwork(err) {
+			if rerr := reconnect(); rerr != nil {
+				return nil, rerr
 			}
-			if err := reconnect(); err != nil {
-				return nil, err
-			}
-			continue // retry the same frame on the new connection
+			continue
 		}
-		pos++
-		sent++
-		if opt.ReconnectAfter > 0 && sent%opt.ReconnectAfter == 0 && pos < len(frames) {
-			if err := reconnect(); err != nil {
-				return nil, err
-			}
+		if opt.Stats != nil {
+			opt.Stats.Dials = dials
 		}
+		return v, err
 	}
+}
+
+// finishOnce sends every channel's EOS and asks for the verdict on the
+// current connection.
+func finishOnce(c *Client, totals []uint64, opt ReplayOptions) (*Verdict, error) {
 	for ch, total := range totals {
 		if err := c.SendEOS(ch, total); err != nil {
 			return nil, err
@@ -284,9 +343,8 @@ func Replay(addr string, h Hello, signals []*sigproc.Signal, opt ReplayOptions) 
 	}
 	start := time.Now()
 	v, err := c.Finish(opt.Timeout)
-	if opt.Stats != nil {
+	if err == nil && opt.Stats != nil {
 		opt.Stats.FinishLatency = time.Since(start)
-		opt.Stats.Dials = dials
 	}
 	return v, err
 }

@@ -1,0 +1,231 @@
+package ingest
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+)
+
+func testSpecs() []ChannelSpec {
+	return []ChannelSpec{{Name: "ACC", Lanes: 2, Rate: 100}, {Name: "MAG", Lanes: 1, Rate: 100}}
+}
+
+func openTestJournal(t *testing.T, dir string, cfg JournalConfig) (*Journal, []RecoveredSession) {
+	t.Helper()
+	cfg.Logf = t.Logf
+	j, rec, err := OpenJournal(dir, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return j, rec
+}
+
+// tailSegment returns the contents and path of the newest segment file.
+func tailSegment(t *testing.T, dir string) (string, []byte) {
+	t.Helper()
+	segs, err := filepath.Glob(filepath.Join(dir, "journal-*.wal"))
+	if err != nil || len(segs) == 0 {
+		t.Fatalf("no segments in %s (err=%v)", dir, err)
+	}
+	path := segs[len(segs)-1]
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return path, raw
+}
+
+func TestJournalRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	j, rec := openTestJournal(t, dir, JournalConfig{})
+	if len(rec) != 0 {
+		t.Fatalf("fresh journal recovered %d sessions", len(rec))
+	}
+	j.Admit("print-1", "acme", "abc123def456", 3, testSpecs())
+	j.Admit("print-2", "", "", 0, testSpecs()[:1])
+	j.Snapshot("print-1", []uint64{100, 50}, []byte("state-v1"))
+	j.Snapshot("print-1", []uint64{400, 200}, []byte("state-v2-longer"))
+	j.Detach("print-1")
+	j.Admit("print-3", "acme", "", 1, testSpecs())
+	j.Finish("print-3")
+	if got := j.Snapshots(); got != 2 {
+		t.Fatalf("Snapshots() = %d, want 2", got)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	j2, rec := openTestJournal(t, dir, JournalConfig{})
+	defer j2.Close()
+	want := []RecoveredSession{
+		{
+			SessionID: "print-1", Tenant: "acme", Model: "abc123def456", Priority: 3,
+			Channels: testSpecs(), Committed: []uint64{400, 200}, State: []byte("state-v2-longer"),
+		},
+		{
+			SessionID: "print-2", Channels: testSpecs()[:1], Committed: []uint64{0},
+		},
+	}
+	if !reflect.DeepEqual(rec, want) {
+		t.Fatalf("recovered:\n%+v\nwant:\n%+v", rec, want)
+	}
+}
+
+// TestJournalTornTail cuts and corrupts the tail segment at assorted
+// points: recovery must drop the damaged tail, keep every record before
+// it, and never fail.
+func TestJournalTornTail(t *testing.T) {
+	build := func(t *testing.T) string {
+		dir := t.TempDir()
+		j, _ := openTestJournal(t, dir, JournalConfig{SyncMode: JournalSyncNone})
+		j.Admit("print-1", "acme", "", 0, testSpecs())
+		j.Snapshot("print-1", []uint64{100, 50}, []byte("early"))
+		j.Snapshot("print-1", []uint64{900, 450}, []byte("late"))
+		if err := j.Close(); err != nil {
+			t.Fatal(err)
+		}
+		return dir
+	}
+
+	t.Run("truncate mid-record", func(t *testing.T) {
+		dir := build(t)
+		path, raw := tailSegment(t, dir)
+		// Cut inside the final snapshot record's payload.
+		if err := os.WriteFile(path, raw[:len(raw)-5], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		j, rec := openTestJournal(t, dir, JournalConfig{})
+		defer j.Close()
+		if len(rec) != 1 || !reflect.DeepEqual(rec[0].Committed, []uint64{100, 50}) || string(rec[0].State) != "early" {
+			t.Fatalf("want rollback to the early snapshot, got %+v", rec)
+		}
+	})
+
+	t.Run("bit flip in tail record", func(t *testing.T) {
+		dir := build(t)
+		path, raw := tailSegment(t, dir)
+		raw[len(raw)-3] ^= 0xff
+		if err := os.WriteFile(path, raw, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		j, rec := openTestJournal(t, dir, JournalConfig{})
+		defer j.Close()
+		if len(rec) != 1 || string(rec[0].State) != "early" {
+			t.Fatalf("want rollback to the early snapshot, got %+v", rec)
+		}
+	})
+
+	t.Run("bit flip mid-segment drops the suffix", func(t *testing.T) {
+		dir := build(t)
+		path, raw := tailSegment(t, dir)
+		// Corrupt inside the FIRST snapshot record's payload (locate its
+		// "early" state blob): the admit before it survives, both snapshots
+		// after the damage are dropped.
+		off := bytes.Index(raw, []byte("early"))
+		if off < 0 {
+			t.Fatal("fixture: early snapshot not found in segment")
+		}
+		raw[off] ^= 0xff
+		if err := os.WriteFile(path, raw, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		j, rec := openTestJournal(t, dir, JournalConfig{})
+		defer j.Close()
+		if len(rec) != 1 {
+			t.Fatalf("recovered %d sessions, want 1", len(rec))
+		}
+		if rec[0].State != nil || !reflect.DeepEqual(rec[0].Committed, []uint64{0, 0}) {
+			t.Fatalf("want a fresh (snapshot-less) recovery, got %+v", rec[0])
+		}
+	})
+
+	t.Run("garbage segment never fails boot", func(t *testing.T) {
+		dir := build(t)
+		path, _ := tailSegment(t, dir)
+		if err := os.WriteFile(path, []byte("not a journal at all"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		j, rec := openTestJournal(t, dir, JournalConfig{})
+		defer j.Close()
+		if len(rec) != 0 {
+			t.Fatalf("recovered %d sessions from garbage", len(rec))
+		}
+	})
+}
+
+// TestJournalRotationCompacts drives the journal past its segment cap and
+// checks that rotation carries live sessions forward, drops finished ones,
+// and deletes retired segment files.
+func TestJournalRotationCompacts(t *testing.T) {
+	dir := t.TempDir()
+	j, _ := openTestJournal(t, dir, JournalConfig{MaxSegmentBytes: 2048, SyncMode: JournalSyncNone})
+	j.Admit("keeper", "acme", "", 2, testSpecs())
+	j.Admit("goner", "", "", 0, testSpecs()[:1])
+	j.Finish("goner")
+	big := make([]byte, 512)
+	for i := 0; i < 20; i++ {
+		j.Snapshot("keeper", []uint64{uint64(i), uint64(i)}, big)
+	}
+	segs, err := filepath.Glob(filepath.Join(dir, "journal-*.wal"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) != 1 {
+		t.Fatalf("%d segments on disk after rotation, want 1 (compaction must delete retired segments)", len(segs))
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	j2, rec := openTestJournal(t, dir, JournalConfig{})
+	defer j2.Close()
+	if len(rec) != 1 || rec[0].SessionID != "keeper" {
+		t.Fatalf("recovered %+v, want only keeper", rec)
+	}
+	if !reflect.DeepEqual(rec[0].Committed, []uint64{19, 19}) {
+		t.Fatalf("keeper committed %v, want latest snapshot", rec[0].Committed)
+	}
+}
+
+// TestJournalSyncModes smoke-tests each fsync policy end to end.
+func TestJournalSyncModes(t *testing.T) {
+	for _, mode := range []JournalSyncMode{JournalSyncInterval, JournalSyncAlways, JournalSyncNone} {
+		dir := t.TempDir()
+		j, _ := openTestJournal(t, dir, JournalConfig{SyncMode: mode, SyncInterval: 5 * time.Millisecond})
+		j.Admit("s", "", "", 0, testSpecs())
+		j.Snapshot("s", []uint64{7, 7}, nil)
+		if mode == JournalSyncInterval {
+			time.Sleep(20 * time.Millisecond) // let the flusher tick
+		}
+		if err := j.Close(); err != nil {
+			t.Fatal(err)
+		}
+		j2, rec := openTestJournal(t, dir, JournalConfig{})
+		if len(rec) != 1 || !reflect.DeepEqual(rec[0].Committed, []uint64{7, 7}) {
+			t.Fatalf("mode %v: recovered %+v", mode, rec)
+		}
+		j2.Close()
+	}
+}
+
+// TestJournalAppendAfterCloseIsNoop pins the crash-simulation contract the
+// in-process recovery tests rely on.
+func TestJournalAppendAfterCloseIsNoop(t *testing.T) {
+	dir := t.TempDir()
+	j, _ := openTestJournal(t, dir, JournalConfig{})
+	j.Admit("s", "", "", 0, testSpecs())
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	j.Finish("s") // must not panic, must not reach disk
+	j2, rec := openTestJournal(t, dir, JournalConfig{})
+	defer j2.Close()
+	if len(rec) != 1 {
+		t.Fatalf("post-close Finish reached disk: recovered %d sessions", len(rec))
+	}
+	if _, err := ParseJournalSyncMode("bogus"); err == nil {
+		t.Error("ParseJournalSyncMode(bogus): want error")
+	}
+}

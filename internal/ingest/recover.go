@@ -1,0 +1,121 @@
+package ingest
+
+// Boot-time session recovery (DESIGN.md §16). OpenJournal replays the
+// on-disk journal into RecoveredSession values; Recover re-installs each of
+// them as a detached session — same identity, same tenant accounting, same
+// pinned model, committed offsets rolled back to the last durable snapshot —
+// so a client reconnecting after the daemon restarts resumes through the
+// ordinary resume path, indistinguishable from a resume after a dropped
+// connection.
+
+// RestoringFactory is a SinkFactory that can additionally rebuild a sink
+// from a journaled state snapshot. SharedPool implements it.
+type RestoringFactory interface {
+	SinkFactory
+	// Restore acquires a sink for hello (resolving hello.Model exactly as a
+	// live admission would) and, when state is non-nil, overwrites its
+	// detector with the journaled capture.
+	Restore(hello *Frame, state []byte) (Sink, error)
+}
+
+// Recover re-installs journaled sessions as detached sessions awaiting
+// reconnect, returning how many were recovered. A session that cannot be
+// restored — its model no longer resolves, its tenant quota is exhausted,
+// its id collides — is skipped, logged, and marked finished in the journal;
+// the client's reconnect then opens a fresh session instead of resuming.
+// Call before Serve, with the same Journal installed in cfg.Journal.
+func (srv *Server) Recover(sessions []RecoveredSession, f RestoringFactory) int {
+	recovered := 0
+	for _, rs := range sessions {
+		if srv.recoverOne(rs, f) {
+			recovered++
+		}
+	}
+	return recovered
+}
+
+func (srv *Server) recoverOne(rs RecoveredSession, f RestoringFactory) bool {
+	skip := func(why string, args ...any) bool {
+		srv.logf("session %s: not recovered: "+why, append([]any{rs.SessionID}, args...)...)
+		if j := srv.cfg.Journal; j != nil {
+			j.Finish(rs.SessionID)
+		}
+		return false
+	}
+	hello := &Frame{
+		Type: FrameHello, SessionID: rs.SessionID, Priority: rs.Priority,
+		Channels: rs.Channels, Tenant: rs.Tenant, Model: rs.Model,
+	}
+	srv.mu.Lock()
+	if srv.draining {
+		srv.mu.Unlock()
+		return skip("server draining")
+	}
+	if _, ok := srv.sessions[rs.SessionID]; ok {
+		srv.mu.Unlock()
+		return skip("session id already active")
+	}
+	tn, quotaReject := srv.tenants.reserve(rs.Tenant)
+	if quotaReject != "" {
+		srv.mu.Unlock()
+		return skip("%s", quotaReject)
+	}
+	srv.pending++
+	srv.mu.Unlock()
+
+	sink, err := f.Restore(hello, rs.State)
+	if err != nil {
+		srv.mu.Lock()
+		srv.pending--
+		srv.mu.Unlock()
+		srv.tenants.release(tn, false)
+		return skip("%v", err)
+	}
+	s := newSession(srv, hello, sink, tn)
+	s.origin = f
+	for i, c := range rs.Committed {
+		if i < len(s.reseq) {
+			s.reseq[i].SeekTo(c)
+			s.committed[i].Store(c)
+		}
+	}
+
+	srv.mu.Lock()
+	srv.pending--
+	if srv.draining {
+		srv.mu.Unlock()
+		f.Release(sink)
+		srv.tenants.release(tn, false)
+		return skip("server draining")
+	}
+	if _, ok := srv.sessions[rs.SessionID]; ok {
+		srv.mu.Unlock()
+		f.Release(sink)
+		srv.tenants.release(tn, false)
+		return skip("session id already active")
+	}
+	srv.sessions[rs.SessionID] = s
+	srv.tenants.commit(tn)
+	srv.wg.Add(1)
+	srv.mu.Unlock()
+	metActive.Add(1)
+	metRecovered.Inc()
+	srv.logf("session %s: recovered from journal (tenant %q, model %q, committed %v, %d-byte state)",
+		s.id, rs.Tenant, rs.Model, rs.Committed, len(rs.State))
+	go s.run()
+	// Detached from birth: the retention countdown starts now, exactly as if
+	// the client's connection had just dropped.
+	s.detach(srv.cfg.Retention)
+	return true
+}
+
+// Recover steers each journaled session to its shard — the same jump-hash
+// placement a reconnecting client's Hello will get — and recovers it there.
+func (r *Router) Recover(sessions []RecoveredSession, f RestoringFactory) int {
+	recovered := 0
+	for _, rs := range sessions {
+		shard := r.shards[r.ShardFor(rs.SessionID)]
+		recovered += shard.Recover([]RecoveredSession{rs}, f)
+	}
+	return recovered
+}

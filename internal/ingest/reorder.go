@@ -163,6 +163,15 @@ func (r *Resequencer) Flush() []float64 {
 // resume point a reconnecting client should continue from.
 func (r *Resequencer) Committed() uint64 { return r.next }
 
+// SeekTo positions a fresh resequencer at a recovered commit point: samples
+// before committed are treated as already delivered, so a resuming client's
+// retransmits dedup or overlap-trim exactly as they would on a live resume.
+// The gap-fill vector starts as zeros (the pre-crash last sample is gone),
+// which only matters if a gap is abandoned before any post-restart delivery.
+func (r *Resequencer) SeekTo(committed uint64) {
+	r.next = committed
+}
+
 // EOS reports whether the channel's end has been declared.
 func (r *Resequencer) EOS() bool { return r.eos }
 

@@ -46,6 +46,14 @@ type Config struct {
 	// fleet-wide; leave nil to let the server build its own from
 	// TenantQuota.
 	Tenants *TenantTable
+	// Journal, when set, records session lifecycle and periodic resume
+	// points so a restarted server can recover detached sessions
+	// (DESIGN.md §16). Share one journal across a Router's shards.
+	Journal *Journal
+	// SnapshotEveryFrames is how many consumed frames pass between journal
+	// snapshots of a session's committed counts and monitor state
+	// (default 256). Ignored without Journal.
+	SnapshotEveryFrames int
 	// Logf, when set, receives one line per session lifecycle event.
 	Logf func(format string, args ...any)
 }
@@ -68,6 +76,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Retention <= 0 {
 		c.Retention = 60 * time.Second
+	}
+	if c.SnapshotEveryFrames <= 0 {
+		c.SnapshotEveryFrames = 256
 	}
 	return c
 }
@@ -362,14 +373,14 @@ func (srv *Server) deliverOutcome(conn net.Conn, s *session) {
 		return
 	}
 	metCompleted.Inc()
-	conn.SetWriteDeadline(time.Now().Add(srv.cfg.WriteTimeout))      //nolint:errcheck // net.Conn deadlines
-	WriteFrame(conn, &Frame{Type: FrameVerdict, Verdict: out.v})     //nolint:errcheck // client may be gone
+	conn.SetWriteDeadline(time.Now().Add(srv.cfg.WriteTimeout))  //nolint:errcheck // net.Conn deadlines
+	WriteFrame(conn, &Frame{Type: FrameVerdict, Verdict: out.v}) //nolint:errcheck // client may be gone
 	srv.logf("session %s: %s (intrusion=%v)", s.id, out.v.Reason, out.v.Intrusion)
 }
 
 func (srv *Server) writeError(conn net.Conn, msg string) {
 	conn.SetWriteDeadline(time.Now().Add(srv.cfg.WriteTimeout)) //nolint:errcheck // net.Conn deadlines
-	WriteFrame(conn, &Frame{Type: FrameError, Message: msg})   //nolint:errcheck // best-effort report
+	WriteFrame(conn, &Frame{Type: FrameError, Message: msg})    //nolint:errcheck // best-effort report
 }
 
 func (srv *Server) isDraining() bool {
@@ -468,8 +479,24 @@ func (srv *Server) admit(hello *Frame) (*session, string) {
 	srv.mu.Unlock()
 	metAccepted.Inc()
 	metActive.Add(1)
+	srv.journalAdmit(s)
 	go s.run()
 	return s, ""
+}
+
+// journalAdmit records a freshly admitted session's identity, including the
+// content-addressed model version it was pinned to (so recovery re-resolves
+// the same detector even if the pool's default moved).
+func (srv *Server) journalAdmit(s *session) {
+	j := srv.cfg.Journal
+	if j == nil {
+		return
+	}
+	model := ""
+	if mv, ok := unwrapSink(s.sink).(interface{ ModelVersion() string }); ok {
+		model = mv.ModelVersion()
+	}
+	j.Admit(s.id, s.tenantID, model, s.priority, s.specs)
 }
 
 // resume validates a reconnecting Hello against the retained session. The
@@ -544,9 +571,18 @@ func (srv *Server) removeSession(s *session) {
 		s.retention.Stop()
 		s.retention = nil
 	}
+	if s.isDetached {
+		s.isDetached = false
+		metDetached.Add(-1)
+	}
 	s.mu.Unlock()
-	srv.cfg.Factory.Release(s.sink)
+	// The sink goes back to the factory that created it — for a recovered
+	// session that is the RestoringFactory, not the server's own factory.
+	s.origin.Release(s.sink)
 	srv.tenants.release(s.tenant, true)
+	if j := srv.cfg.Journal; j != nil {
+		j.Finish(s.id)
+	}
 	metActive.Add(-1)
 	srv.wg.Done()
 }

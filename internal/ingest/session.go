@@ -63,7 +63,11 @@ type session struct {
 	priority int
 	srv      *Server
 	sink     Sink
-	reseq    []*Resequencer
+	// origin is the factory the sink must be released to — the server's
+	// configured factory normally, the RestoringFactory for a recovered
+	// session.
+	origin SinkFactory
+	reseq  []*Resequencer
 	// specs is the Hello channel layout the session was admitted with; a
 	// resume Hello must match it exactly.
 	specs    []ChannelSpec
@@ -73,6 +77,10 @@ type session struct {
 	// committed mirrors each resequencer's commit point so the handler can
 	// build a HelloAck while the worker is mid-push.
 	committed []atomic.Uint64
+
+	// frames counts consumed frames; every cfg.SnapshotEveryFrames of them
+	// the worker journals a snapshot. Worker-owned, no locking.
+	frames int
 
 	queue     chan queued
 	outcomeCh chan outcome  // buffered 1; worker sends exactly once
@@ -84,6 +92,9 @@ type session struct {
 	mu        sync.Mutex
 	conn      net.Conn // attached connection; nil while detached
 	retention *time.Timer
+	// isDetached tracks the session.detached gauge edge (set on detach,
+	// cleared on attach or removal).
+	isDetached bool
 }
 
 func newSession(srv *Server, hello *Frame, sink Sink, tn *tenant) *session {
@@ -92,6 +103,7 @@ func newSession(srv *Server, hello *Frame, sink Sink, tn *tenant) *session {
 		priority:  hello.Priority,
 		srv:       srv,
 		sink:      sink,
+		origin:    srv.cfg.Factory,
 		specs:     append([]ChannelSpec(nil), hello.Channels...),
 		tenantID:  hello.Tenant,
 		tenant:    tn,
@@ -226,7 +238,30 @@ func (s *session) consume(f *Frame) error {
 		}
 	}
 	s.committed[ch].Store(r.Committed())
+	s.frames++
+	if j := s.srv.cfg.Journal; j != nil && s.frames%s.srv.cfg.SnapshotEveryFrames == 0 {
+		s.snapshot(j)
+	}
 	return nil
+}
+
+// snapshot journals the session's durable resume point: the per-channel
+// committed counts plus, when the sink supports it, the captured monitor
+// state. It runs on the worker between frames, so the committed counts and
+// the capture describe the same instant. Capture failure degrades the
+// snapshot to committed-counts-only; it never fails the session.
+func (s *session) snapshot(j *Journal) {
+	t := metSnapshotTimer.Start()
+	defer metSnapshotTimer.Stop(t)
+	var state []byte
+	if ss, ok := unwrapSink(s.sink).(StatefulSink); ok {
+		var err error
+		if state, err = ss.CaptureState(); err != nil {
+			s.srv.logf("session %s: state capture failed: %v", s.id, err)
+			state = nil
+		}
+	}
+	j.Snapshot(s.id, s.committedSnapshot(), state)
 }
 
 // finish flushes every channel's resequencer (filling open and trailing
@@ -285,6 +320,10 @@ func (s *session) attach(conn net.Conn) error {
 		s.retention.Stop()
 		s.retention = nil
 	}
+	if s.isDetached {
+		s.isDetached = false
+		metDetached.Add(-1)
+	}
 	s.conn = conn
 	return nil
 }
@@ -298,6 +337,13 @@ func (s *session) detach(retention time.Duration) {
 	s.conn = nil
 	if s.terminated() {
 		return
+	}
+	if !s.isDetached {
+		s.isDetached = true
+		metDetached.Add(1)
+		if j := s.srv.cfg.Journal; j != nil {
+			j.Detach(s.id)
+		}
 	}
 	s.retention = time.AfterFunc(retention, func() {
 		s.terminate("session retention expired")

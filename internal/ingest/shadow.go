@@ -118,6 +118,10 @@ type routedSink struct {
 	origin SinkFactory
 }
 
+// Unwrap exposes the wrapped sink so journaling can reach the stateful
+// monitor sink underneath.
+func (w *routedSink) Unwrap() Sink { return w.Sink }
+
 // shadowSink tees a session into the primary and shadow sinks. The shadow
 // is best-effort: its first error drops it for the rest of the session.
 type shadowSink struct {
@@ -130,6 +134,12 @@ type shadowSink struct {
 	onVerdict  func(primary, shadow *Verdict)
 	shadowDead bool
 }
+
+// Unwrap exposes the primary sink — the authoritative detector state — so
+// journal snapshots capture it. Shadow state is evaluation-only and is
+// deliberately not persisted: after a crash a recovered session resumes
+// primary-only.
+func (s *shadowSink) Unwrap() Sink { return s.primary }
 
 // Push implements Sink.
 func (s *shadowSink) Push(ch int, values []float64) error {

@@ -225,6 +225,36 @@ type sharedSink struct {
 	entry *sharedEntry
 }
 
+// ModelVersion reports the content address of the model behind this sink —
+// the version a session journal records so recovery re-resolves the exact
+// detector the session was pinned to.
+func (s *sharedSink) ModelVersion() string { return s.entry.version }
+
+// Restore implements RestoringFactory: it acquires a sink exactly as a live
+// admission would — resolving the journaled model version through the pool
+// and validating the channel layout — then overwrites the monitor with the
+// journaled snapshot. A nil state (the session crashed before its first
+// snapshot) yields a fresh sink; the client simply re-sends from the start.
+func (p *SharedPool) Restore(hello *Frame, state []byte) (Sink, error) {
+	s, err := p.Acquire(hello)
+	if err != nil {
+		return nil, err
+	}
+	if len(state) == 0 {
+		return s, nil
+	}
+	ss, ok := unwrapSink(s).(StatefulSink)
+	if !ok {
+		p.Release(s)
+		return nil, fmt.Errorf("ingest: pool sink cannot restore state")
+	}
+	if err := ss.RestoreState(state); err != nil {
+		p.Release(s) // Release resets the monitor, clearing any partial apply
+		return nil, err
+	}
+	return s, nil
+}
+
 // matchChannelSpecs rejects a Hello channel layout that differs from the
 // trained layout in any name, lane count, or rate.
 func matchChannelSpecs(got, want []ChannelSpec) error {

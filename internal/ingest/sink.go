@@ -1,6 +1,8 @@
 package ingest
 
 import (
+	"bytes"
+	"encoding/gob"
 	"fmt"
 	"sync"
 
@@ -16,6 +18,32 @@ type Sink interface {
 	Push(ch int, values []float64) error
 	// Finish flushes buffered tails and returns the session's final verdict.
 	Finish(reason string) (*Verdict, error)
+}
+
+// StatefulSink is a Sink whose detector state can be captured for a journal
+// snapshot and restored into a recycled sink after a restart. The blob is
+// opaque to the journal; a sink only needs to round-trip its own encoding.
+type StatefulSink interface {
+	Sink
+	// CaptureState serializes the sink's per-stream detector state. The sink
+	// keeps streaming unaffected.
+	CaptureState() ([]byte, error)
+	// RestoreState overwrites the sink's per-stream state with a capture
+	// taken from a sink of the same trained configuration.
+	RestoreState(state []byte) error
+}
+
+// unwrapSink walks wrapper sinks (routedSink, shadowSink, external wrappers
+// exposing Unwrap) down to the innermost sink, where the stateful detector
+// lives.
+func unwrapSink(s Sink) Sink {
+	for {
+		u, ok := s.(interface{ Unwrap() Sink })
+		if !ok {
+			return s
+		}
+		s = u.Unwrap()
+	}
 }
 
 // SinkFactory hands out sinks for admitted sessions and takes them back
@@ -83,6 +111,26 @@ func (s *MonitorSink) Finish(reason string) (*Verdict, error) {
 		})
 	}
 	return v, nil
+}
+
+// CaptureState implements StatefulSink: the fused monitor's full per-stream
+// state, gob-encoded. This is what a session journal snapshot stores.
+func (s *MonitorSink) CaptureState() ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(s.fm.CaptureState()); err != nil {
+		return nil, fmt.Errorf("ingest: capture state: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// RestoreState implements StatefulSink. The monitor fully resets before
+// applying the capture, so restoring into a recycled pooled sink is safe.
+func (s *MonitorSink) RestoreState(state []byte) error {
+	var st core.FusedMonitorState
+	if err := gob.NewDecoder(bytes.NewReader(state)).Decode(&st); err != nil {
+		return fmt.Errorf("ingest: restore state: %w", err)
+	}
+	return s.fm.RestoreState(&st)
 }
 
 // MonitorPool is a SinkFactory over recycled fused monitors: each Release

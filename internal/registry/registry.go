@@ -108,6 +108,12 @@ func OpenStore(dir string) (*Store, error) {
 	return &Store{ckpt: ckpt}, nil
 }
 
+// SetSync toggles durable writes on the underlying checkpoint store. The
+// daemon enables it when session journaling is on: a journal entry pins a
+// model by hash, so the model file it points at must survive anything the
+// journal survives.
+func (s *Store) SetSync(on bool) { s.ckpt.SetSync(on) }
+
 // Put persists the model and returns its version. Saving the same model
 // twice overwrites the identical entry — Put is idempotent.
 func (s *Store) Put(m *Model) (string, error) {
