@@ -93,6 +93,12 @@ func writeBenchJSON(path string) error {
 		// benchcheck floors (journaling may cost at most ~10–15%) and a
 		// wrong_verdicts count pinned at zero across both arms.
 		{"JournalOverhead", BenchmarkJournalOverhead},
+		// The drain probe: a two-peer fleet hands every live session to its
+		// successor mid-wave. Its Extra metrics carry the migration count,
+		// the p99 client-observed pause across the drain, and a
+		// wrong_verdicts count benchcheck pins at zero — migration must
+		// never change a verdict.
+		{"FleetHandoffLatency", BenchmarkFleetHandoffLatency},
 	}
 	var records []benchRecord
 	for _, p := range probes {

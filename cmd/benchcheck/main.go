@@ -19,7 +19,9 @@
 //     verdicts;
 //   - the JournalOverhead row shows session journaling costing no more than
 //     its budgeted fleet-throughput overhead, with the snapshot path
-//     actually exercised and zero wrong-lane verdicts in either arm.
+//     actually exercised and zero wrong-lane verdicts in either arm;
+//   - the FleetHandoffLatency row shows a drain that actually migrated
+//     sessions, with zero wrong verdicts across the migration.
 //
 // Usage: benchcheck [path] (default BENCH_nsync.json).
 package main
@@ -88,6 +90,7 @@ func check(path string) ([]string, error) {
 		"DriftSweepACC",
 		"FleetLoad",
 		"JournalOverhead",
+		"FleetHandoffLatency",
 	}
 	for _, name := range want {
 		rec, ok := byName[name]
@@ -215,6 +218,39 @@ func checkJournalRecord(rec benchRecord) []string {
 	return problems
 }
 
+// checkHandoffRecord validates the drain probe: a handoff benchmark that
+// migrated nothing measured nothing, and a drain that flips even one verdict
+// is a correctness bug wearing a latency number — wrong_verdicts is pinned
+// at zero. p99_pause_ms may legitimately round to zero on a fast loopback
+// drain, so only its presence is required.
+func checkHandoffRecord(rec benchRecord) []string {
+	var problems []string
+	fail := func(format string, args ...any) {
+		problems = append(problems, fmt.Sprintf("%s: %s", rec.Name, fmt.Sprintf(format, args...)))
+	}
+	if rec.N < 1 || rec.NsPerOp <= 0 {
+		fail("no measured iterations (n=%d, ns_per_op=%g)", rec.N, rec.NsPerOp)
+	}
+	for _, key := range []string{"migrated_sessions", "failed_handoffs", "p99_pause_ms", "wrong_verdicts"} {
+		if _, ok := rec.Extra[key]; !ok {
+			fail("missing %s metric", key)
+		}
+	}
+	if len(problems) > 0 {
+		return problems
+	}
+	if rec.Extra["migrated_sessions"] <= 0 {
+		fail("migrated_sessions=%g: the drain never migrated a session, so the pause was not measured", rec.Extra["migrated_sessions"])
+	}
+	if f := rec.Extra["failed_handoffs"]; f < 0 {
+		fail("failed_handoffs=%g is not a count", f)
+	}
+	if w := rec.Extra["wrong_verdicts"]; w != 0 {
+		fail("wrong_verdicts=%g: migration changed verdicts", w)
+	}
+	return problems
+}
+
 func checkRecord(rec benchRecord) []string {
 	if rec.Name == "DriftSweepACC" {
 		return checkDriftRecord(rec)
@@ -224,6 +260,9 @@ func checkRecord(rec benchRecord) []string {
 	}
 	if rec.Name == "JournalOverhead" {
 		return checkJournalRecord(rec)
+	}
+	if rec.Name == "FleetHandoffLatency" {
+		return checkHandoffRecord(rec)
 	}
 	var problems []string
 	fail := func(format string, args ...any) {

@@ -66,6 +66,10 @@ func run() error {
 		shards      = flag.Int("shards", 1, "in-process listener shards; sessions are consistent-hashed across them")
 		tenantSess  = flag.Int("tenant-sessions", 0, "per-tenant concurrent session quota (0 = unlimited)")
 		tenantQueue = flag.Int("tenant-frames", 0, "per-tenant aggregate queued-frame quota (0 = unlimited)")
+		peersArg    = flag.String("peers", "", "comma-separated addresses of every fleet peer, identical on all of them; enables multi-process clustering (empty: standalone)")
+		peerID      = flag.Int("peer-id", 0, "this process's index into -peers")
+		peerProbe   = flag.Duration("peer-probe", time.Second, "mean peer health-probe period (jittered)")
+		doHandoff   = flag.Bool("handoff", true, "on SIGTERM, hand live sessions to successor peers before draining (requires -peers)")
 		journalDir  = flag.String("journal", "", "session journal directory; enables crash recovery of in-flight sessions (empty: off)")
 		journalSync = flag.String("journal-sync", "interval", "journal fsync policy: interval, always, or none")
 		snapEvery   = flag.Int("snapshot-every", 0, "journal a monitor snapshot every N frames per session (0 = default 256)")
@@ -196,6 +200,31 @@ func run() error {
 		log.Printf("session journal at %s (sync=%s)", *journalDir, *journalSync)
 	}
 
+	// The tenant table is built explicitly (not left to the server) so the
+	// cluster layer can gossip its usage to peers and fold theirs in.
+	tenants := ingest.NewTenantTable(ingest.TenantQuota{MaxSessions: *tenantSess, MaxQueuedFrames: *tenantQueue})
+
+	// With -peers, this process is one peer of a static-membership fleet:
+	// it redirects Hellos to their jump-hash owner, health-checks the other
+	// peers (piggybacking tenant usage), and on SIGTERM hands its live
+	// sessions to their successors instead of just draining them.
+	var cluster *ingest.Cluster
+	if peers := splitNonEmpty(*peersArg); len(peers) > 0 {
+		cluster, err = ingest.NewCluster(ingest.ClusterConfig{
+			Peers:         peers,
+			PeerID:        *peerID,
+			ProbeInterval: *peerProbe,
+			Tenants:       tenants,
+			Pool:          pool,
+			Journal:       journal,
+			Logf:          log.Printf,
+		})
+		if err != nil {
+			return err
+		}
+		log.Printf("cluster peer %d of %d (%s)", *peerID, len(peers), peers[*peerID])
+	}
+
 	cfg := ingest.Config{
 		Factory:             factory,
 		QueueDepth:          *queueDepth,
@@ -203,9 +232,10 @@ func run() error {
 		ReadTimeout:         *readTimeout,
 		EnqueueTimeout:      *enqTimeout,
 		Retention:           *retention,
-		TenantQuota:         ingest.TenantQuota{MaxSessions: *tenantSess, MaxQueuedFrames: *tenantQueue},
+		Tenants:             tenants,
 		Journal:             journal,
 		SnapshotEveryFrames: *snapEvery,
+		Cluster:             cluster,
 		Logf:                log.Printf,
 	}
 	var srv interface {
@@ -223,6 +253,9 @@ func run() error {
 			n := router.Recover(journaled, pool)
 			log.Printf("journal: recovered %d of %d journaled sessions", n, len(journaled))
 		}
+		if cluster != nil {
+			cluster.Bind(router, pool)
+		}
 		srv = router
 	} else {
 		server, err := ingest.NewServer(cfg)
@@ -233,7 +266,14 @@ func run() error {
 			n := server.Recover(journaled, pool)
 			log.Printf("journal: recovered %d of %d journaled sessions", n, len(journaled))
 		}
+		if cluster != nil {
+			cluster.Bind(server, pool)
+		}
 		srv = server
+	}
+	if cluster != nil {
+		cluster.Start()
+		defer cluster.Close()
 	}
 
 	l, err := net.Listen("tcp", *listenAddr)
@@ -252,9 +292,13 @@ func run() error {
 	case err := <-errCh:
 		return err
 	case sig := <-sigCh:
-		log.Printf("received %v: draining %d sessions", sig, srv.SessionCount())
 		ctx, cancel := context.WithTimeout(context.Background(), *drainWait)
 		defer cancel()
+		if cluster != nil && *doHandoff {
+			migrated, failed := cluster.HandoffAll(ctx)
+			log.Printf("handoff: migrated %d sessions (%d failed)", migrated, failed)
+		}
+		log.Printf("received %v: draining %d sessions", sig, srv.SessionCount())
 		if err := srv.Shutdown(ctx); err != nil {
 			return fmt.Errorf("drain: %w", err)
 		}

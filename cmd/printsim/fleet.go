@@ -27,18 +27,20 @@ import (
 )
 
 type fleetOptions struct {
-	sessions    int // concurrent replay clients to run in total
-	parallel    int // max clients in flight at once
-	attackEvery int // every Nth client streams the attack print (0 = none)
-	defectEvery int // every Nth client injects lossless transport defects
-	tenants     int // spread clients across this many tenant ids
-	frame       int
-	priority    int
-	tenant      string // tenant id, or prefix when tenants > 1
-	model       string
-	idPrefix    string
-	backoff     time.Duration // base dial backoff (see ReplayOptions.DialBackoff)
-	maxDials    int           // total connection attempts per session
+	sessions     int // concurrent replay clients to run in total
+	parallel     int // max clients in flight at once
+	attackEvery  int // every Nth client streams the attack print (0 = none)
+	defectEvery  int // every Nth client injects lossless transport defects
+	tenants      int // spread clients across this many tenant ids
+	frame        int
+	priority     int
+	tenant       string // tenant id, or prefix when tenants > 1
+	model        string
+	idPrefix     string
+	backoff      time.Duration // base dial backoff (see ReplayOptions.DialBackoff)
+	maxDials     int           // total connection attempts per session
+	peers        []string      // fleet peer addresses (see ReplayOptions.Peers)
+	maxRedirects int           // redirect budget per session (see ReplayOptions.MaxRedirects)
 }
 
 // fleetResult is one client's outcome.
@@ -48,6 +50,8 @@ type fleetResult struct {
 	shedRejected  bool
 	err           error
 	finishLatency time.Duration
+	redirects     int
+	stateLost     int
 }
 
 // runFleet replays opt.sessions concurrent sessions against addr: client i
@@ -81,10 +85,12 @@ func runFleet(benign, attack *printer.Trace, channels []sensor.Channel, scale ex
 	wg.Wait()
 	elapsed := time.Since(start)
 
-	var ok, wrong, quota, shed, errs int
+	var ok, wrong, quota, shed, errs, redirects, stateLost int
 	var firstErr error
 	var latencies []time.Duration
 	for _, r := range results {
+		redirects += r.redirects
+		stateLost += r.stateLost
 		switch {
 		case r.ok:
 			ok++
@@ -108,8 +114,8 @@ func runFleet(benign, attack *printer.Trace, channels []sensor.Channel, scale ex
 		sort.Slice(latencies, func(a, b int) bool { return latencies[a] < latencies[b] })
 		p99 = latencies[len(latencies)*99/100]
 	}
-	fmt.Printf("fleet: sessions=%d ok=%d wrong=%d rejected_quota=%d rejected_shed=%d errors=%d p99_ms=%.1f elapsed=%.1fs\n",
-		opt.sessions, ok, wrong, quota, shed, errs, float64(p99.Microseconds())/1000, elapsed.Seconds())
+	fmt.Printf("fleet: sessions=%d ok=%d wrong=%d rejected_quota=%d rejected_shed=%d errors=%d p99_ms=%.1f elapsed=%.1fs redirects=%d state_lost=%d\n",
+		opt.sessions, ok, wrong, quota, shed, errs, float64(p99.Microseconds())/1000, elapsed.Seconds(), redirects, stateLost)
 	if wrong > 0 {
 		fmt.Printf("fleet: %d sessions produced wrong-lane verdicts\n", wrong)
 		os.Exit(2)
@@ -149,6 +155,7 @@ func fleetClient(benign, attack *printer.Trace, channels []sensor.Channel, scale
 		FrameSamples: opt.frame, Seed: seed,
 		Timeout:     60 * time.Second,
 		DialBackoff: opt.backoff, MaxDials: opt.maxDials,
+		Peers: opt.peers, MaxRedirects: opt.maxRedirects,
 		Stats: &ingest.ReplayStats{},
 	}
 	if opt.defectEvery > 0 && i%opt.defectEvery == 0 {
@@ -178,9 +185,11 @@ func fleetClient(benign, attack *printer.Trace, channels []sensor.Channel, scale
 	}
 	if v.Intrusion != expectIntrusion {
 		fmt.Printf("fleet: WRONG verdict for %s: intrusion=%v, lane expects %v\n", hello.SessionID, v.Intrusion, expectIntrusion)
-		return fleetResult{wrong: true, finishLatency: ropt.Stats.FinishLatency}
+		return fleetResult{wrong: true, finishLatency: ropt.Stats.FinishLatency,
+			redirects: ropt.Stats.Redirects, stateLost: ropt.Stats.StateLost}
 	}
-	return fleetResult{ok: true, finishLatency: ropt.Stats.FinishLatency}
+	return fleetResult{ok: true, finishLatency: ropt.Stats.FinishLatency,
+		redirects: ropt.Stats.Redirects, stateLost: ropt.Stats.StateLost}
 }
 
 func containsAny(s string, subs ...string) bool {

@@ -75,6 +75,8 @@ func run() error {
 		reconnect  = flag.Int("reconnect-every", 0, "force a disconnect+resume after every N frames")
 		backoff    = flag.Duration("reconnect-backoff", 0, "base delay between dial attempts, growing exponentially with seeded jitter (default 10ms)")
 		maxDials   = flag.Int("max-dials", 0, "total connection attempts per session, first dial included (default 8)")
+		peersArg   = flag.String("peers", "", "comma-separated fleet peer addresses (the daemons' -peers list); sessions dial their jump-hash owner and fail over on peer death")
+		maxRedir   = flag.Int("max-redirects", 0, "redirect hops a session may follow before erroring, separate from -max-dials (default 8)")
 		cutChannel = flag.String("cut", "", "stop this channel's data at half the print (simulated sensor death)")
 		driftArg   = flag.String("drift", "", "inject slow sensor drift, key=value pairs: gain/noise/clock/offset per-print rates, print=N (sequence index of the first run; run i is print N+i), seed=S, channel=ACC (e.g. 'noise=0.06,clock=0.0004,print=4')")
 
@@ -162,6 +164,7 @@ func run() error {
 			frame: *frameLen, priority: *priority,
 			tenant: *tenantArg, model: *modelArg,
 			backoff: *backoff, maxDials: *maxDials,
+			peers: splitList(*peersArg), maxRedirects: *maxRedir,
 		})
 	}
 	if err := os.MkdirAll(*outDir, 0o755); err != nil {
@@ -191,6 +194,7 @@ func run() error {
 				dup: *dupProb, drop: *dropProb, reconnect: *reconnect, cut: *cutChannel,
 				tenant: *tenantArg, model: *modelArg,
 				backoff: *backoff, maxDials: *maxDials,
+				peers: splitList(*peersArg), maxRedirects: *maxRedir,
 				drift: drift, driftPrint: driftPrint + i,
 			})
 			if err != nil {
@@ -230,6 +234,8 @@ type streamOptions struct {
 	tenant, model                       string
 	backoff                             time.Duration
 	maxDials                            int
+	peers                               []string
+	maxRedirects                        int
 	drift                               *sensor.DriftInjector
 	driftPrint                          int
 }
@@ -265,6 +271,7 @@ func streamRun(tr *printer.Trace, channels []sensor.Channel, scale experiment.Sc
 		FrameSamples: opt.frame, Seed: seed, ShuffleWindow: opt.shuffle,
 		DupProb: opt.dup, DropProb: opt.drop, ReconnectAfter: opt.reconnect,
 		DialBackoff: opt.backoff, MaxDials: opt.maxDials,
+		Peers: opt.peers, MaxRedirects: opt.maxRedirects,
 	}
 	if cut >= 0 {
 		ropt.CutChannels = []int{cut}
@@ -311,6 +318,16 @@ func profileByName(name string) (printer.Profile, error) {
 	default:
 		return printer.Profile{}, fmt.Errorf("unknown printer %q (want UM3 or RM3)", name)
 	}
+}
+
+func splitList(arg string) []string {
+	var out []string
+	for _, p := range strings.Split(arg, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
 }
 
 func parseChannels(arg string) ([]sensor.Channel, error) {

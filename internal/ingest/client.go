@@ -23,6 +23,45 @@ type ServerError struct{ Msg string }
 // Error implements error.
 func (e *ServerError) Error() string { return "ingest: server: " + e.Msg }
 
+// ErrNoState matches (via errors.Is) a cluster peer's typed rejection of a
+// resume Hello when nothing is retained for the session anywhere — the one
+// ServerError a fleet-aware client recovers from, by downgrading to a fresh
+// Hello (degraded: the stream restarts, but the client never wedges).
+var ErrNoState = errors.New("ingest: no retained state for session")
+
+// noStateMsg is the wire message admit sends for that rejection; its
+// "no retained state" substring is the match key ServerError.Is uses.
+const noStateMsg = "no retained state for session; retry with a fresh hello"
+
+// Is lets errors.Is(err, ErrNoState) see the typed rejection through the
+// wire round-trip.
+func (e *ServerError) Is(target error) bool {
+	return target == ErrNoState && strings.Contains(e.Msg, "no retained state")
+}
+
+// isMigratedReject recognizes the "session migrated; reconnect" rejection a
+// draining peer sends when it hands a live session to its successor. It can
+// surface at dial time (the redial beat the local teardown) or mid-finish
+// (the drain beat the verdict); both resolve by redialing, which the
+// redirect machinery steers to the successor.
+func isMigratedReject(err error) bool {
+	var se *ServerError
+	return errors.As(err, &se) && strings.Contains(se.Msg, "migrated")
+}
+
+// RedirectError is a Redirect frame received in place of a HelloAck: the
+// dialed peer is healthy but another peer owns the session. Replay follows
+// it; bare Dial callers see it as a typed error naming the owner.
+type RedirectError struct {
+	Addr string
+	Peer int
+}
+
+// Error implements error.
+func (e *RedirectError) Error() string {
+	return fmt.Sprintf("ingest: session owned by peer %d at %s", e.Peer, e.Addr)
+}
+
 // Hello describes the session a client wants to open.
 type Hello struct {
 	SessionID string
@@ -35,6 +74,13 @@ type Hello struct {
 	// Model optionally selects a trained model by content address when the
 	// server runs a shared model pool. Empty means the server's default.
 	Model string
+	// ExpectResume marks a reconnect Hello: the client believes some peer
+	// retains this session's state. A cluster peer with nothing retained
+	// answers the typed ErrNoState rejection instead of silently admitting a
+	// mid-print stream into a brand-new detector. Replay manages this flag
+	// itself; it rides a trailing-optional Hello byte, so servers predating
+	// it ignore the flag and fresh Hellos stay byte-identical on the wire.
+	ExpectResume bool
 }
 
 // Client is one connection's worth of framed-protocol state. Reconnecting
@@ -64,6 +110,9 @@ func Dial(addr string, h Hello, timeout time.Duration) (*Client, error) {
 		Type: FrameHello, SessionID: h.SessionID, Priority: h.Priority,
 		Channels: h.Channels, Tenant: h.Tenant, Model: h.Model,
 	}
+	if h.ExpectResume {
+		hello.Flags |= HelloFlagExpectResume
+	}
 	conn.SetDeadline(time.Now().Add(timeout)) //nolint:errcheck // net.Conn deadlines
 	if err := WriteFrame(conn, hello); err != nil {
 		conn.Close() //nolint:errcheck // already failing
@@ -79,6 +128,9 @@ func Dial(addr string, h Hello, timeout time.Duration) (*Client, error) {
 	case FrameHelloAck:
 		c.Committed = f.Committed
 		return c, nil
+	case FrameRedirect:
+		conn.Close() //nolint:errcheck // already failing
+		return nil, &RedirectError{Addr: f.Addr, Peer: f.Peer}
 	case FrameError:
 		conn.Close() //nolint:errcheck // already failing
 		return nil, &ServerError{Msg: f.Message}
@@ -175,6 +227,18 @@ type ReplayOptions struct {
 	CutChannels []int
 	// MaxDials bounds connection attempts, first dial included (default 8).
 	MaxDials int
+	// Peers is the full static cluster membership, identical to the
+	// servers' -peers list. When set, the first dial targets the session's
+	// jump-hash owner, a peer that stops answering is marked dead and the
+	// owner recomputed among survivors (reviving everyone when all look
+	// dead), and the addr argument is ignored.
+	Peers []string
+	// MaxRedirects bounds how many Redirect frames one Replay follows
+	// (default 8), separately from MaxDials: a redirect is steering, not a
+	// failed dial, so it refunds its dial attempt — and a redirect loop
+	// therefore errors with a distinct message instead of silently burning
+	// the dial budget.
+	MaxRedirects int
 	// DialBackoff is the base delay between dial attempts; retries back off
 	// exponentially (seeded jitter included) up to DialBackoffMax
 	// (defaults 10ms and 2s). A fleet of clients orphaned by a daemon
@@ -183,6 +247,10 @@ type ReplayOptions struct {
 	DialBackoffMax time.Duration
 	// Timeout bounds each dial and the final verdict wait (default 30s).
 	Timeout time.Duration
+	// FramePause sleeps between data frames (0 = stream flat out),
+	// approximating a sensor that produces samples in real time; the
+	// handoff benchmark uses it to keep a wave mid-stream across a drain.
+	FramePause time.Duration
 	// Stats, when set, receives measurements from the replay — the fleet
 	// load generator reads verdict latency from here.
 	Stats *ReplayStats
@@ -196,6 +264,15 @@ type ReplayStats struct {
 	FinishLatency time.Duration
 	// Dials is how many connections the replay used (1 = no reconnects).
 	Dials int
+	// Redirects counts Redirect frames followed to another peer.
+	Redirects int
+	// StateLost counts resumes downgraded to a fresh Hello because no peer
+	// retained the session (degraded: the stream restarted from sample 0).
+	StateLost int
+	// MaxReconnectPause is the longest the stream stalled across one
+	// mid-session reconnect, dial start to handshake complete — the client-
+	// observed pause a peer drain or crash causes.
+	MaxReconnectPause time.Duration
 }
 
 type replayFrame struct {
@@ -219,6 +296,9 @@ func Replay(addr string, h Hello, signals []*sigproc.Signal, opt ReplayOptions) 
 	if opt.MaxDials <= 0 {
 		opt.MaxDials = 8
 	}
+	if opt.MaxRedirects <= 0 {
+		opt.MaxRedirects = 8
+	}
 	if opt.Timeout <= 0 {
 		opt.Timeout = 30 * time.Second
 	}
@@ -237,30 +317,123 @@ func Replay(addr string, h Hello, signals []*sigproc.Signal, opt ReplayOptions) 
 	// until its listener is back, and that window is exactly what the backoff
 	// is for. So is the server's "already attached" rejection: a deliberate
 	// reconnect can out-race the server noticing the old connection died, and
-	// one backoff later the session is detached and ours again. Every other
-	// ServerError (quota, shed, layout) stays fatal.
-	dials := 0
-	dial := func() (*Client, error) {
-		budget := opt.MaxDials - dials
-		if budget < 1 {
-			return nil, fmt.Errorf("ingest: dial budget exhausted after %d attempts", dials)
+	// one backoff later the session is detached and ours again. So is
+	// "migrated": a draining peer handed our session to its successor, and
+	// the redial gets redirected there. Every other ServerError (quota, shed,
+	// layout) stays fatal.
+	//
+	// With Peers set, each attempt targets the session's jump-hash owner
+	// under this client's view of peer liveness — the same OwnerOf the
+	// servers use, so client failover and server redirects agree. A target
+	// that fails transiently is marked dead; Redirect replies steer (and
+	// stick, so reconnects return to the peer that holds the session); a
+	// redirect toward a peer we just found dead means the sender's health
+	// view lags ours — wait out a backoff step and recompute instead of
+	// bouncing into a refused connection.
+	dials, redirects, stateLost := 0, 0, 0
+	dead := make([]bool, len(opt.Peers))
+	redirected := "" // sticky preferred target: last redirect followed or dial that worked
+	idxOf := func(a string) int {
+		for i, p := range opt.Peers {
+			if p == a {
+				return i
+			}
 		}
-		return resilience.Do(context.Background(), resilience.Policy{
-			MaxAttempts: budget,
-			BaseDelay:   opt.DialBackoff,
-			MaxDelay:    opt.DialBackoffMax,
-			Seed:        opt.Seed + int64(dials),
-			Classify: func(err error) bool {
-				if resilience.IsTransientNetwork(err) {
-					return true
+		return -1
+	}
+	target := func() string {
+		if redirected != "" {
+			return redirected
+		}
+		if len(opt.Peers) == 0 {
+			return addr
+		}
+		all := true
+		for _, d := range dead {
+			if !d {
+				all = false
+				break
+			}
+		}
+		if all {
+			// Every peer looked dead: the view is stale by construction
+			// (somebody is usually up) — revive them all and retry.
+			for i := range dead {
+				dead[i] = false
+			}
+		}
+		return opt.Peers[OwnerOf(h.SessionID, len(opt.Peers), func(i int) bool { return !dead[i] })]
+	}
+	dial := func() (*Client, error) {
+		for {
+			budget := opt.MaxDials - dials
+			if budget < 1 {
+				return nil, fmt.Errorf("ingest: dial budget exhausted after %d attempts", dials)
+			}
+			lastTarget := ""
+			c, err := resilience.Do(context.Background(), resilience.Policy{
+				MaxAttempts: budget,
+				BaseDelay:   opt.DialBackoff,
+				MaxDelay:    opt.DialBackoffMax,
+				Seed:        opt.Seed + int64(dials),
+				Classify: func(err error) bool {
+					if resilience.IsTransientNetwork(err) {
+						return true
+					}
+					var se *ServerError
+					return errors.As(err, &se) && strings.Contains(se.Msg, "already attached") ||
+						isMigratedReject(err)
+				},
+			}, func(context.Context) (*Client, error) {
+				dials++
+				lastTarget = target()
+				cl, err := Dial(lastTarget, h, opt.Timeout)
+				if err != nil && resilience.IsTransientNetwork(err) {
+					// Unreachable: stop preferring this peer and let the next
+					// attempt recompute the owner among the survivors.
+					if i := idxOf(lastTarget); i >= 0 {
+						dead[i] = true
+					}
+					redirected = ""
 				}
-				var se *ServerError
-				return errors.As(err, &se) && strings.Contains(se.Msg, "already attached")
-			},
-		}, func(context.Context) (*Client, error) {
-			dials++
-			return Dial(addr, h, opt.Timeout)
-		})
+				return cl, err
+			})
+			var re *RedirectError
+			if errors.As(err, &re) {
+				// Steering, not a failed dial: refund the attempt and charge
+				// the separate redirect budget.
+				dials--
+				redirects++
+				if redirects > opt.MaxRedirects {
+					return nil, fmt.Errorf("ingest: redirect loop: session %s bounced %d times (max redirects %d), last toward %s",
+						h.SessionID, redirects, opt.MaxRedirects, re.Addr)
+				}
+				if i := idxOf(re.Addr); i >= 0 && dead[i] {
+					step := min(opt.DialBackoff*time.Duration(1<<uint(min(redirects, 16))), opt.DialBackoffMax)
+					time.Sleep(step)
+					redirected = ""
+				} else {
+					redirected = re.Addr
+				}
+				continue
+			}
+			if err != nil && errors.Is(err, ErrNoState) && h.ExpectResume {
+				// The owner has nothing retained for us — it crashed without
+				// handing off, or retention expired. Downgrade to a fresh
+				// Hello: degraded (the stream restarts) but never wedged.
+				h.ExpectResume = false
+				stateLost++
+				continue
+			}
+			if err != nil {
+				return nil, err
+			}
+			// Future reconnects must claim retained state, and should return
+			// to the peer that holds it.
+			h.ExpectResume = true
+			redirected = lastTarget
+			return c, nil
+		}
 	}
 	c, err := dial()
 	if err != nil {
@@ -280,10 +453,16 @@ func Replay(addr string, h Hello, signals []*sigproc.Signal, opt ReplayOptions) 
 	// point are skipped below; partial overlaps are trimmed server-side.
 	pos := 0
 	reconnect := func() error {
+		start := time.Now()
 		c.Close() //nolint:errcheck // tearing down on purpose
 		var err error
 		if c, err = dial(); err != nil {
 			return err
+		}
+		if opt.Stats != nil {
+			if pause := time.Since(start); pause > opt.Stats.MaxReconnectPause {
+				opt.Stats.MaxReconnectPause = pause
+			}
 		}
 		pos = 0
 		return nil
@@ -310,6 +489,9 @@ func Replay(addr string, h Hello, signals []*sigproc.Signal, opt ReplayOptions) 
 			}
 			pos++
 			sent++
+			if opt.FramePause > 0 {
+				time.Sleep(opt.FramePause)
+			}
 			if opt.ReconnectAfter > 0 && sent%opt.ReconnectAfter == 0 && pos < len(frames) {
 				if err := reconnect(); err != nil {
 					return nil, err
@@ -319,8 +501,11 @@ func Replay(addr string, h Hello, signals []*sigproc.Signal, opt ReplayOptions) 
 		// EOS and Finish ride the same resume loop: a daemon killed during
 		// the finish phase recovers the session detached, and the reconnect
 		// re-sends the (mostly committed-skipped) tail before finishing again.
+		// A "migrated" rejection rides the same path: a peer draining while
+		// this client awaited its verdict handed the session to a successor,
+		// and the redial gets redirected there to finish.
 		v, err := finishOnce(c, totals, opt)
-		if err != nil && resilience.IsTransientNetwork(err) {
+		if err != nil && (resilience.IsTransientNetwork(err) || isMigratedReject(err)) {
 			if rerr := reconnect(); rerr != nil {
 				return nil, rerr
 			}
@@ -328,6 +513,8 @@ func Replay(addr string, h Hello, signals []*sigproc.Signal, opt ReplayOptions) 
 		}
 		if opt.Stats != nil {
 			opt.Stats.Dials = dials
+			opt.Stats.Redirects = redirects
+			opt.Stats.StateLost = stateLost
 		}
 		return v, err
 	}

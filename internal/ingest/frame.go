@@ -39,6 +39,13 @@ type FrameType uint8
 // point on reconnect), Data carries sequenced samples, EOS declares a
 // channel's final extent, Finish requests the final verdict, Verdict and
 // Error are the server's terminal replies.
+//
+// The cluster types carry multi-process fleet traffic on the same listener:
+// Redirect steers a session to its owning peer, Handoff/HandoffAck migrate a
+// serialized session to its successor during drain, ModelFetch/ModelData
+// replicate a content-addressed model blob alongside a handoff that pins it,
+// and Ping/Pong are the peer health probe with per-tenant session counts
+// piggybacked as quota gossip.
 const (
 	FrameHello FrameType = iota + 1
 	FrameHelloAck
@@ -47,7 +54,29 @@ const (
 	FrameFinish
 	FrameVerdict
 	FrameError
+	FrameRedirect
+	FrameHandoff
+	FrameHandoffAck
+	FrameModelFetch
+	FrameModelData
+	FramePing
+	FramePong
 )
+
+// HelloFlagExpectResume marks a reconnecting Hello that expects the server
+// to hold retained session state. A cluster peer that does not (the original
+// owner died before handing the session off) rejects it with a typed
+// no-state error instead of silently opening a fresh session, so the client
+// can log the state loss and downgrade deliberately.
+const HelloFlagExpectResume = 1 << 0
+
+// PingFlagDraining marks a Ping or Pong from a peer that has latched itself
+// out of ownership (HandoffAll is running or has run). Receivers treat the
+// sender as dead for ownership purposes — no redirects toward it, sessions
+// it owned recompute to survivors — while its process is still reachable to
+// finish pushing handoffs. Like Hello's flags it rides a trailing-optional
+// byte, written only when nonzero, so pre-cluster peers interoperate.
+const PingFlagDraining = 1 << 0
 
 // String implements fmt.Stringer.
 func (t FrameType) String() string {
@@ -66,9 +95,30 @@ func (t FrameType) String() string {
 		return "verdict"
 	case FrameError:
 		return "error"
+	case FrameRedirect:
+		return "redirect"
+	case FrameHandoff:
+		return "handoff"
+	case FrameHandoffAck:
+		return "handoff-ack"
+	case FrameModelFetch:
+		return "model-fetch"
+	case FrameModelData:
+		return "model-data"
+	case FramePing:
+		return "ping"
+	case FramePong:
+		return "pong"
 	default:
 		return fmt.Sprintf("FrameType(%d)", uint8(t))
 	}
+}
+
+// TenantUsage is one tenant's live session count, piggybacked on Ping/Pong
+// frames as the cluster's quota gossip.
+type TenantUsage struct {
+	Tenant   string
+	Sessions int
 }
 
 // ChannelSpec declares one side channel in a Hello: its name (matched
@@ -130,6 +180,26 @@ type Frame struct {
 	Channels  []ChannelSpec
 	Tenant    string
 	Model     string
+	// Flags carries HelloFlag* bits, trailing optional on the wire so every
+	// earlier Hello layout still decodes (and a zero-flag Hello encodes
+	// byte-identically to a pre-cluster one).
+	Flags uint8
+
+	// Redirect: Addr is the owning peer's dial address; Peer its index in
+	// the static membership (trailing optional, like Hello.Tenant, so future
+	// redirect fields stay decodable by this version). Ping/Pong: Peer is
+	// the sending peer's index.
+	Addr string
+	Peer int
+
+	// Handoff: Blob is the captured monitor state (may be empty).
+	// ModelData: Blob is one chunk of a gob-encoded model; Seq is the chunk
+	// byte offset and Last marks the final chunk.
+	Blob []byte
+	Last bool
+
+	// Ping/Pong: per-tenant live session counts (quota gossip).
+	Usage []TenantUsage
 
 	// HelloAck: per-channel committed sample counts (the resume point).
 	Committed []uint64
@@ -185,6 +255,9 @@ func AppendFrame(dst []byte, f *Frame) ([]byte, error) {
 		}
 		w.str8(f.Tenant)
 		w.str8(f.Model)
+		if f.Flags != 0 {
+			w.u8(f.Flags)
+		}
 	case FrameHelloAck:
 		if len(f.Committed) > 255 {
 			return nil, fmt.Errorf("%w: too many channels", ErrMalformed)
@@ -238,6 +311,78 @@ func AppendFrame(dst []byte, f *Frame) ([]byte, error) {
 		}
 	case FrameError:
 		w.str16(f.Message)
+	case FrameRedirect:
+		if len(f.Addr) > 65535 || f.Peer < 0 || f.Peer > 65535 {
+			return nil, fmt.Errorf("%w: bad redirect", ErrMalformed)
+		}
+		w.str16(f.Addr)
+		w.u16(uint16(f.Peer))
+	case FrameHandoff:
+		if len(f.SessionID) > 255 || len(f.Channels) > 255 || len(f.Tenant) > 255 ||
+			len(f.Model) > 255 || len(f.Committed) > 255 {
+			return nil, fmt.Errorf("%w: handoff field too long", ErrMalformed)
+		}
+		w.str8(f.SessionID)
+		w.u8(uint8(f.Priority))
+		w.u8(uint8(len(f.Channels)))
+		for _, ch := range f.Channels {
+			if len(ch.Name) > 255 || ch.Lanes < 1 || ch.Lanes > 255 {
+				return nil, fmt.Errorf("%w: bad channel spec", ErrMalformed)
+			}
+			w.str8(ch.Name)
+			w.u8(uint8(ch.Lanes))
+			w.f64(ch.Rate)
+		}
+		w.str8(f.Tenant)
+		w.str8(f.Model)
+		w.u8(uint8(len(f.Committed)))
+		for _, c := range f.Committed {
+			w.u64(c)
+		}
+		w.u32(uint32(len(f.Blob)))
+		w.buf = append(w.buf, f.Blob...)
+	case FrameHandoffAck:
+		if len(f.SessionID) > 255 || len(f.Message) > 65535 {
+			return nil, fmt.Errorf("%w: handoff ack field too long", ErrMalformed)
+		}
+		w.str8(f.SessionID)
+		w.str16(f.Message)
+	case FrameModelFetch:
+		if len(f.Model) > 255 {
+			return nil, fmt.Errorf("%w: model version too long", ErrMalformed)
+		}
+		w.str8(f.Model)
+	case FrameModelData:
+		if len(f.Model) > 255 {
+			return nil, fmt.Errorf("%w: model version too long", ErrMalformed)
+		}
+		w.str8(f.Model)
+		w.u64(f.Seq)
+		if f.Last {
+			w.u8(1)
+		} else {
+			w.u8(0)
+		}
+		w.u32(uint32(len(f.Blob)))
+		w.buf = append(w.buf, f.Blob...)
+	case FramePing, FramePong:
+		if f.Peer < 0 || f.Peer > 65535 || len(f.Usage) > 65535 {
+			return nil, fmt.Errorf("%w: bad peer gossip", ErrMalformed)
+		}
+		w.u16(uint16(f.Peer))
+		w.u16(uint16(len(f.Usage)))
+		for _, u := range f.Usage {
+			if len(u.Tenant) > 255 || u.Sessions < 0 || int64(u.Sessions) > math.MaxUint32 {
+				return nil, fmt.Errorf("%w: bad tenant usage", ErrMalformed)
+			}
+			w.str8(u.Tenant)
+			w.u32(uint32(u.Sessions))
+		}
+		// Trailing-optional draining flag: written only when set, so the
+		// fresh-probe encoding matches peers that predate it.
+		if f.Flags != 0 {
+			w.u8(f.Flags)
+		}
 	default:
 		return nil, fmt.Errorf("%w: unknown frame type %d", ErrMalformed, f.Type)
 	}
@@ -425,6 +570,11 @@ func DecodeFrame(payload []byte) (*Frame, error) {
 				return nil, err
 			}
 		}
+		if r.pos < len(r.buf) {
+			if f.Flags, err = r.u8(); err != nil {
+				return nil, err
+			}
+		}
 	case FrameHelloAck:
 		nch, err := r.u8()
 		if err != nil {
@@ -527,6 +677,148 @@ func DecodeFrame(payload []byte) (*Frame, error) {
 	case FrameError:
 		if f.Message, err = r.str16(); err != nil {
 			return nil, err
+		}
+	case FrameRedirect:
+		if f.Addr, err = r.str16(); err != nil {
+			return nil, err
+		}
+		// The peer index is trailing optional: a client built against the
+		// first redirect layout keeps decoding if later versions append more.
+		if r.pos < len(r.buf) {
+			p, err := r.u16()
+			if err != nil {
+				return nil, err
+			}
+			f.Peer = int(p)
+		}
+	case FrameHandoff:
+		if f.SessionID, err = r.str8(); err != nil {
+			return nil, err
+		}
+		prio, err := r.u8()
+		if err != nil {
+			return nil, err
+		}
+		f.Priority = int(prio)
+		nch, err := r.u8()
+		if err != nil {
+			return nil, err
+		}
+		if nch == 0 {
+			return nil, fmt.Errorf("%w: handoff with no channels", ErrMalformed)
+		}
+		for i := 0; i < int(nch); i++ {
+			var ch ChannelSpec
+			if ch.Name, err = r.str8(); err != nil {
+				return nil, err
+			}
+			lanes, err := r.u8()
+			if err != nil {
+				return nil, err
+			}
+			if lanes == 0 {
+				return nil, fmt.Errorf("%w: channel %q with zero lanes", ErrMalformed, ch.Name)
+			}
+			ch.Lanes = int(lanes)
+			if ch.Rate, err = r.f64(); err != nil {
+				return nil, err
+			}
+			if !(ch.Rate > 0) || math.IsInf(ch.Rate, 0) {
+				return nil, fmt.Errorf("%w: channel %q rate %v", ErrMalformed, ch.Name, ch.Rate)
+			}
+			f.Channels = append(f.Channels, ch)
+		}
+		if f.Tenant, err = r.str8(); err != nil {
+			return nil, err
+		}
+		if f.Model, err = r.str8(); err != nil {
+			return nil, err
+		}
+		ncom, err := r.u8()
+		if err != nil {
+			return nil, err
+		}
+		for i := 0; i < int(ncom); i++ {
+			c, err := r.u64()
+			if err != nil {
+				return nil, err
+			}
+			f.Committed = append(f.Committed, c)
+		}
+		nb, err := r.u32()
+		if err != nil {
+			return nil, err
+		}
+		b, err := r.take(int(nb))
+		if err != nil {
+			return nil, err
+		}
+		if len(b) > 0 {
+			f.Blob = b
+		}
+	case FrameHandoffAck:
+		if f.SessionID, err = r.str8(); err != nil {
+			return nil, err
+		}
+		if f.Message, err = r.str16(); err != nil {
+			return nil, err
+		}
+	case FrameModelFetch:
+		if f.Model, err = r.str8(); err != nil {
+			return nil, err
+		}
+	case FrameModelData:
+		if f.Model, err = r.str8(); err != nil {
+			return nil, err
+		}
+		if f.Seq, err = r.u64(); err != nil {
+			return nil, err
+		}
+		last, err := r.u8()
+		if err != nil {
+			return nil, err
+		}
+		if last > 1 {
+			return nil, fmt.Errorf("%w: model data last flag %d", ErrMalformed, last)
+		}
+		f.Last = last == 1
+		nb, err := r.u32()
+		if err != nil {
+			return nil, err
+		}
+		b, err := r.take(int(nb))
+		if err != nil {
+			return nil, err
+		}
+		if len(b) > 0 {
+			f.Blob = b
+		}
+	case FramePing, FramePong:
+		p, err := r.u16()
+		if err != nil {
+			return nil, err
+		}
+		f.Peer = int(p)
+		nu, err := r.u16()
+		if err != nil {
+			return nil, err
+		}
+		for i := 0; i < int(nu); i++ {
+			var u TenantUsage
+			if u.Tenant, err = r.str8(); err != nil {
+				return nil, err
+			}
+			s, err := r.u32()
+			if err != nil {
+				return nil, err
+			}
+			u.Sessions = int(s)
+			f.Usage = append(f.Usage, u)
+		}
+		if r.pos < len(r.buf) {
+			if f.Flags, err = r.u8(); err != nil {
+				return nil, err
+			}
 		}
 	default:
 		return nil, fmt.Errorf("%w: unknown frame type %d", ErrMalformed, t)

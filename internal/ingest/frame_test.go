@@ -32,6 +32,26 @@ func sampleFrames() []*Frame {
 		}},
 		{Type: FrameVerdict, Verdict: &Verdict{Reason: "drained"}},
 		{Type: FrameError, Message: "server overloaded; session shed"},
+		{Type: FrameHello, SessionID: "resume-9", Priority: 1,
+			Channels: []ChannelSpec{{Name: "ACC", Lanes: 6, Rate: 400}},
+			Flags:    HelloFlagExpectResume},
+		{Type: FrameRedirect, Addr: "10.0.0.7:7071", Peer: 2},
+		{Type: FrameHandoff, SessionID: "fleet-0007", Priority: 9,
+			Channels: []ChannelSpec{{Name: "ACC", Lanes: 6, Rate: 400}, {Name: "AUD", Lanes: 2, Rate: 4800}},
+			Tenant:   "plant-berlin", Model: "a1b2c3d4e5f6",
+			Committed: []uint64{400, 9600}, Blob: []byte{1, 2, 3, 4}},
+		{Type: FrameHandoff, SessionID: "stateless", Priority: 0,
+			Channels:  []ChannelSpec{{Name: "MAG", Lanes: 3, Rate: 10}},
+			Committed: []uint64{0}},
+		{Type: FrameHandoffAck, SessionID: "fleet-0007"},
+		{Type: FrameHandoffAck, SessionID: "fleet-0008", Message: "peer is draining"},
+		{Type: FrameModelFetch, Model: "a1b2c3d4e5f6"},
+		{Type: FrameModelData, Model: "a1b2c3d4e5f6", Seq: 1 << 19, Blob: bytes.Repeat([]byte{0xAB}, 32)},
+		{Type: FrameModelData, Model: "a1b2c3d4e5f6", Seq: 0, Last: true},
+		{Type: FramePing, Peer: 1, Usage: []TenantUsage{{Tenant: "plant-0", Sessions: 3}, {Tenant: "plant-1", Sessions: 1}}},
+		{Type: FramePong, Peer: 0},
+		{Type: FramePing, Peer: 2, Flags: PingFlagDraining},
+		{Type: FramePong, Peer: 1, Usage: []TenantUsage{{Tenant: "plant-2", Sessions: 7}}, Flags: PingFlagDraining},
 	}
 }
 
@@ -96,6 +116,62 @@ func TestHelloBackwardCompatible(t *testing.T) {
 	}
 	if f.Tenant != "plant-7" || f.Model != "" {
 		t.Fatalf("tenant-only hello decoded as %+v", f)
+	}
+}
+
+// TestRedirectBackwardCompatible decodes a Redirect whose payload ends at
+// the address — no trailing peer-index field. Like Hello's tenant/model
+// extension, Peer is trailing-optional so a minimal redirect stays
+// decodable by future versions.
+func TestRedirectBackwardCompatible(t *testing.T) {
+	minimal := mustAppendRaw(t, func(w *frameWriter) {
+		w.u8(Version)
+		w.u8(uint8(FrameRedirect))
+		w.str16("10.0.0.9:7071")
+	})
+	f, err := ReadFrame(bytes.NewReader(minimal))
+	if err != nil {
+		t.Fatalf("minimal redirect: %v", err)
+	}
+	if f.Addr != "10.0.0.9:7071" || f.Peer != 0 {
+		t.Fatalf("minimal redirect decoded as %+v", f)
+	}
+}
+
+// TestHelloFlagsBackwardCompatible checks both directions of the Flags
+// extension: a Hello without the trailing flags byte decodes with Flags=0,
+// and a fresh Hello (Flags=0) encodes byte-identical to the pre-cluster
+// layout so legacy servers keep accepting it.
+func TestHelloFlagsBackwardCompatible(t *testing.T) {
+	noFlags := mustAppendRaw(t, func(w *frameWriter) {
+		w.u8(Version)
+		w.u8(uint8(FrameHello))
+		w.str8("full-client")
+		w.u8(5)
+		w.u8(1)
+		w.str8("ACC")
+		w.u8(6)
+		w.f64(400)
+		w.str8("plant-7")
+		w.str8("a1b2c3d4e5f6")
+	})
+	f, err := ReadFrame(bytes.NewReader(noFlags))
+	if err != nil {
+		t.Fatalf("flagless hello: %v", err)
+	}
+	if f.Flags != 0 || f.Tenant != "plant-7" || f.Model != "a1b2c3d4e5f6" {
+		t.Fatalf("flagless hello decoded as %+v", f)
+	}
+
+	fresh := &Frame{Type: FrameHello, SessionID: "full-client", Priority: 5,
+		Channels: []ChannelSpec{{Name: "ACC", Lanes: 6, Rate: 400}},
+		Tenant:   "plant-7", Model: "a1b2c3d4e5f6"}
+	enc, err := AppendFrame(nil, fresh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(enc, noFlags) {
+		t.Fatalf("fresh hello encoding diverged from pre-cluster layout:\n got %x\nwant %x", enc, noFlags)
 	}
 }
 

@@ -306,6 +306,23 @@ func (j *Journal) Finish(id string) {
 	j.append(w.buf, func() { delete(j.live, id) })
 }
 
+// ExportLive snapshots every live (admitted, unfinished) session's durable
+// resume point, sorted by session id. It reads under the journal's own
+// mutex — the rotation lock — so an exporter racing a rotation sees either
+// the pre- or post-compaction live map, never a half-compacted one, and no
+// segment retirement can invalidate what it read (the returned records are
+// copies, not references into segment files).
+func (j *Journal) ExportLive() []RecoveredSession {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	out := make([]RecoveredSession, 0, len(j.live))
+	for id, js := range j.live {
+		out = append(out, js.recovered(id))
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].SessionID < out[b].SessionID })
+	return out
+}
+
 // Snapshots returns how many snapshot records have been accepted since
 // open. Tests poll it to know a durable resume point exists.
 func (j *Journal) Snapshots() int {

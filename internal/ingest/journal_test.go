@@ -229,3 +229,66 @@ func TestJournalAppendAfterCloseIsNoop(t *testing.T) {
 		t.Error("ParseJournalSyncMode(bogus): want error")
 	}
 }
+
+// TestJournalExportLiveDuringRotation races a handoff exporter against
+// rotation-with-compaction: ExportLive reads under the rotation lock, so
+// every export must be internally consistent — complete identity, committed
+// counts sized to the channel list — even while segments are being rotated
+// out underneath it. Run under -race this also pins the locking discipline.
+func TestJournalExportLiveDuringRotation(t *testing.T) {
+	dir := t.TempDir()
+	// Tiny segments: the snapshot payloads below force a rotation every few
+	// records, so the exports race real compactions, not an idle file.
+	j, _ := openTestJournal(t, dir, JournalConfig{MaxSegmentBytes: 4 << 10})
+	defer j.Close() //nolint:errcheck // test teardown
+
+	firstSeg, _ := tailSegment(t, dir)
+	specs := testSpecs()
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		state := make([]byte, 512)
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			id := "churn-" + string(rune('a'+i%16)) + "-" + string(rune('a'+(i/16)%16))
+			j.Admit(id, "plant-x", "feedfacefeed", 3, specs)
+			j.Snapshot(id, []uint64{uint64(i), uint64(i)}, state)
+			if i%4 != 0 { // keep a rolling subset live so exports see both kinds
+				j.Finish(id)
+			}
+		}
+	}()
+	// Export until the churn has driven at least a few rotations (tail
+	// segment name advanced), with a floor of 300 rounds so the two sides
+	// genuinely interleave.
+	deadline := time.Now().Add(10 * time.Second)
+	rotated := false
+	for k := 0; k < 300 || !rotated; k++ {
+		if time.Now().After(deadline) {
+			t.Fatal("journal never rotated during the churn; raise the churn or shrink MaxSegmentBytes")
+		}
+		for _, rs := range j.ExportLive() {
+			if rs.SessionID == "" || rs.Tenant != "plant-x" || rs.Model != "feedfacefeed" {
+				t.Fatalf("torn export identity: %+v", rs)
+			}
+			if !reflect.DeepEqual(rs.Channels, specs) {
+				t.Fatalf("torn export channels: %+v", rs.Channels)
+			}
+			if len(rs.Committed) != len(specs) {
+				t.Fatalf("export committed %v not sized to %d channels", rs.Committed, len(specs))
+			}
+		}
+		if !rotated {
+			if seg, _ := tailSegment(t, dir); seg != firstSeg {
+				rotated = true
+			}
+		}
+	}
+	close(stop)
+	<-done
+}

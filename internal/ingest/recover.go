@@ -63,12 +63,22 @@ func (srv *Server) recoverOne(rs RecoveredSession, f RestoringFactory) bool {
 	srv.pending++
 	srv.mu.Unlock()
 
-	sink, err := f.Restore(hello, rs.State)
-	if err != nil {
+	// rollback undoes the reservation taken above — pending slot, sink (when
+	// one was acquired), tenant reservation — in one place, so no skip path
+	// between here and commit can hold a tenant slot until retention expiry.
+	// TestRecoverRestoreFailureReleasesReservation pins this.
+	rollback := func(sink Sink) {
 		srv.mu.Lock()
 		srv.pending--
 		srv.mu.Unlock()
+		if sink != nil {
+			f.Release(sink)
+		}
 		srv.tenants.release(tn, false)
+	}
+	sink, err := f.Restore(hello, rs.State)
+	if err != nil {
+		rollback(nil)
 		return skip("%v", err)
 	}
 	s := newSession(srv, hello, sink, tn)
@@ -81,19 +91,17 @@ func (srv *Server) recoverOne(rs RecoveredSession, f RestoringFactory) bool {
 	}
 
 	srv.mu.Lock()
-	srv.pending--
 	if srv.draining {
 		srv.mu.Unlock()
-		f.Release(sink)
-		srv.tenants.release(tn, false)
+		rollback(sink)
 		return skip("server draining")
 	}
 	if _, ok := srv.sessions[rs.SessionID]; ok {
 		srv.mu.Unlock()
-		f.Release(sink)
-		srv.tenants.release(tn, false)
+		rollback(sink)
 		return skip("session id already active")
 	}
+	srv.pending--
 	srv.sessions[rs.SessionID] = s
 	srv.tenants.commit(tn)
 	srv.wg.Add(1)

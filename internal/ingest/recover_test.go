@@ -230,3 +230,39 @@ func TestRecoverSkipsUnrestorableSessions(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestRecoverRestoreFailureReleasesReservation is the regression pin for
+// the recovery rollback path: a journaled session whose restore fails (its
+// model no longer resolves) must give back its tenant reservation
+// immediately — not hold the slot until retention expiry — so a live
+// admission for the same tenant succeeds right after boot.
+func TestRecoverRestoreFailureReleasesReservation(t *testing.T) {
+	fx := fixture(t)
+	pool := NewSharedPool(nil)
+	tenants := NewTenantTable(TenantQuota{MaxSessions: 1})
+	srv, err := NewServer(Config{
+		Factory: pool, Tenants: tenants, Logf: t.Logf,
+		// A long retention makes the failure mode visible: a leaked
+		// reservation would block the tenant for an hour, not a blink.
+		Retention: time.Hour,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs := RecoveredSession{
+		SessionID: "victim", Tenant: "plant-1", Model: "feedfacefeed",
+		Priority: 3, Channels: fx.specs, Committed: []uint64{100, 100},
+	}
+	if n := srv.Recover([]RecoveredSession{rs}, pool); n != 0 {
+		t.Fatalf("Recover() = %d, want 0 (model cannot restore)", n)
+	}
+	// The tenant's single quota slot must be free again, immediately.
+	tn, reject := tenants.reserve("plant-1")
+	if reject != "" {
+		t.Fatalf("reservation leaked by failed restore: %s", reject)
+	}
+	tenants.release(tn, false)
+	if got := srv.SessionCount(); got != 0 {
+		t.Fatalf("SessionCount() = %d after failed recovery, want 0", got)
+	}
+}

@@ -118,18 +118,39 @@ func (r *Router) Serve(l net.Listener) error {
 	}
 }
 
-// route reads one connection's Hello and hands it to its shard.
+// route reads one connection's Hello and hands it to its shard — or, when
+// the router is a cluster peer, serves peer traffic and redirects Hellos
+// another peer owns.
 func (r *Router) route(conn net.Conn) {
 	defer conn.Close() //nolint:errcheck // read side already decided the outcome
 	shard := r.shards[0]
 	br := bufio.NewReader(conn)
 	conn.SetReadDeadline(time.Now().Add(shard.cfg.ReadTimeout)) //nolint:errcheck // net.Conn deadlines
 	hello, err := ReadFrame(br)
+	if err == nil && shard.cfg.Cluster != nil && shard.cfg.Cluster.HandlePeer(conn, br, hello) {
+		return
+	}
 	if err != nil || hello.Type != FrameHello {
 		shard.writeError(conn, "expected hello")
 		return
 	}
-	r.shards[r.ShardFor(hello.SessionID)].serveConn(conn, br, hello)
+	// The owning shard is the one that would retain the session, so it
+	// answers the held-locally question the redirect decision needs.
+	owner := r.shards[r.ShardFor(hello.SessionID)]
+	if owner.redirect(conn, hello) {
+		return
+	}
+	owner.serveConn(conn, br, hello)
+}
+
+// ExportSessions serializes every live session's resume point across all
+// shards for a drain (see Server.ExportSessions).
+func (r *Router) ExportSessions(timeout time.Duration) []HandoffSession {
+	var out []HandoffSession
+	for _, s := range r.shards {
+		out = append(out, s.ExportSessions(timeout)...)
+	}
+	return out
 }
 
 // Shutdown drains every shard concurrently. The context bounds the whole

@@ -54,6 +54,12 @@ type Config struct {
 	// snapshots of a session's committed counts and monitor state
 	// (default 256). Ignored without Journal.
 	SnapshotEveryFrames int
+	// Cluster, when set, makes this process one peer of a multi-process
+	// fleet (DESIGN.md §17): inbound peer frames are served, Hellos for
+	// sessions another peer owns are answered with a Redirect, and resume
+	// Hellos flagged ExpectResume are rejected with a typed no-state error
+	// when nothing is retained here.
+	Cluster *Cluster
 	// Logf, when set, receives one line per session lifecycle event.
 	Logf func(format string, args ...any)
 }
@@ -234,11 +240,44 @@ func (srv *Server) handle(conn net.Conn) {
 	br := bufio.NewReader(conn)
 	conn.SetReadDeadline(time.Now().Add(srv.cfg.ReadTimeout)) //nolint:errcheck // net.Conn deadlines
 	hello, err := ReadFrame(br)
+	if err == nil && srv.cfg.Cluster != nil && srv.cfg.Cluster.HandlePeer(conn, br, hello) {
+		return
+	}
 	if err != nil || hello.Type != FrameHello {
 		srv.writeError(conn, "expected hello")
 		return
 	}
+	if srv.redirect(conn, hello) {
+		return
+	}
 	srv.serveConn(conn, br, hello)
+}
+
+// redirect answers a Hello owned by another peer with a Redirect frame and
+// reports whether it did. Sessions retained locally are always served here,
+// whatever the hash says (see Cluster.RedirectFor).
+func (srv *Server) redirect(conn net.Conn, hello *Frame) bool {
+	cl := srv.cfg.Cluster
+	if cl == nil {
+		return false
+	}
+	addr, peer, ok := cl.RedirectFor(hello.SessionID, srv.hasSession(hello.SessionID))
+	if !ok {
+		return false
+	}
+	metRedirects.Inc()
+	srv.logf("session %s: redirected to peer %d (%s)", hello.SessionID, peer, addr)
+	conn.SetWriteDeadline(time.Now().Add(srv.cfg.WriteTimeout))           //nolint:errcheck // net.Conn deadlines
+	WriteFrame(conn, &Frame{Type: FrameRedirect, Addr: addr, Peer: peer}) //nolint:errcheck // client may be gone
+	return true
+}
+
+// hasSession reports whether the session is live here (attached or retained).
+func (srv *Server) hasSession(id string) bool {
+	srv.mu.Lock()
+	defer srv.mu.Unlock()
+	_, ok := srv.sessions[id]
+	return ok
 }
 
 // serveConn runs the post-handshake lifetime of one connection whose Hello
@@ -417,6 +456,18 @@ func (srv *Server) admit(hello *Frame) (*session, string) {
 		}
 		return srv.resume(hello, s)
 	}
+	if hello.Flags&HelloFlagExpectResume != 0 {
+		// The client believes it has server-side state (it resumed or was
+		// migrated), but nothing is retained here — a crashed peer that never
+		// handed off, or retention that expired. Reject with the typed
+		// no-state message so the client downgrades to a fresh Hello instead
+		// of feeding a mid-print stream into a brand-new detector.
+		srv.mu.Unlock()
+		metNoState.Inc()
+		metRejected.Inc()
+		srv.logf("session %s: resume expected but no retained state", hello.SessionID)
+		return nil, noStateMsg
+	}
 	if int(srv.depth.Load()) >= srv.cfg.ShedWatermark {
 		srv.mu.Unlock()
 		metShed.Inc()
@@ -492,11 +543,72 @@ func (srv *Server) journalAdmit(s *session) {
 	if j == nil {
 		return
 	}
-	model := ""
-	if mv, ok := unwrapSink(s.sink).(interface{ ModelVersion() string }); ok {
-		model = mv.ModelVersion()
+	j.Admit(s.id, s.tenantID, s.modelVersion(), s.priority, s.specs)
+}
+
+// ExportSessions serializes every live session's resume point for a drain:
+// each worker is asked for a consistent capture (committed counts + monitor
+// state at one instant); a worker that cannot reply within timeout falls
+// back to the session's last durable journal snapshot — stale but
+// migratable — and is skipped only when neither exists. Sessions whose sink
+// holds no serializable state migrate with zeroed commit points: the client
+// rewinds to frame 0 and resends, so the successor's fresh detector sees
+// the whole stream and the verdict stays correct (this deliberately differs
+// from the journal's keep-committed policy, which only has to survive a
+// restart of the same process with the same sink).
+func (srv *Server) ExportSessions(timeout time.Duration) []HandoffSession {
+	srv.mu.Lock()
+	sessions := make([]*session, 0, len(srv.sessions))
+	for _, s := range srv.sessions {
+		sessions = append(sessions, s)
 	}
-	j.Admit(s.id, s.tenantID, model, s.priority, s.specs)
+	srv.mu.Unlock()
+	sort.Slice(sessions, func(i, j int) bool { return sessions[i].id < sessions[j].id })
+	// One journal pass up front: ExportLive snapshots the live-session set
+	// under the journal's rotation lock, so a concurrent rotation cannot
+	// yank a segment out from under the per-session fallback reads below.
+	fallback := map[string]RecoveredSession{}
+	if j := srv.cfg.Journal; j != nil {
+		for _, rs := range j.ExportLive() {
+			fallback[rs.SessionID] = rs
+		}
+	}
+	var out []HandoffSession
+	for _, s := range sessions {
+		if s.terminated() {
+			continue
+		}
+		cap, err := s.exportState(timeout)
+		if err != nil {
+			if rs, ok := fallback[s.id]; ok {
+				srv.logf("session %s: live capture failed (%v); exporting last journal snapshot", s.id, err)
+				out = append(out, HandoffSession{RecoveredSession: rs, sess: s})
+			} else {
+				srv.logf("session %s: export failed (%v), no journal fallback; draining locally", s.id, err)
+			}
+			continue
+		}
+		rs := RecoveredSession{
+			SessionID: s.id,
+			Tenant:    s.tenantID,
+			Model:     s.modelVersion(),
+			Priority:  s.priority,
+			Channels:  append([]ChannelSpec(nil), s.specs...),
+			Committed: cap.committed,
+			State:     cap.state,
+		}
+		if len(rs.State) == 0 || len(rs.State) > MaxFramePayload-1024 {
+			// Stateless capture (plain sink) or a state too big for one
+			// Handoff frame: migrate identity only and restart the stream.
+			if len(rs.State) > 0 {
+				srv.logf("session %s: %d-byte state exceeds handoff frame; migrating without state", s.id, len(rs.State))
+			}
+			rs.State = nil
+			rs.Committed = make([]uint64, len(rs.Channels))
+		}
+		out = append(out, HandoffSession{RecoveredSession: rs, sess: s})
+	}
+	return out
 }
 
 // resume validates a reconnecting Hello against the retained session. The

@@ -33,12 +33,26 @@ var (
 	metTenantRej = obs.GetCounter("ingest.tenant_rejected")
 )
 
-// queued is one unit of session-worker input: a data/EOS frame, or a
-// terminal command (reason non-empty) asking the worker to flush everything
-// and produce the final verdict.
+// queued is one unit of session-worker input: a data/EOS frame, a terminal
+// command (reason non-empty) asking the worker to flush everything and
+// produce the final verdict, or a capture command (capture non-nil) asking
+// the worker to reply with the session's serializable resume point.
 type queued struct {
 	f      *Frame
 	reason string
+	// capture receives the worker's state capture. Running it on the worker,
+	// between frames, is what makes the committed counts and the monitor
+	// state describe the same instant — the same guarantee journal snapshots
+	// rely on.
+	capture chan captured
+}
+
+// captured is the worker's reply to a capture command: the per-channel
+// committed counts and the monitor state at one consistent instant.
+type captured struct {
+	committed []uint64
+	state     []byte
+	err       error
 }
 
 // outcome is the worker's single terminal output: the final verdict, or the
@@ -185,6 +199,10 @@ func (s *session) run() {
 			if s.tenant != nil {
 				s.tenant.depth.Add(-1)
 			}
+			if q.capture != nil {
+				q.capture <- s.captureState()
+				continue
+			}
 			if q.reason != "" {
 				v, err := s.finish(q.reason)
 				s.outcomeCh <- outcome{v: v, err: err}
@@ -297,6 +315,67 @@ func (s *session) discardQueue() {
 			return
 		}
 	}
+}
+
+// captureState is the worker-side half of a handoff export: the same
+// capture a journal snapshot takes, but returned to the exporter instead of
+// appended to the journal.
+func (s *session) captureState() captured {
+	var state []byte
+	if ss, ok := unwrapSink(s.sink).(StatefulSink); ok {
+		var err error
+		if state, err = ss.CaptureState(); err != nil {
+			return captured{err: err}
+		}
+	}
+	return captured{committed: s.committedSnapshot(), state: state}
+}
+
+// exportState asks the session worker for a consistent resume point,
+// waiting at most timeout for the worker to reach the command in its queue.
+// It fails — rather than blocking a whole drain — if the session terminates
+// or finishes first.
+func (s *session) exportState(timeout time.Duration) (captured, error) {
+	reply := make(chan captured, 1)
+	t := time.NewTimer(timeout)
+	defer t.Stop()
+	select {
+	case s.queue <- queued{capture: reply}:
+		// Mirror enqueue's depth accounting; the worker (or discardQueue)
+		// decrements it.
+		s.srv.depth.Add(1)
+		metDepth.Add(1)
+		if s.tenant != nil {
+			s.tenant.depth.Add(1)
+		}
+	case <-s.quit:
+		return captured{}, errTerminated
+	case <-s.done:
+		return captured{}, errTerminated
+	case <-t.C:
+		return captured{}, errStalled
+	}
+	select {
+	case cap := <-reply:
+		if cap.err != nil {
+			return captured{}, cap.err
+		}
+		return cap, nil
+	case <-s.done:
+		// terminate() won the race and discardQueue dropped the command.
+		return captured{}, errTerminated
+	case <-t.C:
+		return captured{}, errStalled
+	}
+}
+
+// modelVersion reports the content address of the model behind the
+// session's sink, when the sink knows it (pool-backed sinks do).
+func (s *session) modelVersion() string {
+	if mv, ok := unwrapSink(s.sink).(interface{ ModelVersion() string }); ok {
+		return mv.ModelVersion()
+	}
+	return ""
 }
 
 // committedSnapshot builds the per-channel resume points for a HelloAck.

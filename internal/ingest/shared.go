@@ -1,6 +1,8 @@
 package ingest
 
 import (
+	"bytes"
+	"encoding/gob"
 	"fmt"
 	"sync"
 
@@ -97,6 +99,72 @@ func (p *SharedPool) Resident() (models, refs int) {
 		refs += e.refs
 	}
 	return len(p.entries), refs
+}
+
+// Has reports whether the pool can resolve version without outside help —
+// resident in memory, or present in the backing store. A handoff receiver
+// uses it to decide whether to fetch the model blob from the sender.
+func (p *SharedPool) Has(version string) bool {
+	p.mu.Lock()
+	_, ok := p.entries[version]
+	p.mu.Unlock()
+	if ok {
+		return true
+	}
+	if p.Store == nil {
+		return false
+	}
+	_, ok, err := p.Store.Get(version)
+	return err == nil && ok
+}
+
+// ModelBlob serializes the model behind version (resident, or loaded from
+// the store) as its canonical gob encoding — the payload a cluster peer
+// streams to a handoff receiver that cannot resolve the hash itself.
+func (p *SharedPool) ModelBlob(version string) ([]byte, error) {
+	p.mu.Lock()
+	e, ok := p.entries[version]
+	p.mu.Unlock()
+	var m *registry.Model
+	if ok {
+		m = e.model
+	} else {
+		loaded, err := p.load(version)
+		if err != nil {
+			return nil, err
+		}
+		m = loaded.model
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(m); err != nil {
+		return nil, fmt.Errorf("ingest: encode model %s: %w", version, err)
+	}
+	return buf.Bytes(), nil
+}
+
+// AdoptBlob decodes a peer-fetched model blob, verifies its content address
+// matches the version that was requested (a corrupt or substituted blob is
+// an error, not a detector), and makes it resolvable here: persisted
+// through the backing store when one is configured — durable, evictable,
+// and fsync-gated by the store's sync policy, so journal entries pinning
+// the hash stay pointed at bytes that survive what the journal survives —
+// or registered pinned in memory otherwise.
+func (p *SharedPool) AdoptBlob(version string, blob []byte) (string, error) {
+	var m registry.Model
+	if err := gob.NewDecoder(bytes.NewReader(blob)).Decode(&m); err != nil {
+		return "", fmt.Errorf("ingest: decode model blob: %w", err)
+	}
+	v, err := m.Version()
+	if err != nil {
+		return "", err
+	}
+	if v != version {
+		return "", fmt.Errorf("ingest: model blob hashes to %s, want %s", v, version)
+	}
+	if p.Store != nil {
+		return p.Store.Put(&m)
+	}
+	return p.Register(&m)
 }
 
 // Refs reports how many live sinks the given version has.

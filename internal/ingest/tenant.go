@@ -2,6 +2,7 @@ package ingest
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 )
@@ -39,17 +40,27 @@ type tenant struct {
 // safe for concurrent use. Its mutex nests strictly inside Server.mu — the
 // table never calls back into a server.
 type TenantTable struct {
-	mu       sync.Mutex
-	def      TenantQuota
-	quotas   map[string]TenantQuota
-	tenants  map[string]*tenant
+	mu      sync.Mutex
+	def     TenantQuota
+	quotas  map[string]TenantQuota
+	tenants map[string]*tenant
+	// remote holds each cluster peer's gossiped per-tenant live session
+	// counts (peer id → tenant id → sessions). Best-effort: a count is as
+	// stale as the last probe that carried it. See reserve for the
+	// over-admission bound this buys.
+	remote   map[int]map[string]int
 	rejected atomic.Int64
 }
 
 // NewTenantTable builds a table whose tenants default to def. Per-tenant
 // overrides come from SetQuota.
 func NewTenantTable(def TenantQuota) *TenantTable {
-	return &TenantTable{def: def, quotas: map[string]TenantQuota{}, tenants: map[string]*tenant{}}
+	return &TenantTable{
+		def:     def,
+		quotas:  map[string]TenantQuota{},
+		tenants: map[string]*tenant{},
+		remote:  map[int]map[string]int{},
+	}
 }
 
 // SetQuota overrides the quota for one tenant id. It applies to subsequent
@@ -87,6 +98,52 @@ func (t *TenantTable) QueuedFrames(id string) int {
 // Rejected reports how many admissions the table has refused over quota.
 func (t *TenantTable) Rejected() int64 { return t.rejected.Load() }
 
+// Usage snapshots this process's own per-tenant live session counts — the
+// payload a cluster peer gossips on its health probes. Remote contributions
+// are deliberately excluded so peers never echo each other's counts back
+// and inflate the fleet view.
+func (t *TenantTable) Usage() []TenantUsage {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]TenantUsage, 0, len(t.tenants))
+	for id, tn := range t.tenants {
+		if tn.sessions > 0 {
+			out = append(out, TenantUsage{Tenant: id, Sessions: tn.sessions})
+		}
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Tenant < out[b].Tenant })
+	return out
+}
+
+// SetRemote replaces one peer's gossiped tenant usage; nil (or empty) usage
+// clears that peer's contribution — a dead or drained peer's sessions are
+// about to fail over here and must not be double-counted against quotas.
+func (t *TenantTable) SetRemote(peer int, usage []TenantUsage) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(usage) == 0 {
+		delete(t.remote, peer)
+		return
+	}
+	m := make(map[string]int, len(usage))
+	for _, u := range usage {
+		if u.Sessions > 0 {
+			m[u.Tenant] = u.Sessions
+		}
+	}
+	t.remote[peer] = m
+}
+
+// remoteSessionsLocked sums the gossiped live session counts for one tenant
+// across all peers. Callers hold t.mu.
+func (t *TenantTable) remoteSessionsLocked(id string) int {
+	n := 0
+	for _, m := range t.remote {
+		n += m[id]
+	}
+	return n
+}
+
 func (t *TenantTable) quotaFor(id string) TenantQuota {
 	if q, ok := t.quotas[id]; ok {
 		return q
@@ -109,7 +166,15 @@ func (t *TenantTable) reserve(id string) (*tenant, string) {
 		t.tenants[id] = tn
 	}
 	if q := tn.quota; !q.unlimited() {
-		if q.MaxSessions > 0 && tn.sessions+tn.pending >= q.MaxSessions {
+		// MaxSessions counts local sessions, local reservations, AND the
+		// gossiped remote counts, so the quota holds approximately
+		// fleet-wide. The remote view is bounded-stale: with P peers of
+		// quota Q, the worst case with no gossip at all (mesh fully
+		// partitioned) is P×Q fleet-wide; with a healthy mesh the bound is
+		// Q plus whatever every peer admits inside one gossip period,
+		// because each admission is visible to the whole fleet one probe
+		// later. TestTenantGossipQuota pins the healthy-mesh bound.
+		if q.MaxSessions > 0 && tn.sessions+tn.pending+t.remoteSessionsLocked(id) >= q.MaxSessions {
 			t.rejected.Add(1)
 			return nil, fmt.Sprintf("tenant %q over session quota (%d)", id, q.MaxSessions)
 		}
